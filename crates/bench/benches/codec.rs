@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the statistics-link codec (MAC framing + CRC-32 +
+//! packet serialization) — the per-window cost of the Ethernet dispatcher.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use temu_link::{EthernetLink, MacFrame, StatsPacket};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_codec");
+
+    let packet = StatsPacket {
+        seq: 42,
+        window_start: 5_000_000,
+        window_cycles: 5_000_000,
+        virtual_hz: 500_000_000,
+        power_mw: (0..21).map(|i| 100 + i).collect(),
+    };
+    group.bench_function("stats_packet_round_trip", |b| {
+        b.iter(|| {
+            let raw = packet.encode();
+            StatsPacket::decode(raw).unwrap()
+        })
+    });
+
+    let payload = Bytes::from(vec![0xA5u8; 1400]);
+    group.throughput(Throughput::Bytes(1400 + 18));
+    group.bench_function("mac_frame_round_trip_1400B", |b| {
+        b.iter(|| {
+            let frame = MacFrame::to_host(payload.clone());
+            let wire = frame.encode().unwrap();
+            MacFrame::decode(wire).unwrap()
+        })
+    });
+
+    let link = EthernetLink::default();
+    let big = Bytes::from(vec![0u8; 64 * 1024]);
+    group.bench_function("packetize_64KiB", |b| b.iter(|| link.packetize(&big, true).len()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

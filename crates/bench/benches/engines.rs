@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the two execution engines: the Table 3
+//! contrast in miniature — transaction-level emulation vs signal-level
+//! cycle-driven simulation of the identical platform and workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use temu_des::DesMachine;
+use temu_platform::{Machine, PlatformConfig};
+use temu_workloads::matrix::{self, MatrixConfig};
+
+fn workload(cores: u32) -> temu_isa::Program {
+    matrix::program(&MatrixConfig { n: 8, iters: 1, cores }).expect("assembles")
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    for &cores in &[1usize, 4] {
+        let program = workload(cores as u32);
+
+        // Cycle count of the workload (identical on both engines).
+        let mut probe = Machine::new(PlatformConfig::paper_bus(cores)).unwrap();
+        probe.load_program_all(&program).unwrap();
+        let cycles = probe.run_to_halt(u64::MAX).unwrap().cycles;
+        group.throughput(Throughput::Elements(cycles));
+
+        group.bench_with_input(BenchmarkId::new("fast_emulator", cores), &cores, |b, &n| {
+            b.iter(|| {
+                let mut m = Machine::new(PlatformConfig::paper_bus(n)).unwrap();
+                m.load_program_all(&program).unwrap();
+                m.run_to_halt(u64::MAX).unwrap().cycles
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cycle_driven_baseline", cores), &cores, |b, &n| {
+            b.iter(|| {
+                let mut m = DesMachine::new(PlatformConfig::paper_bus(n)).unwrap();
+                m.load_program_all(&program).unwrap();
+                m.run_to_halt(u64::MAX).unwrap().cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

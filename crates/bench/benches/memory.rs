@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the memory-hierarchy hot paths (cache lookups and
+//! bus arbitration dominate the emulator's per-access cost).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use temu_interconnect::{Bus, BusConfig, Interconnect, Request};
+use temu_mem::{AccessKind, Cache, CacheConfig, CacheKind};
+
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_paths");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("cache_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_l1_4k(), CacheKind::Data);
+        cache.access(0x100, AccessKind::Read);
+        b.iter(|| cache.access(0x100, AccessKind::Read))
+    });
+
+    group.bench_function("cache_conflict_miss", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_l1_4k(), CacheKind::Data);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            cache.access(if flip { 0x0 } else { 0x1000 }, AccessKind::Read)
+        })
+    });
+
+    group.bench_function("bus_transact", |b| {
+        let mut bus = Bus::new(BusConfig::opb(4));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            bus.transact(&Request::word_read(0, 0x1000_0000, t), 6)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory);
+criterion_main!(benches);

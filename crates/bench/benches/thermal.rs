@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the RC thermal solver (§5.2: one 10 ms sampling
+//! window must run far faster than real time; the paper quotes 2 s of
+//! simulation on 660 cells in 1.65 s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use temu_power::floorplans::fig4b_arm11;
+use temu_thermal::{GridConfig, ThermalModel};
+
+fn model_with_cells(target: &str) -> ThermalModel {
+    let map = fig4b_arm11();
+    let cfg = match target {
+        "coarse" => GridConfig { default_div: 1, hot_div: 2, filler_pitch_um: 4000.0, ..GridConfig::default() },
+        "default" => GridConfig::default(),
+        _ => GridConfig { default_div: 3, hot_div: 6, filler_pitch_um: 700.0, ..GridConfig::default() },
+    };
+    let mut m = ThermalModel::new(&map.floorplan, &cfg).expect("meshes");
+    for &(p, _, _, _) in &map.cores {
+        m.set_component_power(p, 1.2);
+    }
+    m
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_window_10ms");
+    group.sample_size(20);
+    for mesh in ["coarse", "default", "fine"] {
+        let template = model_with_cells(mesh);
+        let cells = template.grid().n_cells();
+        group.bench_with_input(BenchmarkId::new("step", format!("{mesh}_{cells}cells")), &cells, |b, _| {
+            let mut model = template.clone();
+            b.iter(|| model.step(0.010));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thermal);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates **Figure 4**: the two evaluation floorplans —
+//! (a) four ARM7 cores at 100 MHz, (b) four ARM11 cores at 500 MHz.
+
+use temu_power::floorplans::{fig4a_arm7, fig4b_arm11};
+
+fn main() {
+    for map in [fig4a_arm7(), fig4b_arm11()] {
+        println!("=== {} ===", map.floorplan.name);
+        println!("{}", map.floorplan);
+        println!("{}", map.floorplan.ascii_map(76));
+        println!(
+            "core tiles: {}, NoC switches: {}, total components: {}\n",
+            map.cores.len(),
+            map.switches.len(),
+            map.n_components()
+        );
+    }
+    println!("Component areas are implied by Table 1 (max power / power density);");
+    println!("NoC switch dimensions come from the documented estimate in temu-power.");
+}

@@ -1,0 +1,40 @@
+//! Regenerates the FPGA utilization figures quoted through §3–§4.
+
+use temu_fpga::{estimate, CostModel, V2VP30};
+use temu_interconnect::NocConfig;
+use temu_platform::{IcChoice, PlatformConfig, SnifferMode};
+
+fn main() {
+    let costs = CostModel::default();
+    println!("Virtex-2 Pro VP30: {} slices, {} BRAM18, {} hard PPC405\n", V2VP30.slices, V2VP30.bram18, V2VP30.ppc405);
+
+    println!("Per-component figures (model vs paper):");
+    let pct = |s: u32| 100.0 * f64::from(s) / f64::from(V2VP30.slices);
+    println!("  MicroBlaze soft core   : {} slices = {:.1}%   (paper: 574 slices, 4%)", costs.soft_core, pct(costs.soft_core));
+    println!("  memory controller      : {} slices = {:.1}%   (paper: 2%)", costs.mem_controller, pct(costs.mem_controller));
+    println!("  private memory i/f     : {} slices = {:.1}%   (paper: 1%)", costs.private_mem_if, pct(costs.private_mem_if));
+    println!("  custom 32-bit bus      : {} slices = {:.1}%   (paper: 1%)", costs.bus, pct(costs.bus));
+    println!("  count-logging sniffer  : {} slices = {:.2}%  (paper: 0.3%)", costs.sniffer_count, pct(costs.sniffer_count));
+    println!("  event-logging sniffer  : {} slices = {:.2}%  (paper: 0.2%)", costs.sniffer_event, pct(costs.sniffer_event));
+
+    println!("\n=== 4-processor exploration design (1 hard PPC405 + 3 MicroBlaze), paper: 66% ===");
+    let r = estimate(&PlatformConfig::paper_bus(4), &costs, V2VP30, 1);
+    print!("{}", r.render());
+
+    println!("\n=== 2-switch NoC design, paper: 80% ===");
+    let r = estimate(&PlatformConfig::paper_noc(4), &costs, V2VP30, 1);
+    print!("{}", r.render());
+
+    println!("\n=== 6-switch NoC system (4io/3buf switches), paper: 70% ===");
+    let mut cfg = PlatformConfig::paper_noc(4);
+    cfg.interconnect = IcChoice::Noc(NocConfig::paper_six_switch(4));
+    cfg.dcache = None;
+    let r = estimate(&cfg, &costs, V2VP30, 2);
+    print!("{}", r.render());
+
+    println!("\n=== event-logging variant of the 4-processor design ===");
+    let mut cfg = PlatformConfig::paper_bus(4);
+    cfg.sniffer_mode = SnifferMode::EventLogging { capacity: 4096 };
+    let r = estimate(&cfg, &costs, V2VP30, 1);
+    print!("{}", r.render());
+}

@@ -1,0 +1,53 @@
+//! Ablation for the §4.1/§7 claim: "practically an unlimited number of
+//! event-counting sniffers (i.e. floorplan cells) can be added to MPSoC
+//! designs without deteriorating the emulation speed", while event-logging
+//! sniffers saturate the Ethernet and force VPCM clock freezes.
+
+use temu_framework::{EmulationConfig, ThermalEmulation};
+use temu_platform::{Machine, PlatformConfig, SnifferMode};
+use temu_power::floorplans::fig4b_arm11;
+use temu_workloads::matrix::{self, MatrixConfig};
+
+fn run(mode: SnifferMode, windows: u64) -> (f64, f64, u64) {
+    let mut platform = PlatformConfig::paper_thermal(4);
+    platform.sniffer_mode = mode;
+    let mut machine = Machine::new(platform).expect("valid platform");
+    let cfg = MatrixConfig { n: 16, iters: 100_000, cores: 4 };
+    machine.load_program_all(&matrix::program(&cfg).expect("assembles")).expect("fits");
+    let mut emu = ThermalEmulation::new(machine, fig4b_arm11(), EmulationConfig::default()).expect("builds");
+    let report = emu.run_windows(windows).expect("runs");
+    let mips = report.aggregate.total_instructions() as f64 / report.wall.as_secs_f64().max(1e-9) / 1e6;
+    (mips, report.fpga_seconds, report.aggregate.events_overflowed)
+}
+
+fn main() {
+    let windows = 30;
+    println!("Sniffer-mode ablation on Matrix-TM, {windows} sampling windows of 10 ms\n");
+    println!(
+        "{:<44} {:>10} {:>14} {:>16}",
+        "configuration", "emu MIPS", "FPGA time (s)", "events dropped"
+    );
+
+    // Count-logging: the counter sniffers are free regardless of how many
+    // floorplan cells they feed (they are the per-component statistics the
+    // engine maintains anyway).
+    let (mips_count, fpga_count, _) = run(SnifferMode::CountLogging, windows);
+    println!("{:<44} {:>10.1} {:>14.3} {:>16}", "count-logging (any number of sniffers)", mips_count, fpga_count, 0);
+
+    for capacity in [1 << 16, 1 << 12, 1 << 8] {
+        let (mips, fpga, dropped) = run(SnifferMode::EventLogging { capacity }, windows);
+        println!(
+            "{:<44} {:>10.1} {:>14.3} {:>16}",
+            format!("event-logging, {capacity}-event BRAM buffer"),
+            mips,
+            fpga,
+            dropped
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper): count-logging throughput is flat; exhaustive event\n\
+         logging overwhelms the 100 Mb/s link/BRAM buffer, and the VPCM freezes the\n\
+         virtual clock (larger modeled FPGA time) rather than losing statistics."
+    );
+}

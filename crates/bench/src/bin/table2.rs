@@ -1,0 +1,25 @@
+//! Regenerates **Table 2**: thermal properties of the RC model.
+
+use temu_thermal::{silicon_conductivity, ThermalProps};
+
+fn main() {
+    let p = ThermalProps::default();
+    println!("Table 2: thermal properties");
+    println!("{:<34} {:>18} {:>18}", "property", "model", "paper");
+    let rows = [
+        ("silicon thermal conductivity", "150*(300/T)^4/3 W/mK".to_string(), "150*(300/T)^4/3".to_string()),
+        ("silicon specific heat", format!("{:.3e} J/um3K", p.silicon_c), "1.628e-12".to_string()),
+        ("silicon thickness", format!("{} um", p.silicon_thickness_um), "350um".to_string()),
+        ("copper thermal conductivity", format!("{} W/mK", p.copper_k), "400W/mK".to_string()),
+        ("copper specific heat", format!("{:.3e} J/um3K", p.copper_c), "3.55e-12".to_string()),
+        ("copper thickness", format!("{} um", p.copper_thickness_um), "1000um".to_string()),
+        ("package-to-air conductivity", format!("{} K/W", p.package_to_air), "20K/W (low power)".to_string()),
+    ];
+    for (name, model, paper) in rows {
+        println!("{name:<34} {model:>18} {paper:>18}");
+    }
+    println!("\nNon-linear silicon conductivity at sample temperatures:");
+    for t in [300.0, 320.0, 340.0, 350.0, 380.0, 400.0] {
+        println!("  k({t:.0} K) = {:>7.2} W/mK", silicon_conductivity(t));
+    }
+}

@@ -1,0 +1,360 @@
+//! The sequential co-emulation loop (Fig. 5).
+
+use crate::trace::{ThermalTrace, TraceSample};
+use std::time::{Duration, Instant};
+use temu_cpu::CpuError;
+use temu_link::{EthernetConfig, EthernetLink, StatsPacket, TempPacket};
+use temu_platform::{DfsPolicy, Machine, WindowStats, EVENT_BYTES};
+use temu_power::{FloorplanMap, PowerModel};
+use temu_thermal::{GridConfig, ThermalModel};
+
+/// Configuration of the co-emulation loop.
+#[derive(Clone, Debug)]
+pub struct EmulationConfig {
+    /// Virtual seconds per statistics sampling window (the paper uses 10 ms).
+    pub sampling_window_s: f64,
+    /// Run-time thermal-management policy; `None` disables DFS (the paper's
+    /// "without thermal management" curve).
+    pub policy: Option<DfsPolicy>,
+    /// Statistics-link parameters.
+    pub link: EthernetConfig,
+    /// Activity-to-power conversion.
+    pub power: PowerModel,
+    /// Thermal meshing and boundary conditions.
+    pub grid: GridConfig,
+}
+
+impl Default for EmulationConfig {
+    fn default() -> EmulationConfig {
+        EmulationConfig {
+            sampling_window_s: 0.010,
+            policy: None,
+            link: EthernetConfig::default(),
+            power: PowerModel::default(),
+            grid: GridConfig::default(),
+        }
+    }
+}
+
+/// Summary of a finished co-emulation run.
+#[derive(Clone, Debug)]
+pub struct EmulationReport {
+    /// Sampling windows executed.
+    pub windows: u64,
+    /// Virtual seconds emulated.
+    pub virtual_seconds: f64,
+    /// Virtual cycles executed (varies with DFS).
+    pub virtual_cycles: u64,
+    /// Modeled FPGA (physical) time, including VPCM freezes — the Table 3
+    /// "HW Emulator" quantity, now with the thermal loop attached.
+    pub fpga_seconds: f64,
+    /// Host wall-clock time of the whole loop (platform + thermal + link).
+    pub wall: Duration,
+    /// Whether every core halted.
+    pub all_halted: bool,
+    /// Aggregate platform statistics.
+    pub aggregate: WindowStats,
+}
+
+/// The in-process sequential HW/SW co-emulation.
+///
+/// Feedback is pipelined exactly like the physical system: the temperatures
+/// computed from window *k* reach the sensor registers (and the DFS policy)
+/// before window *k+1* starts.
+pub struct ThermalEmulation {
+    machine: Machine,
+    map: FloorplanMap,
+    model: ThermalModel,
+    link: EthernetLink,
+    cfg: EmulationConfig,
+    policy: Option<DfsPolicy>,
+    trace: ThermalTrace,
+    seq: u32,
+    windows: u64,
+    virtual_seconds: f64,
+    virtual_cycles: u64,
+    fpga_seconds: f64,
+    aggregate: WindowStats,
+}
+
+impl ThermalEmulation {
+    /// Wires a machine to a floorplan and thermal model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the thermal grid cannot be built or the
+    /// floorplan has fewer core tiles than the machine has cores.
+    pub fn new(machine: Machine, map: FloorplanMap, cfg: EmulationConfig) -> Result<ThermalEmulation, String> {
+        if map.cores.len() < machine.num_cores() {
+            return Err(format!(
+                "floorplan has {} core tiles but the machine has {} cores",
+                map.cores.len(),
+                machine.num_cores()
+            ));
+        }
+        let model = ThermalModel::new(&map.floorplan, &cfg.grid)?;
+        let names = map.floorplan.components().iter().map(|c| c.name.clone()).collect();
+        Ok(ThermalEmulation {
+            machine,
+            map,
+            model,
+            link: EthernetLink::new(cfg.link),
+            policy: cfg.policy,
+            cfg,
+            trace: ThermalTrace::new(names),
+            seq: 0,
+            windows: 0,
+            virtual_seconds: 0.0,
+            virtual_cycles: 0,
+            fpga_seconds: 0.0,
+            aggregate: WindowStats::default(),
+        })
+    }
+
+    /// The emulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (program loading, shared-data setup).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The thermal model.
+    pub fn model(&self) -> &ThermalModel {
+        &self.model
+    }
+
+    /// The temperature trace recorded so far.
+    pub fn trace(&self) -> &ThermalTrace {
+        &self.trace
+    }
+
+    /// The statistics link.
+    pub fn link(&self) -> &EthernetLink {
+        &self.link
+    }
+
+    /// Executes one sampling window: platform → statistics → power → link →
+    /// thermal step → temperature feedback → policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform faults.
+    pub fn run_window(&mut self) -> Result<(), CpuError> {
+        let window_s = self.cfg.sampling_window_s;
+        let hz = self.machine.vpcm().virtual_hz();
+        let cycles = (window_s * hz as f64).round() as u64;
+        let stats = self.machine.run_window(cycles)?;
+
+        // Convert sniffer statistics to per-component power.
+        let powers = self.cfg.power.window_powers(&self.map, &stats, hz);
+
+        // Ship statistics (and any event-log backlog) over the link within
+        // the window's physical-time budget.
+        let packet = StatsPacket {
+            seq: self.seq,
+            window_start: stats.start_cycle,
+            window_cycles: stats.cycles(),
+            virtual_hz: hz,
+            power_mw: powers.iter().map(|&p| (p * 1000.0).round() as u32).collect(),
+        };
+        let mut payload = packet.encode().to_vec();
+        if let Some(events) = self.machine.uncore_mut().events_mut() {
+            // Every event must cross the link: the buffered ones and the ones
+            // that found the BRAM buffer full (already counted into
+            // `stats.events_overflowed` by the window collection) — on the
+            // real platform the VPCM would have frozen the virtual clock
+            // mid-window instead of dropping them, so their transmission time
+            // is charged the same way (congestion accounted at window
+            // granularity, DESIGN.md §2).
+            let drained = events.drain(usize::MAX >> 1).len() as u64 + stats.events_overflowed;
+            payload.extend(std::iter::repeat_n(0u8, (drained as usize) * EVENT_BYTES));
+        }
+        let frames = self.link.packetize(&payload.into(), true);
+        let fpga_hz = self.machine.vpcm().fpga_hz;
+        let physical_window_s = (stats.cycles() + stats.freeze_mem) as f64 / fpga_hz as f64;
+        let link_freeze_s = self.link.send_window(&frames, physical_window_s);
+        // Surface the congestion freeze through the VPCM so the next window's
+        // statistics carry it (the report below accounts it directly).
+        self.machine
+            .vpcm_mut()
+            .record_link_freeze((link_freeze_s * fpga_hz as f64).round() as u64);
+
+        // Thermal step and temperature feedback.
+        self.model.set_powers(&powers);
+        self.model.step(window_s);
+        let temps = self.model.component_temps();
+        let reply = TempPacket {
+            seq: self.seq,
+            temps_centi_k: temps.iter().map(|&t| (t * 100.0).round() as u32).collect(),
+        };
+        let reply_frames = self.link.packetize(&reply.encode().to_vec().into(), false);
+        let _ = self.link.tx_seconds(&reply_frames); // downlink is never the bottleneck
+        for (i, &t) in temps.iter().enumerate() {
+            self.machine.set_sensor_kelvin(i, t);
+        }
+
+        // Run-time thermal management (the §7 DFS state machine).
+        if let Some(policy) = &mut self.policy {
+            let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let new_hz = policy.update(hottest);
+            if new_hz != hz {
+                self.machine.set_virtual_hz(new_hz);
+            }
+        }
+
+        // Bookkeeping.
+        self.seq = self.seq.wrapping_add(1);
+        self.windows += 1;
+        self.virtual_seconds += window_s;
+        self.virtual_cycles += stats.cycles();
+        self.fpga_seconds += physical_window_s + link_freeze_s;
+        let total_power = powers.iter().sum();
+        self.aggregate.merge(&stats);
+        let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        self.trace.push(TraceSample {
+            t_virtual_s: self.virtual_seconds,
+            temps_k: temps,
+            max_temp_k: hottest,
+            virtual_hz: hz,
+            total_power_w: total_power,
+            fpga_seconds: self.fpga_seconds,
+        });
+        Ok(())
+    }
+
+    /// Runs windows until every core halts or `max_windows` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform faults.
+    pub fn run_to_halt(&mut self, max_windows: u64) -> Result<EmulationReport, CpuError> {
+        let t0 = Instant::now();
+        for _ in 0..max_windows {
+            self.run_window()?;
+            if self.machine.all_halted() {
+                break;
+            }
+        }
+        Ok(EmulationReport {
+            windows: self.windows,
+            virtual_seconds: self.virtual_seconds,
+            virtual_cycles: self.virtual_cycles,
+            fpga_seconds: self.fpga_seconds,
+            wall: t0.elapsed(),
+            all_halted: self.machine.all_halted(),
+            aggregate: self.aggregate.clone(),
+        })
+    }
+
+    /// Runs a fixed number of windows regardless of halting (long thermal
+    /// observations over repeating workloads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform faults.
+    pub fn run_windows(&mut self, n: u64) -> Result<EmulationReport, CpuError> {
+        let t0 = Instant::now();
+        for _ in 0..n {
+            self.run_window()?;
+        }
+        Ok(EmulationReport {
+            windows: self.windows,
+            virtual_seconds: self.virtual_seconds,
+            virtual_cycles: self.virtual_cycles,
+            fpga_seconds: self.fpga_seconds,
+            wall: t0.elapsed(),
+            all_halted: self.machine.all_halted(),
+            aggregate: self.aggregate.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temu_platform::PlatformConfig;
+    use temu_power::floorplans::fig4b_arm11;
+    use temu_workloads::matrix::{self, MatrixConfig};
+
+    fn emulation(policy: Option<DfsPolicy>, iters: u32) -> ThermalEmulation {
+        let mut machine = Machine::new(PlatformConfig::paper_thermal(4)).unwrap();
+        let cfg = MatrixConfig { n: 8, iters, cores: 4 };
+        machine.load_program_all(&matrix::program(&cfg).unwrap()).unwrap();
+        let mut ecfg = EmulationConfig { policy, ..EmulationConfig::default() };
+        ecfg.sampling_window_s = 0.001; // 1 ms windows keep the tests fast
+        ThermalEmulation::new(machine, fig4b_arm11(), ecfg).unwrap()
+    }
+
+    #[test]
+    fn workload_completes_and_heats_the_die() {
+        let mut emu = emulation(None, 50);
+        let report = emu.run_to_halt(400).unwrap();
+        assert!(report.all_halted, "matrix workload finished");
+        assert!(report.windows > 1);
+        assert!(emu.trace().peak_temp() > 300.5, "the die warmed up: {}", emu.trace().peak_temp());
+        assert!(report.fpga_seconds > 0.0);
+        assert_eq!(report.virtual_cycles, report.aggregate.cycles());
+    }
+
+    #[test]
+    fn trace_grows_one_sample_per_window() {
+        let mut emu = emulation(None, 10_000);
+        emu.run_windows(5).unwrap();
+        assert_eq!(emu.trace().len(), 5);
+        let t = emu.trace().samples.last().unwrap().t_virtual_s;
+        assert!((t - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dfs_policy_throttles_when_forced_hot() {
+        // An aggressive policy (hot threshold just above ambient) must kick
+        // in within a few windows and halve the cycle budget of later windows.
+        let policy = DfsPolicy::new(300.6, 300.3, 500_000_000, 100_000_000);
+        let mut emu = emulation(Some(policy), 100_000);
+        emu.run_windows(40).unwrap();
+        let hzs: Vec<u64> = emu.trace().samples.iter().map(|s| s.virtual_hz).collect();
+        assert!(hzs.contains(&500_000_000), "starts fast");
+        assert!(hzs.contains(&100_000_000), "throttles when hot: {hzs:?}");
+        assert!(emu.trace().throttled_fraction() > 0.0);
+    }
+
+    #[test]
+    fn sensors_reflect_model_temperatures() {
+        let mut emu = emulation(None, 100_000);
+        emu.run_windows(3).unwrap();
+        let model_t = emu.model().component_temp(emu.map.cores[0].0);
+        let sensor_t = emu.machine().uncore().mmio.sensor_kelvin(emu.map.cores[0].0);
+        assert!((model_t - sensor_t).abs() < 0.01, "sensor {sensor_t} vs model {model_t}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = emulation(Some(DfsPolicy::paper()), 2000);
+        let mut b = emulation(Some(DfsPolicy::paper()), 2000);
+        a.run_windows(10).unwrap();
+        b.run_windows(10).unwrap();
+        assert_eq!(a.trace().samples.len(), b.trace().samples.len());
+        for (x, y) in a.trace().samples.iter().zip(b.trace().samples.iter()) {
+            assert_eq!(x.virtual_hz, y.virtual_hz);
+            assert!((x.max_temp_k - y.max_temp_k).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mismatched_floorplan_rejected() {
+        let machine = Machine::new(PlatformConfig::paper_bus(8)).unwrap();
+        let e = ThermalEmulation::new(machine, fig4b_arm11(), EmulationConfig::default());
+        assert!(e.is_err(), "4-core floorplan cannot host 8 cores");
+    }
+
+    #[test]
+    fn link_carries_stats_every_window() {
+        let mut emu = emulation(None, 10_000);
+        emu.run_windows(4).unwrap();
+        assert!(emu.link().stats().frames >= 4, "at least one frame per window");
+        assert_eq!(emu.link().stats().freeze_seconds, 0.0, "count-logging never congests");
+    }
+}

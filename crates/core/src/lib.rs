@@ -1,0 +1,27 @@
+//! # temu-framework — the HW/SW thermal co-emulation flow
+//!
+//! The paper's contribution (§6, Fig. 5): run the emulated MPSoC for one
+//! statistics sampling window (10 ms of virtual time by default), convert the
+//! extracted sniffer statistics into per-floorplan-component power, ship them
+//! over the Ethernet statistics link to the SW thermal model, advance the RC
+//! network by the same window, feed the resulting temperatures back into the
+//! platform's sensor registers, and let the run-time thermal-management
+//! policy (the §7 dual-threshold DFS) retune the virtual clock — then repeat,
+//! autonomously, until the workload halts.
+//!
+//! Two transports are provided:
+//!
+//! * [`ThermalEmulation`] — in-process sequential loop (deterministic,
+//!   benchmark-friendly);
+//! * [`threaded::run_threaded`] — the thermal tool runs on its own host
+//!   thread connected by channels, mirroring the paper's concurrent
+//!   FPGA-plus-host-PC execution. Both produce identical traces (the
+//!   feedback is pipelined by one window in either case, exactly like the
+//!   physical system).
+
+mod emulation;
+pub mod threaded;
+mod trace;
+
+pub use emulation::{EmulationConfig, EmulationReport, ThermalEmulation};
+pub use trace::{ThermalTrace, TraceSample};

@@ -1,0 +1,220 @@
+//! Concurrent HW/SW co-execution: the thermal tool on its own host thread.
+//!
+//! The paper's system runs the platform (FPGA) and the thermal library (host
+//! PC) concurrently, exchanging MAC packets over Ethernet. This module
+//! reproduces that execution style: the platform thread emulates sampling
+//! windows and sends [`StatsPacket`]s through a bounded channel (the link);
+//! the thermal thread integrates the RC network and answers with
+//! [`TempPacket`]s. The feedback is pipelined by one window in both the
+//! sequential and the threaded transport, so the two produce **identical
+//! traces** — which the tests assert.
+
+use crate::emulation::EmulationConfig;
+use crate::trace::{ThermalTrace, TraceSample};
+use crossbeam::channel;
+use std::error::Error;
+use std::fmt;
+use temu_cpu::CpuError;
+use temu_link::{StatsPacket, TempPacket};
+use temu_platform::Machine;
+use temu_power::FloorplanMap;
+use temu_thermal::ThermalModel;
+
+/// Failure of a threaded co-emulation run.
+#[derive(Debug)]
+pub enum ThreadedError {
+    /// The platform faulted.
+    Platform(CpuError),
+    /// Setup failed (thermal grid, floorplan mismatch).
+    Setup(String),
+    /// The thermal thread disappeared (channel closed early).
+    LinkClosed,
+}
+
+impl fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadedError::Platform(e) => write!(f, "platform fault: {e}"),
+            ThreadedError::Setup(m) => write!(f, "setup failed: {m}"),
+            ThreadedError::LinkClosed => write!(f, "thermal thread closed the link"),
+        }
+    }
+}
+
+impl Error for ThreadedError {}
+
+/// Runs `windows` sampling windows with the thermal model on a separate
+/// thread, returning the recorded trace.
+///
+/// # Errors
+///
+/// Returns [`ThreadedError`] on setup failure, platform fault, or a broken
+/// channel.
+pub fn run_threaded(
+    mut machine: Machine,
+    map: FloorplanMap,
+    cfg: EmulationConfig,
+    windows: u64,
+) -> Result<(Machine, ThermalTrace), ThreadedError> {
+    if map.cores.len() < machine.num_cores() {
+        return Err(ThreadedError::Setup(format!(
+            "floorplan has {} core tiles but the machine has {} cores",
+            map.cores.len(),
+            machine.num_cores()
+        )));
+    }
+    let mut model = ThermalModel::new(&map.floorplan, &cfg.grid).map_err(ThreadedError::Setup)?;
+    let names: Vec<String> = map.floorplan.components().iter().map(|c| c.name.clone()).collect();
+    let window_s = cfg.sampling_window_s;
+
+    // Bounded channels model the link's one-window pipelining.
+    let (stats_tx, stats_rx) = channel::bounded::<StatsPacket>(2);
+    let (temp_tx, temp_rx) = channel::bounded::<TempPacket>(2);
+
+    // The "host PC": receive stats, integrate, answer with temperatures.
+    let thermal_thread = std::thread::spawn(move || {
+        while let Ok(packet) = stats_rx.recv() {
+            let powers: Vec<f64> = packet.power_mw.iter().map(|&mw| f64::from(mw) / 1000.0).collect();
+            model.set_powers(&powers);
+            model.step(packet.window_cycles as f64 / packet.virtual_hz as f64);
+            let temps = model.component_temps();
+            let reply = TempPacket {
+                seq: packet.seq,
+                temps_centi_k: temps.iter().map(|&t| (t * 100.0).round() as u32).collect(),
+            };
+            if temp_tx.send(reply).is_err() {
+                break;
+            }
+        }
+    });
+
+    // The "FPGA": emulate windows, ship statistics, apply feedback.
+    let mut trace = ThermalTrace::new(names);
+    let mut policy = cfg.policy;
+    let mut virtual_seconds = 0.0;
+    let mut fpga_seconds = 0.0;
+    let mut result = Ok(());
+    for seq in 0..windows {
+        let hz = machine.vpcm().virtual_hz();
+        let cycles = (window_s * hz as f64).round() as u64;
+        let stats = match machine.run_window(cycles) {
+            Ok(s) => s,
+            Err(e) => {
+                result = Err(ThreadedError::Platform(e));
+                break;
+            }
+        };
+        let powers = cfg.power.window_powers(&map, &stats, hz);
+        let packet = StatsPacket {
+            seq: seq as u32,
+            window_start: stats.start_cycle,
+            window_cycles: stats.cycles(),
+            virtual_hz: hz,
+            power_mw: powers.iter().map(|&p| (p * 1000.0).round() as u32).collect(),
+        };
+        // Round-trip over the "Ethernet": codec exercised byte-for-byte.
+        let packet = StatsPacket::decode(packet.encode()).expect("self-coded packet");
+        if stats_tx.send(packet).is_err() {
+            result = Err(ThreadedError::LinkClosed);
+            break;
+        }
+        let reply = match temp_rx.recv() {
+            Ok(r) => r,
+            Err(_) => {
+                result = Err(ThreadedError::LinkClosed);
+                break;
+            }
+        };
+        let temps: Vec<f64> = reply.temps_centi_k.iter().map(|&t| f64::from(t) / 100.0).collect();
+        for (i, &t) in temps.iter().enumerate() {
+            machine.set_sensor_kelvin(i, t);
+        }
+        let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if let Some(p) = &mut policy {
+            let new_hz = p.update(hottest);
+            if new_hz != hz {
+                machine.set_virtual_hz(new_hz);
+            }
+        }
+        virtual_seconds += window_s;
+        fpga_seconds += (stats.cycles() + stats.freeze_mem) as f64 / machine.vpcm().fpga_hz as f64;
+        trace.push(TraceSample {
+            t_virtual_s: virtual_seconds,
+            temps_k: temps,
+            max_temp_k: hottest,
+            virtual_hz: hz,
+            total_power_w: powers.iter().sum(),
+            fpga_seconds,
+        });
+        if machine.all_halted() {
+            break;
+        }
+    }
+    drop(stats_tx);
+    thermal_thread.join().expect("thermal thread never panics");
+    result.map(|()| (machine, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulation::ThermalEmulation;
+    use temu_platform::{DfsPolicy, PlatformConfig};
+    use temu_power::floorplans::fig4b_arm11;
+    use temu_workloads::matrix::{self, MatrixConfig};
+
+    fn machine_with_matrix(iters: u32) -> Machine {
+        let mut machine = Machine::new(PlatformConfig::paper_thermal(4)).unwrap();
+        let cfg = MatrixConfig { n: 8, iters, cores: 4 };
+        machine.load_program_all(&matrix::program(&cfg).unwrap()).unwrap();
+        machine
+    }
+
+    fn config() -> EmulationConfig {
+        EmulationConfig {
+            sampling_window_s: 0.001,
+            policy: Some(DfsPolicy::new(300.6, 300.3, 500_000_000, 100_000_000)),
+            ..EmulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn threaded_runs_and_heats() {
+        let (machine, trace) = run_threaded(machine_with_matrix(50_000), fig4b_arm11(), config(), 12).unwrap();
+        assert_eq!(trace.len(), 12);
+        assert!(trace.peak_temp() > 300.1);
+        assert!(!machine.all_halted(), "long workload still running");
+    }
+
+    #[test]
+    fn threaded_matches_sequential_exactly() {
+        // Same machine, same windows: the threaded transport must produce
+        // the same temperature/frequency trajectory as the in-process loop
+        // (temperatures quantized to centi-kelvin by the packet format).
+        let windows = 10;
+        let (_, threaded) = run_threaded(machine_with_matrix(50_000), fig4b_arm11(), config(), windows).unwrap();
+
+        let mut seq = ThermalEmulation::new(machine_with_matrix(50_000), fig4b_arm11(), config()).unwrap();
+        seq.run_windows(windows).unwrap();
+
+        assert_eq!(threaded.len(), seq.trace().len());
+        for (a, b) in threaded.samples.iter().zip(seq.trace().samples.iter()) {
+            assert_eq!(a.virtual_hz, b.virtual_hz, "same DFS decisions");
+            assert!((a.max_temp_k - b.max_temp_k).abs() <= 0.011, "{} vs {}", a.max_temp_k, b.max_temp_k);
+        }
+    }
+
+    #[test]
+    fn stops_at_halt() {
+        let (machine, trace) = run_threaded(machine_with_matrix(1), fig4b_arm11(), config(), 1000).unwrap();
+        assert!(machine.all_halted());
+        assert!(trace.len() < 1000, "stopped after the workload halted");
+    }
+
+    #[test]
+    fn floorplan_mismatch_is_setup_error() {
+        let machine = Machine::new(PlatformConfig::paper_bus(8)).unwrap();
+        let e = run_threaded(machine, fig4b_arm11(), config(), 1);
+        assert!(matches!(e, Err(ThreadedError::Setup(_))));
+    }
+}

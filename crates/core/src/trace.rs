@@ -1,0 +1,222 @@
+//! Thermal traces: the data behind Fig. 6.
+
+/// One sampling window's record.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceSample {
+    /// Virtual time at the end of the window, seconds.
+    pub t_virtual_s: f64,
+    /// Component temperatures, K (floorplan order).
+    pub temps_k: Vec<f64>,
+    /// Hottest component temperature, K.
+    pub max_temp_k: f64,
+    /// Virtual clock the window ran at, Hz.
+    pub virtual_hz: u64,
+    /// Total injected power during the window, W.
+    pub total_power_w: f64,
+    /// Cumulative modeled FPGA (physical) time, seconds.
+    pub fpga_seconds: f64,
+}
+
+/// A full temperature-evolution trace (Fig. 6's curves).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ThermalTrace {
+    /// Component names, floorplan order.
+    pub component_names: Vec<String>,
+    /// One sample per sampling window.
+    pub samples: Vec<TraceSample>,
+}
+
+impl ThermalTrace {
+    /// Creates an empty trace for the given components.
+    pub fn new(component_names: Vec<String>) -> ThermalTrace {
+        ThermalTrace { component_names, samples: Vec::new() }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: TraceSample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The hottest temperature ever reached, K.
+    pub fn peak_temp(&self) -> f64 {
+        self.samples.iter().map(|s| s.max_temp_k).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Final maximum temperature, K.
+    pub fn final_temp(&self) -> f64 {
+        self.samples.last().map(|s| s.max_temp_k).unwrap_or(f64::NAN)
+    }
+
+    /// First virtual time at which the hottest component crossed
+    /// `threshold_k`, if ever.
+    pub fn crossing_time(&self, threshold_k: f64) -> Option<f64> {
+        self.samples.iter().find(|s| s.max_temp_k > threshold_k).map(|s| s.t_virtual_s)
+    }
+
+    /// Virtual seconds spent with the hottest component above `threshold_k`.
+    pub fn time_above(&self, threshold_k: f64) -> f64 {
+        let mut total = 0.0;
+        let mut prev_t = 0.0;
+        for s in &self.samples {
+            if s.max_temp_k > threshold_k {
+                total += s.t_virtual_s - prev_t;
+            }
+            prev_t = s.t_virtual_s;
+        }
+        total
+    }
+
+    /// Fraction of windows run at the throttled (lowest observed) frequency.
+    pub fn throttled_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let min_hz = self.samples.iter().map(|s| s.virtual_hz).min().expect("nonempty");
+        let max_hz = self.samples.iter().map(|s| s.virtual_hz).max().expect("nonempty");
+        if min_hz == max_hz {
+            return 0.0;
+        }
+        let n = self.samples.iter().filter(|s| s.virtual_hz == min_hz).count();
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Renders the trace as CSV: time, per-component temperatures, frequency,
+    /// power.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_virtual_s");
+        for n in &self.component_names {
+            out.push_str(&format!(",{n}_K"));
+        }
+        out.push_str(",max_K,virtual_mhz,power_w,fpga_s\n");
+        for s in &self.samples {
+            out.push_str(&format!("{:.6}", s.t_virtual_s));
+            for t in &s.temps_k {
+                out.push_str(&format!(",{t:.3}"));
+            }
+            out.push_str(&format!(
+                ",{:.3},{},{:.4},{:.6}\n",
+                s.max_temp_k,
+                s.virtual_hz / 1_000_000,
+                s.total_power_w,
+                s.fpga_seconds
+            ));
+        }
+        out
+    }
+
+    /// Renders an ASCII plot of the hottest-component curve (Fig. 6 style),
+    /// `width`×`height` characters, with threshold guide lines.
+    pub fn ascii_plot(&self, width: usize, height: usize, thresholds: &[f64]) -> String {
+        if self.samples.is_empty() || width < 8 || height < 3 {
+            return String::from("(empty trace)\n");
+        }
+        let t_end = self.samples.last().expect("nonempty").t_virtual_s;
+        let mut lo = self.samples.iter().map(|s| s.max_temp_k).fold(f64::INFINITY, f64::min);
+        let mut hi = self.peak_temp();
+        for &th in thresholds {
+            lo = lo.min(th);
+            hi = hi.max(th);
+        }
+        let pad = ((hi - lo) * 0.05).max(0.5);
+        lo -= pad;
+        hi += pad;
+        let mut rows = vec![vec![b' '; width]; height];
+        for &th in thresholds {
+            let r = ((hi - th) / (hi - lo) * (height - 1) as f64).round() as usize;
+            if r < height {
+                rows[r].fill(b'-');
+            }
+        }
+        for s in &self.samples {
+            let c = ((s.t_virtual_s / t_end) * (width - 1) as f64).round() as usize;
+            let r = ((hi - s.max_temp_k) / (hi - lo) * (height - 1) as f64).round() as usize;
+            if r < height && c < width {
+                rows[r][c] = b'*';
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            let label = hi - (hi - lo) * i as f64 / (height - 1) as f64;
+            out.push_str(&format!("{label:7.1}K |"));
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+        out.push_str(&format!("{:>10}0 s{:>width$.3} s\n", "", t_end, width = width - 6));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, temp: f64, hz: u64) -> TraceSample {
+        TraceSample {
+            t_virtual_s: t,
+            temps_k: vec![temp],
+            max_temp_k: temp,
+            virtual_hz: hz,
+            total_power_w: 1.0,
+            fpga_seconds: t * 5.0,
+        }
+    }
+
+    fn trace() -> ThermalTrace {
+        let mut tr = ThermalTrace::new(vec!["cpu".into()]);
+        tr.push(sample(0.01, 310.0, 500_000_000));
+        tr.push(sample(0.02, 345.0, 500_000_000));
+        tr.push(sample(0.03, 352.0, 100_000_000));
+        tr.push(sample(0.04, 341.0, 100_000_000));
+        tr
+    }
+
+    #[test]
+    fn metrics() {
+        let tr = trace();
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.peak_temp(), 352.0);
+        assert_eq!(tr.final_temp(), 341.0);
+        assert_eq!(tr.crossing_time(350.0), Some(0.03));
+        assert_eq!(tr.crossing_time(400.0), None);
+        assert!((tr.time_above(350.0) - 0.01).abs() < 1e-12);
+        assert!((tr.throttled_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throttled_fraction_zero_without_dfs() {
+        let mut tr = ThermalTrace::new(vec!["cpu".into()]);
+        tr.push(sample(0.01, 300.0, 500_000_000));
+        tr.push(sample(0.02, 301.0, 500_000_000));
+        assert_eq!(tr.throttled_fraction(), 0.0);
+        assert_eq!(ThermalTrace::default().throttled_fraction(), 0.0);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = trace().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 4 samples");
+        assert!(lines[0].starts_with("t_virtual_s,cpu_K,max_K"));
+        assert!(lines[3].contains(",100,"), "throttled window shows 100 MHz");
+    }
+
+    #[test]
+    fn ascii_plot_contains_curve_and_thresholds() {
+        let plot = trace().ascii_plot(40, 12, &[350.0, 340.0]);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('-'));
+        assert!(plot.lines().count() >= 12);
+        assert_eq!(ThermalTrace::default().ascii_plot(40, 12, &[]), "(empty trace)\n");
+    }
+}

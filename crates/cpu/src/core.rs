@@ -1,0 +1,604 @@
+//! The TE32 core: fetch/decode/execute with cycle accounting.
+//!
+//! Execution is split into micro-phases: [`Cpu::step`] first performs the
+//! instruction fetch and execute phase; if the instruction needs a data
+//! access, the core parks it as a pending operation and the *next* `step`
+//! call performs it. The emulation engine always steps the core with the
+//! smallest local time, so splitting the phases guarantees that shared
+//! resources (bus, NoC links) see requests in nondecreasing global time —
+//! which is what keeps the fast engine cycle-exact against the signal-level
+//! `temu-des` baseline.
+
+use crate::port::MemoryPort;
+use crate::regfile::RegFile;
+use crate::stats::CoreStats;
+use std::error::Error;
+use std::fmt;
+use temu_isa::{DecodeError, Instr, Reg, Width};
+use temu_mem::MemError;
+
+/// Core timing configuration (execute-phase extras).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CpuConfig {
+    /// Extra cycles for a taken branch or jump (pipeline refill).
+    pub branch_penalty: u32,
+    /// Extra cycles for `mul`/`mulh`.
+    pub mul_extra: u32,
+    /// Extra cycles for `div`/`rem` (iterative divider).
+    pub div_extra: u32,
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        CpuConfig { branch_penalty: 2, mul_extra: 2, div_extra: 31 }
+    }
+}
+
+/// Result of one [`Cpu::step`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// A micro-phase completed; the core remains runnable.
+    Executed,
+    /// The core is halted (either it just executed `halt` or it was halted
+    /// before the call).
+    Halted,
+}
+
+/// Execution fault, carrying the faulting PC for diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CpuError {
+    /// The fetched word does not decode.
+    Decode {
+        /// PC of the undecodable word.
+        pc: u32,
+        /// The fetched word.
+        word: u32,
+        /// Decoder diagnosis.
+        err: DecodeError,
+    },
+    /// A memory access faulted.
+    Mem {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The memory system diagnosis.
+        err: MemError,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::Decode { pc, word, err } => {
+                write!(f, "undecodable instruction {word:#010x} at pc {pc:#010x}: {err}")
+            }
+            CpuError::Mem { pc, err } => write!(f, "memory fault at pc {pc:#010x}: {err}"),
+        }
+    }
+}
+
+impl Error for CpuError {}
+
+/// Parked data access awaiting its micro-phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DataOp {
+    Load { rd: Reg, addr: u32, width: Width, signed: bool },
+    Store { addr: u32, width: Width, value: u32 },
+    Tas { rd: Reg, addr: u32 },
+}
+
+/// One TE32 core instance.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    id: usize,
+    cfg: CpuConfig,
+    regs: RegFile,
+    pc: u32,
+    time: u64,
+    halted: bool,
+    pending: Option<(DataOp, u32)>, // (operation, pc of the owning instruction)
+    stats: CoreStats,
+}
+
+impl Cpu {
+    /// Creates core `id` with the given timing configuration, at PC 0 and
+    /// local cycle 0.
+    pub fn new(id: usize, cfg: CpuConfig) -> Cpu {
+        Cpu { id, cfg, regs: RegFile::new(), pc: 0, time: 0, halted: false, pending: None, stats: CoreStats::default() }
+    }
+
+    /// The core's index on the platform.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// The core's local cycle counter.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Whether the core has executed `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether the core is between the fetch and data phases of a memory
+    /// instruction.
+    pub fn mid_instruction(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Read access to the register file.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Mutable access to the register file (used by loaders to set the stack
+    /// pointer and argument registers).
+    pub fn regs_mut(&mut self) -> &mut RegFile {
+        &mut self.regs
+    }
+
+    /// Statistics accumulated since the last [`Cpu::take_stats`].
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Returns and resets the statistics.
+    pub fn take_stats(&mut self) -> CoreStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Adds externally-imposed idle cycles (clock freezes, post-halt time)
+    /// and advances the local clock accordingly.
+    pub fn add_idle(&mut self, cycles: u64) {
+        self.stats.idle_cycles += cycles;
+        self.time += cycles;
+    }
+
+    /// Resets the core to `entry`, clearing registers, time and statistics.
+    pub fn reset(&mut self, entry: u32) {
+        self.regs = RegFile::new();
+        self.pc = entry;
+        self.time = 0;
+        self.halted = false;
+        self.pending = None;
+        self.stats = CoreStats::default();
+    }
+
+    /// Executes one micro-phase (fetch/execute, or a parked data access)
+    /// through `port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] if the fetched word does not decode or a memory
+    /// access faults; the core's state is left at the faulting instruction.
+    pub fn step<P: MemoryPort + ?Sized>(&mut self, port: &mut P) -> Result<StepOutcome, CpuError> {
+        if self.halted {
+            return Ok(StepOutcome::Halted);
+        }
+        if let Some((op, pc)) = self.pending.take() {
+            return self.data_phase(port, op, pc);
+        }
+        self.fetch_phase(port)
+    }
+
+    fn data_phase<P: MemoryPort + ?Sized>(&mut self, port: &mut P, op: DataOp, pc: u32) -> Result<StepOutcome, CpuError> {
+        let t = self.time;
+        let reply = match op {
+            DataOp::Load { addr, width, .. } => port.read(self.id, addr, width, t),
+            DataOp::Store { addr, width, value } => port.write(self.id, addr, width, value, t),
+            DataOp::Tas { addr, .. } => port.tas(self.id, addr, t),
+        }
+        .map_err(|err| {
+            self.pending = Some((op, pc)); // stay at the faulting phase
+            CpuError::Mem { pc, err }
+        })?;
+        match op {
+            DataOp::Load { rd, width, signed, .. } => {
+                self.regs.write(rd, extend(reply.value, width, signed));
+                self.stats.loads += 1;
+            }
+            DataOp::Store { .. } => self.stats.stores += 1,
+            DataOp::Tas { rd, .. } => {
+                self.regs.write(rd, reply.value);
+                self.stats.loads += 1;
+            }
+        }
+        let elapsed = reply.done_at - t;
+        self.stats.stall_cycles += reply.stall;
+        self.stats.active_cycles += elapsed - reply.stall;
+        self.stats.instructions += 1;
+        self.time = reply.done_at;
+        self.pc = pc.wrapping_add(4);
+        Ok(StepOutcome::Executed)
+    }
+
+    fn fetch_phase<P: MemoryPort + ?Sized>(&mut self, port: &mut P) -> Result<StepOutcome, CpuError> {
+        let t0 = self.time;
+        let pc = self.pc;
+        let fetch = port.fetch(self.id, pc, t0).map_err(|err| CpuError::Mem { pc, err })?;
+        let mut t = fetch.done_at;
+        let instr = Instr::decode(fetch.value).map_err(|err| CpuError::Decode { pc, word: fetch.value, err })?;
+
+        let mut next_pc = pc.wrapping_add(4);
+        let mut halted_now = false;
+        let mut retired = true;
+        match instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.regs.read(rs1), self.regs.read(rs2));
+                if op.is_mul() {
+                    self.stats.muls += 1;
+                    t += u64::from(self.cfg.mul_extra);
+                } else if op.is_div() {
+                    self.stats.divs += 1;
+                    t += u64::from(self.cfg.div_extra);
+                }
+                self.regs.write(rd, v);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                self.regs.write(rd, op.eval(self.regs.read(rs1), imm));
+            }
+            Instr::ShiftImm { op, rd, rs1, sh } => {
+                self.regs.write(rd, op.eval(self.regs.read(rs1), sh));
+            }
+            Instr::Lui { rd, imm } => {
+                self.regs.write(rd, u32::from(imm) << 16);
+            }
+            Instr::Load { width, signed, rd, rs1, off } => {
+                let addr = self.regs.read(rs1).wrapping_add(off as i32 as u32);
+                self.pending = Some((DataOp::Load { rd, addr, width, signed }, pc));
+                retired = false;
+            }
+            Instr::Store { width, rs2, rs1, off } => {
+                let addr = self.regs.read(rs1).wrapping_add(off as i32 as u32);
+                self.pending = Some((DataOp::Store { addr, width, value: self.regs.read(rs2) }, pc));
+                retired = false;
+            }
+            Instr::Tas { rd, rs1, off } => {
+                let addr = self.regs.read(rs1).wrapping_add(off as i32 as u32);
+                self.pending = Some((DataOp::Tas { rd, addr }, pc));
+                retired = false;
+            }
+            Instr::Branch { cond, rs1, rs2, off } => {
+                self.stats.branches += 1;
+                if cond.eval(self.regs.read(rs1), self.regs.read(rs2)) {
+                    self.stats.taken_branches += 1;
+                    next_pc = branch_target(pc, i32::from(off));
+                    t += u64::from(self.cfg.branch_penalty);
+                }
+            }
+            Instr::Jal { off } => {
+                self.regs.write(Reg::RA, pc.wrapping_add(4));
+                next_pc = branch_target(pc, off);
+                t += u64::from(self.cfg.branch_penalty);
+                self.stats.branches += 1;
+                self.stats.taken_branches += 1;
+            }
+            Instr::Jalr { rd, rs1, off } => {
+                let target = self.regs.read(rs1).wrapping_add(off as i32 as u32) & !3;
+                self.regs.write(rd, pc.wrapping_add(4));
+                next_pc = target;
+                t += u64::from(self.cfg.branch_penalty);
+                self.stats.branches += 1;
+                self.stats.taken_branches += 1;
+            }
+            Instr::Halt => {
+                halted_now = true;
+            }
+        }
+
+        let elapsed = t - t0;
+        self.stats.stall_cycles += fetch.stall;
+        self.stats.active_cycles += elapsed - fetch.stall;
+        self.time = t;
+        if retired {
+            self.pc = next_pc;
+            self.stats.instructions += 1;
+        }
+        if halted_now {
+            self.halted = true;
+            return Ok(StepOutcome::Halted);
+        }
+        Ok(StepOutcome::Executed)
+    }
+}
+
+/// Branch/jump target: `pc + 4 + off * 4` with wrapping.
+fn branch_target(pc: u32, off: i32) -> u32 {
+    pc.wrapping_add(4).wrapping_add((off as u32).wrapping_mul(4))
+}
+
+/// Sign/zero extension of a loaded value.
+fn extend(value: u32, width: Width, signed: bool) -> u32 {
+    match (width, signed) {
+        (Width::Byte, true) => value as u8 as i8 as i32 as u32,
+        (Width::Half, true) => value as u16 as i16 as i32 as u32,
+        _ => value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::MemReply;
+    use temu_isa::asm::assemble;
+    use temu_mem::MemArray;
+
+    /// Flat single-cycle test memory implementing the port.
+    struct TestPort {
+        mem: MemArray,
+        fetch_extra: u64,
+        data_extra: u64,
+    }
+
+    impl TestPort {
+        fn new(size: u32) -> TestPort {
+            TestPort { mem: MemArray::new(size), fetch_extra: 0, data_extra: 0 }
+        }
+
+        fn load_program(src: &str) -> (Cpu, TestPort) {
+            let p = assemble(src).expect("test program assembles");
+            let mut port = TestPort::new(64 * 1024);
+            port.mem.load(p.base, &p.to_bytes()).unwrap();
+            let mut cpu = Cpu::new(0, CpuConfig::default());
+            cpu.reset(p.entry);
+            (cpu, port)
+        }
+    }
+
+    impl MemoryPort for TestPort {
+        fn fetch(&mut self, _core: usize, pc: u32, now: u64) -> Result<MemReply, MemError> {
+            let value = self.mem.read(pc, Width::Word)?;
+            Ok(MemReply { value, done_at: now + 1 + self.fetch_extra, stall: self.fetch_extra })
+        }
+
+        fn read(&mut self, _core: usize, addr: u32, width: Width, now: u64) -> Result<MemReply, MemError> {
+            let value = self.mem.read(addr, width)?;
+            Ok(MemReply { value, done_at: now + 1 + self.data_extra, stall: self.data_extra })
+        }
+
+        fn write(&mut self, _core: usize, addr: u32, width: Width, value: u32, now: u64) -> Result<MemReply, MemError> {
+            self.mem.write(addr, width, value)?;
+            Ok(MemReply { value: 0, done_at: now + 1 + self.data_extra, stall: self.data_extra })
+        }
+
+        fn tas(&mut self, _core: usize, addr: u32, now: u64) -> Result<MemReply, MemError> {
+            let value = self.mem.read(addr, Width::Word)?;
+            self.mem.write(addr, Width::Word, 1)?;
+            Ok(MemReply { value, done_at: now + 1 + self.data_extra, stall: self.data_extra })
+        }
+    }
+
+    fn run(src: &str) -> (Cpu, TestPort) {
+        let (mut cpu, mut port) = TestPort::load_program(src);
+        for _ in 0..200_000 {
+            match cpu.step(&mut port).expect("no faults") {
+                StepOutcome::Halted => return (cpu, port),
+                StepOutcome::Executed => {}
+            }
+        }
+        panic!("program did not halt");
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let (cpu, _) = run("li r1, 6\n li r2, 7\n mul r3, r1, r2\n addi r3, r3, -2\n halt\n");
+        assert_eq!(cpu.regs().read(Reg::new(3)), 40);
+        assert_eq!(cpu.stats().muls, 1);
+    }
+
+    #[test]
+    fn loads_and_stores_with_extension() {
+        let (cpu, port) = run(
+            "start: la r1, data\n
+                    lw  r2, 0(r1)\n
+                    lb  r3, 0(r1)\n
+                    lbu r4, 0(r1)\n
+                    lh  r5, 0(r1)\n
+                    lhu r6, 0(r1)\n
+                    sw  r2, 8(r1)\n
+                    sb  r2, 12(r1)\n
+                    halt\n
+             data:  .word 0xFFFFFF80\n .word 0\n .word 0\n .word 0\n",
+        );
+        assert_eq!(cpu.regs().read(Reg::new(2)), 0xFFFF_FF80);
+        assert_eq!(cpu.regs().read(Reg::new(3)), 0xFFFF_FF80, "lb sign-extends");
+        assert_eq!(cpu.regs().read(Reg::new(4)), 0x80, "lbu zero-extends");
+        assert_eq!(cpu.regs().read(Reg::new(5)), 0xFFFF_FF80, "lh sign-extends");
+        assert_eq!(cpu.regs().read(Reg::new(6)), 0xFF80, "lhu zero-extends");
+        let data = cpu.regs().read(Reg::new(1));
+        assert_eq!(port.mem.read(data + 8, Width::Word).unwrap(), 0xFFFF_FF80);
+        assert_eq!(port.mem.read(data + 12, Width::Word).unwrap(), 0x80, "sb writes one byte");
+        assert_eq!(cpu.stats().loads, 5);
+        assert_eq!(cpu.stats().stores, 2);
+    }
+
+    #[test]
+    fn loop_counts() {
+        let (cpu, _) = run("li r1, 10\n li r2, 0\nloop: addi r2, r2, 3\n addi r1, r1, -1\n bnez r1, loop\n halt\n");
+        assert_eq!(cpu.regs().read(Reg::new(2)), 30);
+        assert_eq!(cpu.stats().branches, 10);
+        assert_eq!(cpu.stats().taken_branches, 9);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let (cpu, _) = run(
+            "start: li a0, 5\n call double\n mv s0, a0\n halt\n
+             double: add a0, a0, a0\n ret\n",
+        );
+        assert_eq!(cpu.regs().read(Reg::new(20)), 10);
+    }
+
+    #[test]
+    fn jalr_links_after_reading_base() {
+        // jalr rd == rs1: the link value must not clobber the jump target.
+        let (cpu, _) = run(
+            "start: la r1, target\n jalr r1, r1, 0\n halt\n
+             target: halt\n",
+        );
+        // After jalr, r1 = pc_of_jalr + 4 (address of the first halt).
+        let jalr_pc = 2 * 4; // la expands to two instructions
+        assert_eq!(cpu.regs().read(Reg::new(1)), jalr_pc as u32 + 4);
+    }
+
+    #[test]
+    fn tas_returns_old_and_sets_one() {
+        let (cpu, port) = run("la r1, lock\n tas r2, 0(r1)\n tas r3, 0(r1)\n halt\nlock: .word 0\n");
+        assert_eq!(cpu.regs().read(Reg::new(2)), 0, "first TAS sees free lock");
+        assert_eq!(cpu.regs().read(Reg::new(3)), 1, "second TAS sees taken lock");
+        let lock = cpu.regs().read(Reg::new(1));
+        assert_eq!(port.mem.read(lock, Width::Word).unwrap(), 1);
+    }
+
+    #[test]
+    fn cycle_accounting_single_cycle_alu() {
+        let (cpu, _) = run("nop\n nop\n nop\n halt\n");
+        // 4 instructions, 1 cycle each (fetch subsumes issue).
+        assert_eq!(cpu.time(), 4);
+        assert_eq!(cpu.stats().active_cycles, 4);
+        assert_eq!(cpu.stats().stall_cycles, 0);
+        assert_eq!(cpu.stats().instructions, 4);
+    }
+
+    #[test]
+    fn mem_instruction_takes_fetch_plus_access() {
+        let (cpu, _) = run("lw r1, 0(r0)\n halt\n");
+        // lw: fetch 1 + access 1; halt: fetch 1.
+        assert_eq!(cpu.time(), 3);
+        assert_eq!(cpu.stats().instructions, 2);
+    }
+
+    #[test]
+    fn micro_phase_visible_between_fetch_and_data() {
+        let (mut cpu, mut port) = TestPort::load_program("lw r1, 0(r0)\n halt\n");
+        cpu.step(&mut port).unwrap();
+        assert!(cpu.mid_instruction(), "load is parked after its fetch phase");
+        assert_eq!(cpu.stats().instructions, 0, "not retired yet");
+        cpu.step(&mut port).unwrap();
+        assert!(!cpu.mid_instruction());
+        assert_eq!(cpu.stats().instructions, 1);
+    }
+
+    #[test]
+    fn taken_branch_pays_penalty() {
+        let (cpu, _) = run("beq r0, r0, skip\n nop\nskip: halt\n");
+        // fetch(1) + penalty(2) for branch, fetch(1) for halt = 4.
+        assert_eq!(cpu.time(), 4);
+        let (cpu2, _) = run("bne r0, r0, skip\n nop\nskip: halt\n");
+        // untaken branch 1 + nop 1 + halt 1 = 3.
+        assert_eq!(cpu2.time(), 3);
+    }
+
+    #[test]
+    fn mul_div_latency() {
+        let (cpu, _) = run("mul r1, r0, r0\n halt\n");
+        assert_eq!(cpu.time(), 1 + 2 + 1, "fetch + mul_extra + halt");
+        let (cpu2, _) = run("div r1, r0, r0\n halt\n");
+        assert_eq!(cpu2.time(), 1 + 31 + 1);
+        assert_eq!(cpu2.stats().divs, 1);
+    }
+
+    #[test]
+    fn memory_stall_attribution() {
+        let (mut cpu, mut port) = TestPort::load_program("lw r1, 0(r0)\n halt\n");
+        port.data_extra = 7;
+        loop {
+            if cpu.step(&mut port).unwrap() == StepOutcome::Halted {
+                break;
+            }
+        }
+        assert_eq!(cpu.stats().stall_cycles, 7);
+        assert_eq!(cpu.stats().active_cycles, cpu.time() - 7);
+    }
+
+    #[test]
+    fn halted_core_stays_halted() {
+        let (mut cpu, mut port) = TestPort::load_program("halt\n");
+        assert_eq!(cpu.step(&mut port).unwrap(), StepOutcome::Halted);
+        let t = cpu.time();
+        assert_eq!(cpu.step(&mut port).unwrap(), StepOutcome::Halted);
+        assert_eq!(cpu.time(), t, "no time passes for a halted core");
+    }
+
+    #[test]
+    fn add_idle_advances_clock() {
+        let mut cpu = Cpu::new(0, CpuConfig::default());
+        cpu.add_idle(10);
+        assert_eq!(cpu.time(), 10);
+        assert_eq!(cpu.stats().idle_cycles, 10);
+    }
+
+    #[test]
+    fn decode_fault_reports_pc() {
+        let (mut cpu, mut port) = TestPort::load_program("nop\n .word 0xF8000000\n");
+        cpu.step(&mut port).unwrap();
+        match cpu.step(&mut port) {
+            Err(CpuError::Decode { pc, word, .. }) => {
+                assert_eq!(pc, 4);
+                assert_eq!(word, 0xF800_0000);
+            }
+            other => panic!("expected decode fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_fault_reports_pc() {
+        // `li 0x20000` expands to lui+ori, so the faulting lw sits at pc 8.
+        let (mut cpu, mut port) = TestPort::load_program("li r1, 0x20000\n lw r2, 0(r1)\n halt\n");
+        cpu.step(&mut port).unwrap();
+        cpu.step(&mut port).unwrap();
+        cpu.step(&mut port).unwrap(); // fetch phase of lw
+        let e = cpu.step(&mut port).unwrap_err(); // data phase faults
+        assert!(matches!(e, CpuError::Mem { pc: 8, .. }));
+        assert!(e.to_string().contains("memory fault"));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (mut cpu, _) = run("li r1, 3\n halt\n");
+        cpu.reset(0);
+        assert_eq!(cpu.pc(), 0);
+        assert_eq!(cpu.time(), 0);
+        assert!(!cpu.is_halted());
+        assert_eq!(cpu.regs().read(Reg::new(1)), 0);
+        assert_eq!(cpu.stats().instructions, 0);
+    }
+
+    #[test]
+    fn slt_family_through_execution() {
+        let (cpu, _) = run(
+            "li r1, -5\n li r2, 3\n
+             slt  r3, r1, r2\n
+             sltu r4, r1, r2\n
+             slti r5, r1, 0\n
+             sltiu r6, r2, -1\n
+             halt\n",
+        );
+        assert_eq!(cpu.regs().read(Reg::new(3)), 1, "-5 < 3 signed");
+        assert_eq!(cpu.regs().read(Reg::new(4)), 0, "big unsigned not < 3");
+        assert_eq!(cpu.regs().read(Reg::new(5)), 1);
+        assert_eq!(cpu.regs().read(Reg::new(6)), 1, "3 < 0xFFFFFFFF unsigned");
+    }
+
+    #[test]
+    fn shifts_through_execution() {
+        let (cpu, _) = run(
+            "li r1, 0x80000000\n li r2, 4\n
+             srl r3, r1, r2\n sra r4, r1, r2\n sll r5, r2, r2\n
+             srli r6, r1, 31\n srai r7, r1, 31\n slli r8, r2, 2\n
+             halt\n",
+        );
+        assert_eq!(cpu.regs().read(Reg::new(3)), 0x0800_0000);
+        assert_eq!(cpu.regs().read(Reg::new(4)), 0xF800_0000);
+        assert_eq!(cpu.regs().read(Reg::new(5)), 64);
+        assert_eq!(cpu.regs().read(Reg::new(6)), 1);
+        assert_eq!(cpu.regs().read(Reg::new(7)), u32::MAX);
+        assert_eq!(cpu.regs().read(Reg::new(8)), 16);
+    }
+}

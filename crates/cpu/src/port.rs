@@ -1,0 +1,54 @@
+//! The memory port a core issues its accesses through.
+
+use temu_isa::Width;
+use temu_mem::MemError;
+
+/// Reply to one memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemReply {
+    /// Value read (zero for writes).
+    pub value: u32,
+    /// Absolute cycle at which the core may continue (`>= now + 1`).
+    pub done_at: u64,
+    /// Cycles of the access that count as *stall* for the sniffer's
+    /// active/stalled breakdown (time beyond the cache hit latency:
+    /// miss service, arbitration, memory waits).
+    pub stall: u64,
+}
+
+/// Interface between a core and its memory controller.
+///
+/// `now` is the absolute core cycle at which the access starts; `core` is the
+/// issuing core's index (the controller routes private memory per core and
+/// attributes statistics). Implementations perform the *functional* access
+/// immediately and model all timing in the returned [`MemReply`].
+pub trait MemoryPort {
+    /// Instruction fetch of the word at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped, misaligned or out-of-range fetches.
+    fn fetch(&mut self, core: usize, pc: u32, now: u64) -> Result<MemReply, MemError>;
+
+    /// Data read of `width` bytes at `addr` (zero-extended value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped, misaligned or out-of-range reads.
+    fn read(&mut self, core: usize, addr: u32, width: Width, now: u64) -> Result<MemReply, MemError>;
+
+    /// Data write of the low `width` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped, misaligned or out-of-range writes.
+    fn write(&mut self, core: usize, addr: u32, width: Width, value: u32, now: u64) -> Result<MemReply, MemError>;
+
+    /// Atomic test-and-set: reads the word at `addr` and writes 1 to it as a
+    /// single indivisible transaction (the platform's spinlock primitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped, misaligned or out-of-range access.
+    fn tas(&mut self, core: usize, addr: u32, now: u64) -> Result<MemReply, MemError>;
+}

@@ -1,0 +1,72 @@
+//! Per-core statistics (the processor-level sniffer counters of §4.1).
+
+/// Counters a processor-level count-logging sniffer exports: the time the
+/// core spent in active/stalled/idle mode plus instruction-mix counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles doing useful work (issue, execute, cache-hit access).
+    pub active_cycles: u64,
+    /// Cycles stalled on the memory hierarchy (misses, contention, memory latency).
+    pub stall_cycles: u64,
+    /// Cycles halted or frozen (filled in by the platform at window ends).
+    pub idle_cycles: u64,
+    /// Data loads executed.
+    pub loads: u64,
+    /// Data stores executed.
+    pub stores: u64,
+    /// Branch instructions executed.
+    pub branches: u64,
+    /// Branches that were taken.
+    pub taken_branches: u64,
+    /// Multiply instructions.
+    pub muls: u64,
+    /// Divide/remainder instructions.
+    pub divs: u64,
+}
+
+impl CoreStats {
+    /// Total accounted cycles.
+    pub fn cycles(&self) -> u64 {
+        self.active_cycles + self.stall_cycles + self.idle_cycles
+    }
+
+    /// Fraction of accounted cycles spent active (0 when no cycles).
+    pub fn active_fraction(&self) -> f64 {
+        if self.cycles() == 0 {
+            0.0
+        } else {
+            self.active_cycles as f64 / self.cycles() as f64
+        }
+    }
+
+    /// Accumulates another stats block.
+    pub fn merge(&mut self, o: &CoreStats) {
+        self.instructions += o.instructions;
+        self.active_cycles += o.active_cycles;
+        self.stall_cycles += o.stall_cycles;
+        self.idle_cycles += o.idle_cycles;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.branches += o.branches;
+        self.taken_branches += o.taken_branches;
+        self.muls += o.muls;
+        self.divs += o.divs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_merge() {
+        let mut s = CoreStats { active_cycles: 3, stall_cycles: 1, ..CoreStats::default() };
+        assert_eq!(s.cycles(), 4);
+        assert!((s.active_fraction() - 0.75).abs() < 1e-12);
+        s.merge(&s.clone());
+        assert_eq!(s.cycles(), 8);
+        assert_eq!(CoreStats::default().active_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Randomized differential testing: arbitrary (well-formed, halting) TE32
+//! programs must produce identical cycle counts, register-visible results
+//! and shared-memory contents on the fast engine and the cycle-driven
+//! baseline. This is the strongest form of the cross-validation requirement
+//! behind Table 3.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temu_des::DesMachine;
+use temu_isa::asm::assemble;
+use temu_platform::{Machine, PlatformConfig};
+
+/// Generates a halting SPMD program: a bounded outer loop over a block of
+/// random ALU operations and private/shared loads and stores, ending in a
+/// barrier-free halt. All memory accesses are word-aligned and in range.
+fn random_program(rng: &mut StdRng, shared_heavy: bool) -> String {
+    let mut src = String::from(
+        ".equ MMIO, 0xFFFF0000\n\
+         .equ SHARED, 0x10000000\n\
+         start:\n\
+             li r1, MMIO\n\
+             lw s7, 0(r1)\n\
+             li s6, 40\n\
+         outer:\n",
+    );
+    let ops = rng.gen_range(10..60);
+    for _ in 0..ops {
+        let rd = rng.gen_range(2..12);
+        let rs1 = rng.gen_range(1..12);
+        let rs2 = rng.gen_range(1..12);
+        match rng.gen_range(0..10) {
+            0 => src.push_str(&format!("    add r{rd}, r{rs1}, r{rs2}\n")),
+            1 => src.push_str(&format!("    sub r{rd}, r{rs1}, r{rs2}\n")),
+            2 => src.push_str(&format!("    xor r{rd}, r{rs1}, r{rs2}\n")),
+            3 => src.push_str(&format!("    mul r{rd}, r{rs1}, r{rs2}\n")),
+            4 => src.push_str(&format!("    addi r{rd}, r{rs1}, {}\n", rng.gen_range(-100..100))),
+            5 => src.push_str(&format!("    slli r{rd}, r{rs1}, {}\n", rng.gen_range(0..31))),
+            6 => {
+                // Private memory access, word-aligned, inside 0x4000..0x8000.
+                let off = rng.gen_range(0..0x400) * 4;
+                src.push_str(&format!("    li r13, {}\n", 0x4000 + off));
+                if rng.gen_bool(0.5) {
+                    src.push_str(&format!("    lw r{rd}, 0(r13)\n"));
+                } else {
+                    src.push_str(&format!("    sw r{rs1}, 0(r13)\n"));
+                }
+            }
+            7 if shared_heavy => {
+                // Shared memory access (word-aligned, per-core slot region).
+                let off = rng.gen_range(0..0x100) * 4;
+                src.push_str("    li r13, SHARED\n");
+                src.push_str(&format!("    addi r13, r13, {off}\n"));
+                if rng.gen_bool(0.5) {
+                    src.push_str(&format!("    lw r{rd}, 0(r13)\n"));
+                } else {
+                    src.push_str(&format!("    sw r{rs1}, 0(r13)\n"));
+                }
+            }
+            7 => src.push_str(&format!("    sltu r{rd}, r{rs1}, r{rs2}\n")),
+            8 => src.push_str(&format!("    div r{rd}, r{rs1}, r{rs2}\n")),
+            _ => src.push_str(&format!("    srl r{rd}, r{rs1}, r{rs2}\n")),
+        }
+    }
+    src.push_str(
+        "    addi s6, s6, -1\n\
+             bnez s6, outer\n\
+             halt\n",
+    );
+    src
+}
+
+fn cross_validate(seed: u64, platform: PlatformConfig, shared_heavy: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let program = assemble(&random_program(&mut rng, shared_heavy)).expect("generator emits valid asm");
+
+    let mut fast = Machine::new(platform.clone()).unwrap();
+    fast.load_program_all(&program).unwrap();
+    let f = fast.run_to_halt(50_000_000).unwrap();
+    assert!(f.all_halted, "random programs halt by construction");
+
+    let mut des = DesMachine::new(platform).unwrap();
+    des.load_program_all(&program).unwrap();
+    let d = des.run_to_halt(50_000_000).unwrap();
+    assert!(d.all_halted);
+
+    assert_eq!(f.cycles, d.cycles, "seed {seed}: cycle counts diverged");
+    assert_eq!(f.instructions, d.instructions, "seed {seed}: instruction counts diverged");
+    for core in 0..fast.num_cores() {
+        for r in 0..32 {
+            let reg = temu_isa::Reg::new(r);
+            assert_eq!(
+                fast.core(core).regs().read(reg),
+                des.core(core).regs().read(reg),
+                "seed {seed}: core {core} r{r} diverged"
+            );
+        }
+    }
+    assert_eq!(
+        fast.shared().slice(0, 0x500),
+        des.shared().slice(0, 0x500),
+        "seed {seed}: shared memory diverged"
+    );
+}
+
+#[test]
+fn random_programs_single_core_bus() {
+    for seed in 0..12 {
+        cross_validate(seed, PlatformConfig::paper_bus(1), true);
+    }
+}
+
+#[test]
+fn random_programs_four_cores_bus_shared_heavy() {
+    for seed in 100..108 {
+        cross_validate(seed, PlatformConfig::paper_bus(4), true);
+    }
+}
+
+#[test]
+fn random_programs_four_cores_noc_shared_heavy() {
+    for seed in 200..208 {
+        cross_validate(seed, PlatformConfig::paper_noc(4), true);
+    }
+}
+
+#[test]
+fn random_programs_eight_cores() {
+    for seed in 300..304 {
+        cross_validate(seed, PlatformConfig::paper_bus(8), true);
+    }
+}
+
+#[test]
+fn random_programs_shared_cacheable() {
+    let mut platform = PlatformConfig::paper_bus(4);
+    platform.shared_cacheable = true;
+    for seed in 400..406 {
+        cross_validate(seed, platform.clone(), true);
+    }
+}
+
+#[test]
+fn random_programs_no_caches() {
+    let mut platform = PlatformConfig::paper_bus(2);
+    platform.icache = None;
+    platform.dcache = None;
+    for seed in 500..506 {
+        cross_validate(seed, platform.clone(), true);
+    }
+}

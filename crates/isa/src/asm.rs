@@ -1,0 +1,880 @@
+//! Two-pass TE32 assembler.
+//!
+//! ## Syntax
+//!
+//! ```text
+//! ; comment            # comment            // comment
+//! .org   0x100         ; move the location counter (byte address, word aligned)
+//! .align 8             ; pad with zeros to an 8-byte boundary
+//! .word  1, 0x2, sym   ; emit literal words (labels allowed)
+//! .space 64            ; emit 64 zero bytes (word multiple)
+//! .equ   NAME, 0x123   ; define an assembler constant
+//! label:  add r1, r2, r3
+//!         lw  r4, 8(r2)
+//!         beq r1, r0, label
+//! ```
+//!
+//! Registers are written `r0`–`r31` or with the aliases `zero` (r0),
+//! `ra` (r31), `sp` (r30), `fp` (r29), `gp` (r28), `a0`–`a7` (r4–r11),
+//! `t0`–`t7` (r12–r19), and `s0`–`s7` (r20–r27).
+//!
+//! ## Pseudo-instructions
+//!
+//! | pseudo | expansion |
+//! |---|---|
+//! | `nop` | `addi r0, r0, 0` |
+//! | `mv rd, rs` | `addi rd, rs, 0` |
+//! | `not rd, rs` | `nor rd, rs, r0` |
+//! | `neg rd, rs` | `sub rd, r0, rs` |
+//! | `li rd, imm` | `addi` (fits i16) or `lui`+`ori` |
+//! | `la rd, label` | `lui`+`ori` (always two words) |
+//! | `j label` / `b label` | `beq r0, r0, label` |
+//! | `call label` | `jal label` (links `ra`) |
+//! | `ret` | `jalr r0, ra, 0` |
+//! | `bgt/ble/bgtu/bleu a, b, l` | `blt/bge/bltu/bgeu b, a, l` |
+//! | `beqz/bnez rs, l` | `beq/bne rs, r0, l` |
+//!
+//! If a label named `start` exists it becomes the program entry point.
+
+use crate::instr::{AluImmOp, AluOp, Cond, Instr, Reg, ShiftOp, Width};
+use crate::program::Program;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`assemble`], carrying the 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// Parses a register name (`r7`, `sp`, `a0`, ...).
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim();
+    let named = match t {
+        "zero" => Some(0),
+        "ra" => Some(31),
+        "sp" => Some(30),
+        "fp" => Some(29),
+        "gp" => Some(28),
+        _ => None,
+    };
+    if let Some(i) = named {
+        return Ok(Reg::new(i));
+    }
+    let (prefix, base) = match t.as_bytes().first() {
+        Some(b'r') => ("r", 0u8),
+        Some(b'a') => ("a", 4),
+        Some(b't') => ("t", 12),
+        Some(b's') => ("s", 20),
+        _ => return err(line, format!("expected register, found `{t}`")),
+    };
+    let idx: u8 = t[prefix.len()..]
+        .parse()
+        .map_err(|_| AsmError { line, msg: format!("expected register, found `{t}`") })?;
+    let abs = if prefix == "r" {
+        idx
+    } else {
+        if idx > 7 {
+            return err(line, format!("register alias `{t}` out of range (0-7)"));
+        }
+        base + idx
+    };
+    Reg::try_new(abs).ok_or_else(|| AsmError { line, msg: format!("register `{t}` out of range") })
+}
+
+/// Parses a numeric literal: decimal, `0x` hex, `0b` binary, optional sign.
+fn parse_num(tok: &str) -> Option<i64> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t.strip_prefix('+').unwrap_or(t)),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        i64::from_str_radix(&bin.replace('_', ""), 2).ok()?
+    } else {
+        t.replace('_', "").parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// An operand value: either resolved now or a symbol resolved in pass 2.
+#[derive(Clone, Debug)]
+enum Value {
+    Num(i64),
+    Sym(String),
+}
+
+fn parse_value(tok: &str, line: usize) -> Result<Value, AsmError> {
+    let t = tok.trim();
+    if let Some(n) = parse_num(t) {
+        return Ok(Value::Num(n));
+    }
+    if t.is_empty() || !t.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.') {
+        return err(line, format!("expected number or symbol, found `{t}`"));
+    }
+    Ok(Value::Sym(t.to_string()))
+}
+
+fn resolve(v: &Value, symbols: &BTreeMap<String, u32>, equs: &BTreeMap<String, i64>, line: usize) -> Result<i64, AsmError> {
+    match v {
+        Value::Num(n) => Ok(*n),
+        Value::Sym(s) => equs
+            .get(s)
+            .copied()
+            .or_else(|| symbols.get(s).map(|&a| i64::from(a)))
+            .ok_or_else(|| AsmError { line, msg: format!("undefined symbol `{s}`") }),
+    }
+}
+
+fn check_i16(v: i64, line: usize, what: &str) -> Result<i16, AsmError> {
+    i16::try_from(v).map_err(|_| AsmError { line, msg: format!("{what} {v} does not fit in 16 signed bits") })
+}
+
+/// `off(base)` memory operand.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(Value, Reg), AsmError> {
+    let t = tok.trim();
+    let open = t.find('(').ok_or_else(|| AsmError { line, msg: format!("expected `off(base)`, found `{t}`") })?;
+    if !t.ends_with(')') {
+        return err(line, format!("expected `off(base)`, found `{t}`"));
+    }
+    let off_txt = &t[..open];
+    let base = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    let off = if off_txt.trim().is_empty() { Value::Num(0) } else { parse_value(off_txt, line)? };
+    Ok((off, base))
+}
+
+/// One source statement after parsing (pass 1 representation).
+#[derive(Clone, Debug)]
+enum Stmt {
+    /// A single machine instruction, with unresolved values where needed.
+    Instr(PendingInstr),
+    /// Emit literal words.
+    Words(Vec<Value>),
+    /// Emit `n` zero bytes.
+    Space(u32),
+}
+
+/// Machine instruction with possibly-symbolic operands.
+#[derive(Clone, Debug)]
+enum PendingInstr {
+    Ready(Instr),
+    AluImm { op: AluImmOp, rd: Reg, rs1: Reg, imm: Value },
+    Load { width: Width, signed: bool, rd: Reg, rs1: Reg, off: Value },
+    Store { width: Width, rs2: Reg, rs1: Reg, off: Value },
+    Tas { rd: Reg, rs1: Reg, off: Value },
+    Branch { cond: Cond, rs1: Reg, rs2: Reg, target: Value },
+    Jal { target: Value },
+    Jalr { rd: Reg, rs1: Reg, off: Value },
+    /// `lui`+`ori` pair materializing a 32-bit value (second word follows).
+    LuiHi { rd: Reg, value: Value },
+    OriLo { rd: Reg, value: Value },
+}
+
+struct Assembler {
+    pc: u32,
+    base: Option<u32>,
+    items: Vec<(usize, u32, Stmt)>, // (line, address, statement)
+    symbols: BTreeMap<String, u32>,
+    equs: BTreeMap<String, i64>,
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler { pc: 0, base: None, items: Vec::new(), symbols: BTreeMap::new(), equs: BTreeMap::new() }
+    }
+
+    fn push(&mut self, line: usize, stmt: Stmt) {
+        if self.base.is_none() {
+            self.base = Some(self.pc);
+        }
+        let size = match &stmt {
+            Stmt::Instr(_) => 4,
+            Stmt::Words(ws) => 4 * ws.len() as u32,
+            Stmt::Space(n) => *n,
+        };
+        self.items.push((line, self.pc, stmt));
+        self.pc += size;
+    }
+
+    fn define_label(&mut self, name: &str, line: usize) -> Result<(), AsmError> {
+        if self.symbols.insert(name.to_string(), self.pc).is_some() {
+            return err(line, format!("duplicate label `{name}`"));
+        }
+        Ok(())
+    }
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(|s| s.trim().to_string()).collect()
+    }
+}
+
+fn expect_n(ops: &[String], n: usize, mnemonic: &str, line: usize) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        err(line, format!("`{mnemonic}` expects {n} operand(s), found {}", ops.len()))
+    }
+}
+
+fn alu_op_of(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "nor" => AluOp::Nor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "mul" => AluOp::Mul,
+        "mulh" => AluOp::Mulh,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        _ => return None,
+    })
+}
+
+fn alu_imm_op_of(m: &str) -> Option<AluImmOp> {
+    Some(match m {
+        "addi" => AluImmOp::Add,
+        "andi" => AluImmOp::And,
+        "ori" => AluImmOp::Or,
+        "xori" => AluImmOp::Xor,
+        "slti" => AluImmOp::Slt,
+        "sltiu" => AluImmOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn shift_op_of(m: &str) -> Option<ShiftOp> {
+    Some(match m {
+        "slli" => ShiftOp::Sll,
+        "srli" => ShiftOp::Srl,
+        "srai" => ShiftOp::Sra,
+        _ => return None,
+    })
+}
+
+fn load_of(m: &str) -> Option<(Width, bool)> {
+    Some(match m {
+        "lw" => (Width::Word, true),
+        "lh" => (Width::Half, true),
+        "lhu" => (Width::Half, false),
+        "lb" => (Width::Byte, true),
+        "lbu" => (Width::Byte, false),
+        _ => return None,
+    })
+}
+
+fn store_of(m: &str) -> Option<Width> {
+    Some(match m {
+        "sw" => Width::Word,
+        "sh" => Width::Half,
+        "sb" => Width::Byte,
+        _ => return None,
+    })
+}
+
+fn cond_of(m: &str) -> Option<(Cond, bool)> {
+    // (condition, swap operands?)
+    Some(match m {
+        "beq" => (Cond::Eq, false),
+        "bne" => (Cond::Ne, false),
+        "blt" => (Cond::Lt, false),
+        "bge" => (Cond::Ge, false),
+        "bltu" => (Cond::Ltu, false),
+        "bgeu" => (Cond::Geu, false),
+        "bgt" => (Cond::Lt, true),
+        "ble" => (Cond::Ge, true),
+        "bgtu" => (Cond::Ltu, true),
+        "bleu" => (Cond::Geu, true),
+        _ => return None,
+    })
+}
+
+/// Assembles TE32 source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics or registers, duplicate labels, undefined symbols and
+/// out-of-range immediates or branch offsets.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut a = Assembler::new();
+
+    // Pass 1: parse lines, lay out addresses, collect labels.
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = raw;
+        for marker in [";", "#", "//"] {
+            if let Some(pos) = text.find(marker) {
+                text = &text[..pos];
+            }
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || label.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
+                break;
+            }
+            a.define_label(label, line)?;
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], text[pos..].trim()),
+            None => (text, ""),
+        };
+        let m = mnemonic.to_ascii_lowercase();
+        let ops = split_operands(rest);
+
+        // Directives.
+        match m.as_str() {
+            ".org" => {
+                expect_n(&ops, 1, ".org", line)?;
+                let v = resolve(&parse_value(&ops[0], line)?, &a.symbols, &a.equs, line)?;
+                if v < 0 || v % 4 != 0 {
+                    return err(line, format!(".org address {v} must be a non-negative multiple of 4"));
+                }
+                let v = v as u32;
+                if v < a.pc {
+                    return err(line, format!(".org {v:#x} moves backwards past {:#x}", a.pc));
+                }
+                if a.base.is_none() {
+                    a.base = Some(v);
+                } else if v > a.pc {
+                    let gap = v - a.pc;
+                    a.push(line, Stmt::Space(gap));
+                }
+                a.pc = v;
+                continue;
+            }
+            ".align" => {
+                expect_n(&ops, 1, ".align", line)?;
+                let v = resolve(&parse_value(&ops[0], line)?, &a.symbols, &a.equs, line)?;
+                if v <= 0 || v % 4 != 0 {
+                    return err(line, format!(".align {v} must be a positive multiple of 4"));
+                }
+                let v = v as u32;
+                let pad = (v - a.pc % v) % v;
+                if pad > 0 {
+                    a.push(line, Stmt::Space(pad));
+                }
+                continue;
+            }
+            ".word" => {
+                if ops.is_empty() {
+                    return err(line, ".word expects at least one value");
+                }
+                let values = ops.iter().map(|o| parse_value(o, line)).collect::<Result<Vec<_>, _>>()?;
+                a.push(line, Stmt::Words(values));
+                continue;
+            }
+            ".space" => {
+                expect_n(&ops, 1, ".space", line)?;
+                let v = resolve(&parse_value(&ops[0], line)?, &a.symbols, &a.equs, line)?;
+                if v < 0 || v % 4 != 0 {
+                    return err(line, format!(".space size {v} must be a non-negative multiple of 4"));
+                }
+                a.push(line, Stmt::Space(v as u32));
+                continue;
+            }
+            ".equ" => {
+                expect_n(&ops, 2, ".equ", line)?;
+                let v = resolve(&parse_value(&ops[1], line)?, &a.symbols, &a.equs, line)?;
+                if a.equs.insert(ops[0].clone(), v).is_some() {
+                    return err(line, format!("duplicate .equ `{}`", ops[0]));
+                }
+                continue;
+            }
+            _ if m.starts_with('.') => return err(line, format!("unknown directive `{m}`")),
+            _ => {}
+        }
+
+        // Instructions and pseudo-instructions.
+        let stmt = if let Some(op) = alu_op_of(&m) {
+            expect_n(&ops, 3, &m, line)?;
+            PendingInstr::Ready(Instr::Alu {
+                op,
+                rd: parse_reg(&ops[0], line)?,
+                rs1: parse_reg(&ops[1], line)?,
+                rs2: parse_reg(&ops[2], line)?,
+            })
+        } else if let Some(op) = alu_imm_op_of(&m) {
+            expect_n(&ops, 3, &m, line)?;
+            PendingInstr::AluImm {
+                op,
+                rd: parse_reg(&ops[0], line)?,
+                rs1: parse_reg(&ops[1], line)?,
+                imm: parse_value(&ops[2], line)?,
+            }
+        } else if let Some(op) = shift_op_of(&m) {
+            expect_n(&ops, 3, &m, line)?;
+            let sh = resolve(&parse_value(&ops[2], line)?, &a.symbols, &a.equs, line)?;
+            if !(0..32).contains(&sh) {
+                return err(line, format!("shift amount {sh} out of range 0..32"));
+            }
+            PendingInstr::Ready(Instr::ShiftImm {
+                op,
+                rd: parse_reg(&ops[0], line)?,
+                rs1: parse_reg(&ops[1], line)?,
+                sh: sh as u8,
+            })
+        } else if let Some((width, signed)) = load_of(&m) {
+            expect_n(&ops, 2, &m, line)?;
+            let (off, rs1) = parse_mem_operand(&ops[1], line)?;
+            PendingInstr::Load { width, signed, rd: parse_reg(&ops[0], line)?, rs1, off }
+        } else if let Some(width) = store_of(&m) {
+            expect_n(&ops, 2, &m, line)?;
+            let (off, rs1) = parse_mem_operand(&ops[1], line)?;
+            PendingInstr::Store { width, rs2: parse_reg(&ops[0], line)?, rs1, off }
+        } else if let Some((cond, swap)) = cond_of(&m) {
+            expect_n(&ops, 3, &m, line)?;
+            let (mut rs1, mut rs2) = (parse_reg(&ops[0], line)?, parse_reg(&ops[1], line)?);
+            if swap {
+                std::mem::swap(&mut rs1, &mut rs2);
+            }
+            PendingInstr::Branch { cond, rs1, rs2, target: parse_value(&ops[2], line)? }
+        } else {
+            match m.as_str() {
+                "lui" => {
+                    expect_n(&ops, 2, "lui", line)?;
+                    let v = resolve(&parse_value(&ops[1], line)?, &a.symbols, &a.equs, line)?;
+                    if !(0..=0xFFFF).contains(&v) {
+                        return err(line, format!("lui immediate {v} out of range 0..=0xffff"));
+                    }
+                    PendingInstr::Ready(Instr::Lui { rd: parse_reg(&ops[0], line)?, imm: v as u16 })
+                }
+                "tas" => {
+                    expect_n(&ops, 2, "tas", line)?;
+                    let (off, rs1) = parse_mem_operand(&ops[1], line)?;
+                    PendingInstr::Tas { rd: parse_reg(&ops[0], line)?, rs1, off }
+                }
+                "jal" | "call" => {
+                    expect_n(&ops, 1, &m, line)?;
+                    PendingInstr::Jal { target: parse_value(&ops[0], line)? }
+                }
+                "jalr" => {
+                    expect_n(&ops, 3, "jalr", line)?;
+                    PendingInstr::Jalr {
+                        rd: parse_reg(&ops[0], line)?,
+                        rs1: parse_reg(&ops[1], line)?,
+                        off: parse_value(&ops[2], line)?,
+                    }
+                }
+                "ret" => {
+                    expect_n(&ops, 0, "ret", line)?;
+                    PendingInstr::Ready(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, off: 0 })
+                }
+                "halt" => {
+                    expect_n(&ops, 0, "halt", line)?;
+                    PendingInstr::Ready(Instr::Halt)
+                }
+                "nop" => {
+                    expect_n(&ops, 0, "nop", line)?;
+                    PendingInstr::Ready(Instr::NOP)
+                }
+                "mv" => {
+                    expect_n(&ops, 2, "mv", line)?;
+                    PendingInstr::Ready(Instr::AluImm {
+                        op: AluImmOp::Add,
+                        rd: parse_reg(&ops[0], line)?,
+                        rs1: parse_reg(&ops[1], line)?,
+                        imm: 0,
+                    })
+                }
+                "not" => {
+                    expect_n(&ops, 2, "not", line)?;
+                    PendingInstr::Ready(Instr::Alu {
+                        op: AluOp::Nor,
+                        rd: parse_reg(&ops[0], line)?,
+                        rs1: parse_reg(&ops[1], line)?,
+                        rs2: Reg::ZERO,
+                    })
+                }
+                "neg" => {
+                    expect_n(&ops, 2, "neg", line)?;
+                    PendingInstr::Ready(Instr::Alu {
+                        op: AluOp::Sub,
+                        rd: parse_reg(&ops[0], line)?,
+                        rs1: Reg::ZERO,
+                        rs2: parse_reg(&ops[1], line)?,
+                    })
+                }
+                "j" | "b" => {
+                    expect_n(&ops, 1, &m, line)?;
+                    PendingInstr::Branch {
+                        cond: Cond::Eq,
+                        rs1: Reg::ZERO,
+                        rs2: Reg::ZERO,
+                        target: parse_value(&ops[0], line)?,
+                    }
+                }
+                "beqz" | "bnez" => {
+                    expect_n(&ops, 2, &m, line)?;
+                    PendingInstr::Branch {
+                        cond: if m == "beqz" { Cond::Eq } else { Cond::Ne },
+                        rs1: parse_reg(&ops[0], line)?,
+                        rs2: Reg::ZERO,
+                        target: parse_value(&ops[1], line)?,
+                    }
+                }
+                "li" => {
+                    expect_n(&ops, 2, "li", line)?;
+                    let rd = parse_reg(&ops[0], line)?;
+                    let v = parse_value(&ops[1], line)?;
+                    match &v {
+                        Value::Num(n) if i16::try_from(*n).is_ok() => {
+                            PendingInstr::Ready(Instr::AluImm { op: AluImmOp::Add, rd, rs1: Reg::ZERO, imm: *n as i16 })
+                        }
+                        Value::Num(n) if *n >= i64::from(i32::MIN) && *n <= i64::from(u32::MAX) => {
+                            a.push(line, Stmt::Instr(PendingInstr::LuiHi { rd, value: v.clone() }));
+                            PendingInstr::OriLo { rd, value: v }
+                        }
+                        Value::Num(n) => return err(line, format!("li immediate {n} does not fit in 32 bits")),
+                        Value::Sym(_) => {
+                            a.push(line, Stmt::Instr(PendingInstr::LuiHi { rd, value: v.clone() }));
+                            PendingInstr::OriLo { rd, value: v }
+                        }
+                    }
+                }
+                "la" => {
+                    expect_n(&ops, 2, "la", line)?;
+                    let rd = parse_reg(&ops[0], line)?;
+                    let v = parse_value(&ops[1], line)?;
+                    a.push(line, Stmt::Instr(PendingInstr::LuiHi { rd, value: v.clone() }));
+                    PendingInstr::OriLo { rd, value: v }
+                }
+                other => return err(line, format!("unknown mnemonic `{other}`")),
+            }
+        };
+        a.push(line, Stmt::Instr(stmt));
+    }
+
+    // Pass 2: resolve symbols and emit words.
+    let base = a.base.unwrap_or(0);
+    let total = a.pc - base;
+    let mut words = vec![0u32; (total / 4) as usize];
+    for (line, addr, stmt) in &a.items {
+        let line = *line;
+        let word_idx = ((*addr - base) / 4) as usize;
+        match stmt {
+            Stmt::Space(_) => {}
+            Stmt::Words(values) => {
+                for (i, v) in values.iter().enumerate() {
+                    let n = resolve(v, &a.symbols, &a.equs, line)?;
+                    if n < i64::from(i32::MIN) || n > i64::from(u32::MAX) {
+                        return err(line, format!(".word value {n} does not fit in 32 bits"));
+                    }
+                    words[word_idx + i] = n as u32;
+                }
+            }
+            Stmt::Instr(p) => {
+                let instr = lower(p, *addr, &a.symbols, &a.equs, line)?;
+                words[word_idx] = instr.encode();
+            }
+        }
+    }
+
+    let entry = a.symbols.get("start").copied().unwrap_or(base);
+    Ok(Program { base, words, symbols: a.symbols, entry })
+}
+
+fn lower(
+    p: &PendingInstr,
+    addr: u32,
+    symbols: &BTreeMap<String, u32>,
+    equs: &BTreeMap<String, i64>,
+    line: usize,
+) -> Result<Instr, AsmError> {
+    let res = |v: &Value| resolve(v, symbols, equs, line);
+    Ok(match p {
+        PendingInstr::Ready(i) => *i,
+        PendingInstr::AluImm { op, rd, rs1, imm } => {
+            let v = res(imm)?;
+            // Bitwise immediates are zero-extended, so accept 0..=0xFFFF too.
+            let imm = match op {
+                AluImmOp::And | AluImmOp::Or | AluImmOp::Xor if (0..=0xFFFF).contains(&v) => v as u16 as i16,
+                _ => check_i16(v, line, "immediate")?,
+            };
+            Instr::AluImm { op: *op, rd: *rd, rs1: *rs1, imm }
+        }
+        PendingInstr::Load { width, signed, rd, rs1, off } => {
+            Instr::Load { width: *width, signed: *signed, rd: *rd, rs1: *rs1, off: check_i16(res(off)?, line, "offset")? }
+        }
+        PendingInstr::Store { width, rs2, rs1, off } => {
+            Instr::Store { width: *width, rs2: *rs2, rs1: *rs1, off: check_i16(res(off)?, line, "offset")? }
+        }
+        PendingInstr::Tas { rd, rs1, off } => {
+            Instr::Tas { rd: *rd, rs1: *rs1, off: check_i16(res(off)?, line, "offset")? }
+        }
+        PendingInstr::Branch { cond, rs1, rs2, target } => {
+            let off = branch_offset(target, addr, symbols, equs, line)?;
+            let off = i16::try_from(off)
+                .map_err(|_| AsmError { line, msg: format!("branch offset {off} out of 16-bit range") })?;
+            Instr::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, off }
+        }
+        PendingInstr::Jal { target } => {
+            let off = branch_offset(target, addr, symbols, equs, line)?;
+            if !(-(1 << 25)..(1 << 25)).contains(&off) {
+                return err(line, format!("jal offset {off} out of 26-bit range"));
+            }
+            Instr::Jal { off: off as i32 }
+        }
+        PendingInstr::Jalr { rd, rs1, off } => {
+            Instr::Jalr { rd: *rd, rs1: *rs1, off: check_i16(res(off)?, line, "offset")? }
+        }
+        PendingInstr::LuiHi { rd, value } => {
+            let v = res(value)? as u32;
+            Instr::Lui { rd: *rd, imm: (v >> 16) as u16 }
+        }
+        PendingInstr::OriLo { rd, value } => {
+            let v = res(value)? as u32;
+            Instr::AluImm { op: AluImmOp::Or, rd: *rd, rs1: *rd, imm: (v & 0xFFFF) as u16 as i16 }
+        }
+    })
+}
+
+/// Branch/jump displacement in instructions relative to `pc + 4`.
+///
+/// Symbolic targets are absolute label addresses; numeric targets are taken
+/// as raw instruction offsets (the disassembler's format).
+fn branch_offset(
+    target: &Value,
+    addr: u32,
+    symbols: &BTreeMap<String, u32>,
+    equs: &BTreeMap<String, i64>,
+    line: usize,
+) -> Result<i64, AsmError> {
+    match target {
+        Value::Num(n) => Ok(*n),
+        Value::Sym(_) => {
+            let abs = resolve(target, symbols, equs, line)?;
+            if abs % 4 != 0 {
+                return err(line, format!("branch target {abs:#x} is not word aligned"));
+            }
+            Ok((abs - i64::from(addr) - 4) / 4)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+
+    fn asm(src: &str) -> Program {
+        assemble(src).expect("assembly should succeed")
+    }
+
+    fn decode_all(p: &Program) -> Vec<Instr> {
+        p.words.iter().map(|&w| Instr::decode(w).expect("valid words")).collect()
+    }
+
+    #[test]
+    fn basic_program() {
+        let p = asm("start: addi r1, r0, 5\n add r2, r1, r1\n halt\n");
+        assert_eq!(p.entry, 0);
+        let is = decode_all(&p);
+        assert_eq!(is.len(), 3);
+        assert_eq!(is[2], Instr::Halt);
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let p = asm("loop: addi r1, r1, 1\n bne r1, r2, loop\n halt\n");
+        match decode_all(&p)[1] {
+            Instr::Branch { off, .. } => assert_eq!(off, -2, "back to loop over two instructions"),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = asm("  beq r0, r0, end\n nop\n nop\nend: halt\n");
+        match decode_all(&p)[0] {
+            Instr::Branch { off, .. } => assert_eq!(off, 2),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_small_is_one_instruction() {
+        let p = asm("li r1, -7\n");
+        assert_eq!(decode_all(&p), vec![Instr::AluImm { op: AluImmOp::Add, rd: Reg::new(1), rs1: Reg::ZERO, imm: -7 }]);
+    }
+
+    #[test]
+    fn li_large_is_lui_ori() {
+        let p = asm("li r1, 0x12345678\n");
+        let is = decode_all(&p);
+        assert_eq!(is[0], Instr::Lui { rd: Reg::new(1), imm: 0x1234 });
+        assert_eq!(is[1], Instr::AluImm { op: AluImmOp::Or, rd: Reg::new(1), rs1: Reg::new(1), imm: 0x5678 });
+    }
+
+    #[test]
+    fn la_resolves_label_address() {
+        let p = asm(".org 0x100\nstart: la r2, data\n halt\ndata: .word 42\n");
+        let is: Vec<Instr> = p.words[..3].iter().map(|&w| Instr::decode(w).unwrap()).collect();
+        let data = p.symbol("data");
+        assert_eq!(is[0], Instr::Lui { rd: Reg::new(2), imm: (data >> 16) as u16 });
+        match is[1] {
+            Instr::AluImm { op: AluImmOp::Or, imm, .. } => assert_eq!(imm as u16 as u32, data & 0xFFFF),
+            other => panic!("expected ori, got {other:?}"),
+        }
+        assert_eq!(p.base, 0x100);
+        assert_eq!(p.entry, 0x100);
+    }
+
+    #[test]
+    fn equ_constants() {
+        let p = asm(".equ MMIO, 0xFFFF0000\n li r1, MMIO\n lw r2, 0(r1)\n halt\n");
+        let is = decode_all(&p);
+        assert_eq!(is[0], Instr::Lui { rd: Reg::new(1), imm: 0xFFFF });
+    }
+
+    #[test]
+    fn word_and_space_layout() {
+        let p = asm("a: .word 1, 2, 3\nb: .space 8\nc: .word a\n");
+        assert_eq!(p.symbol("a"), 0);
+        assert_eq!(p.symbol("b"), 12);
+        assert_eq!(p.symbol("c"), 20);
+        assert_eq!(p.words[0..3], [1, 2, 3]);
+        assert_eq!(p.words[3..5], [0, 0]);
+        assert_eq!(p.words[5], 0, ".word a resolves to address 0");
+    }
+
+    #[test]
+    fn align_pads() {
+        let p = asm(" .word 1\n .align 16\n .word 2\n");
+        assert_eq!(p.words.len(), 5);
+        assert_eq!(p.words[4], 2);
+    }
+
+    #[test]
+    fn register_aliases() {
+        let p = asm("mv sp, zero\n add a0, t1, s2\n");
+        match decode_all(&p)[1] {
+            Instr::Alu { rd, rs1, rs2, .. } => {
+                assert_eq!(rd, Reg::new(4));
+                assert_eq!(rs1, Reg::new(13));
+                assert_eq!(rs2, Reg::new(22));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pseudo_expansions() {
+        let p = asm("ret\n j 0\n not r1, r2\n neg r3, r4\n beqz r5, 0\n bnez r6, 0\n nop\n");
+        let is = decode_all(&p);
+        assert_eq!(is[0], Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, off: 0 });
+        assert!(matches!(is[1], Instr::Branch { cond: Cond::Eq, .. }));
+        assert!(matches!(is[2], Instr::Alu { op: AluOp::Nor, .. }));
+        assert!(matches!(is[3], Instr::Alu { op: AluOp::Sub, .. }));
+        assert!(matches!(is[4], Instr::Branch { cond: Cond::Eq, .. }));
+        assert!(matches!(is[5], Instr::Branch { cond: Cond::Ne, .. }));
+        assert_eq!(is[6], Instr::NOP);
+    }
+
+    #[test]
+    fn swapped_comparisons() {
+        let p = asm("bgt r1, r2, 0\n");
+        match decode_all(&p)[0] {
+            Instr::Branch { cond: Cond::Lt, rs1, rs2, .. } => {
+                assert_eq!(rs1, Reg::new(2), "bgt swaps operands");
+                assert_eq!(rs2, Reg::new(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = asm("; full comment\n  # another\n nop // trailing\n\n halt ; done\n");
+        assert_eq!(decode_all(&p), vec![Instr::NOP, Instr::Halt]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\n bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert!(e.msg.contains("duplicate label"));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let e = assemble("beq r0, r0, nowhere\n").unwrap_err();
+        assert!(e.msg.contains("undefined symbol"));
+    }
+
+    #[test]
+    fn immediate_range_checked() {
+        assert!(assemble("addi r1, r0, 40000\n").is_err());
+        assert!(assemble("andi r1, r0, 0xFFFF\n").is_ok(), "bitwise imm zero-extends");
+        assert!(assemble("slli r1, r0, 32\n").is_err());
+        assert!(assemble("lui r1, 0x10000\n").is_err());
+    }
+
+    #[test]
+    fn org_backwards_rejected() {
+        let e = assemble(".org 8\n nop\n .org 0\n").unwrap_err();
+        assert!(e.msg.contains("backwards"));
+    }
+
+    #[test]
+    fn disassemble_reassemble_round_trip() {
+        let src = "start: li r1, 0x12345678\n lw r2, 4(r1)\n add r3, r2, r1\n bne r3, r0, -3\n halt\n";
+        let p1 = asm(src);
+        let text: String = p1.words.iter().map(|&w| {
+            disassemble(Instr::decode(w).unwrap()) + "\n"
+        }).collect();
+        let p2 = asm(&text);
+        assert_eq!(p1.words, p2.words);
+    }
+
+    #[test]
+    fn mem_operand_without_offset() {
+        let p = asm("lw r1, (r2)\n");
+        assert!(matches!(decode_all(&p)[0], Instr::Load { off: 0, .. }));
+    }
+}

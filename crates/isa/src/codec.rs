@@ -1,0 +1,321 @@
+//! Binary encoding of TE32 instructions.
+//!
+//! Layout (bit 31 is the most significant):
+//!
+//! ```text
+//! R-type   | opcode:6 | rd:5 | rs1:5 | rs2:5 | funct:11 |
+//! I-type   | opcode:6 | rd:5 | rs1:5 |      imm:16      |   (stores put rs2 in the rd slot)
+//! J-type   | opcode:6 |            imm26:26             |
+//! ```
+//!
+//! The codec is bijective over the valid instruction space: `decode(encode(i)) == i`
+//! for every well-formed [`Instr`], which is enforced by property tests.
+
+use crate::instr::{AluImmOp, AluOp, Cond, Instr, Reg, ShiftOp, Width};
+use std::error::Error;
+use std::fmt;
+
+mod op {
+    pub const RTYPE: u32 = 0x00;
+    pub const ADDI: u32 = 0x01;
+    pub const ANDI: u32 = 0x02;
+    pub const ORI: u32 = 0x03;
+    pub const XORI: u32 = 0x04;
+    pub const SLTI: u32 = 0x05;
+    pub const SLTIU: u32 = 0x06;
+    pub const LUI: u32 = 0x07;
+    pub const SLLI: u32 = 0x08;
+    pub const SRLI: u32 = 0x09;
+    pub const SRAI: u32 = 0x0A;
+    pub const LW: u32 = 0x10;
+    pub const LH: u32 = 0x11;
+    pub const LHU: u32 = 0x12;
+    pub const LB: u32 = 0x13;
+    pub const LBU: u32 = 0x14;
+    pub const SW: u32 = 0x15;
+    pub const SH: u32 = 0x16;
+    pub const SB: u32 = 0x17;
+    pub const TAS: u32 = 0x18;
+    pub const BEQ: u32 = 0x20;
+    pub const BNE: u32 = 0x21;
+    pub const BLT: u32 = 0x22;
+    pub const BGE: u32 = 0x23;
+    pub const BLTU: u32 = 0x24;
+    pub const BGEU: u32 = 0x25;
+    pub const JAL: u32 = 0x28;
+    pub const JALR: u32 = 0x29;
+    pub const HALT: u32 = 0x3F;
+}
+
+/// Error returned by [`Instr::decode`] for words that are not valid TE32.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The opcode field does not name an instruction.
+    UnknownOpcode(u8),
+    /// An R-type word carries an unknown `funct` selector.
+    UnknownFunct(u16),
+    /// A shift-immediate word carries a shift amount >= 32.
+    ShiftOutOfRange(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::UnknownFunct(funct) => write!(f, "unknown R-type funct {funct:#05x}"),
+            DecodeError::ShiftOutOfRange(sh) => write!(f, "shift amount {sh} out of range 0..32"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn funct_of(op: AluOp) -> u32 {
+    AluOp::ALL.iter().position(|&o| o == op).expect("AluOp::ALL is exhaustive") as u32
+}
+
+fn fields(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    ((rd.index() as u32) << 21) | ((rs1.index() as u32) << 16) | ((rs2.index() as u32) << 11)
+}
+
+fn itype(opcode: u32, rd: Reg, rs1: Reg, imm: i16) -> u32 {
+    (opcode << 26) | ((rd.index() as u32) << 21) | ((rs1.index() as u32) << 16) | (imm as u16 as u32)
+}
+
+impl Instr {
+    /// Encodes the instruction into its 32-bit binary form.
+    pub fn encode(self) -> u32 {
+        match self {
+            Instr::Alu { op, rd, rs1, rs2 } => (op::RTYPE << 26) | fields(rd, rs1, rs2) | funct_of(op),
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let opcode = match op {
+                    AluImmOp::Add => op::ADDI,
+                    AluImmOp::And => op::ANDI,
+                    AluImmOp::Or => op::ORI,
+                    AluImmOp::Xor => op::XORI,
+                    AluImmOp::Slt => op::SLTI,
+                    AluImmOp::Sltu => op::SLTIU,
+                };
+                itype(opcode, rd, rs1, imm)
+            }
+            Instr::ShiftImm { op, rd, rs1, sh } => {
+                debug_assert!(sh < 32, "shift amount {sh} out of range");
+                let opcode = match op {
+                    ShiftOp::Sll => op::SLLI,
+                    ShiftOp::Srl => op::SRLI,
+                    ShiftOp::Sra => op::SRAI,
+                };
+                itype(opcode, rd, rs1, i16::from(sh & 31))
+            }
+            Instr::Lui { rd, imm } => itype(op::LUI, rd, Reg::ZERO, imm as i16),
+            Instr::Load { width, signed, rd, rs1, off } => {
+                let opcode = match (width, signed) {
+                    (Width::Word, _) => op::LW,
+                    (Width::Half, true) => op::LH,
+                    (Width::Half, false) => op::LHU,
+                    (Width::Byte, true) => op::LB,
+                    (Width::Byte, false) => op::LBU,
+                };
+                itype(opcode, rd, rs1, off)
+            }
+            Instr::Store { width, rs2, rs1, off } => {
+                let opcode = match width {
+                    Width::Word => op::SW,
+                    Width::Half => op::SH,
+                    Width::Byte => op::SB,
+                };
+                itype(opcode, rs2, rs1, off)
+            }
+            Instr::Tas { rd, rs1, off } => itype(op::TAS, rd, rs1, off),
+            Instr::Branch { cond, rs1, rs2, off } => {
+                let opcode = match cond {
+                    Cond::Eq => op::BEQ,
+                    Cond::Ne => op::BNE,
+                    Cond::Lt => op::BLT,
+                    Cond::Ge => op::BGE,
+                    Cond::Ltu => op::BLTU,
+                    Cond::Geu => op::BGEU,
+                };
+                itype(opcode, rs1, rs2, off)
+            }
+            Instr::Jal { off } => {
+                debug_assert!((-(1 << 25)..(1 << 25)).contains(&off), "jal offset {off} out of 26-bit range");
+                (op::JAL << 26) | ((off as u32) & 0x03FF_FFFF)
+            }
+            Instr::Jalr { rd, rs1, off } => itype(op::JALR, rd, rs1, off),
+            Instr::Halt => op::HALT << 26,
+        }
+    }
+
+    /// Decodes a 32-bit word into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the word does not encode a valid TE32
+    /// instruction (unknown opcode/funct or out-of-range shift amount).
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let opcode = word >> 26;
+        let rd = Reg::new(((word >> 21) & 31) as u8);
+        let rs1 = Reg::new(((word >> 16) & 31) as u8);
+        let rs2 = Reg::new(((word >> 11) & 31) as u8);
+        let imm = (word & 0xFFFF) as u16 as i16;
+        let alu_imm = |op| Ok(Instr::AluImm { op, rd, rs1, imm });
+        let shift = |op| {
+            let sh = (imm as u16 & 0xFF) as u8;
+            if sh < 32 {
+                Ok(Instr::ShiftImm { op, rd, rs1, sh })
+            } else {
+                Err(DecodeError::ShiftOutOfRange(sh))
+            }
+        };
+        let load = |width, signed| Ok(Instr::Load { width, signed, rd, rs1, off: imm });
+        let store = |width| Ok(Instr::Store { width, rs2: rd, rs1, off: imm });
+        let branch = |cond| Ok(Instr::Branch { cond, rs1: rd, rs2: rs1, off: imm });
+        match opcode {
+            op::RTYPE => {
+                let funct = (word & 0x7FF) as u16;
+                let op = AluOp::ALL
+                    .get(funct as usize)
+                    .copied()
+                    .ok_or(DecodeError::UnknownFunct(funct))?;
+                Ok(Instr::Alu { op, rd, rs1, rs2 })
+            }
+            op::ADDI => alu_imm(AluImmOp::Add),
+            op::ANDI => alu_imm(AluImmOp::And),
+            op::ORI => alu_imm(AluImmOp::Or),
+            op::XORI => alu_imm(AluImmOp::Xor),
+            op::SLTI => alu_imm(AluImmOp::Slt),
+            op::SLTIU => alu_imm(AluImmOp::Sltu),
+            op::LUI => Ok(Instr::Lui { rd, imm: imm as u16 }),
+            op::SLLI => shift(ShiftOp::Sll),
+            op::SRLI => shift(ShiftOp::Srl),
+            op::SRAI => shift(ShiftOp::Sra),
+            op::LW => load(Width::Word, true),
+            op::LH => load(Width::Half, true),
+            op::LHU => load(Width::Half, false),
+            op::LB => load(Width::Byte, true),
+            op::LBU => load(Width::Byte, false),
+            op::SW => store(Width::Word),
+            op::SH => store(Width::Half),
+            op::SB => store(Width::Byte),
+            op::TAS => Ok(Instr::Tas { rd, rs1, off: imm }),
+            op::BEQ => branch(Cond::Eq),
+            op::BNE => branch(Cond::Ne),
+            op::BLT => branch(Cond::Lt),
+            op::BGE => branch(Cond::Ge),
+            op::BLTU => branch(Cond::Ltu),
+            op::BGEU => branch(Cond::Geu),
+            op::JAL => {
+                let raw = word & 0x03FF_FFFF;
+                // Sign-extend the 26-bit field.
+                let off = ((raw << 6) as i32) >> 6;
+                Ok(Instr::Jal { off })
+            }
+            op::JALR => Ok(Instr::Jalr { rd, rs1, off: imm }),
+            op::HALT => Ok(Instr::Halt),
+            other => Err(DecodeError::UnknownOpcode(other as u8)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reg_strategy() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg::new)
+    }
+
+    /// A strategy over every well-formed TE32 instruction.
+    pub(crate) fn instr_strategy() -> impl Strategy<Value = Instr> {
+        let r = reg_strategy;
+        prop_oneof![
+            (prop::sample::select(&AluOp::ALL[..]), r(), r(), r())
+                .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+            (prop::sample::select(&AluImmOp::ALL[..]), r(), r(), any::<i16>())
+                .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
+            (prop::sample::select(&ShiftOp::ALL[..]), r(), r(), 0u8..32)
+                .prop_map(|(op, rd, rs1, sh)| Instr::ShiftImm { op, rd, rs1, sh }),
+            (r(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+            (prop::sample::select(&[Width::Byte, Width::Half, Width::Word][..]), any::<bool>(), r(), r(), any::<i16>())
+                .prop_filter_map("word loads are always signed", |(width, signed, rd, rs1, off)| {
+                    let signed = if width == Width::Word { true } else { signed };
+                    Some(Instr::Load { width, signed, rd, rs1, off })
+                }),
+            (prop::sample::select(&[Width::Byte, Width::Half, Width::Word][..]), r(), r(), any::<i16>())
+                .prop_map(|(width, rs2, rs1, off)| Instr::Store { width, rs2, rs1, off }),
+            (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Tas { rd, rs1, off }),
+            (prop::sample::select(&Cond::ALL[..]), r(), r(), any::<i16>())
+                .prop_map(|(cond, rs1, rs2, off)| Instr::Branch { cond, rs1, rs2, off }),
+            (-(1i32 << 25)..(1i32 << 25)).prop_map(|off| Instr::Jal { off }),
+            (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Jalr { rd, rs1, off }),
+            Just(Instr::Halt),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trip(instr in instr_strategy()) {
+            let word = instr.encode();
+            prop_assert_eq!(Instr::decode(word), Ok(instr));
+        }
+
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = Instr::decode(word);
+        }
+
+        #[test]
+        fn decode_encode_fixpoint(word in any::<u32>()) {
+            // Any word that decodes must re-encode to a word that decodes to
+            // the same instruction (the codec normalizes dont-care bits).
+            if let Ok(instr) = Instr::decode(word) {
+                prop_assert_eq!(Instr::decode(instr.encode()), Ok(instr));
+            }
+        }
+    }
+
+    #[test]
+    fn specific_encodings_are_stable() {
+        // Pin a few encodings so the binary format never changes silently.
+        assert_eq!(Instr::Halt.encode(), 0xFC00_0000);
+        assert_eq!(Instr::NOP.encode(), 0x0400_0000);
+        let add = Instr::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(2), rs2: Reg::new(3) };
+        assert_eq!(add.encode(), 0x0022_1800 | 0x0020_0000);
+    }
+
+    #[test]
+    fn jal_offset_sign_extension() {
+        let neg = Instr::Jal { off: -5 };
+        assert_eq!(Instr::decode(neg.encode()), Ok(neg));
+        let max = Instr::Jal { off: (1 << 25) - 1 };
+        assert_eq!(Instr::decode(max.encode()), Ok(max));
+        let min = Instr::Jal { off: -(1 << 25) };
+        assert_eq!(Instr::decode(min.encode()), Ok(min));
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        assert_eq!(Instr::decode(0x3E << 26), Err(DecodeError::UnknownOpcode(0x3E)));
+    }
+
+    #[test]
+    fn unknown_funct_is_an_error() {
+        assert_eq!(Instr::decode(0x7FF), Err(DecodeError::UnknownFunct(0x7FF)));
+    }
+
+    #[test]
+    fn shift_out_of_range_is_an_error() {
+        // SLLI with sh = 40.
+        let word = (0x08 << 26) | 40;
+        assert_eq!(Instr::decode(word), Err(DecodeError::ShiftOutOfRange(40)));
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert!(DecodeError::UnknownOpcode(9).to_string().contains("opcode"));
+        assert!(DecodeError::UnknownFunct(900).to_string().contains("funct"));
+        assert!(DecodeError::ShiftOutOfRange(40).to_string().contains("shift"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # temu-isa — the TE32 instruction set
+//!
+//! TE32 is the 32-bit RISC instruction set executed by the processing cores of
+//! the emulated MPSoC (the paper ports a PowerPC 405 hard core and a MicroBlaze
+//! RISC-32 soft core; TE32 is a MicroBlaze-class stand-in: 32 general-purpose
+//! registers, single-width 32-bit instructions, integer multiply/divide,
+//! word/half/byte memory accesses and a test-and-set primitive for spinlocks).
+//!
+//! The crate provides:
+//!
+//! * the [`Instr`] instruction enum with a bijective binary codec
+//!   ([`Instr::encode`] / [`Instr::decode`]),
+//! * a two-pass [`asm::assemble`] assembler (labels, directives, pseudo-ops),
+//! * a [`disasm`] disassembler, and
+//! * the [`Program`] image type loaded by the platform.
+//!
+//! ```
+//! use temu_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), temu_isa::asm::AsmError> {
+//! let program = assemble(
+//!     "       li   r1, 41
+//!             addi r1, r1, 1
+//!             halt",
+//! )?;
+//! assert_eq!(program.words.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+mod codec;
+pub mod disasm;
+mod instr;
+mod program;
+
+pub use codec::DecodeError;
+pub use instr::{AluImmOp, AluOp, Cond, Instr, Reg, ShiftOp, Width};
+pub use program::Program;
+
+/// Width of one instruction in bytes. TE32 instructions are fixed width.
+pub const INSTR_BYTES: u32 = 4;

@@ -1,0 +1,76 @@
+use std::collections::BTreeMap;
+
+/// An assembled TE32 program image.
+///
+/// The image is a flat sequence of 32-bit words loaded at [`Program::base`]
+/// (instructions and in-image data are not distinguished; the platform loads
+/// the whole image into the target memory). `symbols` maps every label defined
+/// in the source to its byte address, which tests and workload harnesses use
+/// to locate data buffers.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// Byte address the image is loaded at (word aligned).
+    pub base: u32,
+    /// Image contents, one little-endian 32-bit word per element.
+    pub words: Vec<u32>,
+    /// Label name → byte address.
+    pub symbols: BTreeMap<String, u32>,
+    /// Entry point (byte address). Defaults to `base`; the `start` label
+    /// overrides it.
+    pub entry: u32,
+}
+
+impl Program {
+    /// Creates an empty program based at address 0.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Looks up a label's byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was never defined; use [`Program::symbols`]
+    /// directly for a fallible lookup.
+    pub fn symbol(&self, name: &str) -> u32 {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("undefined symbol `{name}`"))
+    }
+
+    /// Size of the image in bytes.
+    pub fn byte_len(&self) -> u32 {
+        (self.words.len() as u32) * 4
+    }
+
+    /// Returns the image as little-endian bytes (the platform's load format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_len_and_bytes() {
+        let p = Program { base: 0, words: vec![0x0403_0201, 0x0807_0605], symbols: BTreeMap::new(), entry: 0 };
+        assert_eq!(p.byte_len(), 8);
+        assert_eq!(p.to_bytes(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let mut p = Program::new();
+        p.symbols.insert("loop".into(), 16);
+        assert_eq!(p.symbol("loop"), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined symbol")]
+    fn missing_symbol_panics() {
+        Program::new().symbol("nope");
+    }
+}

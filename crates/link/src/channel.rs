@@ -1,0 +1,171 @@
+//! Bandwidth model of the statistics link.
+//!
+//! A sampling window of `W` physical seconds gives the dispatcher a
+//! transmission budget of `bandwidth × W` bits. When the window's statistics
+//! exceed it (event-logging sniffers on a busy platform), the surplus
+//! transmission time is charged to the VPCM as clock-freeze time — emulation
+//! slows down, statistics survive.
+
+use crate::frame::{MacFrame, MAX_PAYLOAD};
+use bytes::Bytes;
+
+/// Link parameters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EthernetConfig {
+    /// Raw link bandwidth, bits per second (the paper's boards speak
+    /// 100 Mb/s Fast Ethernet).
+    pub bandwidth_bps: u64,
+    /// One-way latency, seconds (cable + MAC pipeline).
+    pub latency_s: f64,
+}
+
+impl Default for EthernetConfig {
+    fn default() -> EthernetConfig {
+        EthernetConfig { bandwidth_bps: 100_000_000, latency_s: 50e-6 }
+    }
+}
+
+/// Cumulative link statistics.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct LinkStats {
+    /// Frames transmitted in both directions.
+    pub frames: u64,
+    /// Wire bytes transmitted (including preamble/IFG overhead).
+    pub wire_bytes: u64,
+    /// Seconds of wire time consumed.
+    pub busy_seconds: f64,
+    /// Seconds of VPCM freeze caused by congestion.
+    pub freeze_seconds: f64,
+}
+
+/// The modeled Ethernet link between the FPGA and the host PC.
+#[derive(Clone, Debug)]
+pub struct EthernetLink {
+    cfg: EthernetConfig,
+    stats: LinkStats,
+}
+
+impl EthernetLink {
+    /// Creates a link with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero.
+    pub fn new(cfg: EthernetConfig) -> EthernetLink {
+        assert!(cfg.bandwidth_bps > 0, "link bandwidth must be nonzero");
+        EthernetLink { cfg, stats: LinkStats::default() }
+    }
+
+    /// The link parameters.
+    pub fn config(&self) -> &EthernetConfig {
+        &self.cfg
+    }
+
+    /// Statistics since construction.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Splits a payload into MTU-sized frames (the dispatcher's packetizer).
+    pub fn packetize(&self, payload: &Bytes, to_host: bool) -> Vec<MacFrame> {
+        let mut frames = Vec::with_capacity(payload.len().div_ceil(MAX_PAYLOAD).max(1));
+        let mut off = 0;
+        loop {
+            let end = (off + MAX_PAYLOAD).min(payload.len());
+            let chunk = payload.slice(off..end);
+            frames.push(if to_host { MacFrame::to_host(chunk) } else { MacFrame::to_fpga(chunk) });
+            off = end;
+            if off >= payload.len() {
+                break;
+            }
+        }
+        frames
+    }
+
+    /// Seconds the wire needs for a set of frames.
+    pub fn tx_seconds(&self, frames: &[MacFrame]) -> f64 {
+        let bytes: usize = frames.iter().map(MacFrame::wire_bytes).sum();
+        bytes as f64 * 8.0 / self.cfg.bandwidth_bps as f64 + self.cfg.latency_s
+    }
+
+    /// Transmits `frames` within a sampling window of `window_seconds` of
+    /// physical time. Returns the **freeze seconds**: the transmission time
+    /// that did not fit into the window and must stall the virtual platform
+    /// clock (0.0 when the link keeps up).
+    pub fn send_window(&mut self, frames: &[MacFrame], window_seconds: f64) -> f64 {
+        let t = self.tx_seconds(frames);
+        self.stats.frames += frames.len() as u64;
+        self.stats.wire_bytes += frames.iter().map(|f| f.wire_bytes() as u64).sum::<u64>();
+        self.stats.busy_seconds += t;
+        let freeze = (t - window_seconds).max(0.0);
+        self.stats.freeze_seconds += freeze;
+        freeze
+    }
+}
+
+impl Default for EthernetLink {
+    fn default() -> EthernetLink {
+        EthernetLink::new(EthernetConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packetize_splits_on_mtu() {
+        let link = EthernetLink::default();
+        let frames = link.packetize(&Bytes::from(vec![0u8; 3200]), true);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].payload.len(), 1500);
+        assert_eq!(frames[2].payload.len(), 200);
+        let empty = link.packetize(&Bytes::new(), true);
+        assert_eq!(empty.len(), 1, "empty payload still yields one frame");
+    }
+
+    #[test]
+    fn tx_time_matches_bandwidth() {
+        let link = EthernetLink::default();
+        let frames = link.packetize(&Bytes::from(vec![0u8; 1500]), true);
+        // 1500 payload + 38 overhead = 1538 wire bytes at 100 Mb/s ≈ 123 µs
+        // plus 50 µs latency.
+        let t = link.tx_seconds(&frames);
+        assert!((t - (1538.0 * 8.0 / 100e6 + 50e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_window_payload_never_congests() {
+        // A count-logging stats packet (~100 bytes) in a 10 ms window.
+        let mut link = EthernetLink::default();
+        let frames = link.packetize(&Bytes::from(vec![0u8; 100]), true);
+        assert_eq!(link.send_window(&frames, 0.010), 0.0);
+        assert_eq!(link.stats().frames, 1);
+    }
+
+    #[test]
+    fn oversized_event_dump_freezes_the_clock() {
+        // 10 MB of event logs cannot cross a 100 Mb/s link in 10 ms.
+        let mut link = EthernetLink::default();
+        let frames = link.packetize(&Bytes::from(vec![0u8; 10_000_000]), true);
+        let freeze = link.send_window(&frames, 0.010);
+        assert!(freeze > 0.5, "10 MB at 100 Mb/s takes ~0.82 s: freeze = {freeze}");
+        assert!(link.stats().freeze_seconds > 0.5);
+    }
+
+    #[test]
+    fn freeze_scales_with_overload() {
+        let mut link = EthernetLink::default();
+        let small = link.packetize(&Bytes::from(vec![0u8; 200_000]), true);
+        let big = link.packetize(&Bytes::from(vec![0u8; 400_000]), true);
+        let f1 = link.send_window(&small, 0.001);
+        let f2 = link.send_window(&big, 0.001);
+        assert!(f2 > f1 && f1 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = EthernetLink::new(EthernetConfig { bandwidth_bps: 0, latency_s: 0.0 });
+    }
+}

@@ -1,0 +1,37 @@
+//! IEEE 802.3 CRC-32 (reflected, polynomial `0xEDB88320`).
+
+/// Computes the Ethernet frame check sequence over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"temu statistics packet".to_vec();
+        let good = crc32(&data);
+        data[3] ^= 0x10;
+        assert_ne!(crc32(&data), good);
+    }
+}

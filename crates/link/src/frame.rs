@@ -1,0 +1,200 @@
+//! MAC frame encoding: destination, source, ethertype, payload, FCS.
+
+use crate::crc::crc32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+/// The ethertype of the framework's statistics protocol (an address from the
+/// experimental/private range, standing in for the paper's "MAC packets in
+/// our own format").
+pub const TEMU_ETHERTYPE: u16 = 0x88B5;
+
+/// Maximum payload of one frame (standard Ethernet MTU).
+pub const MAX_PAYLOAD: usize = 1500;
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The FPGA side of the link.
+    pub const FPGA: MacAddr = MacAddr([0x02, 0x54, 0x45, 0x4D, 0x55, 0x01]);
+    /// The host-PC side of the link.
+    pub const HOST: MacAddr = MacAddr([0x02, 0x54, 0x45, 0x4D, 0x55, 0x02]);
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
+    }
+}
+
+/// Decode failure for a MAC frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// Fewer bytes than header + FCS.
+    TooShort(usize),
+    /// Payload exceeds the MTU.
+    TooLong(usize),
+    /// Frame check sequence mismatch.
+    BadCrc {
+        /// CRC carried by the frame.
+        got: u32,
+        /// CRC computed over the received bytes.
+        want: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooShort(n) => write!(f, "frame of {n} bytes is shorter than header + FCS"),
+            FrameError::TooLong(n) => write!(f, "payload of {n} bytes exceeds the {MAX_PAYLOAD}-byte MTU"),
+            FrameError::BadCrc { got, want } => write!(f, "bad FCS {got:#010x}, computed {want:#010x}"),
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// One Ethernet frame of the statistics protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MacFrame {
+    /// Destination address.
+    pub dst: MacAddr,
+    /// Source address.
+    pub src: MacAddr,
+    /// Ethertype ([`TEMU_ETHERTYPE`] for this protocol).
+    pub ethertype: u16,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl MacFrame {
+    /// Builds a statistics-protocol frame from the FPGA to the host.
+    pub fn to_host(payload: Bytes) -> MacFrame {
+        MacFrame { dst: MacAddr::HOST, src: MacAddr::FPGA, ethertype: TEMU_ETHERTYPE, payload }
+    }
+
+    /// Builds a temperature-feedback frame from the host to the FPGA.
+    pub fn to_fpga(payload: Bytes) -> MacFrame {
+        MacFrame { dst: MacAddr::FPGA, src: MacAddr::HOST, ethertype: TEMU_ETHERTYPE, payload }
+    }
+
+    /// Serializes the frame (header, payload, CRC-32 FCS).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::TooLong`] if the payload exceeds the MTU.
+    pub fn encode(&self) -> Result<Bytes, FrameError> {
+        if self.payload.len() > MAX_PAYLOAD {
+            return Err(FrameError::TooLong(self.payload.len()));
+        }
+        let mut buf = BytesMut::with_capacity(14 + self.payload.len() + 4);
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        buf.put_u16(self.ethertype);
+        buf.put_slice(&self.payload);
+        let fcs = crc32(&buf);
+        buf.put_u32(fcs);
+        Ok(buf.freeze())
+    }
+
+    /// Parses and validates a serialized frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on truncation, oversize or FCS mismatch.
+    pub fn decode(mut raw: Bytes) -> Result<MacFrame, FrameError> {
+        if raw.len() < 18 {
+            return Err(FrameError::TooShort(raw.len()));
+        }
+        if raw.len() > 18 + MAX_PAYLOAD {
+            return Err(FrameError::TooLong(raw.len() - 18));
+        }
+        let body = raw.slice(..raw.len() - 4);
+        let want = crc32(&body);
+        let got = u32::from_be_bytes(raw[raw.len() - 4..].try_into().expect("4 bytes"));
+        if got != want {
+            return Err(FrameError::BadCrc { got, want });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        raw.copy_to_slice(&mut dst);
+        raw.copy_to_slice(&mut src);
+        let ethertype = raw.get_u16();
+        let payload = raw.slice(..raw.len() - 4);
+        Ok(MacFrame { dst: MacAddr(dst), src: MacAddr(src), ethertype, payload })
+    }
+
+    /// On-wire size including the 8-byte preamble, header, FCS and the
+    /// 12-byte inter-frame gap (what the bandwidth model charges).
+    pub fn wire_bytes(&self) -> usize {
+        8 + 14 + self.payload.len().max(46) + 4 + 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let f = MacFrame::to_host(Bytes::from_static(b"hello thermal tool"));
+        let wire = f.encode().unwrap();
+        let g = MacFrame::decode(wire).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(g.dst, MacAddr::HOST);
+        assert_eq!(g.ethertype, TEMU_ETHERTYPE);
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let f = MacFrame::to_fpga(Bytes::from_static(b"temps"));
+        let mut wire: Vec<u8> = f.encode().unwrap().to_vec();
+        wire[15] ^= 0x40;
+        assert!(matches!(MacFrame::decode(Bytes::from(wire)), Err(FrameError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert_eq!(MacFrame::decode(Bytes::from_static(b"tiny")), Err(FrameError::TooShort(4)));
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        let f = MacFrame::to_host(Bytes::from(vec![0u8; 1501]));
+        assert_eq!(f.encode(), Err(FrameError::TooLong(1501)));
+    }
+
+    #[test]
+    fn wire_bytes_include_overheads_and_min_size() {
+        let f = MacFrame::to_host(Bytes::from_static(b"x"));
+        // Minimum payload padding to 46 applies on the wire.
+        assert_eq!(f.wire_bytes(), 8 + 14 + 46 + 4 + 12);
+        let big = MacFrame::to_host(Bytes::from(vec![0u8; 1000]));
+        assert_eq!(big.wire_bytes(), 8 + 14 + 1000 + 4 + 12);
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr::FPGA.to_string(), "02:54:45:4d:55:01");
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_any_payload(payload in prop::collection::vec(any::<u8>(), 0..1500)) {
+            let f = MacFrame::to_host(Bytes::from(payload));
+            let wire = f.encode().unwrap();
+            prop_assert_eq!(MacFrame::decode(wire).unwrap(), f);
+        }
+
+        #[test]
+        fn decode_never_panics(raw in prop::collection::vec(any::<u8>(), 0..200)) {
+            let _ = MacFrame::decode(Bytes::from(raw));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The statistics protocol payloads ("MAC packets in our own format", §4).
+//!
+//! Two packet types flow over the link every sampling window:
+//!
+//! * [`StatsPacket`] (FPGA → host): the power of every floorplan cell for
+//!   the window just finished, plus the window's position on the virtual
+//!   time axis;
+//! * [`TempPacket`] (host → FPGA): the freshly computed component
+//!   temperatures, which the platform writes into its sensor registers.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+const STATS_MAGIC: u8 = 0x53; // 'S'
+const TEMP_MAGIC: u8 = 0x54; // 'T'
+
+/// Payload decode failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketError {
+    /// Payload empty or truncated.
+    Truncated,
+    /// First byte is not a known packet type.
+    BadMagic(u8),
+    /// Element count disagrees with the payload length.
+    BadCount {
+        /// Count field value.
+        count: u32,
+        /// Bytes remaining for elements.
+        available: usize,
+    },
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated => write!(f, "packet payload truncated"),
+            PacketError::BadMagic(m) => write!(f, "unknown packet type {m:#04x}"),
+            PacketError::BadCount { count, available } => {
+                write!(f, "count {count} does not fit in {available} payload bytes")
+            }
+        }
+    }
+}
+
+impl Error for PacketError {}
+
+/// Per-window statistics shipped to the thermal tool: the power of each
+/// floorplan component, in milliwatts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StatsPacket {
+    /// Monotonic sequence number.
+    pub seq: u32,
+    /// First virtual cycle of the window.
+    pub window_start: u64,
+    /// Window length in virtual cycles.
+    pub window_cycles: u64,
+    /// Virtual clock during the window, Hz (lets the host turn cycles into
+    /// seconds).
+    pub virtual_hz: u64,
+    /// Power per floorplan component, milliwatts.
+    pub power_mw: Vec<u32>,
+}
+
+impl StatsPacket {
+    /// Serializes the packet payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(1 + 4 + 8 + 8 + 8 + 4 + 4 * self.power_mw.len());
+        buf.put_u8(STATS_MAGIC);
+        buf.put_u32(self.seq);
+        buf.put_u64(self.window_start);
+        buf.put_u64(self.window_cycles);
+        buf.put_u64(self.virtual_hz);
+        buf.put_u32(self.power_mw.len() as u32);
+        for &p in &self.power_mw {
+            buf.put_u32(p);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a payload produced by [`StatsPacket::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError`] on truncation, a foreign magic byte, or an
+    /// element count that does not match the length.
+    pub fn decode(mut raw: Bytes) -> Result<StatsPacket, PacketError> {
+        if raw.len() < 33 {
+            return Err(PacketError::Truncated);
+        }
+        let magic = raw.get_u8();
+        if magic != STATS_MAGIC {
+            return Err(PacketError::BadMagic(magic));
+        }
+        let seq = raw.get_u32();
+        let window_start = raw.get_u64();
+        let window_cycles = raw.get_u64();
+        let virtual_hz = raw.get_u64();
+        let count = raw.get_u32();
+        if raw.len() != count as usize * 4 {
+            return Err(PacketError::BadCount { count, available: raw.len() });
+        }
+        let power_mw = (0..count).map(|_| raw.get_u32()).collect();
+        Ok(StatsPacket { seq, window_start, window_cycles, virtual_hz, power_mw })
+    }
+}
+
+/// Temperature feedback to the platform's sensor registers, centi-kelvin.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TempPacket {
+    /// Sequence number of the statistics window these temperatures answer.
+    pub seq: u32,
+    /// Temperature per floorplan component, centi-kelvin.
+    pub temps_centi_k: Vec<u32>,
+}
+
+impl TempPacket {
+    /// Serializes the packet payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(1 + 4 + 4 + 4 * self.temps_centi_k.len());
+        buf.put_u8(TEMP_MAGIC);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.temps_centi_k.len() as u32);
+        for &t in &self.temps_centi_k {
+            buf.put_u32(t);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a payload produced by [`TempPacket::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError`] on truncation, a foreign magic byte, or an
+    /// element count that does not match the length.
+    pub fn decode(mut raw: Bytes) -> Result<TempPacket, PacketError> {
+        if raw.len() < 9 {
+            return Err(PacketError::Truncated);
+        }
+        let magic = raw.get_u8();
+        if magic != TEMP_MAGIC {
+            return Err(PacketError::BadMagic(magic));
+        }
+        let seq = raw.get_u32();
+        let count = raw.get_u32();
+        if raw.len() != count as usize * 4 {
+            return Err(PacketError::BadCount { count, available: raw.len() });
+        }
+        let temps_centi_k = (0..count).map(|_| raw.get_u32()).collect();
+        Ok(TempPacket { seq, temps_centi_k })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stats_round_trip() {
+        let p = StatsPacket {
+            seq: 7,
+            window_start: 5_000_000,
+            window_cycles: 5_000_000,
+            virtual_hz: 500_000_000,
+            power_mw: vec![1500, 11, 43, 15, 0],
+        };
+        assert_eq!(StatsPacket::decode(p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn temp_round_trip() {
+        let p = TempPacket { seq: 7, temps_centi_k: vec![30_000, 35_123] };
+        assert_eq!(TempPacket::decode(p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn wrong_magic_rejected_both_ways() {
+        let s = StatsPacket { seq: 0, window_start: 0, window_cycles: 0, virtual_hz: 1, power_mw: vec![] };
+        assert!(matches!(TempPacket::decode(s.encode()), Err(PacketError::BadMagic(_))));
+        let t = TempPacket { seq: 0, temps_centi_k: vec![1, 2, 3, 4, 5, 6, 7] };
+        assert!(matches!(StatsPacket::decode(t.encode()), Err(PacketError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(StatsPacket::decode(Bytes::from_static(b"S")), Err(PacketError::Truncated));
+        assert_eq!(TempPacket::decode(Bytes::new()), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn bad_count_rejected() {
+        let p = TempPacket { seq: 1, temps_centi_k: vec![1, 2] };
+        let mut raw = p.encode().to_vec();
+        raw[8] = 9; // count byte lies
+        assert!(matches!(TempPacket::decode(Bytes::from(raw)), Err(PacketError::BadCount { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn stats_round_trip_any(seq in any::<u32>(), ws in any::<u64>(), wc in any::<u64>(),
+                                hz in 1u64..u64::MAX, p in prop::collection::vec(any::<u32>(), 0..64)) {
+            let pkt = StatsPacket { seq, window_start: ws, window_cycles: wc, virtual_hz: hz, power_mw: p };
+            prop_assert_eq!(StatsPacket::decode(pkt.encode()).unwrap(), pkt);
+        }
+
+        #[test]
+        fn decode_never_panics(raw in prop::collection::vec(any::<u8>(), 0..128)) {
+            let b = Bytes::from(raw);
+            let _ = StatsPacket::decode(b.clone());
+            let _ = TempPacket::decode(b);
+        }
+    }
+}

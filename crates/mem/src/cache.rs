@@ -1,0 +1,372 @@
+//! Timing/traffic model of the private HW-controlled L1 caches (§3.2).
+//!
+//! Direct-mapped and set-associative organizations are supported, with
+//! independently configurable total size, line size and hit latency — exactly
+//! the knobs the paper exposes. Replacement is LRU within a set. Write policy
+//! is configurable (the platform default is write-back/write-allocate).
+
+use crate::stats::{AccessKind, CacheStats};
+
+/// Write-handling policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WritePolicy {
+    /// Dirty lines written back on eviction; write misses allocate.
+    WriteBack,
+    /// Every write is forwarded to memory; write misses do not allocate.
+    WriteThrough,
+}
+
+/// Whether a cache serves instruction fetches or data accesses (statistics
+/// and sniffers report them separately).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheKind {
+    Instruction,
+    Data,
+}
+
+/// Cache geometry and timing configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (power of two).
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two, ≥ 4).
+    pub line_bytes: u32,
+    /// Associativity; 1 = direct-mapped.
+    pub ways: u32,
+    /// Cycles a hit occupies the core (≥ 1).
+    pub hit_latency: u32,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// The paper's §7 exploration configuration: 4 KB direct-mapped, 16-byte
+    /// lines, single-cycle hits, write-back.
+    pub fn paper_l1_4k() -> CacheConfig {
+        CacheConfig { size_bytes: 4 * 1024, line_bytes: 16, ways: 1, hit_latency: 1, write_policy: WritePolicy::WriteBack }
+    }
+
+    /// The paper's §7 thermal configuration: 8 KB direct-mapped.
+    pub fn paper_l1_8k() -> CacheConfig {
+        CacheConfig { size_bytes: 8 * 1024, line_bytes: 16, ways: 1, hit_latency: 1, write_policy: WritePolicy::WriteBack }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// Words per line.
+    pub fn line_words(&self) -> u32 {
+        self.line_bytes / 4
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: sizes must be
+    /// powers of two, the line must be ≥ 4 bytes, the capacity must hold at
+    /// least one set, and `hit_latency` must be ≥ 1.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.size_bytes.is_power_of_two() {
+            return Err(format!("cache size {} is not a power of two", self.size_bytes));
+        }
+        if !self.line_bytes.is_power_of_two() || self.line_bytes < 4 {
+            return Err(format!("line size {} must be a power of two >= 4", self.line_bytes));
+        }
+        if self.ways == 0 || self.size_bytes < self.line_bytes * self.ways {
+            return Err(format!(
+                "capacity {} cannot hold {} way(s) of {}-byte lines",
+                self.size_bytes, self.ways, self.line_bytes
+            ));
+        }
+        if self.hit_latency == 0 {
+            return Err("hit latency must be at least 1 cycle".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig::paper_l1_4k()
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Outcome of one cache access, telling the memory controller what traffic
+/// the access generates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheResponse {
+    /// Line present; no memory traffic.
+    Hit,
+    /// Line fill required; `writeback_addr` is the base address of the dirty
+    /// victim that must be written back first (write-back policy only).
+    Miss { writeback_addr: Option<u32> },
+    /// Write-through / non-allocating write: the word goes straight to
+    /// memory; no fill happens. (`hit` tells whether the line was present and
+    /// updated in place.)
+    WriteThrough { hit: bool },
+}
+
+/// One L1 cache instance (tags + LRU state + statistics; data lives in the
+/// functional memory image, keeping the cache transparent as in the paper).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    kind: CacheKind,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.validate()` fails — configurations are user input and
+    /// must be validated at platform-build time.
+    pub fn new(cfg: CacheConfig, kind: CacheKind) -> Cache {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cache configuration: {e}");
+        }
+        let lines = vec![Line::default(); (cfg.sets() * cfg.ways) as usize];
+        Cache { cfg, kind, lines, tick: 0, stats: CacheStats::default() }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Whether this is an instruction or data cache.
+    pub fn kind(&self) -> CacheKind {
+        self.kind
+    }
+
+    /// Statistics accumulated since construction or the last [`Cache::take_stats`].
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Returns and resets the statistics (sampling-window collection).
+    pub fn take_stats(&mut self) -> CacheStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Base address of the line containing `addr`.
+    pub fn line_base(&self, addr: u32) -> u32 {
+        addr & !(self.cfg.line_bytes - 1)
+    }
+
+    fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.cfg.line_bytes) % self.cfg.sets()
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.cfg.line_bytes / self.cfg.sets()
+    }
+
+    /// Performs one access, updating tags, LRU and statistics, and reports
+    /// the generated memory traffic.
+    pub fn access(&mut self, addr: u32, kind: AccessKind) -> CacheResponse {
+        self.tick += 1;
+        let is_write = kind == AccessKind::Write;
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let ways = self.cfg.ways as usize;
+        let base = set as usize * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            self.stats.hits += 1;
+            if is_write {
+                match self.cfg.write_policy {
+                    WritePolicy::WriteBack => {
+                        line.dirty = true;
+                        CacheResponse::Hit
+                    }
+                    WritePolicy::WriteThrough => {
+                        self.stats.write_throughs += 1;
+                        CacheResponse::WriteThrough { hit: true }
+                    }
+                }
+            } else {
+                CacheResponse::Hit
+            }
+        } else {
+            self.stats.misses += 1;
+            if is_write && self.cfg.write_policy == WritePolicy::WriteThrough {
+                // No-allocate write miss: single word to memory.
+                self.stats.write_throughs += 1;
+                return CacheResponse::WriteThrough { hit: false };
+            }
+            // Choose the LRU victim (invalid lines first).
+            let victim = set_lines
+                .iter_mut()
+                .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+                .expect("sets are never empty");
+            let writeback_addr = if victim.valid && victim.dirty {
+                self.stats.writebacks += 1;
+                let victim_addr = (victim.tag * self.cfg.sets() + set) * self.cfg.line_bytes;
+                Some(victim_addr)
+            } else {
+                None
+            };
+            victim.valid = true;
+            victim.dirty = is_write;
+            victim.tag = tag;
+            victim.lru = self.tick;
+            CacheResponse::Miss { writeback_addr }
+        }
+    }
+
+    /// Invalidates all lines (losing dirtiness — used on reset only).
+    pub fn invalidate_all(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm_cache() -> Cache {
+        // 4 sets of 16-byte lines, direct-mapped.
+        Cache::new(
+            CacheConfig { size_bytes: 64, line_bytes: 16, ways: 1, hit_latency: 1, write_policy: WritePolicy::WriteBack },
+            CacheKind::Data,
+        )
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let c = CacheConfig::paper_l1_4k();
+        assert_eq!(c.sets(), 256);
+        assert_eq!(c.line_words(), 4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut c = CacheConfig::paper_l1_4k();
+        c.size_bytes = 3000;
+        assert!(c.validate().is_err());
+        c = CacheConfig::paper_l1_4k();
+        c.line_bytes = 2;
+        assert!(c.validate().is_err());
+        c = CacheConfig::paper_l1_4k();
+        c.ways = 0;
+        assert!(c.validate().is_err());
+        c = CacheConfig::paper_l1_4k();
+        c.hit_latency = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache configuration")]
+    fn construction_panics_on_invalid() {
+        let mut c = CacheConfig::paper_l1_4k();
+        c.ways = 3;
+        c.size_bytes = 4096; // 4096 / (16*3) is not integral but also not power-of-two-clean
+        c.line_bytes = 24;
+        let _ = Cache::new(c, CacheKind::Data);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = dm_cache();
+        assert_eq!(c.access(0x00, AccessKind::Read), CacheResponse::Miss { writeback_addr: None });
+        assert_eq!(c.access(0x04, AccessKind::Read), CacheResponse::Hit, "same line");
+        assert_eq!(c.access(0x10, AccessKind::Read), CacheResponse::Miss { writeback_addr: None });
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn conflict_eviction_direct_mapped() {
+        let mut c = dm_cache();
+        // 4 sets * 16B = 64B; addresses 0x00 and 0x40 conflict in set 0.
+        c.access(0x00, AccessKind::Read);
+        assert_eq!(c.access(0x40, AccessKind::Read), CacheResponse::Miss { writeback_addr: None }, "clean victim");
+        assert_eq!(c.access(0x00, AccessKind::Read), CacheResponse::Miss { writeback_addr: None }, "evicted");
+    }
+
+    #[test]
+    fn dirty_victim_writeback() {
+        let mut c = dm_cache();
+        c.access(0x00, AccessKind::Write); // allocate + dirty
+        match c.access(0x40, AccessKind::Read) {
+            CacheResponse::Miss { writeback_addr: Some(a) } => assert_eq!(a, 0x00),
+            other => panic!("expected dirty writeback, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn set_associative_lru() {
+        // 2 ways, 2 sets, 16-byte lines → 64 bytes.
+        let cfg = CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2, hit_latency: 1, write_policy: WritePolicy::WriteBack };
+        let mut c = Cache::new(cfg, CacheKind::Data);
+        // Set 0 holds lines at 0x00, 0x20, 0x40, ... (line/sets interleave).
+        c.access(0x00, AccessKind::Read);
+        c.access(0x20, AccessKind::Read);
+        c.access(0x00, AccessKind::Read); // touch 0x00 so 0x20 is LRU
+        c.access(0x40, AccessKind::Read); // evicts 0x20
+        assert_eq!(c.access(0x00, AccessKind::Read), CacheResponse::Hit);
+        assert_eq!(c.access(0x20, AccessKind::Read), CacheResponse::Miss { writeback_addr: None });
+    }
+
+    #[test]
+    fn write_through_never_writes_back() {
+        let cfg = CacheConfig { size_bytes: 64, line_bytes: 16, ways: 1, hit_latency: 1, write_policy: WritePolicy::WriteThrough };
+        let mut c = Cache::new(cfg, CacheKind::Data);
+        assert_eq!(c.access(0x00, AccessKind::Write), CacheResponse::WriteThrough { hit: false }, "no allocate");
+        c.access(0x00, AccessKind::Read); // fill
+        assert_eq!(c.access(0x00, AccessKind::Write), CacheResponse::WriteThrough { hit: true });
+        c.access(0x40, AccessKind::Read); // evict — must not write back
+        assert_eq!(c.stats().writebacks, 0);
+        assert_eq!(c.stats().write_throughs, 2);
+    }
+
+    #[test]
+    fn line_base_masks_offset() {
+        let c = dm_cache();
+        assert_eq!(c.line_base(0x1237), 0x1230);
+    }
+
+    #[test]
+    fn take_stats_resets() {
+        let mut c = dm_cache();
+        c.access(0, AccessKind::Read);
+        let s = c.take_stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut c = dm_cache();
+        c.access(0, AccessKind::Read);
+        c.invalidate_all();
+        assert_eq!(c.access(0, AccessKind::Read), CacheResponse::Miss { writeback_addr: None });
+    }
+}

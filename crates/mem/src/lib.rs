@@ -1,0 +1,84 @@
+//! # temu-mem — memory hierarchy of the emulated MPSoC
+//!
+//! Reproduces the paper's §3.2: every processing core owns a **memory
+//! controller** that routes requests by address range to
+//!
+//! * a **private main memory** (local to the controller, configurable size and
+//!   latency, cacheable),
+//! * the **shared main memory** (reached through the platform interconnect,
+//!   configurable size/latency, cacheable or not),
+//! * private HW-controlled **instruction and data caches** (direct-mapped or
+//!   set-associative; total size, line size and latency configurable
+//!   independently), and
+//! * the memory-mapped I/O window (sniffer control, core id, sensors).
+//!
+//! Caches model *timing and traffic* (hits, misses, fills, write-backs);
+//! program data lives in the functional [`MemArray`] images, so the platform
+//! behaves like the paper's — caches are fully transparent to the processors.
+//!
+//! As in §3.2, every device also carries a *physical* latency next to the
+//! configured virtual one; when the physical device is slower than the
+//! emulated latency target, the difference is reported so the Virtual
+//! Platform Clock Manager can freeze the virtual clock for the excess cycles.
+
+mod array;
+mod cache;
+mod map;
+mod stats;
+
+pub use array::{MemArray, MemError};
+pub use cache::{Cache, CacheConfig, CacheKind, CacheResponse, WritePolicy};
+pub use map::{AddressMap, MappedRange, RangeTarget, MMIO_BASE, MMIO_SIZE, SHARED_BASE};
+pub use stats::{AccessKind, CacheStats, MemStats};
+
+/// Configuration of one memory device (private or shared main memory).
+///
+/// `latency` is the user-defined latency of the *emulated* memory in core
+/// cycles; `physical_latency` is the latency of the device actually backing
+/// it (BRAM vs DDR in the paper). When `physical_latency > latency`, each
+/// access forces the VPCM to inhibit the virtual clock for the difference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemoryConfig {
+    /// Device size in bytes (word multiple).
+    pub size: u32,
+    /// Emulated access latency in cycles (first word).
+    pub latency: u32,
+    /// Latency of the physical backing device in cycles.
+    pub physical_latency: u32,
+}
+
+impl MemoryConfig {
+    /// A BRAM-like device: the physical device meets the emulated latency.
+    pub fn bram(size: u32, latency: u32) -> MemoryConfig {
+        MemoryConfig { size, latency, physical_latency: latency }
+    }
+
+    /// A DDR-like device: physically slower than the emulated target, so the
+    /// VPCM must hide `physical_latency - latency` cycles per access.
+    pub fn ddr(size: u32, latency: u32, physical_latency: u32) -> MemoryConfig {
+        MemoryConfig { size, latency, physical_latency }
+    }
+
+    /// Virtual-clock inhibition cycles one access of this device costs.
+    pub fn freeze_cycles(&self) -> u64 {
+        u64::from(self.physical_latency.saturating_sub(self.latency))
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> MemoryConfig {
+        MemoryConfig::bram(64 * 1024, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_config_freeze_cycles() {
+        assert_eq!(MemoryConfig::bram(1024, 2).freeze_cycles(), 0);
+        assert_eq!(MemoryConfig::ddr(1024, 10, 18).freeze_cycles(), 8);
+        assert_eq!(MemoryConfig::ddr(1024, 10, 4).freeze_cycles(), 0, "faster device never freezes");
+    }
+}

@@ -1,0 +1,114 @@
+//! Access statistics collected by the memory hierarchy.
+//!
+//! These are the raw counters the paper's count-logging HW sniffers extract
+//! ("the number and type of accesses to each memory in the system", §4.1).
+
+/// Kind of access as seen by a cache or memory device.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// Instruction fetch (I-cache side).
+    Fetch,
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+}
+
+/// Hit/miss/traffic counters for one cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (caused a line fill).
+    pub misses: u64,
+    /// Read (or fetch) accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Dirty victim lines written back to memory.
+    pub writebacks: u64,
+    /// Word writes forwarded straight to memory (write-through traffic and
+    /// non-allocating write misses).
+    pub write_throughs: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses happened.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Accumulates another stats block (used when sampling windows reset).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.writebacks += other.writebacks;
+        self.write_throughs += other.write_throughs;
+    }
+}
+
+/// Access counters for one memory device.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemStats {
+    /// Read transactions served.
+    pub reads: u64,
+    /// Write transactions served.
+    pub writes: u64,
+    /// Words transferred in both directions.
+    pub words: u64,
+    /// Cycles the device kept the VPCM virtual clock frozen (physical device
+    /// slower than the emulated latency target).
+    pub freeze_cycles: u64,
+}
+
+impl MemStats {
+    /// Total transactions.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Accumulates another stats block.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.words += other.words;
+        self.freeze_cycles += other.freeze_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1, ..CacheStats::default() };
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(s.accesses(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats { hits: 1, misses: 2, reads: 3, writes: 4, writebacks: 5, write_throughs: 6 };
+        a.merge(&a.clone());
+        assert_eq!(a, CacheStats { hits: 2, misses: 4, reads: 6, writes: 8, writebacks: 10, write_throughs: 12 });
+
+        let mut m = MemStats { reads: 1, writes: 2, words: 3, freeze_cycles: 4 };
+        m.merge(&m.clone());
+        assert_eq!(m.accesses(), 6);
+        assert_eq!(m.words, 6);
+        assert_eq!(m.freeze_cycles, 8);
+    }
+}

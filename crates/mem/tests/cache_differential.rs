@@ -1,0 +1,119 @@
+//! Differential property testing of the cache model against a transparent
+//! mirror implementation (explicit per-set LRU lists), plus invariant checks
+//! on random access streams.
+
+use proptest::prelude::*;
+use temu_mem::{AccessKind, Cache, CacheConfig, CacheKind, CacheResponse, WritePolicy};
+
+/// A deliberately naive reference cache: per-set vectors ordered by recency.
+struct MirrorCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<(u32, bool)>>, // (tag, dirty), most recent last
+}
+
+impl MirrorCache {
+    fn new(cfg: CacheConfig) -> MirrorCache {
+        MirrorCache { sets: vec![Vec::new(); cfg.sets() as usize], cfg }
+    }
+
+    fn access(&mut self, addr: u32, kind: AccessKind) -> CacheResponse {
+        let line = addr / self.cfg.line_bytes;
+        let set_idx = (line % self.cfg.sets()) as usize;
+        let tag = line / self.cfg.sets();
+        let is_write = kind == AccessKind::Write;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, dirty) = set.remove(pos);
+            if is_write && self.cfg.write_policy == WritePolicy::WriteThrough {
+                set.push((t, dirty));
+                return CacheResponse::WriteThrough { hit: true };
+            }
+            set.push((t, dirty || is_write));
+            return CacheResponse::Hit;
+        }
+        if is_write && self.cfg.write_policy == WritePolicy::WriteThrough {
+            return CacheResponse::WriteThrough { hit: false };
+        }
+        let writeback_addr = if set.len() as u32 == self.cfg.ways {
+            let (vt, vd) = set.remove(0);
+            vd.then(|| (vt * self.cfg.sets() + set_idx as u32) * self.cfg.line_bytes)
+        } else {
+            None
+        };
+        set.push((tag, is_write));
+        CacheResponse::Miss { writeback_addr }
+    }
+}
+
+fn config_strategy() -> impl Strategy<Value = CacheConfig> {
+    (
+        prop::sample::select(&[256u32, 512, 1024, 4096][..]),
+        prop::sample::select(&[8u32, 16, 32][..]),
+        prop::sample::select(&[1u32, 2, 4][..]),
+        prop::bool::ANY,
+    )
+        .prop_filter_map("geometry must hold at least one set", |(size, line, ways, wt)| {
+            let cfg = CacheConfig {
+                size_bytes: size,
+                line_bytes: line,
+                ways,
+                hit_latency: 1,
+                write_policy: if wt { WritePolicy::WriteThrough } else { WritePolicy::WriteBack },
+            };
+            cfg.validate().ok().map(|()| cfg)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_mirror(cfg in config_strategy(),
+                            accesses in prop::collection::vec((0u32..16 * 1024, prop::bool::ANY), 1..400)) {
+        let mut cache = Cache::new(cfg, CacheKind::Data);
+        let mut mirror = MirrorCache::new(cfg);
+        for (i, &(addr, write)) in accesses.iter().enumerate() {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let got = cache.access(addr, kind);
+            let want = mirror.access(addr, kind);
+            prop_assert_eq!(got, want, "access #{} addr {:#x} write {}", i, addr, write);
+        }
+    }
+
+    #[test]
+    fn counter_invariants(cfg in config_strategy(),
+                          accesses in prop::collection::vec((0u32..64 * 1024, prop::bool::ANY), 1..300)) {
+        let mut cache = Cache::new(cfg, CacheKind::Data);
+        for &(addr, write) in &accesses {
+            cache.access(addr, if write { AccessKind::Write } else { AccessKind::Read });
+        }
+        let s = *cache.stats();
+        prop_assert_eq!(s.hits + s.misses, accesses.len() as u64);
+        prop_assert_eq!(s.reads + s.writes, accesses.len() as u64);
+        prop_assert!(s.writebacks <= s.writes, "can't write back more lines than stores dirtied");
+        if cfg.write_policy == WritePolicy::WriteThrough {
+            prop_assert_eq!(s.writebacks, 0);
+            prop_assert_eq!(s.write_throughs, s.writes);
+        }
+    }
+
+    #[test]
+    fn repeat_access_always_hits(cfg in config_strategy(), addr in 0u32..64 * 1024) {
+        let mut cache = Cache::new(cfg, CacheKind::Data);
+        cache.access(addr, AccessKind::Read);
+        prop_assert_eq!(cache.access(addr, AccessKind::Read), CacheResponse::Hit);
+        prop_assert_eq!(cache.access(addr ^ 3, AccessKind::Read), CacheResponse::Hit, "same line");
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_conflicts(cfg in config_strategy()) {
+        // Touching exactly one line per set never evicts.
+        let mut cache = Cache::new(cfg, CacheKind::Data);
+        for set in 0..cfg.sets() {
+            cache.access(set * cfg.line_bytes, AccessKind::Read);
+        }
+        for set in 0..cfg.sets() {
+            prop_assert_eq!(cache.access(set * cfg.line_bytes, AccessKind::Read), CacheResponse::Hit);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Platform configuration: the knobs the paper's framework exposes.
+
+use crate::sniffer::SnifferMode;
+use temu_cpu::CpuConfig;
+use temu_interconnect::{Arbitration, BusConfig, NocConfig};
+use temu_mem::{CacheConfig, MemoryConfig};
+
+/// Interconnect selection (§3.3).
+#[derive(Clone, PartialEq, Debug)]
+pub enum IcChoice {
+    /// A shared bus (OPB, PLB or the custom exploration bus).
+    Bus(BusConfig),
+    /// A packet-switched NoC.
+    Noc(NocConfig),
+}
+
+/// Full description of one emulated MPSoC.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PlatformConfig {
+    /// Number of processing cores.
+    pub cores: usize,
+    /// Core timing configuration.
+    pub cpu: CpuConfig,
+    /// Instruction cache; `None` removes it (every fetch goes to memory).
+    pub icache: Option<CacheConfig>,
+    /// Data cache; `None` removes it.
+    pub dcache: Option<CacheConfig>,
+    /// Per-core private main memory.
+    pub private_mem: MemoryConfig,
+    /// Shared main memory (behind the interconnect).
+    pub shared_mem: MemoryConfig,
+    /// Whether the shared range is cached by the L1s.
+    pub shared_cacheable: bool,
+    /// Bus or NoC between the memory controllers and the shared memory.
+    pub interconnect: IcChoice,
+    /// Physical FPGA clock (the paper's board runs at 100 MHz).
+    pub fpga_hz: u64,
+    /// Initial virtual (emulated) clock frequency.
+    pub virtual_hz: u64,
+    /// Statistics sniffer mode.
+    pub sniffer_mode: SnifferMode,
+}
+
+impl PlatformConfig {
+    /// The §7 exploration platform: 4 KB I/D caches, private memory, 1 MB
+    /// shared memory, OPB bus — "various configurations of interconnections
+    /// and processors (1 to 8) using a complex L1 hierarchy for each core
+    /// with 4 KB D-cache/I-cache, 16 KB of private memory, and a global 1-MB
+    /// main shared memory. All processors use OPB and OCP buses."
+    ///
+    /// The private memory is sized at 64 KB so that it holds the program
+    /// image, data and stack (the paper loads code through EDK separately;
+    /// our image lives in the same private memory).
+    pub fn paper_bus(cores: usize) -> PlatformConfig {
+        PlatformConfig {
+            cores,
+            cpu: CpuConfig::default(),
+            icache: Some(CacheConfig::paper_l1_4k()),
+            dcache: Some(CacheConfig::paper_l1_4k()),
+            private_mem: MemoryConfig::bram(64 * 1024, 2),
+            shared_mem: MemoryConfig::bram(1024 * 1024, 6),
+            shared_cacheable: false,
+            interconnect: IcChoice::Bus(BusConfig::opb(cores)),
+            fpga_hz: 100_000_000,
+            virtual_hz: 100_000_000,
+            sniffer_mode: SnifferMode::CountLogging,
+        }
+    }
+
+    /// Same platform with the paper's custom bus and a chosen arbitration
+    /// policy (the arbitration ablation).
+    pub fn paper_custom_bus(cores: usize, arbitration: Arbitration) -> PlatformConfig {
+        let mut cfg = PlatformConfig::paper_bus(cores);
+        cfg.interconnect = IcChoice::Bus(BusConfig::custom(cores, arbitration));
+        cfg
+    }
+
+    /// The §7 NoC exploration platform: "2 32-bit switches with 4
+    /// inputs/outputs and 3-package buffers".
+    pub fn paper_noc(cores: usize) -> PlatformConfig {
+        let mut cfg = PlatformConfig::paper_bus(cores);
+        cfg.interconnect = IcChoice::Noc(NocConfig::paper_two_switch(cores));
+        cfg
+    }
+
+    /// The §7 thermal platform: "4 RISC-32 processors including 8 KB
+    /// direct-mapped instruction/data caches and a 32 KB cacheable private
+    /// memory. One 32 KB shared memory exists in the system and the
+    /// interconnection utilized is a NoC of 4 switches", emulated at 500 MHz
+    /// virtual on the 100 MHz FPGA.
+    pub fn paper_thermal(cores: usize) -> PlatformConfig {
+        PlatformConfig {
+            cores,
+            cpu: CpuConfig::default(),
+            icache: Some(CacheConfig::paper_l1_8k()),
+            dcache: Some(CacheConfig::paper_l1_8k()),
+            private_mem: MemoryConfig::bram(64 * 1024, 2),
+            shared_mem: MemoryConfig::bram(32 * 1024, 6),
+            shared_cacheable: false,
+            interconnect: IcChoice::Noc(NocConfig::paper_four_switch(cores)),
+            fpga_hz: 100_000_000,
+            virtual_hz: 500_000_000,
+            sniffer_mode: SnifferMode::CountLogging,
+        }
+    }
+
+    /// Validates every sub-configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint (no cores, invalid cache or
+    /// interconnect geometry, interconnect port count not matching `cores`,
+    /// zero clock frequencies, private memory too small to be useful).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("platform needs at least one core".into());
+        }
+        if let Some(c) = &self.icache {
+            c.validate().map_err(|e| format!("icache: {e}"))?;
+        }
+        if let Some(c) = &self.dcache {
+            c.validate().map_err(|e| format!("dcache: {e}"))?;
+        }
+        if self.private_mem.size < 1024 || self.private_mem.size % 4 != 0 {
+            return Err(format!("private memory size {} must be a word multiple >= 1 KB", self.private_mem.size));
+        }
+        if self.shared_mem.size % 4 != 0 {
+            return Err("shared memory size must be a word multiple".into());
+        }
+        match &self.interconnect {
+            IcChoice::Bus(b) => {
+                b.validate().map_err(|e| format!("bus: {e}"))?;
+                if b.initiators != self.cores {
+                    return Err(format!("bus has {} ports but platform has {} cores", b.initiators, self.cores));
+                }
+            }
+            IcChoice::Noc(n) => {
+                n.validate().map_err(|e| format!("noc: {e}"))?;
+                if n.core_switch.len() != self.cores {
+                    return Err(format!("noc attaches {} cores but platform has {}", n.core_switch.len(), self.cores));
+                }
+            }
+        }
+        if self.fpga_hz == 0 || self.virtual_hz == 0 {
+            return Err("clock frequencies must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_validate() {
+        assert!(PlatformConfig::paper_bus(1).validate().is_ok());
+        assert!(PlatformConfig::paper_bus(8).validate().is_ok());
+        assert!(PlatformConfig::paper_noc(4).validate().is_ok());
+        assert!(PlatformConfig::paper_thermal(4).validate().is_ok());
+        assert!(PlatformConfig::paper_custom_bus(4, Arbitration::RoundRobin).validate().is_ok());
+    }
+
+    #[test]
+    fn mismatched_ports_rejected() {
+        let mut cfg = PlatformConfig::paper_bus(4);
+        cfg.cores = 2;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let mut cfg = PlatformConfig::paper_bus(1);
+        cfg.cores = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_cache_rejected() {
+        let mut cfg = PlatformConfig::paper_bus(1);
+        if let Some(c) = &mut cfg.icache {
+            c.line_bytes = 3;
+        }
+        let e = cfg.validate().unwrap_err();
+        assert!(e.contains("icache"));
+    }
+
+    #[test]
+    fn thermal_platform_is_500mhz_virtual() {
+        let cfg = PlatformConfig::paper_thermal(4);
+        assert_eq!(cfg.virtual_hz, 500_000_000);
+        assert_eq!(cfg.fpga_hz, 100_000_000);
+    }
+}

@@ -1,0 +1,423 @@
+//! The emulated MPSoC machine and its execution engine.
+
+use crate::config::PlatformConfig;
+use crate::stats::WindowStats;
+use crate::uncore::Uncore;
+use crate::vpcm::Vpcm;
+use std::time::{Duration, Instant};
+use temu_cpu::{Cpu, CpuError};
+use temu_isa::{Program, Reg};
+use temu_mem::MemArray;
+
+/// Outcome of a [`Machine::run_to_halt`] call.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Virtual cycles elapsed (the slowest core's local time).
+    pub cycles: u64,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Whether every core reached `halt` (false: the cycle budget ran out).
+    pub all_halted: bool,
+    /// Host wall-clock time the emulation took.
+    pub wall: Duration,
+    /// Modeled FPGA execution time (`(cycles + freezes) / fpga_hz`) — the
+    /// quantity Table 3 reports for the HW emulator.
+    pub fpga_seconds: f64,
+    /// Aggregate sniffer statistics for the whole run.
+    pub stats: WindowStats,
+}
+
+impl RunSummary {
+    /// Effective emulation throughput of the Rust engine in virtual
+    /// cycles per host second.
+    pub fn emulated_hz(&self) -> f64 {
+        self.cycles as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// One emulated MPSoC: cores + memory system + interconnect + VPCM.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    cfg: PlatformConfig,
+    cores: Vec<Cpu>,
+    uncore: Uncore,
+    vpcm: Vpcm,
+    window_start: u64,
+}
+
+impl Machine {
+    /// Builds a machine from a platform configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error message if the configuration is
+    /// inconsistent.
+    pub fn new(cfg: PlatformConfig) -> Result<Machine, String> {
+        cfg.validate()?;
+        let cores = (0..cfg.cores).map(|i| Cpu::new(i, cfg.cpu)).collect();
+        let uncore = Uncore::new(&cfg);
+        let vpcm = Vpcm::new(cfg.fpga_hz, cfg.virtual_hz);
+        Ok(Machine { cfg, cores, uncore, vpcm, window_start: 0 })
+    }
+
+    /// The configuration the machine was built from.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.cfg
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Core `i`.
+    pub fn core(&self, i: usize) -> &Cpu {
+        &self.cores[i]
+    }
+
+    /// The memory system (functional views, MMIO, event buffer).
+    pub fn uncore(&self) -> &Uncore {
+        &self.uncore
+    }
+
+    /// Mutable memory system (shared-data initialization, event draining).
+    pub fn uncore_mut(&mut self) -> &mut Uncore {
+        &mut self.uncore
+    }
+
+    /// The VPCM.
+    pub fn vpcm(&self) -> &Vpcm {
+        &self.vpcm
+    }
+
+    /// Mutable VPCM (the framework records link-congestion freezes here).
+    pub fn vpcm_mut(&mut self) -> &mut Vpcm {
+        &mut self.vpcm
+    }
+
+    /// Retunes the virtual clock (DFS actuator) and publishes the new
+    /// frequency in the MMIO window.
+    pub fn set_virtual_hz(&mut self, hz: u64) {
+        self.vpcm.set_virtual_hz(hz);
+        self.uncore.mmio.set_freq_mhz((hz / 1_000_000) as u32);
+    }
+
+    /// Writes a temperature sample into sensor register `i`.
+    pub fn set_sensor_kelvin(&mut self, i: usize, kelvin: f64) {
+        self.uncore.mmio.set_sensor_kelvin(i, kelvin);
+    }
+
+    /// Bytes core `i` wrote to its debug console.
+    pub fn console(&self, i: usize) -> &[u8] {
+        self.uncore.mmio.console(i)
+    }
+
+    /// Functional view of the shared memory.
+    pub fn shared(&self) -> &MemArray {
+        self.uncore.shared()
+    }
+
+    /// Mutable functional view of the shared memory.
+    pub fn shared_mut(&mut self) -> &mut MemArray {
+        self.uncore.shared_mut()
+    }
+
+    /// Loads a program image into core `core`'s private memory, resets the
+    /// core to the program entry and points its stack pointer at the top of
+    /// private memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the image does not fit in private memory.
+    pub fn load_program(&mut self, core: usize, program: &Program) -> Result<(), String> {
+        self.uncore
+            .load_private(core, program.base, &program.to_bytes())
+            .map_err(|e| format!("loading program into core {core}: {e}"))?;
+        self.cores[core].reset(program.entry);
+        let sp = self.cfg.private_mem.size - 16;
+        self.cores[core].regs_mut().write(Reg::SP, sp);
+        Ok(())
+    }
+
+    /// Loads the same image on every core (SPMD workloads; cores branch on
+    /// the MMIO core-id register).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the image does not fit in private memory.
+    pub fn load_program_all(&mut self, program: &Program) -> Result<(), String> {
+        for core in 0..self.cores.len() {
+            self.load_program(core, program)?;
+        }
+        Ok(())
+    }
+
+    /// Whether every core has halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(Cpu::is_halted)
+    }
+
+    /// Platform time: the maximum core local time.
+    pub fn time(&self) -> u64 {
+        self.cores.iter().map(Cpu::time).max().unwrap_or(0)
+    }
+
+    /// Runs the platform until every core is halted or has a local time of
+    /// at least `limit`. Cores are interleaved in exact global-time order
+    /// (smallest local time first, interconnect tie-break), which is the
+    /// invariant that keeps the transaction-level engine cycle-exact against
+    /// the signal-level baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first core fault (decode error or unmapped access).
+    pub fn run_until(&mut self, limit: u64) -> Result<(), CpuError> {
+        if self.cores.len() == 1 {
+            // Fast path: no interleaving needed.
+            let core = &mut self.cores[0];
+            while !core.is_halted() && core.time() < limit {
+                core.step(&mut self.uncore)?;
+            }
+            return Ok(());
+        }
+        loop {
+            let mut best: Option<usize> = None;
+            let mut best_key = (u64::MAX, usize::MAX);
+            for (i, c) in self.cores.iter().enumerate() {
+                if c.is_halted() {
+                    continue;
+                }
+                let t = c.time();
+                if t >= limit {
+                    continue;
+                }
+                let key = (t, self.uncore.tie_key(i));
+                if key < best_key {
+                    best_key = key;
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            self.cores[i].step(&mut self.uncore)?;
+        }
+        Ok(())
+    }
+
+    /// Runs for one sampling window of `cycles` virtual cycles and collects
+    /// the window's sniffer statistics. Halted cores accumulate idle time up
+    /// to the window boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first core fault.
+    pub fn run_window(&mut self, cycles: u64) -> Result<WindowStats, CpuError> {
+        let end = self.window_start + cycles;
+        self.run_until(end)?;
+        for c in &mut self.cores {
+            if c.is_halted() && c.time() < end {
+                let gap = end - c.time();
+                c.add_idle(gap);
+            }
+        }
+        let stats = self.collect_stats(self.window_start, end);
+        self.window_start = end;
+        Ok(stats)
+    }
+
+    /// Runs until every core halts (or `max_cycles` elapse), returning the
+    /// run summary with aggregate statistics and the modeled FPGA time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first core fault.
+    pub fn run_to_halt(&mut self, max_cycles: u64) -> Result<RunSummary, CpuError> {
+        let t0 = Instant::now();
+        let chunk = 4_000_000u64;
+        loop {
+            let limit = self.time().saturating_add(chunk).min(max_cycles);
+            self.run_until(limit)?;
+            if self.all_halted() || limit >= max_cycles {
+                break;
+            }
+        }
+        let wall = t0.elapsed();
+        let cycles = self.time();
+        let stats = self.collect_stats(self.window_start, cycles);
+        self.window_start = cycles;
+        Ok(RunSummary {
+            cycles,
+            instructions: stats.total_instructions(),
+            all_halted: self.all_halted(),
+            wall,
+            fpga_seconds: (cycles + stats.freeze_mem + stats.freeze_link) as f64 / self.cfg.fpga_hz as f64,
+            stats,
+        })
+    }
+
+    fn collect_stats(&mut self, start: u64, end: u64) -> WindowStats {
+        let cores = self.cores.iter_mut().map(Cpu::take_stats).collect();
+        let (icaches, dcaches) = self.uncore.collect_cache_stats();
+        let (private_mems, shared_mem) = self.uncore.collect_mem_stats();
+        let interconnect = self.uncore.collect_ic_stats();
+        self.vpcm.record_mem_freeze(self.uncore.take_freeze());
+        let (freeze_mem, freeze_link) = self.vpcm.take_freezes();
+        let (events_pending, events_overflowed) = match self.uncore.events_mut() {
+            Some(b) => (b.len(), b.take_overflowed()),
+            None => (0, 0),
+        };
+        WindowStats {
+            start_cycle: start,
+            end_cycle: end,
+            cores,
+            icaches,
+            dcaches,
+            private_mems,
+            shared_mem,
+            interconnect,
+            freeze_mem,
+            freeze_link,
+            events_pending,
+            events_overflowed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temu_isa::asm::assemble;
+
+    fn machine(cores: usize, src: &str) -> Machine {
+        let mut m = Machine::new(PlatformConfig::paper_bus(cores)).unwrap();
+        let p = assemble(src).unwrap();
+        m.load_program_all(&p).unwrap();
+        m
+    }
+
+    #[test]
+    fn single_core_program_runs_to_halt() {
+        let mut m = machine(1, "li r1, 21\n add r1, r1, r1\n halt\n");
+        let s = m.run_to_halt(1_000_000).unwrap();
+        assert!(s.all_halted);
+        assert_eq!(m.core(0).regs().read(Reg::new(1)), 42);
+        assert!(s.cycles > 0);
+        assert!(s.instructions >= 3);
+        assert!(s.fpga_seconds > 0.0);
+    }
+
+    #[test]
+    fn spmd_cores_diverge_on_core_id() {
+        // Each core writes (core_id + 1) * 10 into shared memory slot id.
+        let src = "
+            .equ MMIO, 0xFFFF0000
+            .equ SHARED, 0x10000000
+            start:  li   r1, MMIO
+                    lw   r2, 0(r1)      ; core id
+                    addi r3, r2, 1
+                    li   r4, 10
+                    mul  r5, r3, r4
+                    li   r6, SHARED
+                    slli r7, r2, 2
+                    add  r6, r6, r7
+                    sw   r5, 0(r6)
+                    halt
+        ";
+        let mut m = machine(4, src);
+        let s = m.run_to_halt(1_000_000).unwrap();
+        assert!(s.all_halted);
+        for core in 0..4 {
+            let v = m.shared().read(core as u32 * 4, temu_isa::Width::Word).unwrap();
+            assert_eq!(v, (core as u32 + 1) * 10);
+        }
+        assert!(s.stats.interconnect.transactions >= 4);
+    }
+
+    #[test]
+    fn console_output_via_mmio() {
+        let src = "
+            .equ CONSOLE, 0xFFFF0004
+            start: li r1, CONSOLE
+                   li r2, 72        ; 'H'
+                   sw r2, 0(r1)
+                   li r2, 105       ; 'i'
+                   sw r2, 0(r1)
+                   halt
+        ";
+        let mut m = machine(1, src);
+        m.run_to_halt(100_000).unwrap();
+        assert_eq!(m.console(0), b"Hi");
+    }
+
+    #[test]
+    fn windows_partition_time_exactly() {
+        let mut m = machine(2, "li r1, 1000\nloop: addi r1, r1, -1\n bnez r1, loop\n halt\n");
+        let w1 = m.run_window(500).unwrap();
+        assert_eq!(w1.start_cycle, 0);
+        assert_eq!(w1.end_cycle, 500);
+        let w2 = m.run_window(500).unwrap();
+        assert_eq!(w2.start_cycle, 500);
+        assert_eq!(w2.end_cycle, 1000);
+        assert!(w1.total_instructions() > 0);
+    }
+
+    #[test]
+    fn halted_cores_accumulate_idle_in_windows() {
+        let mut m = machine(1, "halt\n");
+        let w = m.run_window(1000).unwrap();
+        assert!(m.all_halted());
+        let c = &w.cores[0];
+        assert_eq!(c.idle_cycles + c.active_cycles + c.stall_cycles, 1000);
+        // Everything after the halt instruction (whose cold fetch misses) is idle.
+        assert!(c.idle_cycles >= 990, "idle = {}", c.idle_cycles);
+    }
+
+    #[test]
+    fn run_budget_stops_runaway_programs() {
+        let mut m = machine(1, "loop: j loop\n");
+        let s = m.run_to_halt(10_000).unwrap();
+        assert!(!s.all_halted);
+        assert!(s.cycles >= 10_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let src = "
+            .equ SHARED, 0x10000000
+            start: li r1, SHARED
+                   li r2, 200
+            loop:  lw r3, 0(r1)
+                   addi r3, r3, 1
+                   sw r3, 0(r1)
+                   addi r2, r2, -1
+                   bnez r2, loop
+                   halt
+        ";
+        let mut a = machine(4, src);
+        let mut b = machine(4, src);
+        let sa = a.run_to_halt(10_000_000).unwrap();
+        let sb = b.run_to_halt(10_000_000).unwrap();
+        assert_eq!(sa.cycles, sb.cycles, "the engine is deterministic");
+        assert_eq!(sa.instructions, sb.instructions);
+        // The increment is a non-atomic read-modify-write, so updates may be
+        // lost — but deterministically: both runs end with the same value.
+        let va = a.shared().read(0, temu_isa::Width::Word).unwrap();
+        let vb = b.shared().read(0, temu_isa::Width::Word).unwrap();
+        assert_eq!(va, vb);
+        assert!((200..=800).contains(&va), "final counter {va}");
+    }
+
+    #[test]
+    fn stack_pointer_initialized_at_private_top() {
+        let m = machine(1, "halt\n");
+        let sp = m.core(0).regs().read(Reg::SP);
+        assert_eq!(sp, m.config().private_mem.size - 16);
+    }
+
+    #[test]
+    fn dfs_actuator_updates_mmio() {
+        let mut m = machine(1, "halt\n");
+        m.set_virtual_hz(500_000_000);
+        assert_eq!(m.vpcm().virtual_hz(), 500_000_000);
+        assert_eq!(m.uncore().mmio.read(0, crate::mmio::MMIO_FREQ_MHZ, 0), 500);
+    }
+}

@@ -1,0 +1,172 @@
+//! The memory-mapped I/O window of the emulated platform.
+//!
+//! The paper memory-maps the HW sniffers into the processors' address range
+//! so software can (de)activate them at run time (§4.1), and the VPCM feeds
+//! temperature-sensor values back to the platform (§4.2). The window also
+//! carries the conveniences any multi-core runtime needs: core id, core
+//! count, a per-core debug console and the current DFS frequency.
+
+/// Offset of the read-only core-id register.
+pub const MMIO_CORE_ID: u32 = 0x00;
+/// Offset of the write-only console register (one byte per store).
+pub const MMIO_CONSOLE: u32 = 0x04;
+/// Offset of the read-only core-count register.
+pub const MMIO_NCORES: u32 = 0x08;
+/// Offset of the read-only current virtual frequency in MHz (DFS output).
+pub const MMIO_FREQ_MHZ: u32 = 0x0C;
+/// Offset of the low word of the core's local cycle counter.
+pub const MMIO_CYCLE_LO: u32 = 0x10;
+/// Offset of the high word of the core's local cycle counter.
+pub const MMIO_CYCLE_HI: u32 = 0x14;
+/// Offset of the sniffer enable register (bit 0: all sniffers).
+pub const MMIO_SNIFFER_CTRL: u32 = 0x20;
+/// Base offset of the temperature-sensor registers (one word per floorplan
+/// component, value in centi-kelvin).
+pub const MMIO_SENSOR_BASE: u32 = 0x40;
+
+/// Number of sensor registers available.
+pub const MMIO_SENSORS: usize = 48;
+
+/// MMIO register state shared by all cores of the platform.
+#[derive(Clone, Debug)]
+pub struct Mmio {
+    ncores: usize,
+    consoles: Vec<Vec<u8>>,
+    sensors_centi_k: Vec<u32>,
+    sniffers_enabled: bool,
+    freq_mhz: u32,
+}
+
+impl Mmio {
+    /// Creates the window for `ncores` cores with sniffers enabled and an
+    /// ambient 300.00 K on every sensor.
+    pub fn new(ncores: usize, initial_freq_mhz: u32) -> Mmio {
+        Mmio {
+            ncores,
+            consoles: vec![Vec::new(); ncores],
+            sensors_centi_k: vec![30_000; MMIO_SENSORS],
+            sniffers_enabled: true,
+            freq_mhz: initial_freq_mhz,
+        }
+    }
+
+    /// Whether software left the sniffers enabled.
+    pub fn sniffers_enabled(&self) -> bool {
+        self.sniffers_enabled
+    }
+
+    /// Bytes written by `core` to its console register.
+    pub fn console(&self, core: usize) -> &[u8] {
+        &self.consoles[core]
+    }
+
+    /// Updates the temperature sensor of floorplan component `i`
+    /// (kelvin, stored as centi-kelvin).
+    pub fn set_sensor_kelvin(&mut self, i: usize, kelvin: f64) {
+        if i < self.sensors_centi_k.len() {
+            self.sensors_centi_k[i] = (kelvin * 100.0).round().max(0.0) as u32;
+        }
+    }
+
+    /// Current sensor value of component `i` in kelvin.
+    pub fn sensor_kelvin(&self, i: usize) -> f64 {
+        f64::from(self.sensors_centi_k[i]) / 100.0
+    }
+
+    /// Publishes the DFS frequency so software can read it.
+    pub fn set_freq_mhz(&mut self, mhz: u32) {
+        self.freq_mhz = mhz;
+    }
+
+    /// Handles a read by `core` at byte offset `off` (core-local cycle
+    /// counter value supplied by the engine). Unknown offsets read zero.
+    pub fn read(&self, core: usize, off: u32, cycle: u64) -> u32 {
+        match off {
+            MMIO_CORE_ID => core as u32,
+            MMIO_CONSOLE => 0,
+            MMIO_NCORES => self.ncores as u32,
+            MMIO_FREQ_MHZ => self.freq_mhz,
+            MMIO_CYCLE_LO => cycle as u32,
+            MMIO_CYCLE_HI => (cycle >> 32) as u32,
+            MMIO_SNIFFER_CTRL => u32::from(self.sniffers_enabled),
+            o if o >= MMIO_SENSOR_BASE && o < MMIO_SENSOR_BASE + 4 * MMIO_SENSORS as u32 => {
+                self.sensors_centi_k[((o - MMIO_SENSOR_BASE) / 4) as usize]
+            }
+            _ => 0,
+        }
+    }
+
+    /// Handles a write by `core` at byte offset `off`. Unknown offsets are
+    /// ignored (write-ignored semantics, as on the real platform).
+    pub fn write(&mut self, core: usize, off: u32, value: u32) {
+        match off {
+            MMIO_CONSOLE => self.consoles[core].push(value as u8),
+            MMIO_SNIFFER_CTRL => self.sniffers_enabled = value & 1 != 0,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_and_ncores() {
+        let m = Mmio::new(4, 100);
+        assert_eq!(m.read(2, MMIO_CORE_ID, 0), 2);
+        assert_eq!(m.read(0, MMIO_NCORES, 0), 4);
+    }
+
+    #[test]
+    fn console_collects_bytes() {
+        let mut m = Mmio::new(2, 100);
+        for b in b"hi" {
+            m.write(1, MMIO_CONSOLE, u32::from(*b));
+        }
+        assert_eq!(m.console(1), b"hi");
+        assert_eq!(m.console(0), b"");
+    }
+
+    #[test]
+    fn cycle_counter_split() {
+        let m = Mmio::new(1, 100);
+        let c = 0x1_2345_6789u64;
+        assert_eq!(m.read(0, MMIO_CYCLE_LO, c), 0x2345_6789);
+        assert_eq!(m.read(0, MMIO_CYCLE_HI, c), 1);
+    }
+
+    #[test]
+    fn sniffer_control_round_trip() {
+        let mut m = Mmio::new(1, 100);
+        assert_eq!(m.read(0, MMIO_SNIFFER_CTRL, 0), 1);
+        m.write(0, MMIO_SNIFFER_CTRL, 0);
+        assert!(!m.sniffers_enabled());
+        m.write(0, MMIO_SNIFFER_CTRL, 3);
+        assert!(m.sniffers_enabled());
+    }
+
+    #[test]
+    fn sensors_round_trip_kelvin() {
+        let mut m = Mmio::new(1, 100);
+        m.set_sensor_kelvin(3, 351.27);
+        assert_eq!(m.read(0, MMIO_SENSOR_BASE + 12, 0), 35_127);
+        assert!((m.sensor_kelvin(3) - 351.27).abs() < 0.005);
+        m.set_sensor_kelvin(999, 400.0); // out of range: ignored
+    }
+
+    #[test]
+    fn freq_register() {
+        let mut m = Mmio::new(1, 500);
+        assert_eq!(m.read(0, MMIO_FREQ_MHZ, 0), 500);
+        m.set_freq_mhz(100);
+        assert_eq!(m.read(0, MMIO_FREQ_MHZ, 0), 100);
+    }
+
+    #[test]
+    fn unknown_offsets_are_benign() {
+        let mut m = Mmio::new(1, 100);
+        assert_eq!(m.read(0, 0xFFC, 0), 0);
+        m.write(0, 0xFFC, 7);
+    }
+}

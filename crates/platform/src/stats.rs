@@ -1,0 +1,126 @@
+//! Sampling-window statistics snapshots — the payload the statistics
+//! extraction system ships to the host-side thermal tool every window.
+
+use temu_cpu::CoreStats;
+use temu_interconnect::IcStats;
+use temu_mem::{CacheStats, MemStats};
+
+/// Everything the count-logging sniffers collected over one sampling window
+/// (or over a whole run).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct WindowStats {
+    /// First virtual cycle of the window.
+    pub start_cycle: u64,
+    /// One-past-last virtual cycle of the window.
+    pub end_cycle: u64,
+    /// Per-core processor sniffer counters.
+    pub cores: Vec<CoreStats>,
+    /// Per-core instruction-cache counters.
+    pub icaches: Vec<CacheStats>,
+    /// Per-core data-cache counters.
+    pub dcaches: Vec<CacheStats>,
+    /// Per-core private-memory counters.
+    pub private_mems: Vec<MemStats>,
+    /// Shared main-memory counters.
+    pub shared_mem: MemStats,
+    /// Interconnect counters.
+    pub interconnect: IcStats,
+    /// VPCM freeze cycles caused by physically slow devices.
+    pub freeze_mem: u64,
+    /// VPCM freeze cycles caused by statistics-link congestion.
+    pub freeze_link: u64,
+    /// Events sitting in the sniffer buffer at window end.
+    pub events_pending: usize,
+    /// Events that found the buffer full during the window.
+    pub events_overflowed: u64,
+}
+
+impl WindowStats {
+    /// Window length in virtual cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+
+    /// Instructions retired across all cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Folds another window into this one (used to aggregate a whole run).
+    pub fn merge(&mut self, other: &WindowStats) {
+        self.end_cycle = self.end_cycle.max(other.end_cycle);
+        if self.cores.is_empty() {
+            self.cores = vec![CoreStats::default(); other.cores.len()];
+            self.icaches = vec![CacheStats::default(); other.icaches.len()];
+            self.dcaches = vec![CacheStats::default(); other.dcaches.len()];
+            self.private_mems = vec![MemStats::default(); other.private_mems.len()];
+        }
+        for (a, b) in self.cores.iter_mut().zip(&other.cores) {
+            a.merge(b);
+        }
+        for (a, b) in self.icaches.iter_mut().zip(&other.icaches) {
+            a.merge(b);
+        }
+        for (a, b) in self.dcaches.iter_mut().zip(&other.dcaches) {
+            a.merge(b);
+        }
+        for (a, b) in self.private_mems.iter_mut().zip(&other.private_mems) {
+            a.merge(b);
+        }
+        self.shared_mem.merge(&other.shared_mem);
+        self.interconnect.merge(&other.interconnect);
+        self.freeze_mem += other.freeze_mem;
+        self.freeze_link += other.freeze_link;
+        self.events_pending = other.events_pending;
+        self.events_overflowed += other.events_overflowed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_aggregates_and_tracks_window_end() {
+        let mut a = WindowStats {
+            start_cycle: 0,
+            end_cycle: 100,
+            cores: vec![CoreStats { instructions: 10, ..CoreStats::default() }],
+            icaches: vec![CacheStats::default()],
+            dcaches: vec![CacheStats::default()],
+            private_mems: vec![MemStats::default()],
+            freeze_mem: 5,
+            ..WindowStats::default()
+        };
+        let b = WindowStats {
+            start_cycle: 100,
+            end_cycle: 200,
+            cores: vec![CoreStats { instructions: 7, ..CoreStats::default() }],
+            icaches: vec![CacheStats::default()],
+            dcaches: vec![CacheStats::default()],
+            private_mems: vec![MemStats::default()],
+            freeze_mem: 2,
+            ..WindowStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.end_cycle, 200);
+        assert_eq!(a.total_instructions(), 17);
+        assert_eq!(a.freeze_mem, 7);
+        assert_eq!(a.cycles(), 200);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_shape() {
+        let mut empty = WindowStats::default();
+        let b = WindowStats {
+            cores: vec![CoreStats { instructions: 3, ..CoreStats::default() }; 2],
+            icaches: vec![CacheStats::default(); 2],
+            dcaches: vec![CacheStats::default(); 2],
+            private_mems: vec![MemStats::default(); 2],
+            ..WindowStats::default()
+        };
+        empty.merge(&b);
+        assert_eq!(empty.cores.len(), 2);
+        assert_eq!(empty.total_instructions(), 6);
+    }
+}

@@ -1,0 +1,198 @@
+//! The Virtual Platform Clock Manager (§4.2) and the §7 DFS policy.
+//!
+//! The VPCM relates **virtual cycles** (the emulated MPSoC's clock) to
+//! **physical FPGA time**. On the paper's board every virtual cycle costs one
+//! 100 MHz physical cycle, plus *freeze* cycles whenever
+//!
+//! * a physically slower device (DDR standing in for an emulated low-latency
+//!   memory) needs extra physical cycles the emulated platform must not see, or
+//! * the Ethernet statistics link congests and the extraction buffer must be
+//!   drained before emulation may proceed.
+//!
+//! Virtual-frequency scaling is what lets the 100 MHz FPGA emulate a 500 MHz
+//! MPSoC: a 10 ms virtual sampling window at 500 MHz is 5 M virtual cycles,
+//! i.e. 50 ms of physical execution — the thermal model is still fed 10 ms
+//! windows. The dual-threshold [`DfsPolicy`] reproduces the run-time thermal
+//! manager of §7 (500 MHz above 350 K → 100 MHz until back under 340 K).
+
+/// Virtual-clock bookkeeping for one platform.
+#[derive(Clone, Copy, Debug)]
+pub struct Vpcm {
+    /// Physical FPGA clock in Hz.
+    pub fpga_hz: u64,
+    virtual_hz: u64,
+    freeze_mem: u64,
+    freeze_link: u64,
+}
+
+impl Vpcm {
+    /// Creates a VPCM with the given physical and initial virtual frequency.
+    pub fn new(fpga_hz: u64, virtual_hz: u64) -> Vpcm {
+        assert!(fpga_hz > 0 && virtual_hz > 0, "clock frequencies must be nonzero");
+        Vpcm { fpga_hz, virtual_hz, freeze_mem: 0, freeze_link: 0 }
+    }
+
+    /// Current virtual (emulated) frequency in Hz.
+    pub fn virtual_hz(&self) -> u64 {
+        self.virtual_hz
+    }
+
+    /// Retunes the virtual clock (the DFS actuator).
+    pub fn set_virtual_hz(&mut self, hz: u64) {
+        assert!(hz > 0, "virtual frequency must be nonzero");
+        self.virtual_hz = hz;
+    }
+
+    /// Virtual cycles in `seconds` of emulated time at the current frequency.
+    pub fn cycles_in(&self, seconds: f64) -> u64 {
+        (seconds * self.virtual_hz as f64).round() as u64
+    }
+
+    /// Emulated seconds represented by `cycles` virtual cycles at the current
+    /// frequency.
+    pub fn virtual_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.virtual_hz as f64
+    }
+
+    /// Records physical freeze cycles caused by slow memory devices.
+    pub fn record_mem_freeze(&mut self, cycles: u64) {
+        self.freeze_mem += cycles;
+    }
+
+    /// Records physical freeze cycles caused by statistics-link congestion.
+    pub fn record_link_freeze(&mut self, cycles: u64) {
+        self.freeze_link += cycles;
+    }
+
+    /// Freeze cycles accumulated since the last [`Vpcm::take_freezes`]
+    /// (memory-induced, link-induced).
+    pub fn freezes(&self) -> (u64, u64) {
+        (self.freeze_mem, self.freeze_link)
+    }
+
+    /// Returns and resets the freeze counters.
+    pub fn take_freezes(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.freeze_mem), std::mem::take(&mut self.freeze_link))
+    }
+
+    /// Physical FPGA seconds needed to emulate `virtual_cycles` given the
+    /// currently accumulated freezes: `(virtual + frozen) / fpga_hz`.
+    ///
+    /// This is the quantity the paper's Table 3 reports for the HW emulator.
+    pub fn fpga_seconds(&self, virtual_cycles: u64) -> f64 {
+        (virtual_cycles + self.freeze_mem + self.freeze_link) as f64 / self.fpga_hz as f64
+    }
+}
+
+/// The §7 run-time thermal-management policy: "a simple dual-state machine
+/// that monitors at run-time if the temperature of each MPSoC component
+/// increases/decreases above/below two certain thresholds (350 or 340
+/// degrees Kelvin). Then the temperature sensors inform the VPCM, which
+/// performs dynamic frequency scaling choosing 500 or 100 MHz accordingly."
+#[derive(Clone, Copy, Debug)]
+pub struct DfsPolicy {
+    /// Switch to `low_hz` when any sensor exceeds this temperature (K).
+    pub hot_threshold_k: f64,
+    /// Switch back to `high_hz` when all sensors drop below this (K).
+    pub cool_threshold_k: f64,
+    /// Fast clock (Hz).
+    pub high_hz: u64,
+    /// Throttled clock (Hz).
+    pub low_hz: u64,
+    throttled: bool,
+}
+
+impl DfsPolicy {
+    /// The paper's exact policy: 350 K / 340 K thresholds, 500/100 MHz.
+    pub fn paper() -> DfsPolicy {
+        DfsPolicy::new(350.0, 340.0, 500_000_000, 100_000_000)
+    }
+
+    /// Creates a policy with custom thresholds and frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cool_threshold_k >= hot_threshold_k` (the hysteresis band
+    /// would be empty or inverted).
+    pub fn new(hot_threshold_k: f64, cool_threshold_k: f64, high_hz: u64, low_hz: u64) -> DfsPolicy {
+        assert!(cool_threshold_k < hot_threshold_k, "cool threshold must sit below hot threshold");
+        DfsPolicy { hot_threshold_k, cool_threshold_k, high_hz, low_hz, throttled: false }
+    }
+
+    /// Whether the policy currently holds the platform at the low frequency.
+    pub fn is_throttled(&self) -> bool {
+        self.throttled
+    }
+
+    /// Feeds the hottest sensor temperature and returns the frequency the
+    /// platform should run at for the next window.
+    pub fn update(&mut self, max_temp_k: f64) -> u64 {
+        if self.throttled {
+            if max_temp_k < self.cool_threshold_k {
+                self.throttled = false;
+            }
+        } else if max_temp_k > self.hot_threshold_k {
+            self.throttled = true;
+        }
+        if self.throttled {
+            self.low_hz
+        } else {
+            self.high_hz
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_and_seconds_round_trip() {
+        let v = Vpcm::new(100_000_000, 500_000_000);
+        assert_eq!(v.cycles_in(0.010), 5_000_000);
+        assert!((v.virtual_seconds(5_000_000) - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fpga_time_includes_freezes() {
+        let mut v = Vpcm::new(100_000_000, 500_000_000);
+        assert!((v.fpga_seconds(5_000_000) - 0.05).abs() < 1e-12, "5M cycles at 100MHz physical");
+        v.record_mem_freeze(1_000_000);
+        v.record_link_freeze(500_000);
+        assert!((v.fpga_seconds(5_000_000) - 0.065).abs() < 1e-12);
+        assert_eq!(v.take_freezes(), (1_000_000, 500_000));
+        assert_eq!(v.freezes(), (0, 0));
+    }
+
+    #[test]
+    fn dfs_retunes() {
+        let mut v = Vpcm::new(100_000_000, 500_000_000);
+        v.set_virtual_hz(100_000_000);
+        assert_eq!(v.virtual_hz(), 100_000_000);
+        assert_eq!(v.cycles_in(0.01), 1_000_000);
+    }
+
+    #[test]
+    fn dfs_policy_hysteresis() {
+        let mut p = DfsPolicy::paper();
+        assert_eq!(p.update(300.0), 500_000_000, "cool: full speed");
+        assert_eq!(p.update(349.9), 500_000_000, "below hot threshold");
+        assert_eq!(p.update(350.1), 100_000_000, "crossed 350K: throttle");
+        assert!(p.is_throttled());
+        assert_eq!(p.update(345.0), 100_000_000, "inside hysteresis band: stay throttled");
+        assert_eq!(p.update(339.9), 500_000_000, "cooled under 340K: full speed");
+        assert!(!p.is_throttled());
+    }
+
+    #[test]
+    #[should_panic(expected = "cool threshold")]
+    fn inverted_thresholds_panic() {
+        let _ = DfsPolicy::new(340.0, 350.0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_clock_panics() {
+        let _ = Vpcm::new(0, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Table 1 of the paper, verbatim: "Power for most important components of
+//! an MPSoC design (130 nm bulk CMOS technology)".
+//!
+//! The NoC switch entry is not in Table 1 (the paper obtained NoC component
+//! figures "after building a layout" with an industrial partner); the value
+//! used here is a documented estimate in the same technology — see
+//! EXPERIMENTS.md for the calibration note.
+
+/// One component class in the power database.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PowerEntry {
+    /// Component name as printed in Table 1.
+    pub name: &'static str,
+    /// Maximum power in watts at the entry's reference frequency.
+    pub max_power_w: f64,
+    /// Reference frequency for `max_power_w`, Hz.
+    pub ref_hz: f64,
+    /// Maximum power density, W/mm².
+    pub density_w_mm2: f64,
+}
+
+impl PowerEntry {
+    /// Component area implied by the Table 1 pair: `max power / density`.
+    pub fn area_mm2(&self) -> f64 {
+        self.max_power_w / self.density_w_mm2
+    }
+
+    /// Energy of one fully-active cycle at the reference clock, J.
+    pub fn energy_per_cycle(&self) -> f64 {
+        self.max_power_w / self.ref_hz
+    }
+
+    /// Maximum power at another clock frequency (dynamic power scales
+    /// linearly with f; the paper's DFS changes only the frequency).
+    pub fn max_power_at(&self, hz: f64) -> f64 {
+        self.max_power_w * hz / self.ref_hz
+    }
+}
+
+/// Which processor class the platform's RISC-32 cores stand in for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreKind {
+    /// RISC 32 — ARM7 class (Table 1 row 1): 5.5 mW @ 100 MHz.
+    Arm7,
+    /// RISC 32 — ARM11 class (Table 1 row 2): 1.5 W max (at 500 MHz).
+    Arm11,
+}
+
+/// The full power database.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PowerDb {
+    /// RISC 32-ARM7: 5.5 mW @ 100 MHz, 0.03 W/mm².
+    pub arm7: PowerEntry,
+    /// RISC 32-ARM11: 1.5 W (max, reached at its 500 MHz design point),
+    /// 0.5 W/mm².
+    pub arm11: PowerEntry,
+    /// DCache 8 kB/2-way: 43 mW @ 100 MHz, 0.012 W/mm².
+    pub dcache_8k: PowerEntry,
+    /// ICache 8 kB/DM: 11 mW @ 100 MHz, 0.03 W/mm².
+    pub icache_8k: PowerEntry,
+    /// Memory 32 kB: 15 mW @ 100 MHz, 0.02 W/mm².
+    pub mem_32k: PowerEntry,
+    /// NoC switch (documented estimate, not in Table 1).
+    pub noc_switch: PowerEntry,
+}
+
+impl PowerDb {
+    /// The paper's Table 1 values.
+    pub fn table1() -> PowerDb {
+        PowerDb {
+            arm7: PowerEntry { name: "RISC 32-ARM7", max_power_w: 0.0055, ref_hz: 100e6, density_w_mm2: 0.03 },
+            arm11: PowerEntry { name: "RISC 32-ARM11", max_power_w: 1.5, ref_hz: 500e6, density_w_mm2: 0.5 },
+            dcache_8k: PowerEntry { name: "DCache 8kB/2way", max_power_w: 0.043, ref_hz: 100e6, density_w_mm2: 0.012 },
+            icache_8k: PowerEntry { name: "ICache 8kB/DM", max_power_w: 0.011, ref_hz: 100e6, density_w_mm2: 0.03 },
+            mem_32k: PowerEntry { name: "Memory 32kB", max_power_w: 0.015, ref_hz: 100e6, density_w_mm2: 0.02 },
+            noc_switch: PowerEntry { name: "NoC switch 32b", max_power_w: 0.050, ref_hz: 100e6, density_w_mm2: 0.1 },
+        }
+    }
+
+    /// The core entry for a [`CoreKind`].
+    pub fn core(&self, kind: CoreKind) -> &PowerEntry {
+        match kind {
+            CoreKind::Arm7 => &self.arm7,
+            CoreKind::Arm11 => &self.arm11,
+        }
+    }
+
+    /// All entries, Table 1 order.
+    pub fn entries(&self) -> [&PowerEntry; 6] {
+        [&self.arm7, &self.arm11, &self.dcache_8k, &self.icache_8k, &self.mem_32k, &self.noc_switch]
+    }
+}
+
+impl Default for PowerDb {
+    fn default() -> PowerDb {
+        PowerDb::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let db = PowerDb::table1();
+        assert_eq!(db.arm7.max_power_w, 0.0055);
+        assert_eq!(db.arm7.density_w_mm2, 0.03);
+        assert_eq!(db.arm11.max_power_w, 1.5);
+        assert_eq!(db.arm11.density_w_mm2, 0.5);
+        assert_eq!(db.dcache_8k.max_power_w, 0.043);
+        assert_eq!(db.dcache_8k.density_w_mm2, 0.012);
+        assert_eq!(db.icache_8k.max_power_w, 0.011);
+        assert_eq!(db.icache_8k.density_w_mm2, 0.03);
+        assert_eq!(db.mem_32k.max_power_w, 0.015);
+        assert_eq!(db.mem_32k.density_w_mm2, 0.02);
+    }
+
+    #[test]
+    fn implied_areas() {
+        let db = PowerDb::table1();
+        assert!((db.arm11.area_mm2() - 3.0).abs() < 1e-9);
+        assert!((db.arm7.area_mm2() - 0.1833).abs() < 1e-3);
+        assert!((db.mem_32k.area_mm2() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_scaling_is_linear() {
+        let db = PowerDb::table1();
+        assert!((db.arm11.max_power_at(100e6) - 0.3).abs() < 1e-12, "ARM11 at 100 MHz");
+        assert!((db.icache_8k.max_power_at(500e6) - 0.055).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_cycle() {
+        let db = PowerDb::table1();
+        // 43 mW at 100 MHz = 0.43 nJ per fully-active cycle.
+        assert!((db.dcache_8k.energy_per_cycle() - 0.43e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn core_selector() {
+        let db = PowerDb::table1();
+        assert_eq!(db.core(CoreKind::Arm7).name, "RISC 32-ARM7");
+        assert_eq!(db.core(CoreKind::Arm11).name, "RISC 32-ARM11");
+        assert_eq!(db.entries().len(), 6);
+    }
+}

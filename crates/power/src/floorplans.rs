@@ -1,0 +1,200 @@
+//! The evaluation floorplans of Fig. 4.
+//!
+//! Both floorplans place four core tiles (processor + I-cache + D-cache +
+//! private memory) in the die corners, with the shared memory and the four
+//! NoC switches of the Matrix-TM platform in a central column. Component
+//! areas are the ones implied by Table 1 (`max power / power density`); the
+//! paper obtained NoC component dimensions "after building a layout", which
+//! we reproduce with the documented estimate in the power database.
+
+use crate::db::{CoreKind, PowerDb};
+use temu_thermal::{ComponentId, Floorplan};
+
+/// A floorplan plus the mapping from platform statistics sources to
+/// floorplan components (which core heats which rectangle).
+#[derive(Clone, Debug)]
+pub struct FloorplanMap {
+    /// The geometric floorplan.
+    pub floorplan: Floorplan,
+    /// Which processor class the cores are.
+    pub core_kind: CoreKind,
+    /// Per core: (processor, icache, dcache, private memory) component ids.
+    pub cores: Vec<(ComponentId, ComponentId, ComponentId, ComponentId)>,
+    /// Shared-memory component.
+    pub shared: ComponentId,
+    /// NoC switch components (empty for bus platforms).
+    pub switches: Vec<ComponentId>,
+}
+
+impl FloorplanMap {
+    /// Total number of floorplan components.
+    pub fn n_components(&self) -> usize {
+        self.floorplan.components().len()
+    }
+
+    /// Component ids of the processors only (the DFS policy watches these).
+    pub fn processor_ids(&self) -> Vec<ComponentId> {
+        self.cores.iter().map(|&(p, _, _, _)| p).collect()
+    }
+}
+
+fn side_um(area_mm2: f64) -> f64 {
+    (area_mm2 * 1e6).sqrt()
+}
+
+/// Builds a 4-core floorplan of the Fig. 4 family for the given core class.
+///
+/// `n_switches` is 4 for the Matrix-TM NoC platform (Fig. 4b usage) and may
+/// be 0 for bus-based platforms.
+///
+/// # Panics
+///
+/// Panics if `cores` is 0 or greater than 4 (the paper's floorplans are
+/// four-core; larger dies would need their own layout).
+pub fn quad_core(kind: CoreKind, cores: usize, n_switches: usize) -> FloorplanMap {
+    assert!((1..=4).contains(&cores), "the Fig. 4 floorplans hold 1-4 cores");
+    let db = PowerDb::table1();
+    let core_e = db.core(kind);
+    let core_side = side_um(core_e.area_mm2());
+    let dc_side = side_um(db.dcache_8k.area_mm2());
+    let ic_side = side_um(db.icache_8k.area_mm2());
+    let pm_side = side_um(db.mem_32k.area_mm2());
+    let sw_side = side_um(db.noc_switch.area_mm2());
+
+    // Quadrant: processor bottom-left, D-cache to its right, I-cache and
+    // private memory above. Sized to the largest component set (ARM11).
+    let quad = (core_side + dc_side).max(dc_side + pm_side) + 200.0;
+    let strip = (pm_side.max(sw_side) + 300.0).max(1200.0);
+    let die_w = 2.0 * quad + strip;
+    let die_h = 2.0 * quad;
+
+    let mut fp = Floorplan::new(
+        match kind {
+            CoreKind::Arm7 => "fig4a-4xARM7",
+            CoreKind::Arm11 => "fig4b-4xARM11",
+        },
+        die_w,
+        die_h,
+    );
+
+    let origins = [(0.0, 0.0), (quad + strip, 0.0), (0.0, quad), (quad + strip, quad)];
+    let mut core_ids = Vec::new();
+    for (i, &(ox, oy)) in origins.iter().take(cores).enumerate() {
+        let p = fp.add_component(format!("{}_{}", core_name(kind), i), ox, oy, core_side, core_side, true);
+        let d = fp.add_component(format!("dcache_{i}"), ox + core_side + 100.0, oy, dc_side, dc_side, false);
+        let ic_y = oy + core_side.max(dc_side) + 100.0;
+        let ic = fp.add_component(format!("icache_{i}"), ox, ic_y, ic_side, ic_side, false);
+        let pm = fp.add_component(format!("pmem_{i}"), ox + ic_side + 100.0, ic_y, pm_side, pm_side, false);
+        core_ids.push((p, d, ic, pm));
+    }
+    // Fix tuple order to (processor, icache, dcache, pmem).
+    let cores_fixed: Vec<_> = core_ids.iter().map(|&(p, d, ic, pm)| (p, ic, d, pm)).collect();
+
+    let cx = quad + 150.0;
+    let shared = fp.add_component("smem", cx, die_h - pm_side - 200.0, pm_side, pm_side, false);
+    let mut switches = Vec::new();
+    for s in 0..n_switches {
+        let y = 200.0 + s as f64 * (sw_side + 300.0);
+        switches.push(fp.add_component(format!("sw_{s}"), cx, y, sw_side, sw_side, false));
+    }
+
+    FloorplanMap { floorplan: fp, core_kind: kind, cores: cores_fixed, shared, switches }
+}
+
+fn core_name(kind: CoreKind) -> &'static str {
+    match kind {
+        CoreKind::Arm7 => "arm7",
+        CoreKind::Arm11 => "arm11",
+    }
+}
+
+/// Fig. 4(a): four ARM7 cores at 100 MHz.
+pub fn fig4a_arm7() -> FloorplanMap {
+    quad_core(CoreKind::Arm7, 4, 4)
+}
+
+/// Fig. 4(b): four ARM11 cores at 500 MHz (the Matrix-TM floorplan; with
+/// the default meshing it yields the paper's "28 thermal cells" scale on
+/// the bottom layer).
+pub fn fig4b_arm11() -> FloorplanMap {
+    quad_core(CoreKind::Arm11, 4, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temu_thermal::{GridConfig, ThermalGrid};
+
+    #[test]
+    fn both_floorplans_build() {
+        let a = fig4a_arm7();
+        let b = fig4b_arm11();
+        assert_eq!(a.cores.len(), 4);
+        assert_eq!(b.cores.len(), 4);
+        assert_eq!(a.switches.len(), 4);
+        assert_eq!(b.n_components(), 4 * 4 + 1 + 4);
+    }
+
+    #[test]
+    fn component_areas_match_table1() {
+        let m = fig4b_arm11();
+        let db = PowerDb::table1();
+        let (p, ic, dc, pm) = m.cores[0];
+        let comps = m.floorplan.components();
+        assert!((comps[p].area_mm2() - db.arm11.area_mm2()).abs() < 1e-6);
+        assert!((comps[ic].area_mm2() - db.icache_8k.area_mm2()).abs() < 1e-6);
+        assert!((comps[dc].area_mm2() - db.dcache_8k.area_mm2()).abs() < 1e-6);
+        assert!((comps[pm].area_mm2() - db.mem_32k.area_mm2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn names_are_queryable() {
+        let m = fig4b_arm11();
+        assert!(m.floorplan.find("arm11_0").is_some());
+        assert!(m.floorplan.find("sw_3").is_some());
+        assert!(m.floorplan.find("smem").is_some());
+        assert!(m.floorplan.find("arm7_0").is_none());
+    }
+
+    #[test]
+    fn processors_are_hot_components() {
+        let m = fig4b_arm11();
+        for &(p, _, _, _) in &m.cores {
+            assert!(m.floorplan.components()[p].hot);
+        }
+        assert_eq!(m.processor_ids().len(), 4);
+    }
+
+    #[test]
+    fn floorplans_mesh_cleanly() {
+        for m in [fig4a_arm7(), fig4b_arm11()] {
+            let g = ThermalGrid::build(&m.floorplan, &GridConfig::default()).unwrap();
+            assert!(g.n_cells() > 0, "{} meshes", m.floorplan.name);
+        }
+    }
+
+    #[test]
+    fn matrix_tm_mesh_is_paper_scale() {
+        // The paper reports 28 thermal cells for the Matrix-TM floorplan;
+        // with one cell per normal component and finer cells over cores the
+        // bottom-layer count lands in the same few-dozen regime.
+        let m = fig4b_arm11();
+        let cfg = GridConfig { default_div: 1, hot_div: 2, filler_pitch_um: 4000.0, ..GridConfig::default() };
+        let g = ThermalGrid::build(&m.floorplan, &cfg).unwrap();
+        let bottom = g.n_tiles();
+        assert!((25..=120).contains(&bottom), "bottom-layer cells: {bottom}");
+    }
+
+    #[test]
+    fn partial_core_counts() {
+        let m = quad_core(CoreKind::Arm7, 2, 0);
+        assert_eq!(m.cores.len(), 2);
+        assert!(m.switches.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-4 cores")]
+    fn too_many_cores_panics() {
+        let _ = quad_core(CoreKind::Arm11, 5, 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! # temu-power — power models, floorplans and activity-to-power conversion
+//!
+//! Three pieces, mirroring §5.1 and Fig. 4 of the paper:
+//!
+//! * [`PowerDb`] — the industrial 0.13 µm power values of **Table 1**,
+//!   verbatim (max power at the reference clock and max power density per
+//!   component class). Leakage is ignored, as the paper does for this
+//!   technology node.
+//! * [`floorplans`] — the two evaluation floorplans of **Fig. 4**
+//!   (4×ARM7 at 100 MHz and 4×ARM11 at 500 MHz), with component areas
+//!   derived from the Table 1 power densities, plus the NoC switch/shared
+//!   memory placement used by the Matrix-TM experiment.
+//! * [`PowerModel`] — converts one sampling window's sniffer statistics
+//!   (core active/stall/idle fractions, cache and memory access counts,
+//!   interconnect words) into watts per floorplan component, linearly scaled
+//!   with the DFS-controlled virtual clock frequency.
+
+mod db;
+pub mod floorplans;
+mod model;
+
+pub use db::{CoreKind, PowerDb, PowerEntry};
+pub use floorplans::FloorplanMap;
+pub use model::PowerModel;

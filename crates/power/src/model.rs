@@ -1,0 +1,239 @@
+//! Activity → power conversion (§5.1).
+//!
+//! "The switching activities of the wires and the components in the die for
+//! this thermal analysis are obtained from our FPGA-based MPSoC emulation."
+//! Every sampling window, the sniffer statistics are turned into watts per
+//! floorplan component:
+//!
+//! * **processors** — maximum power scaled by the activity mix
+//!   (`active + α_stall·stalled + α_idle·idle`) and linearly by the virtual
+//!   clock frequency (the DFS knob);
+//! * **caches / memories** — energy per access (Table 1 max power at the
+//!   reference clock = one access per cycle) times the window's access
+//!   count, averaged over the window;
+//! * **NoC switches** — energy per transferred word times the interconnect
+//!   word count, split evenly across switches.
+//!
+//! Leakage is ignored (explicitly, as in §5.1 for 130 nm low-power designs).
+
+use crate::db::PowerDb;
+use crate::floorplans::FloorplanMap;
+use temu_platform::WindowStats;
+
+/// Converts sniffer statistics into per-component power.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerModel {
+    /// Power database (Table 1).
+    pub db: PowerDb,
+    /// Fraction of max core power burned per stalled cycle (clock still
+    /// toggling, datapath mostly quiet).
+    pub stall_factor: f64,
+    /// Fraction of max core power burned per idle/frozen cycle.
+    pub idle_factor: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> PowerModel {
+        PowerModel { db: PowerDb::table1(), stall_factor: 0.4, idle_factor: 0.08 }
+    }
+}
+
+impl PowerModel {
+    /// Computes the power of every floorplan component for one sampling
+    /// window, in floorplan-component order (suitable for
+    /// `ThermalModel::set_powers`).
+    ///
+    /// `virtual_hz` is the emulated clock during the window (the DFS
+    /// actuator's current setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window statistics carry more cores than the floorplan
+    /// has core tiles. A machine with *fewer* cores than the floorplan is
+    /// fine — the unused tiles dissipate nothing.
+    pub fn window_powers(&self, map: &FloorplanMap, stats: &WindowStats, virtual_hz: u64) -> Vec<f64> {
+        assert!(
+            stats.cores.len() <= map.cores.len(),
+            "window has {} cores but floorplan only hosts {}",
+            stats.cores.len(),
+            map.cores.len()
+        );
+        let mut powers = vec![0.0; map.n_components()];
+        let window_cycles = stats.cycles().max(1) as f64;
+        let window_seconds = window_cycles / virtual_hz as f64;
+        let f = virtual_hz as f64;
+
+        let core_entry = self.db.core(map.core_kind);
+        let cache_i = &self.db.icache_8k;
+        let cache_d = &self.db.dcache_8k;
+        let mem = &self.db.mem_32k;
+
+        for (i, &(p, ic, dc, pm)) in map.cores.iter().enumerate() {
+            let Some(cs) = stats.cores.get(i) else { break };
+            let total = (cs.active_cycles + cs.stall_cycles + cs.idle_cycles).max(1) as f64;
+            let mix = (cs.active_cycles as f64
+                + self.stall_factor * cs.stall_cycles as f64
+                + self.idle_factor * cs.idle_cycles as f64)
+                / total;
+            powers[p] = core_entry.max_power_at(f) * mix;
+
+            let ic_accesses = stats.icaches.get(i).map(|c| c.accesses()).unwrap_or(0);
+            powers[ic] = cache_i.energy_per_cycle() * ic_accesses as f64 / window_seconds;
+            let dc_accesses = stats.dcaches.get(i).map(|c| c.accesses()).unwrap_or(0);
+            powers[dc] = cache_d.energy_per_cycle() * dc_accesses as f64 / window_seconds;
+            let pm_accesses = stats.private_mems.get(i).map(|m| m.accesses()).unwrap_or(0);
+            powers[pm] = mem.energy_per_cycle() * pm_accesses as f64 / window_seconds;
+        }
+
+        powers[map.shared] = mem.energy_per_cycle() * stats.shared_mem.accesses() as f64 / window_seconds;
+
+        if !map.switches.is_empty() {
+            let per_switch = self.db.noc_switch.energy_per_cycle() * stats.interconnect.words as f64
+                / window_seconds
+                / map.switches.len() as f64;
+            for &s in &map.switches {
+                powers[s] = per_switch;
+            }
+        }
+        powers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplans::fig4b_arm11;
+    use temu_cpu::CoreStats;
+    use temu_interconnect::IcStats;
+    use temu_mem::{CacheStats, MemStats};
+
+    fn window(active: u64, idle: u64, accesses: u64) -> WindowStats {
+        let cycles = active + idle;
+        WindowStats {
+            start_cycle: 0,
+            end_cycle: cycles,
+            cores: vec![
+                CoreStats { active_cycles: active, idle_cycles: idle, ..CoreStats::default() };
+                4
+            ],
+            icaches: vec![CacheStats { hits: accesses, ..CacheStats::default() }; 4],
+            dcaches: vec![CacheStats { hits: accesses / 2, ..CacheStats::default() }; 4],
+            private_mems: vec![MemStats { reads: accesses / 8, ..MemStats::default() }; 4],
+            shared_mem: MemStats { reads: accesses / 4, ..MemStats::default() },
+            interconnect: IcStats { words: accesses / 4, ..IcStats::default() },
+            ..WindowStats::default()
+        }
+    }
+
+    #[test]
+    fn fully_active_core_draws_max_power() {
+        let map = fig4b_arm11();
+        let model = PowerModel::default();
+        let w = window(1_000_000, 0, 0);
+        let p = model.window_powers(&map, &w, 500_000_000);
+        for &(core, _, _, _) in &map.cores {
+            assert!((p[core] - 1.5).abs() < 1e-9, "ARM11 at 500 MHz fully active = 1.5 W");
+        }
+    }
+
+    #[test]
+    fn idle_core_draws_idle_fraction() {
+        let map = fig4b_arm11();
+        let model = PowerModel::default();
+        let w = window(0, 1_000_000, 0);
+        let p = model.window_powers(&map, &w, 500_000_000);
+        let core = map.cores[0].0;
+        assert!((p[core] - 1.5 * model.idle_factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dfs_throttling_scales_core_power_linearly() {
+        let map = fig4b_arm11();
+        let model = PowerModel::default();
+        let w = window(1_000_000, 0, 0);
+        let p500 = model.window_powers(&map, &w, 500_000_000);
+        let p100 = model.window_powers(&map, &w, 100_000_000);
+        let core = map.cores[0].0;
+        assert!((p500[core] / p100[core] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_power_follows_access_rate() {
+        let map = fig4b_arm11();
+        let model = PowerModel::default();
+        // One I-cache access per cycle at the reference clock = Table 1 max.
+        let cycles = 1_000_000u64;
+        let mut w = window(cycles, 0, 0);
+        for c in &mut w.icaches {
+            c.hits = cycles;
+        }
+        let p = model.window_powers(&map, &w, 100_000_000);
+        let ic = map.cores[0].1;
+        assert!((p[ic] - 0.011).abs() < 1e-9, "ICache at one access/cycle = 11 mW");
+        // Half the access rate, half the power.
+        for c in &mut w.icaches {
+            c.hits = cycles / 2;
+        }
+        let p2 = model.window_powers(&map, &w, 100_000_000);
+        assert!((p2[ic] - 0.0055).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switch_power_splits_interconnect_words() {
+        let map = fig4b_arm11();
+        let model = PowerModel::default();
+        let mut w = window(1_000_000, 0, 0);
+        w.interconnect.words = 4_000_000;
+        let p = model.window_powers(&map, &w, 100_000_000);
+        let total_sw: f64 = map.switches.iter().map(|&s| p[s]).sum();
+        // 4M words over 10 ms with 0.5 nJ/word = 0.2 W across switches.
+        assert!((total_sw - 0.2).abs() < 1e-9, "switch total {total_sw}");
+        let each = p[map.switches[0]];
+        for &s in &map.switches {
+            assert!((p[s] - each).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_window_is_all_zero_power_except_idle() {
+        let map = fig4b_arm11();
+        let model = PowerModel::default();
+        let w = window(0, 0, 0);
+        let p = model.window_powers(&map, &w, 100_000_000);
+        assert!(p.iter().all(|&x| x >= 0.0));
+        assert!(p[map.shared] == 0.0);
+    }
+
+    #[test]
+    fn powers_vector_matches_floorplan_order() {
+        let map = fig4b_arm11();
+        let model = PowerModel::default();
+        let p = model.window_powers(&map, &window(100, 0, 800), 100_000_000);
+        assert_eq!(p.len(), map.n_components());
+    }
+
+    #[test]
+    fn fewer_cores_than_tiles_is_allowed() {
+        // A 2-core machine on the 4-core floorplan: tiles 2 and 3 stay cold.
+        let map = fig4b_arm11();
+        let model = PowerModel::default();
+        let mut w = window(100, 0, 0);
+        w.cores.truncate(2);
+        w.icaches.truncate(2);
+        w.dcaches.truncate(2);
+        w.private_mems.truncate(2);
+        let p = model.window_powers(&map, &w, 500_000_000);
+        assert!(p[map.cores[0].0] > 0.0);
+        assert_eq!(p[map.cores[3].0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only hosts")]
+    fn too_many_cores_panics() {
+        let map = fig4b_arm11();
+        let model = PowerModel::default();
+        let mut w = window(100, 0, 0);
+        w.cores.push(CoreStats::default());
+        let _ = model.window_powers(&map, &w, 100_000_000);
+    }
+}

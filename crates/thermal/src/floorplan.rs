@@ -1,0 +1,240 @@
+//! Floorplans: named rectangular components on a die.
+//!
+//! The floorplan is the interface between the emulated platform and the
+//! thermal model (the paper's §6 flow fixes it after the HW architecture is
+//! chosen): every MPSoC component that dissipates power — cores, caches,
+//! memories, NoC switches — is a rectangle with a position and size in µm.
+//! Components flagged `hot` receive finer thermal cells (Fig. 3a).
+
+use std::fmt;
+
+/// Index of a component within its floorplan.
+pub type ComponentId = usize;
+
+/// One rectangular floorplan component.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Component {
+    /// Human-readable name (e.g. `"arm11_0"`, `"icache_2"`).
+    pub name: String,
+    /// Left edge, µm.
+    pub x_um: f64,
+    /// Bottom edge, µm.
+    pub y_um: f64,
+    /// Width, µm.
+    pub w_um: f64,
+    /// Height, µm.
+    pub h_um: f64,
+    /// Whether this component is a crucial point deserving fine cells.
+    pub hot: bool,
+}
+
+impl Component {
+    /// Area in mm² (power densities in Table 1 are W/mm²).
+    pub fn area_mm2(&self) -> f64 {
+        self.w_um * self.h_um / 1e6
+    }
+
+    fn overlaps(&self, other: &Component) -> bool {
+        self.x_um < other.x_um + other.w_um
+            && other.x_um < self.x_um + self.w_um
+            && self.y_um < other.y_um + other.h_um
+            && other.y_um < self.y_um + self.h_um
+    }
+}
+
+/// A die floorplan: a bounding box plus non-overlapping components.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Floorplan {
+    /// Floorplan name (shows up in reports).
+    pub name: String,
+    /// Die width, µm.
+    pub width_um: f64,
+    /// Die height, µm.
+    pub height_um: f64,
+    components: Vec<Component>,
+}
+
+impl Floorplan {
+    /// Creates an empty floorplan of the given die size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die dimensions are not strictly positive finite numbers.
+    pub fn new(name: impl Into<String>, width_um: f64, height_um: f64) -> Floorplan {
+        assert!(
+            width_um > 0.0 && height_um > 0.0 && width_um.is_finite() && height_um.is_finite(),
+            "die dimensions must be positive"
+        );
+        Floorplan { name: name.into(), width_um, height_um, components: Vec::new() }
+    }
+
+    /// Adds a component and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is degenerate, leaves the die, or overlaps an
+    /// existing component — floorplans are authored data and must be correct
+    /// at construction time.
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        x_um: f64,
+        y_um: f64,
+        w_um: f64,
+        h_um: f64,
+        hot: bool,
+    ) -> ComponentId {
+        let c = Component { name: name.into(), x_um, y_um, w_um, h_um, hot };
+        assert!(c.w_um > 0.0 && c.h_um > 0.0, "component {} has a degenerate rectangle", c.name);
+        assert!(
+            c.x_um >= 0.0 && c.y_um >= 0.0 && c.x_um + c.w_um <= self.width_um + 1e-9 && c.y_um + c.h_um <= self.height_um + 1e-9,
+            "component {} leaves the die",
+            c.name
+        );
+        for other in &self.components {
+            assert!(!c.overlaps(other), "component {} overlaps {}", c.name, other.name);
+        }
+        self.components.push(c);
+        self.components.len() - 1
+    }
+
+    /// The components in insertion order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Looks a component up by name.
+    pub fn find(&self, name: &str) -> Option<ComponentId> {
+        self.components.iter().position(|c| c.name == name)
+    }
+
+    /// Die area in mm².
+    pub fn die_area_mm2(&self) -> f64 {
+        self.width_um * self.height_um / 1e6
+    }
+
+    /// Renders a coarse ASCII map of the floorplan (Fig. 4-style), `cols`
+    /// characters wide. Components are labelled by the first letter of their
+    /// name plus their id modulo 10.
+    pub fn ascii_map(&self, cols: usize) -> String {
+        let rows = ((cols as f64) * self.height_um / self.width_um / 2.0).round().max(1.0) as usize;
+        let mut out = String::new();
+        for r in (0..rows).rev() {
+            for c in 0..cols {
+                let x = (c as f64 + 0.5) / cols as f64 * self.width_um;
+                let y = (r as f64 + 0.5) / rows as f64 * self.height_um;
+                let ch = self
+                    .components
+                    .iter()
+                    .enumerate()
+                    .find(|(_, comp)| {
+                        x >= comp.x_um && x < comp.x_um + comp.w_um && y >= comp.y_um && y < comp.y_um + comp.h_um
+                    })
+                    .map(|(i, comp)| {
+                        if c % 2 == 0 {
+                            comp.name.chars().next().unwrap_or('?')
+                        } else {
+                            char::from_digit((i % 10) as u32, 10).unwrap()
+                        }
+                    })
+                    .unwrap_or('.');
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Floorplan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.1} x {:.1} mm, {} components",
+            self.name,
+            self.width_um / 1000.0,
+            self.height_um / 1000.0,
+            self.components.len()
+        )?;
+        for (i, c) in self.components.iter().enumerate() {
+            writeln!(
+                f,
+                "  [{i:2}] {:<12} at ({:>6.0},{:>6.0}) um, {:>6.0} x {:>6.0} um, {:.3} mm2{}",
+                c.name,
+                c.x_um,
+                c.y_um,
+                c.w_um,
+                c.h_um,
+                c.area_mm2(),
+                if c.hot { " (hot)" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_find_components() {
+        let mut fp = Floorplan::new("test", 1000.0, 1000.0);
+        let a = fp.add_component("cpu", 0.0, 0.0, 500.0, 500.0, true);
+        let b = fp.add_component("mem", 500.0, 500.0, 400.0, 400.0, false);
+        assert_eq!(fp.find("cpu"), Some(a));
+        assert_eq!(fp.find("mem"), Some(b));
+        assert_eq!(fp.find("gpu"), None);
+        assert_eq!(fp.components().len(), 2);
+        assert!((fp.components()[a].area_mm2() - 0.25).abs() < 1e-12);
+        assert!((fp.die_area_mm2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_components_panic() {
+        let mut fp = Floorplan::new("test", 1000.0, 1000.0);
+        fp.add_component("a", 0.0, 0.0, 600.0, 600.0, false);
+        fp.add_component("b", 500.0, 500.0, 300.0, 300.0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the die")]
+    fn out_of_bounds_panics() {
+        let mut fp = Floorplan::new("test", 1000.0, 1000.0);
+        fp.add_component("a", 800.0, 0.0, 300.0, 100.0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_panics() {
+        let mut fp = Floorplan::new("test", 1000.0, 1000.0);
+        fp.add_component("a", 0.0, 0.0, 0.0, 100.0, false);
+    }
+
+    #[test]
+    fn touching_components_are_legal() {
+        let mut fp = Floorplan::new("test", 1000.0, 1000.0);
+        fp.add_component("a", 0.0, 0.0, 500.0, 1000.0, false);
+        fp.add_component("b", 500.0, 0.0, 500.0, 1000.0, false);
+    }
+
+    #[test]
+    fn ascii_map_marks_components() {
+        let mut fp = Floorplan::new("test", 1000.0, 1000.0);
+        fp.add_component("cpu", 0.0, 0.0, 1000.0, 500.0, false);
+        let map = fp.ascii_map(20);
+        assert!(map.contains('c'));
+        assert!(map.contains('.'));
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let mut fp = Floorplan::new("demo", 2000.0, 1000.0);
+        fp.add_component("core0", 0.0, 0.0, 800.0, 800.0, true);
+        let s = fp.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("core0"));
+        assert!(s.contains("(hot)"));
+    }
+}

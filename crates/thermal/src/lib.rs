@@ -1,0 +1,44 @@
+//! # temu-thermal — RC-network thermal model (paper §5)
+//!
+//! A C++-library-equivalent in Rust: the silicon die and its copper heat
+//! spreader are divided into box-shaped cells of several sizes (finer cells
+//! over the floorplan components flagged *hot*, §5.2 / Fig. 3a); every cell
+//! carries four lateral thermal resistances, one vertical resistance and one
+//! thermal capacitance (Fig. 3b). Silicon conductivity is **non-linear**,
+//! `k(T) = 150 · (300/T)^{4/3} W/mK` (Table 2); the copper spreader is
+//! linear. Heat enters as equivalent current sources on the bottom-surface
+//! cells (power density × cell area); no heat leaves through the bottom or
+//! the sides, and the top surface convects into the package through a
+//! 20 K/W package-to-air resistance weighted by cell area — all exactly the
+//! paper's §5.2 boundary conditions.
+//!
+//! Each cell interacts only with its neighbours, so one integration step is
+//! linear in the number of cells; the explicit integrator picks a
+//! stability-bounded internal substep automatically.
+//!
+//! ```
+//! use temu_thermal::{Floorplan, GridConfig, ThermalModel};
+//!
+//! let mut fp = Floorplan::new("die", 4000.0, 4000.0);
+//! let cpu = fp.add_component("cpu", 500.0, 500.0, 1500.0, 1500.0, true);
+//! let model_cfg = GridConfig::default();
+//! let mut model = ThermalModel::new(&fp, &model_cfg).unwrap();
+//! model.set_component_power(cpu, 1.5); // watts
+//! model.step(0.010);                   // 10 ms sampling window
+//! assert!(model.component_temp(cpu) > 300.0);
+//! ```
+
+mod floorplan;
+mod grid;
+mod props;
+mod reference;
+mod solver;
+
+pub use floorplan::{Component, ComponentId, Floorplan};
+pub use grid::{GridConfig, Integrator, ThermalGrid};
+pub use props::{
+    silicon_conductivity, ThermalProps, COPPER_CONDUCTIVITY, COPPER_SPECIFIC_HEAT_PER_UM3,
+    COPPER_THICKNESS_UM, PACKAGE_TO_AIR_K_PER_W, SILICON_SPECIFIC_HEAT_PER_UM3, SILICON_THICKNESS_UM,
+};
+pub use reference::analytic_stack_temp;
+pub use solver::ThermalModel;

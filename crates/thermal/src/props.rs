@@ -1,0 +1,105 @@
+//! Material properties — the paper's Table 2, verbatim.
+
+/// Silicon thermal conductivity at reference temperature (300 K), W/mK.
+pub const SILICON_K300: f64 = 150.0;
+
+/// Silicon volumetric specific heat, J/(µm³·K) (Table 2: `1.628e-12`).
+pub const SILICON_SPECIFIC_HEAT_PER_UM3: f64 = 1.628e-12;
+
+/// Silicon die thickness in µm (Table 2: 350 µm).
+pub const SILICON_THICKNESS_UM: f64 = 350.0;
+
+/// Copper thermal conductivity, W/mK (Table 2: 400 W/mK, linear).
+pub const COPPER_CONDUCTIVITY: f64 = 400.0;
+
+/// Copper volumetric specific heat, J/(µm³·K) (Table 2: `3.55e-12`).
+pub const COPPER_SPECIFIC_HEAT_PER_UM3: f64 = 3.55e-12;
+
+/// Copper heat-spreader thickness in µm (Table 2: 1000 µm).
+pub const COPPER_THICKNESS_UM: f64 = 1000.0;
+
+/// Package-to-air thermal resistance, K/W (Table 2: "20 K/W in low power" —
+/// deliberately above vendor datasheets to cover uncertain final working
+/// conditions, §5.2).
+pub const PACKAGE_TO_AIR_K_PER_W: f64 = 20.0;
+
+/// Non-linear silicon conductivity (Table 2):
+/// `k(T) = 150 · (300/T)^{4/3}` W/mK.
+///
+/// Clamped below 50 K to avoid the singularity at 0 (never reached by a
+/// physically meaningful simulation).
+pub fn silicon_conductivity(temp_k: f64) -> f64 {
+    let t = temp_k.max(50.0);
+    SILICON_K300 * (300.0 / t).powf(4.0 / 3.0)
+}
+
+/// Bundle of the Table 2 constants (convenient for reports/printing).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThermalProps {
+    /// Silicon conductivity at 300 K, W/mK.
+    pub silicon_k300: f64,
+    /// Silicon specific heat, J/(µm³·K).
+    pub silicon_c: f64,
+    /// Silicon thickness, µm.
+    pub silicon_thickness_um: f64,
+    /// Copper conductivity, W/mK.
+    pub copper_k: f64,
+    /// Copper specific heat, J/(µm³·K).
+    pub copper_c: f64,
+    /// Copper thickness, µm.
+    pub copper_thickness_um: f64,
+    /// Package-to-air resistance, K/W.
+    pub package_to_air: f64,
+}
+
+impl Default for ThermalProps {
+    fn default() -> ThermalProps {
+        ThermalProps {
+            silicon_k300: SILICON_K300,
+            silicon_c: SILICON_SPECIFIC_HEAT_PER_UM3,
+            silicon_thickness_um: SILICON_THICKNESS_UM,
+            copper_k: COPPER_CONDUCTIVITY,
+            copper_c: COPPER_SPECIFIC_HEAT_PER_UM3,
+            copper_thickness_um: COPPER_THICKNESS_UM,
+            package_to_air: PACKAGE_TO_AIR_K_PER_W,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let p = ThermalProps::default();
+        assert_eq!(p.silicon_k300, 150.0);
+        assert_eq!(p.silicon_c, 1.628e-12);
+        assert_eq!(p.silicon_thickness_um, 350.0);
+        assert_eq!(p.copper_k, 400.0);
+        assert_eq!(p.copper_c, 3.55e-12);
+        assert_eq!(p.copper_thickness_um, 1000.0);
+        assert_eq!(p.package_to_air, 20.0);
+    }
+
+    #[test]
+    fn silicon_conductivity_is_150_at_300k() {
+        assert!((silicon_conductivity(300.0) - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silicon_conductivity_drops_with_temperature() {
+        let k350 = silicon_conductivity(350.0);
+        let k400 = silicon_conductivity(400.0);
+        assert!(k350 < 150.0);
+        assert!(k400 < k350);
+        // Spot value: 150 * (300/400)^(4/3) ≈ 102.2 W/mK.
+        assert!((k400 - 150.0 * (0.75f64).powf(4.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silicon_conductivity_clamps_near_zero() {
+        assert!(silicon_conductivity(1.0).is_finite());
+        assert_eq!(silicon_conductivity(10.0), silicon_conductivity(50.0));
+    }
+}

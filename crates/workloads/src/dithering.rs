@@ -1,0 +1,317 @@
+//! The DITHERING workload: Floyd–Steinberg error diffusion.
+//!
+//! "A dithering filtering using the Floyd algorithm in two 128x128 grey
+//! images, divided in 4 segments and stored in shared memories. This
+//! application is highly parallel and imposes almost the same workload in
+//! each processor." (§7)
+//!
+//! Each image is divided into `cores` horizontal bands; every core dithers
+//! its band of every image independently (errors diffuse within a band, not
+//! across band boundaries — what makes the workload embarrassingly
+//! parallel). The classic 7/16, 3/16, 5/16, 1/16 weights are applied with
+//! arithmetic-shift rounding (`(w·e) >> 4`), identically in the TE32 program
+//! and the host reference, so the emulated output must match the reference
+//! byte for byte.
+
+use crate::image::GreyImage;
+use crate::{MMIO_BASE, SHARED_BASE};
+use temu_isa::asm::{assemble, AsmError};
+use temu_isa::Program;
+
+/// Parameters of a dithering workload instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DitherConfig {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels (must divide evenly by `cores`).
+    pub height: u32,
+    /// Number of images processed back to back.
+    pub images: u32,
+    /// Cores sharing the work.
+    pub cores: u32,
+}
+
+impl DitherConfig {
+    /// The paper's configuration: two 128×128 images on four cores.
+    pub fn paper() -> DitherConfig {
+        DitherConfig { width: 128, height: 128, images: 2, cores: 4 }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn small(cores: u32) -> DitherConfig {
+        DitherConfig { width: 32, height: 32, images: 1, cores }
+    }
+
+    /// Shared-memory address of image `i`.
+    pub fn image_addr(&self, i: u32) -> u32 {
+        SHARED_BASE + 0x1000 + i * self.width * self.height
+    }
+
+    /// Rows each core dithers per image.
+    pub fn rows_per_core(&self) -> u32 {
+        self.height / self.cores
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the height does not divide by the core count or
+    /// a dimension is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 || self.height == 0 || self.images == 0 || self.cores == 0 {
+            return Err("dithering dimensions must be nonzero".into());
+        }
+        if self.height % self.cores != 0 {
+            return Err(format!("height {} does not divide across {} cores", self.height, self.cores));
+        }
+        Ok(())
+    }
+}
+
+/// Private-memory addresses of the two error rows (`width + 2` words each,
+/// shifted by one so the x−1/x+1 taps never need bounds checks).
+const ERR_CUR: u32 = 0x8000;
+fn err_next_addr(width: u32) -> u32 {
+    ERR_CUR + (width + 2) * 4
+}
+
+/// Generates the TE32 dithering program.
+///
+/// # Errors
+///
+/// Returns the validation or assembler diagnosis.
+pub fn program(cfg: &DitherConfig) -> Result<Program, AsmError> {
+    cfg.validate().map_err(|msg| AsmError { line: 0, msg })?;
+    let src = format!(
+        "
+        .equ MMIO, {mmio:#x}
+        .equ IMG0, {img0:#x}
+        .equ ERRC, {errc:#x}
+        .equ ERRN, {errn:#x}
+
+        start:
+            li   r1, MMIO
+            lw   s7, 0(r1)          ; core id
+            li   s6, {images}       ; images left
+            li   s5, IMG0           ; current image base
+        img_loop:
+            li   t0, {rows}
+            mul  s0, s7, t0         ; y  = core * rows
+            add  s1, s0, t0         ; y1 = y + rows
+            ; clear both error rows
+            li   t0, 0
+            li   t1, {errwords2}
+        clr:
+            slli t2, t0, 2
+            li   t3, ERRC
+            add  t3, t3, t2
+            sw   r0, 0(t3)
+            addi t0, t0, 1
+            blt  t0, t1, clr
+        row_loop:
+            li   t0, {w}
+            mul  t1, s0, t0
+            add  t1, t1, s5         ; &img[y][0]
+            li   s2, 0              ; x
+        pix_loop:
+            add  t2, t1, s2
+            lbu  t3, 0(t2)          ; pixel
+            li   t4, ERRC
+            addi t5, s2, 1
+            slli t5, t5, 2
+            add  t4, t4, t5
+            lw   t6, 0(t4)
+            add  t3, t3, t6         ; old = pixel + err
+            li   t6, 128
+            blt  t3, t6, below
+            li   t7, 255
+            j    store
+        below:
+            li   t7, 0
+        store:
+            sb   t7, 0(t2)
+            sub  t3, t3, t7         ; e = old - new
+            ; errc[x+2] += (7e) >> 4
+            slli t6, t3, 3
+            sub  t6, t6, t3
+            srai t6, t6, 4
+            li   t4, ERRC
+            addi t5, s2, 2
+            slli t5, t5, 2
+            add  t4, t4, t5
+            lw   t7, 0(t4)
+            add  t7, t7, t6
+            sw   t7, 0(t4)
+            ; errn[x] += (3e) >> 4
+            slli t6, t3, 1
+            add  t6, t6, t3
+            srai t6, t6, 4
+            li   t4, ERRN
+            slli t5, s2, 2
+            add  t4, t4, t5
+            lw   t7, 0(t4)
+            add  t7, t7, t6
+            sw   t7, 0(t4)
+            ; errn[x+1] += (5e) >> 4
+            slli t6, t3, 2
+            add  t6, t6, t3
+            srai t6, t6, 4
+            li   t4, ERRN
+            addi t5, s2, 1
+            slli t5, t5, 2
+            add  t4, t4, t5
+            lw   t7, 0(t4)
+            add  t7, t7, t6
+            sw   t7, 0(t4)
+            ; errn[x+2] += e >> 4
+            srai t6, t3, 4
+            li   t4, ERRN
+            addi t5, s2, 2
+            slli t5, t5, 2
+            add  t4, t4, t5
+            lw   t7, 0(t4)
+            add  t7, t7, t6
+            sw   t7, 0(t4)
+            addi s2, s2, 1
+            li   t6, {w}
+            blt  s2, t6, pix_loop
+            ; err_cur <- err_next; err_next <- 0
+            li   t0, 0
+            li   t1, {errwords}
+        cp:
+            slli t2, t0, 2
+            li   t3, ERRN
+            add  t3, t3, t2
+            lw   t4, 0(t3)
+            sw   r0, 0(t3)
+            li   t5, ERRC
+            add  t5, t5, t2
+            sw   t4, 0(t5)
+            addi t0, t0, 1
+            blt  t0, t1, cp
+            addi s0, s0, 1
+            blt  s0, s1, row_loop
+            ; advance to the next image
+            li   t0, {img_bytes}
+            add  s5, s5, t0
+            addi s6, s6, -1
+            bnez s6, img_loop
+            halt
+        ",
+        mmio = MMIO_BASE,
+        img0 = cfg.image_addr(0),
+        errc = ERR_CUR,
+        errn = err_next_addr(cfg.width),
+        images = cfg.images,
+        rows = cfg.rows_per_core(),
+        w = cfg.width,
+        errwords = cfg.width + 2,
+        errwords2 = 2 * (cfg.width + 2),
+        img_bytes = cfg.width * cfg.height,
+    );
+    assemble(&src)
+}
+
+/// Host reference: dithers `img` in place with the same band-local
+/// Floyd–Steinberg the TE32 program applies.
+pub fn reference_dither(img: &mut GreyImage, cores: u32) {
+    let w = img.width;
+    let h = img.height;
+    let rows = h / cores as usize;
+    for band in 0..cores as usize {
+        let (y0, y1) = (band * rows, (band + 1) * rows);
+        let mut err_cur = vec![0i32; w + 2];
+        let mut err_next = vec![0i32; w + 2];
+        for y in y0..y1 {
+            for x in 0..w {
+                let old = i32::from(img.pixels[y * w + x]) + err_cur[x + 1];
+                let new = if old < 128 { 0 } else { 255 };
+                img.pixels[y * w + x] = new as u8;
+                let e = old - new;
+                err_cur[x + 2] += (7 * e) >> 4;
+                err_next[x] += (3 * e) >> 4;
+                err_next[x + 1] += (5 * e) >> 4;
+                err_next[x + 2] += e >> 4;
+            }
+            std::mem::swap(&mut err_cur, &mut err_next);
+            err_next.fill(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_validates() {
+        let c = DitherConfig::paper();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.rows_per_core(), 32);
+        assert_eq!(c.image_addr(1) - c.image_addr(0), 128 * 128);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = DitherConfig::paper();
+        c.cores = 3;
+        assert!(c.validate().is_err(), "128 rows do not split across 3 cores");
+        c = DitherConfig::paper();
+        c.width = 0;
+        assert!(c.validate().is_err());
+        assert!(program(&c).is_err());
+    }
+
+    #[test]
+    fn programs_assemble() {
+        for cores in [1u32, 2, 4, 8] {
+            let mut c = DitherConfig::paper();
+            c.cores = cores;
+            assert!(program(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn reference_output_is_binary_and_mean_preserving() {
+        let mut img = GreyImage::synthetic(64, 64, 3);
+        let mean_before = img.mean();
+        reference_dither(&mut img, 4);
+        assert_eq!(img.binary_fraction(), 1.0);
+        assert!((img.mean() - mean_before).abs() < 8.0, "error diffusion preserves brightness");
+    }
+
+    #[test]
+    fn reference_band_independence() {
+        // Dithering with 2 cores must equal dithering the two halves
+        // separately (the bands are independent by construction).
+        let img0 = GreyImage::synthetic(32, 32, 9);
+        let mut whole = img0.clone();
+        reference_dither(&mut whole, 2);
+        let mut top = GreyImage { width: 32, height: 16, pixels: img0.pixels[..32 * 16].to_vec() };
+        let mut bot = GreyImage { width: 32, height: 16, pixels: img0.pixels[32 * 16..].to_vec() };
+        reference_dither(&mut top, 1);
+        reference_dither(&mut bot, 1);
+        assert_eq!(&whole.pixels[..32 * 16], &top.pixels[..]);
+        assert_eq!(&whole.pixels[32 * 16..], &bot.pixels[..]);
+    }
+
+    #[test]
+    fn all_black_and_all_white_are_fixed_points() {
+        let mut black = GreyImage { width: 16, height: 16, pixels: vec![0; 256] };
+        reference_dither(&mut black, 1);
+        assert!(black.pixels.iter().all(|&p| p == 0));
+        let mut white = GreyImage { width: 16, height: 16, pixels: vec![255; 256] };
+        reference_dither(&mut white, 1);
+        assert!(white.pixels.iter().all(|&p| p == 255));
+    }
+
+    #[test]
+    fn mid_grey_dithers_to_half_density() {
+        let mut grey = GreyImage { width: 32, height: 32, pixels: vec![128; 1024] };
+        reference_dither(&mut grey, 1);
+        let white = grey.pixels.iter().filter(|&&p| p == 255).count();
+        let frac = white as f64 / 1024.0;
+        assert!((frac - 0.5).abs() < 0.08, "white density {frac}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic synthetic grey-scale images for the dithering driver.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A grey-scale image, one byte per pixel, row-major.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GreyImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Pixel values, `height * width` bytes.
+    pub pixels: Vec<u8>,
+}
+
+impl GreyImage {
+    /// A reproducible test image: a diagonal gradient with seeded noise
+    /// (keeps the error-diffusion filter busy across the full dynamic range).
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> GreyImage {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let grad = ((x + y) * 255 / (width + height - 2).max(1)) as i32;
+                let noise = rng.gen_range(-24i32..=24);
+                pixels.push((grad + noise).clamp(0, 255) as u8);
+            }
+        }
+        GreyImage { width, height, pixels }
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Fraction of pixels that are pure black or pure white (1.0 for a
+    /// correctly dithered output).
+    pub fn binary_fraction(&self) -> f64 {
+        let n = self.pixels.iter().filter(|&&p| p == 0 || p == 255).count();
+        n as f64 / self.pixels.len() as f64
+    }
+
+    /// Mean pixel value (error diffusion approximately preserves it).
+    pub fn mean(&self) -> f64 {
+        self.pixels.iter().map(|&p| f64::from(p)).sum::<f64>() / self.pixels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let a = GreyImage::synthetic(64, 64, 42);
+        let b = GreyImage::synthetic(64, 64, 42);
+        assert_eq!(a, b);
+        let c = GreyImage::synthetic(64, 64, 43);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn gradient_spans_range() {
+        let img = GreyImage::synthetic(128, 128, 1);
+        assert!(img.get(0, 0) < 80, "dark corner");
+        assert!(img.get(127, 127) > 175, "bright corner");
+        let m = img.mean();
+        assert!(m > 100.0 && m < 155.0, "mid-grey mean: {m}");
+    }
+
+    #[test]
+    fn binary_fraction_of_grey_is_low() {
+        let img = GreyImage::synthetic(64, 64, 7);
+        assert!(img.binary_fraction() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_image_panics() {
+        let _ = GreyImage::synthetic(0, 4, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # temu-workloads — the paper's SW drivers, in TE32 assembly
+//!
+//! §7 of the paper drives the platform with three workloads, all reproduced
+//! here as parameterized TE32 programs *plus bit-exact host-side reference
+//! implementations* (the end-to-end correctness oracle: the emulated MPSoC
+//! must compute exactly what the Rust reference computes):
+//!
+//! * [`matrix`] — "a kernel application that performs independent matrix
+//!   multiplications at each processor private memory and combined in memory
+//!   at the end" (MATRIX; with a large iteration count it is MATRIX-TM, the
+//!   thermal stress workload of Fig. 6);
+//! * [`dithering`] — "a dithering filtering using the Floyd algorithm in two
+//!   128x128 grey images, divided in 4 segments and stored in shared
+//!   memories" (DITHERING);
+//! * [`image`] — deterministic synthetic grey-scale inputs for the dithering
+//!   driver.
+//!
+//! All programs are SPMD: the same image is loaded on every core, and cores
+//! branch on the MMIO core-id register. Synchronization uses the platform's
+//! `tas` spinlock primitive over shared memory.
+
+pub mod dithering;
+pub mod image;
+pub mod matrix;
+
+/// Base address of the shared memory in the platform's default address map
+/// (kept in sync with `temu_mem::SHARED_BASE`; asserted in tests).
+pub const SHARED_BASE: u32 = 0x1000_0000;
+
+/// Base address of the MMIO window.
+pub const MMIO_BASE: u32 = 0xFFFF_0000;

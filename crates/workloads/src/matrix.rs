@@ -1,0 +1,318 @@
+//! The MATRIX / MATRIX-TM workload.
+//!
+//! Every core initializes two `n × n` integer matrices in its private
+//! memory, multiplies them `iters` times, writes a checksum of the product
+//! into its shared-memory slot, and (after a TAS-spinlock barrier) core 0
+//! combines all partial checksums — "independent matrix multiplications at
+//! each processor private memory and combined in memory at the end" (§7).
+//! With `iters` in the tens of thousands this is MATRIX-TM, the Fig. 6
+//! thermal stress driver ("a workload of 100K matrices ... to stress the
+//! MPSoC processing power and observe thermal effects").
+
+use crate::{MMIO_BASE, SHARED_BASE};
+use temu_isa::asm::{assemble, AsmError};
+use temu_isa::Program;
+
+/// Parameters of a matrix workload instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MatrixConfig {
+    /// Matrix dimension (n × n).
+    pub n: u32,
+    /// Multiplications per core.
+    pub iters: u32,
+    /// Cores participating (determines the barrier release count).
+    pub cores: u32,
+}
+
+impl MatrixConfig {
+    /// The paper's exploration kernel at a test-friendly size.
+    pub fn small(cores: u32) -> MatrixConfig {
+        MatrixConfig { n: 8, iters: 1, cores }
+    }
+
+    /// A Matrix-TM-style stress configuration (scale `iters` as needed).
+    pub fn thermal(cores: u32, iters: u32) -> MatrixConfig {
+        MatrixConfig { n: 16, iters, cores }
+    }
+}
+
+/// Shared-memory layout used by the program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MatrixLayout {
+    /// Per-core checksum slots (`cores` words).
+    pub partials_addr: u32,
+    /// Barrier spinlock word.
+    pub lock_addr: u32,
+    /// Barrier arrival counter.
+    pub count_addr: u32,
+    /// Combined total written by core 0.
+    pub total_addr: u32,
+}
+
+/// The fixed shared-memory layout.
+pub fn layout() -> MatrixLayout {
+    MatrixLayout {
+        partials_addr: SHARED_BASE,
+        lock_addr: SHARED_BASE + 0x200,
+        count_addr: SHARED_BASE + 0x204,
+        total_addr: SHARED_BASE + 0x208,
+    }
+}
+
+/// Private-memory addresses of the three matrices (above the program image).
+fn bases(n: u32) -> (u32, u32, u32) {
+    let words = n * n * 4;
+    let a = 0x4000;
+    (a, a + words, a + 2 * words)
+}
+
+/// Generates the TE32 program for a matrix configuration.
+///
+/// # Errors
+///
+/// Returns the assembler diagnosis (which would indicate a generator bug —
+/// exercised by tests for every supported configuration).
+pub fn program(cfg: &MatrixConfig) -> Result<Program, AsmError> {
+    let (a, b, c) = bases(cfg.n);
+    let l = layout();
+    let src = format!(
+        "
+        .equ MMIO,   {mmio:#x}
+        .equ ABASE,  {a:#x}
+        .equ BBASE,  {b:#x}
+        .equ CBASE,  {c:#x}
+        .equ PART,   {part:#x}
+        .equ LOCK,   {lock:#x}
+        .equ COUNT,  {count:#x}
+        .equ TOTAL,  {total:#x}
+
+        start:
+            li   r1, MMIO
+            lw   s7, 0(r1)          ; s7 = core id
+            li   s5, {cores}        ; s5 = participating cores
+            li   s6, {iters}        ; s6 = iterations
+
+        ; ---- initialize A[i][j] = (3i + j + core) & 255,
+        ;      B[i][j] = (i + 5j + 2*core) & 255
+            li   t0, 0              ; i
+        init_i:
+            li   t1, 0              ; j
+        init_j:
+            li   t2, {n}
+            mul  t3, t0, t2
+            add  t3, t3, t1
+            slli t3, t3, 2          ; element byte offset
+            slli t4, t0, 1
+            add  t4, t4, t0         ; 3i
+            add  t4, t4, t1
+            add  t4, t4, s7
+            andi t4, t4, 255
+            li   t5, ABASE
+            add  t5, t5, t3
+            sw   t4, 0(t5)
+            slli t4, t1, 2
+            add  t4, t4, t1         ; 5j
+            add  t4, t4, t0
+            slli t6, s7, 1
+            add  t4, t4, t6
+            andi t4, t4, 255
+            li   t5, BBASE
+            add  t5, t5, t3
+            sw   t4, 0(t5)
+            addi t1, t1, 1
+            li   t2, {n}
+            blt  t1, t2, init_j
+            addi t0, t0, 1
+            li   t2, {n}
+            blt  t0, t2, init_i
+
+        ; ---- C = A * B, repeated `iters` times
+        outer:
+            li   t0, 0              ; i
+        mm_i:
+            li   t1, 0              ; j
+        mm_j:
+            li   s0, 0              ; accumulator
+            li   t2, 0              ; k
+        mm_k:
+            li   t3, {n}
+            mul  t4, t0, t3
+            add  t4, t4, t2
+            slli t4, t4, 2
+            li   t5, ABASE
+            add  t5, t5, t4
+            lw   t6, 0(t5)          ; A[i][k]
+            mul  t4, t2, t3
+            add  t4, t4, t1
+            slli t4, t4, 2
+            li   t5, BBASE
+            add  t5, t5, t4
+            lw   t7, 0(t5)          ; B[k][j]
+            mul  t6, t6, t7
+            add  s0, s0, t6
+            addi t2, t2, 1
+            li   t3, {n}
+            blt  t2, t3, mm_k
+            li   t3, {n}
+            mul  t4, t0, t3
+            add  t4, t4, t1
+            slli t4, t4, 2
+            li   t5, CBASE
+            add  t5, t5, t4
+            sw   s0, 0(t5)          ; C[i][j]
+            addi t1, t1, 1
+            li   t3, {n}
+            blt  t1, t3, mm_j
+            addi t0, t0, 1
+            li   t3, {n}
+            blt  t0, t3, mm_i
+            addi s6, s6, -1
+            bnez s6, outer
+
+        ; ---- checksum C into the core's shared slot
+            li   s0, 0
+            li   t0, 0
+            li   t3, {n2}
+        sum_loop:
+            slli t4, t0, 2
+            li   t5, CBASE
+            add  t5, t5, t4
+            lw   t6, 0(t5)
+            add  s0, s0, t6
+            addi t0, t0, 1
+            blt  t0, t3, sum_loop
+            li   t5, PART
+            slli t4, s7, 2
+            add  t5, t5, t4
+            sw   s0, 0(t5)
+
+        ; ---- barrier (TAS spinlock + arrival counter)
+            li   s1, LOCK
+        acq:
+            tas  t0, 0(s1)
+            bnez t0, acq
+            li   s2, COUNT
+            lw   t1, 0(s2)
+            addi t1, t1, 1
+            sw   t1, 0(s2)
+            sw   r0, 0(s1)          ; release
+        wait:
+            lw   t1, 0(s2)
+            blt  t1, s5, wait
+
+        ; ---- core 0 combines all partial checksums
+            bnez s7, done
+            li   s0, 0
+            li   t0, 0
+        comb:
+            li   t5, PART
+            slli t4, t0, 2
+            add  t5, t5, t4
+            lw   t6, 0(t5)
+            add  s0, s0, t6
+            addi t0, t0, 1
+            blt  t0, s5, comb
+            li   t5, TOTAL
+            sw   s0, 0(t5)
+        done:
+            halt
+        ",
+        mmio = MMIO_BASE,
+        a = a,
+        b = b,
+        c = c,
+        part = l.partials_addr,
+        lock = l.lock_addr,
+        count = l.count_addr,
+        total = l.total_addr,
+        cores = cfg.cores,
+        iters = cfg.iters,
+        n = cfg.n,
+        n2 = cfg.n * cfg.n,
+    );
+    assemble(&src)
+}
+
+/// Host-side reference: the checksum core `core` must produce.
+pub fn reference_checksum(cfg: &MatrixConfig, core: u32) -> u32 {
+    let n = cfg.n as usize;
+    let mut a = vec![0u32; n * n];
+    let mut b = vec![0u32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = ((3 * i + j) as u32 + core) & 255;
+            b[i * n + j] = ((i + 5 * j) as u32 + 2 * core) & 255;
+        }
+    }
+    let mut c = vec![0u32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0u32;
+            for (k, bk) in b.iter().skip(j).step_by(n).enumerate() {
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(*bk));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c.iter().fold(0u32, |s, &x| s.wrapping_add(x))
+}
+
+/// Host-side reference: the combined total core 0 must write.
+pub fn reference_total(cfg: &MatrixConfig) -> u32 {
+    (0..cfg.cores).fold(0u32, |s, core| s.wrapping_add(reference_checksum(cfg, core)))
+}
+
+/// Rough instruction-count estimate for one core (used by benches to size
+/// iteration counts against a time budget).
+pub fn instructions_estimate(cfg: &MatrixConfig) -> u64 {
+    let n = u64::from(cfg.n);
+    // Inner loop is ~16 instructions over n³ iterations.
+    u64::from(cfg.iters) * n * n * n * 16 + n * n * 30
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_assemble_for_all_sizes() {
+        for n in [2u32, 4, 8, 16, 32] {
+            for cores in [1u32, 2, 4, 8] {
+                let cfg = MatrixConfig { n, iters: 2, cores };
+                let p = program(&cfg).expect("assembles");
+                assert!(p.words.len() > 50);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_checksum_is_core_dependent() {
+        let cfg = MatrixConfig::small(4);
+        let c0 = reference_checksum(&cfg, 0);
+        let c1 = reference_checksum(&cfg, 1);
+        assert_ne!(c0, c1, "different cores multiply different matrices");
+    }
+
+    #[test]
+    fn reference_total_sums_partials() {
+        let cfg = MatrixConfig::small(3);
+        let expect = (0..3).fold(0u32, |s, c| s.wrapping_add(reference_checksum(&cfg, c)));
+        assert_eq!(reference_total(&cfg), expect);
+    }
+
+    #[test]
+    fn small_known_value() {
+        // n = 1: A = [(0)&255 + core] = [core], B = [2*core],
+        // C = [2*core²], checksum = 2*core².
+        let cfg = MatrixConfig { n: 1, iters: 5, cores: 1 };
+        assert_eq!(reference_checksum(&cfg, 0), 0);
+        assert_eq!(reference_checksum(&cfg, 3), 18);
+    }
+
+    #[test]
+    fn estimate_grows_cubically() {
+        let small = instructions_estimate(&MatrixConfig { n: 4, iters: 1, cores: 1 });
+        let big = instructions_estimate(&MatrixConfig { n: 8, iters: 1, cores: 1 });
+        assert!(big > 6 * small);
+    }
+}

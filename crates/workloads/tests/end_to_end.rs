@@ -1,0 +1,129 @@
+//! End-to-end oracle tests: the emulated MPSoC must compute exactly what the
+//! host-side reference implementations compute, on every platform flavour.
+
+use temu_isa::Width;
+use temu_platform::{Machine, PlatformConfig};
+use temu_workloads::dithering::{self, DitherConfig};
+use temu_workloads::image::GreyImage;
+use temu_workloads::matrix::{self, MatrixConfig};
+
+fn run_matrix(mut machine: Machine, cfg: &MatrixConfig) {
+    let program = matrix::program(cfg).expect("matrix program assembles");
+    machine.load_program_all(&program).expect("fits in private memory");
+    let summary = machine.run_to_halt(2_000_000_000).expect("no faults");
+    assert!(summary.all_halted, "workload completed");
+
+    let layout = matrix::layout();
+    let shared_off = |addr: u32| addr - temu_workloads::SHARED_BASE;
+    for core in 0..cfg.cores {
+        let got = machine
+            .shared()
+            .read(shared_off(layout.partials_addr) + core * 4, Width::Word)
+            .unwrap();
+        assert_eq!(got, matrix::reference_checksum(cfg, core), "core {core} checksum");
+    }
+    let total = machine.shared().read(shared_off(layout.total_addr), Width::Word).unwrap();
+    assert_eq!(total, matrix::reference_total(cfg), "combined total");
+}
+
+#[test]
+fn matrix_single_core_bus() {
+    let cfg = MatrixConfig { n: 8, iters: 2, cores: 1 };
+    run_matrix(Machine::new(PlatformConfig::paper_bus(1)).unwrap(), &cfg);
+}
+
+#[test]
+fn matrix_four_cores_bus() {
+    let cfg = MatrixConfig { n: 8, iters: 1, cores: 4 };
+    run_matrix(Machine::new(PlatformConfig::paper_bus(4)).unwrap(), &cfg);
+}
+
+#[test]
+fn matrix_eight_cores_bus() {
+    let cfg = MatrixConfig { n: 6, iters: 1, cores: 8 };
+    run_matrix(Machine::new(PlatformConfig::paper_bus(8)).unwrap(), &cfg);
+}
+
+#[test]
+fn matrix_four_cores_noc() {
+    let cfg = MatrixConfig { n: 8, iters: 1, cores: 4 };
+    run_matrix(Machine::new(PlatformConfig::paper_noc(4)).unwrap(), &cfg);
+}
+
+#[test]
+fn matrix_on_thermal_platform() {
+    let cfg = MatrixConfig { n: 8, iters: 1, cores: 4 };
+    run_matrix(Machine::new(PlatformConfig::paper_thermal(4)).unwrap(), &cfg);
+}
+
+#[test]
+fn matrix_without_caches() {
+    let mut pc = PlatformConfig::paper_bus(2);
+    pc.icache = None;
+    pc.dcache = None;
+    let cfg = MatrixConfig { n: 4, iters: 1, cores: 2 };
+    run_matrix(Machine::new(pc).unwrap(), &cfg);
+}
+
+fn run_dither(mut machine: Machine, cfg: &DitherConfig) {
+    let program = dithering::program(cfg).expect("dithering program assembles");
+    machine.load_program_all(&program).expect("fits in private memory");
+
+    // Load the input images into shared memory and dither copies on the host.
+    let mut references = Vec::new();
+    for i in 0..cfg.images {
+        let img = GreyImage::synthetic(cfg.width as usize, cfg.height as usize, 1000 + u64::from(i));
+        let off = cfg.image_addr(i) - temu_workloads::SHARED_BASE;
+        machine.shared_mut().load(off, &img.pixels).unwrap();
+        let mut reference = img;
+        dithering::reference_dither(&mut reference, cfg.cores);
+        references.push(reference);
+    }
+
+    let summary = machine.run_to_halt(2_000_000_000).expect("no faults");
+    assert!(summary.all_halted);
+
+    for (i, reference) in references.iter().enumerate() {
+        let off = cfg.image_addr(i as u32) - temu_workloads::SHARED_BASE;
+        let got = machine.shared().slice(off, cfg.width * cfg.height);
+        assert_eq!(got, &reference.pixels[..], "image {i} dithered bit-exactly");
+    }
+}
+
+#[test]
+fn dithering_small_two_cores_bus() {
+    let cfg = DitherConfig::small(2);
+    run_dither(Machine::new(PlatformConfig::paper_bus(2)).unwrap(), &cfg);
+}
+
+#[test]
+fn dithering_small_four_cores_noc() {
+    let cfg = DitherConfig::small(4);
+    run_dither(Machine::new(PlatformConfig::paper_noc(4)).unwrap(), &cfg);
+}
+
+#[test]
+fn dithering_paper_configuration() {
+    // The full paper workload: two 128x128 images, four cores, bus.
+    let cfg = DitherConfig::paper();
+    run_dither(Machine::new(PlatformConfig::paper_bus(4)).unwrap(), &cfg);
+}
+
+#[test]
+fn dithering_single_core_matches_parallel() {
+    // The parallel decomposition must equal the single-core run of the same
+    // band-local algorithm (band boundaries are fixed by `cores`).
+    let cfg1 = DitherConfig { width: 32, height: 32, images: 1, cores: 4 };
+    let mut m1 = Machine::new(PlatformConfig::paper_bus(4)).unwrap();
+    let p1 = dithering::program(&cfg1).unwrap();
+    m1.load_program_all(&p1).unwrap();
+    let img = GreyImage::synthetic(32, 32, 77);
+    let off = cfg1.image_addr(0) - temu_workloads::SHARED_BASE;
+    m1.shared_mut().load(off, &img.pixels).unwrap();
+    m1.run_to_halt(1_000_000_000).unwrap();
+    let out_parallel = m1.shared().slice(off, 32 * 32).to_vec();
+
+    let mut reference = img;
+    dithering::reference_dither(&mut reference, 4);
+    assert_eq!(out_parallel, reference.pixels);
+}

@@ -1,0 +1,53 @@
+//! Closed-loop thermal emulation with run-time DFS — the paper's headline
+//! use case (Fig. 6): run Matrix-TM on the 4×ARM11 floorplan at 500 MHz,
+//! watch the die heat past 350 K, then enable the dual-threshold policy and
+//! watch it saw-tooth inside the 340–350 K band.
+//!
+//! ```sh
+//! cargo run --release --example thermal_management
+//! ```
+
+use temu::framework::{EmulationConfig, ThermalEmulation};
+use temu::platform::{DfsPolicy, Machine, PlatformConfig};
+use temu::power::floorplans::fig4b_arm11;
+use temu::workloads::matrix::{self, MatrixConfig};
+
+fn emulation(policy: Option<DfsPolicy>) -> ThermalEmulation {
+    // 4 RISC-32 cores, 8 KB caches, 4-switch NoC, 500 MHz virtual clock.
+    let mut machine = Machine::new(PlatformConfig::paper_thermal(4)).expect("valid configuration");
+    let workload = MatrixConfig { n: 16, iters: 20_000, cores: 4 };
+    machine
+        .load_program_all(&matrix::program(&workload).expect("assembles"))
+        .expect("fits");
+    let cfg = EmulationConfig { policy, ..EmulationConfig::default() };
+    ThermalEmulation::new(machine, fig4b_arm11(), cfg).expect("floorplan matches the machine")
+}
+
+fn main() {
+    let windows = 120; // 120 x 10 ms = 1.2 virtual seconds
+
+    let mut unmanaged = emulation(None);
+    unmanaged.run_windows(windows).expect("runs");
+
+    let mut managed = emulation(Some(DfsPolicy::paper()));
+    managed.run_windows(windows).expect("runs");
+
+    println!("=== without thermal management (500 MHz throughout) ===");
+    println!("{}", unmanaged.trace().ascii_plot(70, 14, &[350.0, 340.0]));
+    println!("=== with the paper's DFS policy (>350 K -> 100 MHz, <340 K -> 500 MHz) ===");
+    println!("{}", managed.trace().ascii_plot(70, 14, &[350.0, 340.0]));
+
+    println!("peak temperature : {:.2} K vs {:.2} K", unmanaged.trace().peak_temp(), managed.trace().peak_temp());
+    println!(
+        "time above 350 K : {:.3} s vs {:.3} s",
+        unmanaged.trace().time_above(350.0),
+        managed.trace().time_above(350.0)
+    );
+    println!("throttled windows: {:.0}%", 100.0 * managed.trace().throttled_fraction());
+    println!(
+        "work done        : {} vs {} instructions",
+        unmanaged.trace().len(),
+        managed.trace().len()
+    );
+    println!("\nCSV of the managed run:\n{}", &managed.trace().to_csv()[..400.min(managed.trace().to_csv().len())]);
+}

@@ -1,0 +1,22 @@
+//! # temu — HW/SW thermal emulation framework for MPSoC
+//!
+//! Facade crate re-exporting the whole `temu` workspace: a Rust reproduction
+//! of Atienza et al., *"A Fast HW/SW FPGA-Based Thermal Emulation Framework
+//! for Multi-Processor System-on-Chip"* (DAC 2006).
+//!
+//! Start with [`framework`] for the closed-loop co-emulation flow, or
+//! [`platform`] to build and run an emulated MPSoC directly. See the README
+//! for the architecture overview and DESIGN.md for the experiment index.
+
+pub use temu_cpu as cpu;
+pub use temu_des as des;
+pub use temu_fpga as fpga;
+pub use temu_framework as framework;
+pub use temu_interconnect as interconnect;
+pub use temu_isa as isa;
+pub use temu_link as link;
+pub use temu_mem as mem;
+pub use temu_platform as platform;
+pub use temu_power as power;
+pub use temu_thermal as thermal;
+pub use temu_workloads as workloads;
