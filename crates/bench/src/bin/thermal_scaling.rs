@@ -1,0 +1,73 @@
+//! Thermal-solver scaling benchmark (see `temu_bench::thermal_scaling`).
+//!
+//! Sweeps mesh sizes from the paper's ~660-cell operating point to ~46k
+//! cells, measuring substeps/second for both integrators and every sweep
+//! mode, and writes `BENCH_thermal.json` so the perf trajectory is tracked
+//! across PRs.
+//!
+//! Flags:
+//!   --smoke          two smallest rungs only, short budget; intended as
+//!                    the tier-1 bench-smoke gate (fails on panic/NaN)
+//!   --budget <s>     wall-clock budget per measurement (default 0.4;
+//!                    smoke default 0.05)
+//!   --out <path>     output path (default BENCH_thermal.json)
+
+use temu_bench::thermal_scaling;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut budget = if smoke { 0.05 } else { 0.4 };
+    let mut out = String::from("BENCH_thermal.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--budget" => {
+                budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--budget takes a positive number of seconds");
+            }
+            "--out" => out = it.next().expect("--out takes a path").clone(),
+            "--smoke" => {}
+            other => panic!("unknown flag {other} (supported: --smoke, --budget <s>, --out <path>)"),
+        }
+    }
+
+    let report = thermal_scaling::run(smoke, budget);
+
+    println!(
+        "Thermal solver scaling on the Fig. 4b ARM11 floorplan ({} host core(s){}):\n",
+        report.host_cores,
+        report
+            .threads_override
+            .map_or(String::new(), |t| format!(", TEMU_THERMAL_THREADS={t}"))
+    );
+    println!(
+        "{:<16} {:>7} {:>14} {:>10} {:>14} {:>9} {:>9}",
+        "mesh", "cells", "integrator", "sweep", "substeps/s", "sweeps", "speedup"
+    );
+    for c in &report.cases {
+        let speedup = report
+            .speedup(c.mesh, c.integrator, c.sweep)
+            .map_or(String::from("-"), |v| format!("{v:.2}x"));
+        println!(
+            "{:<16} {:>7} {:>14} {:>10} {:>14.0} {:>9.1} {:>9}{}",
+            c.mesh,
+            c.cells,
+            c.integrator,
+            c.sweep,
+            c.substeps_per_s,
+            c.avg_sweeps,
+            speedup,
+            if c.parallel_active { "  [parallel]" } else { "" },
+        );
+    }
+    println!("\nMesh build times (was O(n_tiles²) before the interval-sweep mesher):");
+    for b in &report.builds {
+        println!("  {:<16} {:>7} tiles {:>8} cells  {:>9.3} ms", b.mesh, b.tiles, b.cells, b.wall_s * 1e3);
+    }
+
+    std::fs::write(&out, report.to_json()).expect("write report");
+    println!("\nWrote {out}");
+}

@@ -1,0 +1,306 @@
+//! Thermal-solver scaling benchmark: substeps/second across mesh sizes,
+//! integrators and sweep modes, tracked as `BENCH_thermal.json` so the perf
+//! trajectory is visible across PRs.
+//!
+//! The mesh ladder refines the Fig. 4b ARM11 floorplan from the paper's
+//! ~660-cell operating point (§5.2: "2 s of simulation on 660 cells in
+//! 1.65 s") up to ~46k cells. Every rung measures the seed-faithful
+//! [`SweepMode::Reference`] solver against the optimized serial and
+//! threshold-resolved (`Auto`) paths, for both integrators.
+
+use std::time::Instant;
+use temu_power::floorplans::fig4b_arm11;
+use temu_thermal::{GridConfig, Integrator, SweepMode, ThermalGrid, ThermalModel};
+
+/// One measured (mesh × integrator × sweep mode) point.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Mesh rung label.
+    pub mesh: &'static str,
+    /// Total cells.
+    pub cells: usize,
+    /// Resistive edges.
+    pub edges: usize,
+    /// Sweep colors of the mesh.
+    pub colors: usize,
+    /// `"semi_implicit"` or `"explicit"`.
+    pub integrator: &'static str,
+    /// `"reference"`, `"serial"` or `"auto"`.
+    pub sweep: &'static str,
+    /// Whether the run actually used parallel sweeps.
+    pub parallel_active: bool,
+    /// 10 ms sampling windows executed.
+    pub windows: u64,
+    /// Integration substeps executed.
+    pub substeps: u64,
+    /// Wall-clock seconds consumed.
+    pub wall_s: f64,
+    /// The headline number: substeps per wall-clock second.
+    pub substeps_per_s: f64,
+    /// Mean Gauss–Seidel sweeps per substep (0 for explicit).
+    pub avg_sweeps: f64,
+    /// Hottest cell at the end (sanity: finite, above ambient).
+    pub max_temp_k: f64,
+}
+
+/// Meshing wall-time for one rung.
+#[derive(Clone, Debug)]
+pub struct MeshBuild {
+    /// Mesh rung label.
+    pub mesh: &'static str,
+    /// xy tiles per layer.
+    pub tiles: usize,
+    /// Total cells.
+    pub cells: usize,
+    /// Seconds `ThermalGrid::build` took.
+    pub wall_s: f64,
+}
+
+/// A full scaling run.
+#[derive(Clone, Debug)]
+pub struct ScalingReport {
+    /// Host CPU count (parallel speedups are bounded by this).
+    pub host_cores: usize,
+    /// Solver worker-pool size override, if `TEMU_THERMAL_THREADS` is set.
+    pub threads_override: Option<usize>,
+    /// Whether this was the reduced smoke run.
+    pub smoke: bool,
+    /// Per-combination measurements.
+    pub cases: Vec<CaseResult>,
+    /// Per-rung meshing times.
+    pub builds: Vec<MeshBuild>,
+}
+
+/// The mesh ladder (label, refinement config). Smoke mode keeps the two
+/// smallest rungs: the paper-scale mesh and the Criterion "fine" mesh.
+pub fn mesh_ladder(smoke: bool) -> Vec<(&'static str, GridConfig)> {
+    let ladder = vec![
+        // ~640 cells: the paper's §5.2 real-time operating point.
+        ("paper660", GridConfig { default_div: 2, hot_div: 3, filler_pitch_um: 2000.0, ..GridConfig::default() }),
+        // ~1.5k cells: the Criterion bench's "fine" mesh — the acceptance
+        // rung for speedup-vs-reference.
+        ("criterion_fine", GridConfig { default_div: 3, hot_div: 6, filler_pitch_um: 700.0, ..GridConfig::default() }),
+        // ~5.5k cells.
+        ("xfine", GridConfig { default_div: 6, hot_div: 12, filler_pitch_um: 350.0, ..GridConfig::default() }),
+        // ~20k cells: above the default parallel threshold.
+        ("xxfine", GridConfig { default_div: 12, hot_div: 24, filler_pitch_um: 180.0, ..GridConfig::default() }),
+        // ~46k cells (11.5k tiles): the mesher stress rung.
+        ("huge", GridConfig { default_div: 18, hot_div: 36, filler_pitch_um: 120.0, ..GridConfig::default() }),
+    ];
+    if smoke {
+        ladder.into_iter().take(2).collect()
+    } else {
+        ladder
+    }
+}
+
+fn integrators() -> [(&'static str, Integrator); 2] {
+    [
+        ("semi_implicit", Integrator::SemiImplicit { dt: 5e-4 }),
+        ("explicit", Integrator::Explicit),
+    ]
+}
+
+fn sweeps() -> [(&'static str, SweepMode); 3] {
+    [
+        ("reference", SweepMode::Reference),
+        ("serial", SweepMode::Serial),
+        ("auto", SweepMode::Auto),
+    ]
+}
+
+fn measure_case(
+    mesh: &'static str,
+    cfg: &GridConfig,
+    integrator: (&'static str, Integrator),
+    sweep: (&'static str, SweepMode),
+    budget_s: f64,
+) -> CaseResult {
+    let map = fig4b_arm11();
+    let cfg = GridConfig { integrator: integrator.1, sweep: sweep.1, ..*cfg };
+    let mut model = ThermalModel::new(&map.floorplan, &cfg).expect("meshes");
+    for &(p, _, _, _) in &map.cores {
+        model.set_component_power(p, 1.2);
+    }
+    // One warm-up window takes the model off the cold start (and fills the
+    // warm-start/SOR state the steady loop runs with).
+    model.step(0.010);
+    let substeps0 = model.substeps_taken();
+    let t0 = Instant::now();
+    let mut windows = 0u64;
+    let mut sweep_samples = 0.0f64;
+    loop {
+        model.step(0.010);
+        windows += 1;
+        sweep_samples += model.last_sweep_count() as f64;
+        if t0.elapsed().as_secs_f64() >= budget_s {
+            break;
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let substeps = model.substeps_taken() - substeps0;
+    let max_temp_k = model.max_temp();
+    assert!(max_temp_k.is_finite(), "{mesh}/{}/{}: non-finite temperature", integrator.0, sweep.0);
+    assert!(max_temp_k >= cfg.ambient_k - 1e-6, "{mesh}: below ambient");
+    CaseResult {
+        mesh,
+        cells: model.grid().n_cells(),
+        edges: model.grid().n_edges(),
+        colors: model.grid().sweep_colors(),
+        integrator: integrator.0,
+        sweep: sweep.0,
+        parallel_active: model.uses_parallel_sweeps(),
+        windows,
+        substeps,
+        wall_s,
+        substeps_per_s: substeps as f64 / wall_s,
+        avg_sweeps: if integrator.0 == "semi_implicit" { sweep_samples / windows as f64 } else { 0.0 },
+        max_temp_k,
+    }
+}
+
+/// Runs the scaling sweep. `budget_s` bounds the wall time of each
+/// (mesh × integrator × sweep) measurement.
+pub fn run(smoke: bool, budget_s: f64) -> ScalingReport {
+    let mut cases = Vec::new();
+    let mut builds = Vec::new();
+    let map = fig4b_arm11();
+    for (mesh, cfg) in mesh_ladder(smoke) {
+        let t0 = Instant::now();
+        let grid = ThermalGrid::build(&map.floorplan, &cfg).expect("meshes");
+        builds.push(MeshBuild {
+            mesh,
+            tiles: grid.n_tiles(),
+            cells: grid.n_cells(),
+            wall_s: t0.elapsed().as_secs_f64(),
+        });
+        for integrator in integrators() {
+            for sweep in sweeps() {
+                cases.push(measure_case(mesh, &cfg, integrator, sweep, budget_s));
+            }
+        }
+    }
+    ScalingReport {
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        threads_override: std::env::var("TEMU_THERMAL_THREADS").ok().and_then(|v| v.parse().ok()),
+        smoke,
+        cases,
+        builds,
+    }
+}
+
+impl ScalingReport {
+    /// Speedup of `sweep` over the reference solver on (`mesh`,
+    /// `integrator`), when both were measured.
+    pub fn speedup(&self, mesh: &str, integrator: &str, sweep: &str) -> Option<f64> {
+        let find = |s: &str| {
+            self.cases
+                .iter()
+                .find(|c| c.mesh == mesh && c.integrator == integrator && c.sweep == s)
+                .map(|c| c.substeps_per_s)
+        };
+        Some(find(sweep)? / find("reference")?)
+    }
+
+    /// Serializes to the committed `BENCH_thermal.json` format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str(&format!(
+            "  \"threads_override\": {},\n",
+            self.threads_override.map_or("null".into(), |t| t.to_string())
+        ));
+        s.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        s.push_str("  \"mesh_builds\": [\n");
+        for (i, b) in self.builds.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"mesh\": \"{}\", \"tiles\": {}, \"cells\": {}, \"wall_s\": {:.6}}}{}\n",
+                b.mesh,
+                b.tiles,
+                b.cells,
+                b.wall_s,
+                if i + 1 < self.builds.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            let speedup = self
+                .speedup(c.mesh, c.integrator, c.sweep)
+                .map_or("null".into(), |v| format!("{v:.3}"));
+            s.push_str(&format!(
+                "    {{\"mesh\": \"{}\", \"cells\": {}, \"edges\": {}, \"colors\": {}, \
+                 \"integrator\": \"{}\", \"sweep\": \"{}\", \"parallel_active\": {}, \
+                 \"windows\": {}, \"substeps\": {}, \"wall_s\": {:.6}, \
+                 \"substeps_per_s\": {:.1}, \"avg_sweeps\": {:.2}, \"max_temp_k\": {:.3}, \
+                 \"speedup_vs_reference\": {}}}{}\n",
+                c.mesh,
+                c.cells,
+                c.edges,
+                c.colors,
+                c.integrator,
+                c.sweep,
+                c.parallel_active,
+                c.windows,
+                c.substeps,
+                c.wall_s,
+                c.substeps_per_s,
+                c.avg_sweeps,
+                c.max_temp_k,
+                speedup,
+                if i + 1 < self.cases.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_spans_paper_to_large() {
+        let full = mesh_ladder(false);
+        assert!(full.len() >= 5);
+        let smoke = mesh_ladder(true);
+        assert_eq!(smoke.len(), 2);
+        assert_eq!(smoke[0].0, "paper660");
+        assert_eq!(smoke[1].0, "criterion_fine");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = ScalingReport {
+            host_cores: 4,
+            threads_override: None,
+            smoke: true,
+            cases: vec![CaseResult {
+                mesh: "paper660",
+                cells: 640,
+                edges: 1936,
+                colors: 6,
+                integrator: "semi_implicit",
+                sweep: "reference",
+                parallel_active: false,
+                windows: 3,
+                substeps: 60,
+                wall_s: 0.1,
+                substeps_per_s: 600.0,
+                avg_sweeps: 7.5,
+                max_temp_k: 301.0,
+            }],
+            builds: vec![MeshBuild { mesh: "paper660", tiles: 160, cells: 640, wall_s: 0.001 }],
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"host_cores\": 4",
+            "\"substeps_per_s\": 600.0",
+            "\"speedup_vs_reference\": 1.000",
+            "\"mesh_builds\"",
+            "\"smoke\": true",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The tier-1 bench-smoke gate: the two smallest scaling rungs must run
+//! without panic or NaN, and the committed `BENCH_thermal.json` format must
+//! serialize. (The release-mode equivalent is
+//! `cargo run --release -p temu-bench --bin thermal_scaling -- --smoke`.)
+
+use temu_bench::thermal_scaling;
+
+#[test]
+fn thermal_scaling_smoke() {
+    // Tiny budget: this runs in debug mode under `cargo test`.
+    let report = thermal_scaling::run(true, 0.02);
+    assert!(report.smoke);
+    // 2 rungs × 2 integrators × 3 sweep modes.
+    assert_eq!(report.cases.len(), 12);
+    for c in &report.cases {
+        assert!(c.substeps > 0, "{}/{}/{} did no work", c.mesh, c.integrator, c.sweep);
+        assert!(c.substeps_per_s.is_finite() && c.substeps_per_s > 0.0);
+        assert!(c.max_temp_k.is_finite() && c.max_temp_k >= 300.0, "{}: bad max temp", c.mesh);
+    }
+    assert_eq!(report.builds.len(), 2);
+    let json = report.to_json();
+    assert!(json.contains("\"cases\""));
+    assert!(json.contains("\"speedup_vs_reference\""));
+}

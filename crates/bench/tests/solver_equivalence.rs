@@ -1,0 +1,51 @@
+//! Golden-trajectory regression: the optimized CSR/colored solver must
+//! reproduce the seed-faithful reference solver on the Fig. 4b ARM11
+//! floorplan to within 1e-4 K over a 2 s heating transient, for both
+//! integrators. This is the contract that lets every later perf change be
+//! judged purely on speed.
+
+use temu_power::floorplans::fig4b_arm11;
+use temu_thermal::{GridConfig, Integrator, SweepMode, ThermalModel};
+
+fn model(integrator: Integrator, sweep: SweepMode) -> ThermalModel {
+    let map = fig4b_arm11();
+    let cfg = GridConfig { integrator, sweep, ..GridConfig::default() };
+    let mut m = ThermalModel::new(&map.floorplan, &cfg).unwrap();
+    // Asymmetric load: cores hot, one core hotter — exercises lateral
+    // gradients, not just the 1-D stack.
+    for (i, &(p, _, _, _)) in map.cores.iter().enumerate() {
+        m.set_component_power(p, if i == 0 { 1.8 } else { 1.2 });
+    }
+    m
+}
+
+fn max_cell_diff(a: &ThermalModel, b: &ThermalModel) -> f64 {
+    a.temps().iter().zip(b.temps()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[test]
+fn optimized_solver_matches_reference_on_fig4b_over_2s() {
+    for integrator in [Integrator::SemiImplicit { dt: 5e-4 }, Integrator::Explicit] {
+        let mut reference = model(integrator, SweepMode::Reference);
+        let mut optimized = model(integrator, SweepMode::Auto);
+        // 2 s transient in 10 ms sampling windows, drift checked throughout
+        // (an error that grows and decays inside the run would hide from an
+        // endpoint-only check).
+        let mut worst = 0.0f64;
+        for _ in 0..200 {
+            reference.step(0.010);
+            optimized.step(0.010);
+            worst = worst.max(max_cell_diff(&reference, &optimized));
+        }
+        assert!(
+            worst < 1e-4,
+            "max |ΔT| {worst:.2e} K vs reference over 2 s ({integrator:?})"
+        );
+        assert!(reference.max_temp() > 310.0, "the die heated up ({integrator:?})");
+        // Identical energy physics: both books balance to the same totals
+        // within the trajectory tolerance.
+        let rel = (reference.energy_out() - optimized.energy_out()).abs()
+            / reference.energy_out().max(1e-12);
+        assert!(rel < 1e-3, "energy-out drift {rel:.2e} ({integrator:?})");
+    }
+}

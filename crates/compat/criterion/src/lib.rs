@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmarking surface the workspace benches use — groups,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros and `black_box` — with a simple
+//! measure-and-print harness: each benchmark is warmed up, then timed over
+//! enough iterations to fill a fixed measurement window, and the mean time
+//! per iteration (plus throughput, when declared) is printed on one line.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work performed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the last `iter` call.
+    mean_s: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: run until ~20 ms elapse to estimate the
+        // per-iteration cost without assuming anything about its magnitude.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        loop {
+            black_box(f());
+            calib_iters += 1;
+            if calib_start.elapsed() >= Duration::from_millis(20) {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        // Measurement: `samples` batches sized to ~25 ms each.
+        let batch = ((0.025 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let s = t0.elapsed().as_secs_f64() / batch as f64;
+            best = best.min(s);
+            total += s;
+        }
+        self.mean_s = total / self.samples as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of measurement batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher { samples: self.sample_size, mean_s: 0.0 };
+        f(&mut b);
+        let mut line = format!("{}/{}: {}", self.name, id, fmt_time(b.mean_s));
+        if let Some(t) = self.throughput {
+            let rate = match t {
+                Throughput::Bytes(n) => format!("{}/s", fmt_bytes(n as f64 / b.mean_s)),
+                Throughput::Elements(n) => format!("{:.3e} elem/s", n as f64 / b.mean_s),
+            };
+            line.push_str(&format!("  ({rate})"));
+        }
+        println!("{line}");
+    }
+
+    /// Runs a benchmark under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: self.default_sample_size, throughput: None }
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s/iter")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms/iter", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs/iter", s * 1e6)
+    } else {
+        format!("{:.1} ns/iter", s * 1e9)
+    }
+}
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2} GiB", b / (1u64 << 30) as f64)
+    } else if b >= 1e6 {
+        format!("{:.2} MiB", b / (1u64 << 20) as f64)
+    } else {
+        format!("{:.2} KiB", b / 1024.0)
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert!(fmt_time(2.0).contains("s/iter"));
+        assert!(fmt_time(2e-3).contains("ms"));
+        assert!(fmt_time(2e-6).contains("µs"));
+        assert!(fmt_time(2e-9).contains("ns"));
+        assert!(fmt_bytes(2e9).contains("GiB"));
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        let mut acc = 0u64;
+        g.bench_function("add", |b| b.iter(|| acc = acc.wrapping_add(1)));
+        g.finish();
+        assert!(acc > 0);
+    }
+}

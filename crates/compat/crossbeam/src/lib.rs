@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam` crate: `channel::bounded` over
+//! `std::sync::mpsc::sync_channel` (the only surface the workspace uses).
+
+/// Multi-producer, single-consumer bounded channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel.
+    #[derive(Clone, Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Send failed: the receiver is gone. Carries the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Receive failed: all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is queued or the receiver disconnects.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender disconnects.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is closed and drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// A bounded FIFO channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn ping_pong() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(channel::SendError(9)));
+    }
+}

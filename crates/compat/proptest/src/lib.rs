@@ -1,0 +1,476 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace tests use: the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map`/`prop_filter_map`, integer/bool/range
+//! strategies, [`prop_oneof!`], `prop::collection::vec`,
+//! `prop::sample::select`, [`Just`], [`ProptestConfig`] and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate: sampling is driven by a fixed-seed
+//! deterministic RNG (stable across runs), there is **no shrinking**, and
+//! `prop_assert*` panic directly (the failing inputs appear in the panic
+//! message through the assertion formatting).
+
+/// Deterministic generator driving all strategies (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed (splitmix64 expansion).
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform index below `n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample from an empty collection");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Test-runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// `sample` returns `None` when a filter rejected the draw; the runner
+/// retries with fresh randomness.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value, or `None` if a filter rejected the draw.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps generated values through `f`, rejecting draws where `f` returns
+    /// `None`. `reason` documents the filter (used by the real crate's
+    /// statistics; kept for API compatibility).
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, f, _reason: reason }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    _reason: &'static str,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).and_then(&self.f)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Strategy over the full domain of `T` — see [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types [`any`] can generate.
+pub trait Arbitrary: Sized {
+    /// Draws a uniform value over the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform strategy over every value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                Some((self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                Some((lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Uniform choice between boxed alternative strategies — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    /// The alternatives (public so the macro can build one).
+    pub arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        let arm = rng.index(self.arms.len());
+        self.arms[arm].sample(rng)
+    }
+}
+
+/// Sub-strategy namespaces (`prop::collection`, `prop::sample`, `prop::bool`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Vec`s with length drawn from `size` and elements
+        /// from `elem`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// A `Vec` strategy: length in `size`, elements from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+                let span = self.size.end - self.size.start;
+                let len = self.size.start + if span == 0 { 0 } else { rng.index(span) };
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling from explicit value sets.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform choice from a fixed set (cloned out of the input slice).
+        pub struct Select<T: Clone> {
+            items: Vec<T>,
+        }
+
+        /// A strategy choosing uniformly from `items`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `items` is empty.
+        pub fn select<T: Clone>(items: &[T]) -> Select<T> {
+            assert!(!items.is_empty(), "cannot select from an empty slice");
+            Select { items: items.to_vec() }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<T> {
+                Some(self.items[rng.index(self.items.len())].clone())
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// The uniform boolean strategy (`prop::bool::ANY`).
+        pub struct BoolAny;
+
+        /// Uniform `true`/`false`.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<bool> {
+                Some(rng.next_u64() & 1 == 1)
+            }
+        }
+    }
+}
+
+/// Strategy tuples the [`proptest!`] runner can sample jointly.
+pub trait StrategyTuple {
+    /// Tuple of generated values.
+    type Values;
+
+    /// Samples every component; `None` if any component's filter rejected.
+    fn sample_all(&self, rng: &mut TestRng) -> Option<Self::Values>;
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> StrategyTuple for ($($name,)+) {
+            type Values = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample_all(&self, rng: &mut TestRng) -> Option<Self::Values> {
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, F);
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)` body
+/// runs for `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_seed(0x7e57_0000_0000_0000 ^ line!() as u64);
+            let __strats = ($($strat,)+);
+            let mut __cases = 0u32;
+            let mut __rejects = 0u32;
+            while __cases < __config.cases {
+                match $crate::StrategyTuple::sample_all(&__strats, &mut __rng) {
+                    Some(($($pat,)+)) => {
+                        { $body }
+                        __cases += 1;
+                    }
+                    None => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects < 0x1_0000,
+                            "proptest shim: more than 65536 rejected samples in {}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union { arms: vec![$(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+] }
+    };
+}
+
+/// The usual `use proptest::prelude::*;` imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -5i32..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn map_and_vec(v in prop::collection::vec((0u8..4).prop_map(|b| b * 2), 0..10)) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|&b| b % 2 == 0 && b < 8));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn oneof_and_select(x in prop_oneof![Just(1u32), 5u32..10, prop::sample::select(&[42u32, 43][..])]) {
+            prop_assert!(x == 1 || (5u32..10).contains(&x) || x == 42 || x == 43);
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects() {
+        let s = (0u32..10).prop_filter_map("evens only", |x| (x % 2 == 0).then_some(x));
+        let mut rng = crate::TestRng::from_seed(3);
+        let mut kept = 0;
+        for _ in 0..100 {
+            if let Some(x) = s.sample(&mut rng) {
+                assert_eq!(x % 2, 0);
+                kept += 1;
+            }
+        }
+        assert!(kept > 10);
+    }
+}

@@ -20,7 +20,13 @@ pub struct EmulationConfig {
     pub link: EthernetConfig,
     /// Activity-to-power conversion.
     pub power: PowerModel,
-    /// Thermal meshing and boundary conditions.
+    /// Thermal meshing, boundary conditions and solver execution strategy.
+    ///
+    /// The default [`temu_thermal::SweepMode::Auto`] resolves per mesh:
+    /// paper-scale floorplans solve single-threaded, meshes at or above
+    /// `grid.parallel_threshold` cells run colored parallel sweeps on the
+    /// solver's worker pool — the co-emulation loop inherits whichever the
+    /// mesh warrants (see [`ThermalEmulation::solver_parallel`]).
     pub grid: GridConfig,
 }
 
@@ -124,6 +130,13 @@ impl ThermalEmulation {
     /// The thermal model.
     pub fn model(&self) -> &ThermalModel {
         &self.model
+    }
+
+    /// Whether the thermal solver runs parallel colored sweeps for this
+    /// emulation's mesh (threshold-based resolution of the configured
+    /// sweep mode).
+    pub fn solver_parallel(&self) -> bool {
+        self.model.uses_parallel_sweeps()
     }
 
     /// The temperature trace recorded so far.
@@ -348,6 +361,39 @@ mod tests {
         let machine = Machine::new(PlatformConfig::paper_bus(8)).unwrap();
         let e = ThermalEmulation::new(machine, fig4b_arm11(), EmulationConfig::default());
         assert!(e.is_err(), "4-core floorplan cannot host 8 cores");
+    }
+
+    #[test]
+    fn sweep_mode_flows_through_emulation_config() {
+        use temu_thermal::SweepMode;
+        // Paper-scale mesh under the default Auto mode: serial.
+        let auto = emulation(None, 10);
+        assert!(!auto.solver_parallel(), "paper-scale mesh stays single-threaded");
+        // Forcing the threshold down (or the mode to Parallel) switches the
+        // loop's solver to colored parallel sweeps.
+        let machine = Machine::new(PlatformConfig::paper_thermal(4)).unwrap();
+        let mut ecfg = EmulationConfig::default();
+        ecfg.grid.sweep = SweepMode::Parallel;
+        let forced = ThermalEmulation::new(machine, fig4b_arm11(), ecfg).unwrap();
+        assert!(forced.solver_parallel());
+    }
+
+    #[test]
+    fn forced_parallel_solver_matches_serial_loop() {
+        use temu_thermal::SweepMode;
+        let run = |sweep| {
+            let mut machine = Machine::new(PlatformConfig::paper_thermal(4)).unwrap();
+            let cfg = MatrixConfig { n: 8, iters: 50_000, cores: 4 };
+            machine.load_program_all(&matrix::program(&cfg).unwrap()).unwrap();
+            let mut ecfg = EmulationConfig { sampling_window_s: 0.001, ..EmulationConfig::default() };
+            ecfg.grid.sweep = sweep;
+            let mut emu = ThermalEmulation::new(machine, fig4b_arm11(), ecfg).unwrap();
+            emu.run_windows(10).unwrap();
+            emu.trace().samples.last().unwrap().max_temp_k
+        };
+        let serial = run(SweepMode::Serial);
+        let parallel = run(SweepMode::Parallel);
+        assert!((serial - parallel).abs() < 1e-3, "serial {serial} K vs parallel {parallel} K");
     }
 
     #[test]

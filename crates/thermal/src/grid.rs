@@ -10,6 +10,7 @@
 //! cells above/below, and (top layer) to ambient through the area-weighted
 //! package resistance.
 
+use crate::csr::CellCsr;
 use crate::floorplan::Floorplan;
 use crate::props::ThermalProps;
 
@@ -27,6 +28,27 @@ pub enum Integrator {
         /// Substep length, seconds.
         dt: f64,
     },
+}
+
+/// Gauss–Seidel sweep ordering and execution strategy of the solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Seed-faithful reference path: natural-order serial sweeps with
+    /// conductivities refreshed every substep. Kept as the golden baseline
+    /// for equivalence tests and perf comparisons; do not use for
+    /// production runs.
+    Reference,
+    /// Optimized serial path: CSR linear sweeps, lagged coefficient
+    /// refresh, single-threaded.
+    Serial,
+    /// Colored (red-black generalized) sweeps executed on the worker pool
+    /// regardless of mesh size.
+    Parallel,
+    /// [`SweepMode::Serial`] below
+    /// [`GridConfig::parallel_threshold`] cells, [`SweepMode::Parallel`] at
+    /// or above it — small meshes stay single-threaded to avoid fork-join
+    /// overhead.
+    Auto,
 }
 
 /// Meshing and boundary-condition configuration.
@@ -53,6 +75,11 @@ pub struct GridConfig {
     pub silicon_k_override: Option<f64>,
     /// Time-integration scheme.
     pub integrator: Integrator,
+    /// Sweep ordering/execution strategy.
+    pub sweep: SweepMode,
+    /// Cell count at which [`SweepMode::Auto`] switches to parallel
+    /// colored sweeps.
+    pub parallel_threshold: usize,
     /// Material constants (Table 2 by default).
     pub props: ThermalProps,
 }
@@ -69,6 +96,8 @@ impl Default for GridConfig {
             package_to_air: crate::props::PACKAGE_TO_AIR_K_PER_W,
             silicon_k_override: None,
             integrator: Integrator::SemiImplicit { dt: 5e-4 },
+            sweep: SweepMode::Auto,
+            parallel_threshold: 6144,
             props: ThermalProps::default(),
         }
     }
@@ -103,6 +132,9 @@ impl GridConfig {
             if !(dt > 0.0) {
                 return Err("semi-implicit substep must be positive".into());
             }
+        }
+        if self.parallel_threshold == 0 {
+            return Err("parallel threshold must be >= 1 cell".into());
         }
         Ok(())
     }
@@ -154,6 +186,8 @@ pub struct ThermalGrid {
     /// Per component: bottom-layer cells and their fraction of the
     /// component's power.
     pub(crate) comp_cells: Vec<Vec<(usize, f64)>>,
+    /// Flat CSR adjacency (edges + convection) with sweep coloring.
+    pub(crate) csr: CellCsr,
 }
 
 const UM: f64 = 1e-6;
@@ -256,27 +290,10 @@ impl ThermalGrid {
         }
 
         // 4. Lateral adjacency from shared tile edges, replicated per layer.
-        let mut lateral = Vec::new();
-        let eps = 1e-12;
-        for i in 0..n_tiles {
-            for j in i + 1..n_tiles {
-                let (a, b) = (&tiles[i], &tiles[j]);
-                // Shared vertical edge (heat flows in x)?
-                if (a.x + a.w - b.x).abs() < eps || (b.x + b.w - a.x).abs() < eps {
-                    let overlap = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
-                    if overlap > eps {
-                        lateral.push((i, j, a.w / 2.0, b.w / 2.0, overlap));
-                    }
-                }
-                // Shared horizontal edge (heat flows in y)?
-                if (a.y + a.h - b.y).abs() < eps || (b.y + b.h - a.y).abs() < eps {
-                    let overlap = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
-                    if overlap > eps {
-                        lateral.push((i, j, a.h / 2.0, b.h / 2.0, overlap));
-                    }
-                }
-            }
-        }
+        //    Built by a sorted boundary-line sweep — O(n log n + E) instead
+        //    of the all-pairs O(n²) scan, which dominated meshing beyond a
+        //    few thousand tiles.
+        let lateral = lateral_adjacency(&tiles);
         let mut edges = Vec::new();
         for l in 0..n_layers {
             let base = l * n_tiles;
@@ -320,7 +337,8 @@ impl ThermalGrid {
             }
         }
 
-        Ok(ThermalGrid { cfg: *cfg, tiles, n_layers, layer_h, layer_is_si, capacity, edges, convection, comp_cells })
+        let csr = CellCsr::build(n_tiles * n_layers, &edges, &convection);
+        Ok(ThermalGrid { cfg: *cfg, tiles, n_layers, layer_h, layer_is_si, capacity, edges, convection, comp_cells, csr })
     }
 
     /// Total number of cells (tiles × layers).
@@ -345,10 +363,17 @@ impl ThermalGrid {
 
     /// Number of resistances attached to a cell (lateral + vertical +
     /// convection) — Fig. 3b's "five thermal resistances" for an interior
-    /// bottom cell of a uniform mesh.
+    /// bottom cell of a uniform mesh. Served from the precomputed CSR
+    /// offsets in O(1) (the seed scanned every edge per query).
     pub fn degree(&self, cell: usize) -> usize {
-        self.edges.iter().filter(|e| e.a == cell || e.b == cell).count()
-            + self.convection.iter().filter(|(c, _, _)| *c == cell).count()
+        self.csr.degree(cell) + usize::from(self.csr.conv[cell] != crate::csr::NO_CONV)
+    }
+
+    /// Number of sweep colors of the cell network (2 for bipartite meshes,
+    /// a couple more when multi-resolution T-junctions introduce odd
+    /// cycles).
+    pub fn sweep_colors(&self) -> usize {
+        self.csr.n_colors()
     }
 
     /// Whether the cell sits in a silicon layer.
@@ -359,6 +384,90 @@ impl ThermalGrid {
     /// Thickness of layer `l` in meters (bottom silicon first).
     pub fn layer_thickness_m(&self, l: usize) -> f64 {
         self.layer_h[l]
+    }
+}
+
+/// One tile boundary segment on a candidate adjacency line:
+/// `(line coordinate, segment start, segment end, tile index)`.
+type Boundary = (f64, f64, f64, usize);
+
+/// All lateral couplings `(i, j, half_i, half_j, overlap)` between tiles
+/// sharing a boundary segment, via a sorted boundary-line sweep.
+///
+/// For the x direction every tile contributes its *right* boundary to one
+/// list and its *left* boundary to another; both lists are sorted by line
+/// coordinate, lines are matched within the same `eps` the all-pairs scan
+/// used, and the segments on a matched line are merged by a two-pointer
+/// interval join. The y direction is symmetric. Cost is O(n log n) for the
+/// sorts plus O(output) for the joins.
+fn lateral_adjacency(tiles: &[Tile]) -> Vec<(usize, usize, f64, f64, f64)> {
+    let eps = 1e-12;
+    let mut out = Vec::with_capacity(tiles.len() * 2);
+
+    // Heat flows in x: right boundary of `i` meets left boundary of `j`.
+    let mut rights: Vec<Boundary> =
+        tiles.iter().enumerate().map(|(i, t)| (t.x + t.w, t.y, t.y + t.h, i)).collect();
+    let mut lefts: Vec<Boundary> = tiles.iter().enumerate().map(|(i, t)| (t.x, t.y, t.y + t.h, i)).collect();
+    join_boundaries(&mut rights, &mut lefts, eps, &mut |i, j, overlap| {
+        out.push((i, j, tiles[i].w / 2.0, tiles[j].w / 2.0, overlap));
+    });
+
+    // Heat flows in y: top boundary of `i` meets bottom boundary of `j`.
+    let mut tops: Vec<Boundary> =
+        tiles.iter().enumerate().map(|(i, t)| (t.y + t.h, t.x, t.x + t.w, i)).collect();
+    let mut bottoms: Vec<Boundary> = tiles.iter().enumerate().map(|(i, t)| (t.y, t.x, t.x + t.w, i)).collect();
+    join_boundaries(&mut tops, &mut bottoms, eps, &mut |i, j, overlap| {
+        out.push((i, j, tiles[i].h / 2.0, tiles[j].h / 2.0, overlap));
+    });
+
+    out
+}
+
+/// Matches boundary lines of `a` against `b` within `eps` and emits every
+/// pair of segments overlapping by more than `eps`.
+fn join_boundaries(a: &mut [Boundary], b: &mut [Boundary], eps: f64, emit: &mut impl FnMut(usize, usize, f64)) {
+    let key = |s: &Boundary| (s.0, s.1);
+    a.sort_by(|p, q| key(p).partial_cmp(&key(q)).expect("finite coordinates"));
+    b.sort_by(|p, q| key(p).partial_cmp(&key(q)).expect("finite coordinates"));
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        let (xa, xb) = (a[ia].0, b[ib].0);
+        if xa < xb - eps {
+            ia += 1;
+            continue;
+        }
+        if xb < xa - eps {
+            ib += 1;
+            continue;
+        }
+        // Same physical line (distinct lines are separated by orders of
+        // magnitude more than eps; same lines differ only by rounding).
+        let line = xa.min(xb);
+        let ea = a[ia..].iter().take_while(|s| s.0 - line < eps).count() + ia;
+        let eb = b[ib..].iter().take_while(|s| s.0 - line < eps).count() + ib;
+        // The run was sorted by (line, start); when one physical line
+        // appears as two rounding-variant floats, that order is not sorted
+        // by start — re-sort each run so the interval join below is sound.
+        a[ia..ea].sort_by(|p, q| p.1.partial_cmp(&q.1).expect("finite coordinates"));
+        b[ib..eb].sort_by(|p, q| p.1.partial_cmp(&q.1).expect("finite coordinates"));
+        // Interval join of the two segment runs, both sorted by start.
+        let (mut pa, mut pb) = (ia, ib);
+        while pa < ea && pb < eb {
+            let s = &a[pa];
+            let t = &b[pb];
+            let overlap = s.2.min(t.2) - s.1.max(t.1);
+            if overlap > eps {
+                emit(s.3, t.3, overlap);
+            }
+            // Advance whichever segment ends first.
+            if s.2 < t.2 {
+                pa += 1;
+            } else {
+                pb += 1;
+            }
+        }
+        ia = ea;
+        ib = eb;
     }
 }
 
@@ -504,6 +613,24 @@ mod tests {
         assert!(GridConfig { filler_pitch_um: 0.0, ..GridConfig::default() }.validate().is_err());
         assert!(GridConfig { package_to_air: -1.0, ..GridConfig::default() }.validate().is_err());
         assert!(GridConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn boundary_join_handles_rounding_variant_lines() {
+        // One physical line represented by two floats 1 ulp apart (well
+        // inside eps): the join must still find every overlapping pair, in
+        // particular across the variant values — the (line, start) pre-sort
+        // alone would interleave the runs out of start order.
+        let line = 2e-3f64;
+        let variant = f64::from_bits(line.to_bits() + 1);
+        // Right boundaries: segments [3,5] on `line`, [0,2] on `variant`.
+        let mut rights = vec![(line, 3e-3, 5e-3, 0usize), (variant, 0.0, 2e-3, 1usize)];
+        // Left boundaries: [0,2] and [3,5] both on `line`.
+        let mut lefts = vec![(line, 0.0, 2e-3, 2usize), (line, 3e-3, 5e-3, 3usize)];
+        let mut pairs = Vec::new();
+        super::join_boundaries(&mut rights, &mut lefts, 1e-12, &mut |i, j, _| pairs.push((i, j)));
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 3), (1, 2)], "both cross-variant overlaps found");
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Mesher scaling contract: a ≥ 10k-tile floorplan must mesh in well under
+//! a second (the seed's all-pairs lateral-adjacency scan was O(n_tiles²)
+//! and took seconds at this size even in release mode; the interval-sweep
+//! build is O(n log n + E)). This runs in debug mode under `cargo test`,
+//! which makes the bound a comfortably honest one.
+
+use std::time::Instant;
+use temu_thermal::{Floorplan, GridConfig, ThermalGrid};
+
+#[test]
+fn ten_thousand_tile_floorplan_meshes_in_under_a_second() {
+    // One hot 104×104 component plus surrounding filler: > 10k tiles.
+    let mut fp = Floorplan::new("big", 12000.0, 12000.0);
+    fp.add_component("hot", 1000.0, 1000.0, 10000.0, 10000.0, true);
+    let cfg = GridConfig { hot_div: 104, filler_pitch_um: 1000.0, ..GridConfig::default() };
+    let t0 = Instant::now();
+    let grid = ThermalGrid::build(&fp, &cfg).unwrap();
+    let elapsed = t0.elapsed();
+    assert!(grid.n_tiles() >= 10_000, "{} tiles", grid.n_tiles());
+    assert!(
+        elapsed.as_secs_f64() < 1.0,
+        "meshing {} tiles took {:.3} s",
+        grid.n_tiles(),
+        elapsed.as_secs_f64()
+    );
+    // The mesh is structurally sound: every cell is connected and the edge
+    // count stays linear in cells.
+    assert!(grid.n_edges() <= 4 * grid.n_cells());
+    assert!((0..grid.n_cells()).all(|c| grid.degree(c) >= 2));
+}
+
+#[test]
+fn sweep_mesher_matches_known_adjacency_counts() {
+    // A T-junction arrangement whose adjacency the all-pairs scan resolved:
+    // fine 3×3 component beside one coarse filler tile (cf. the grid
+    // module's t_junction test) — counts must be identical under the
+    // interval-sweep build.
+    let mut fp = Floorplan::new("tj", 2000.0, 1000.0);
+    fp.add_component("fine", 0.0, 0.0, 1000.0, 1000.0, true);
+    let cfg = GridConfig {
+        hot_div: 3,
+        si_layers: 1,
+        cu_layers: 1,
+        filler_pitch_um: 2000.0,
+        ..GridConfig::default()
+    };
+    let grid = ThermalGrid::build(&fp, &cfg).unwrap();
+    // 9 fine tiles + 1 filler tile, 2 layers.
+    assert_eq!(grid.n_tiles(), 10);
+    // Per layer: 12 edges inside the 3x3 block + 3 fine-filler T-junction
+    // couplings; plus 10 vertical edges between the two layers.
+    assert_eq!(grid.n_edges(), 2 * (12 + 3) + 10);
+}
