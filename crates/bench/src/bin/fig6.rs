@@ -49,8 +49,8 @@ fn main() {
     println!("summary                         no-TM          DFS");
     println!(
         "peak temperature            {:>8.2} K   {:>8.2} K",
-        free.trace().peak_temp(),
-        dfs.trace().peak_temp()
+        free.trace().peak_temp().unwrap_or(f64::NAN),
+        dfs.trace().peak_temp().unwrap_or(f64::NAN)
     );
     println!(
         "virtual time above 350 K    {:>8.3} s   {:>8.3} s",

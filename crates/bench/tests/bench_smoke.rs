@@ -4,6 +4,7 @@
 //! `cargo run --release -p temu-bench --bin thermal_scaling -- --smoke`.)
 
 use temu_bench::thermal_scaling;
+use temu_framework::{Campaign, Scenario};
 
 #[test]
 fn thermal_scaling_smoke() {
@@ -21,4 +22,22 @@ fn thermal_scaling_smoke() {
     let json = report.to_json();
     assert!(json.contains("\"cases\""));
     assert!(json.contains("\"speedup_vs_reference\""));
+}
+
+/// A two-scenario mini campaign must run end to end (debug mode, tiny
+/// workloads) and export a well-formed report — the batch-runner smoke gate.
+#[test]
+fn mini_campaign_smoke() {
+    let report = Campaign::new()
+        .scenario(Scenario::exploration_bus(1).sampling_window_s(0.002))
+        .scenario(Scenario::exploration_noc(1).sampling_window_s(0.002))
+        .threads(2)
+        .run();
+    assert_eq!(report.results.len(), 2);
+    assert!(report.all_ok(), "{}", report.to_json());
+    let json = report.to_json();
+    assert!(json.contains("1core-bus-dither-64x64x2"));
+    assert!(json.contains("1core-noc-dither-64x64x2"));
+    assert!(json.contains("\"ok\": true"));
+    assert_eq!(report.to_csv().lines().count(), 3, "header + 2 rows");
 }

@@ -1,0 +1,283 @@
+//! Batch execution of scenarios across host threads.
+//!
+//! A [`Campaign`] takes any number of [`Scenario`]s and runs them
+//! concurrently on a dedicated worker pool (the panic-safe fork-join pool
+//! the thermal solver uses, instantiated separately so a scenario's own
+//! parallel sweeps never contend with campaign dispatch). Results come back
+//! as a [`CampaignReport`] in **input order**, regardless of which worker
+//! finished first — one failed or panicked scenario is carried as its typed
+//! [`TemuError`] without aborting its siblings.
+//!
+//! Thread count resolution: an explicit [`Campaign::threads`] call wins,
+//! then the `TEMU_CAMPAIGN_THREADS` environment variable (clamped to
+//! 1..=64), then the host's available parallelism; the count is always
+//! capped by the number of scenarios.
+
+use crate::error::TemuError;
+use crate::scenario::{Scenario, ScenarioRun};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use temu_thermal::WorkerPool;
+
+/// The outcome of one scenario inside a campaign.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// The scenario's name ([`Scenario::label`]).
+    pub name: String,
+    /// Host wall-clock time this scenario took.
+    pub wall: Duration,
+    /// The run, or the typed error that stopped it.
+    pub outcome: Result<ScenarioRun, TemuError>,
+}
+
+impl ScenarioResult {
+    /// Whether the scenario completed.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// A batch of scenarios executed concurrently (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct Campaign {
+    scenarios: Vec<Scenario>,
+    threads: Option<usize>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new() -> Campaign {
+        Campaign::default()
+    }
+
+    /// Appends one scenario.
+    pub fn scenario(mut self, scenario: Scenario) -> Campaign {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Appends every scenario of an iterator (sweep construction).
+    pub fn scenarios(mut self, iter: impl IntoIterator<Item = Scenario>) -> Campaign {
+        self.scenarios.extend(iter);
+        self
+    }
+
+    /// Sets the worker-thread count explicitly. When unset, the
+    /// `TEMU_CAMPAIGN_THREADS` environment variable and then the host's
+    /// available parallelism decide.
+    pub fn threads(mut self, threads: usize) -> Campaign {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Number of scenarios queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the campaign is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Runs every scenario and collects the report (input-ordered).
+    pub fn run(&self) -> CampaignReport {
+        let t0 = Instant::now();
+        let n_jobs = self.scenarios.len();
+        let threads = self.resolve_threads(n_jobs);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+        let worker = |_lane: usize, _lanes: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_jobs {
+                break;
+            }
+            let result = run_one(&self.scenarios[i]);
+            *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+        };
+        if threads <= 1 {
+            worker(0, 1);
+        } else {
+            WorkerPool::new(threads).run(&worker);
+        }
+        let results = slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every scenario slot is filled before the pool joins")
+            })
+            .collect();
+        CampaignReport { results, wall: t0.elapsed(), threads }
+    }
+
+    fn resolve_threads(&self, n_jobs: usize) -> usize {
+        // An explicit `threads()` call wins; the environment variable only
+        // replaces the availability-derived default, so tests that pin a
+        // width stay meaningful on hosts that export the variable.
+        let configured = self
+            .threads
+            .or_else(|| {
+                std::env::var("TEMU_CAMPAIGN_THREADS")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .map(|v| v.clamp(1, 64))
+            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        configured.min(n_jobs).max(1)
+    }
+}
+
+/// Runs one scenario, converting a panic into a typed error so sibling
+/// scenarios keep running.
+fn run_one(scenario: &Scenario) -> ScenarioResult {
+    let name = scenario.label();
+    let t0 = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run()))
+        .unwrap_or_else(|payload| Err(TemuError::ScenarioPanicked(panic_message(&payload))));
+    ScenarioResult { name, wall: t0.elapsed(), outcome }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Input-ordered results of a campaign, with JSON and CSV export.
+#[derive(Debug)]
+#[must_use]
+pub struct CampaignReport {
+    /// One result per scenario, in the order they were added.
+    pub results: Vec<ScenarioResult>,
+    /// Host wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Worker threads the batch ran on.
+    pub threads: usize,
+}
+
+impl CampaignReport {
+    /// Whether every scenario completed.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(ScenarioResult::is_ok)
+    }
+
+    /// Number of failed scenarios.
+    #[must_use]
+    pub fn n_failed(&self) -> usize {
+        self.results.iter().filter(|r| !r.is_ok()).count()
+    }
+
+    /// Serializes the report as JSON (no external dependencies; failures
+    /// carry their error string).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"wall_s\": {:.6},\n", self.wall.as_secs_f64()));
+        out.push_str("  \"scenarios\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json_escape(&r.name)));
+            out.push_str(&format!("\"ok\": {}, ", r.is_ok()));
+            out.push_str(&format!("\"wall_s\": {:.6}", r.wall.as_secs_f64()));
+            match &r.outcome {
+                Ok(run) => {
+                    let rep = &run.report;
+                    out.push_str(&format!(", \"windows\": {}", rep.windows));
+                    out.push_str(&format!(", \"virtual_s\": {:.6}", rep.virtual_seconds));
+                    out.push_str(&format!(", \"virtual_cycles\": {}", rep.virtual_cycles));
+                    out.push_str(&format!(", \"fpga_s\": {:.6}", rep.fpga_seconds));
+                    out.push_str(&format!(", \"all_halted\": {}", rep.all_halted));
+                    out.push_str(&format!(", \"instructions\": {}", rep.aggregate.total_instructions()));
+                    out.push_str(&json_num_or_null(", \"peak_temp_k\": ", run.trace.peak_temp()));
+                    out.push_str(&json_num_or_null(", \"final_temp_k\": ", run.trace.final_temp()));
+                    out.push_str(&format!(", \"throttled_fraction\": {:.4}", run.trace.throttled_fraction()));
+                }
+                Err(e) => out.push_str(&format!(", \"error\": \"{}\"", json_escape(&e.to_string()))),
+            }
+            out.push_str(if i + 1 < self.results.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serializes the per-scenario summary lines as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("scenario,ok,wall_s,windows,virtual_s,fpga_s,peak_temp_k,final_temp_k,throttled_fraction,error\n");
+        for r in &self.results {
+            match &r.outcome {
+                Ok(run) => {
+                    let rep = &run.report;
+                    out.push_str(&format!(
+                        "{},true,{:.6},{},{:.6},{:.6},{},{},{:.4},\n",
+                        csv_field(&r.name),
+                        r.wall.as_secs_f64(),
+                        rep.windows,
+                        rep.virtual_seconds,
+                        rep.fpga_seconds,
+                        csv_opt(run.trace.peak_temp()),
+                        csv_opt(run.trace.final_temp()),
+                        run.trace.throttled_fraction(),
+                    ));
+                }
+                Err(e) => {
+                    out.push_str(&format!(
+                        "{},false,{:.6},,,,,,,{}\n",
+                        csv_field(&r.name),
+                        r.wall.as_secs_f64(),
+                        csv_field(&e.to_string())
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num_or_null(prefix: &str, v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{prefix}{x:.3}"),
+        None => format!("{prefix}null"),
+    }
+}
+
+fn csv_opt(v: Option<f64>) -> String {
+    v.map_or_else(String::new, |x| format!("{x:.3}"))
+}
+
+/// Quotes a CSV field when it contains separators or quotes.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}

@@ -1,9 +1,10 @@
 //! The sequential co-emulation loop (Fig. 5).
 
+use crate::error::TemuError;
 use crate::trace::{ThermalTrace, TraceSample};
 use std::time::{Duration, Instant};
 use temu_cpu::CpuError;
-use temu_link::{EthernetConfig, EthernetLink, StatsPacket, TempPacket};
+use temu_link::{EthernetConfig, EthernetLink, LinkStats, StatsPacket, TempPacket};
 use temu_platform::{DfsPolicy, Machine, WindowStats, EVENT_BYTES};
 use temu_power::{FloorplanMap, PowerModel};
 use temu_thermal::{GridConfig, ThermalModel};
@@ -44,6 +45,7 @@ impl Default for EmulationConfig {
 
 /// Summary of a finished co-emulation run.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct EmulationReport {
     /// Sampling windows executed.
     pub windows: u64,
@@ -60,6 +62,8 @@ pub struct EmulationReport {
     pub all_halted: bool,
     /// Aggregate platform statistics.
     pub aggregate: WindowStats,
+    /// Cumulative statistics-link traffic.
+    pub link: LinkStats,
 }
 
 /// The in-process sequential HW/SW co-emulation.
@@ -67,6 +71,7 @@ pub struct EmulationReport {
 /// Feedback is pipelined exactly like the physical system: the temperatures
 /// computed from window *k* reach the sensor registers (and the DFS policy)
 /// before window *k+1* starts.
+#[derive(Debug)]
 pub struct ThermalEmulation {
     machine: Machine,
     map: FloorplanMap,
@@ -88,16 +93,11 @@ impl ThermalEmulation {
     ///
     /// # Errors
     ///
-    /// Returns a message if the thermal grid cannot be built or the
-    /// floorplan has fewer core tiles than the machine has cores.
-    pub fn new(machine: Machine, map: FloorplanMap, cfg: EmulationConfig) -> Result<ThermalEmulation, String> {
-        if map.cores.len() < machine.num_cores() {
-            return Err(format!(
-                "floorplan has {} core tiles but the machine has {} cores",
-                map.cores.len(),
-                machine.num_cores()
-            ));
-        }
+    /// Returns [`TemuError::Thermal`] if the thermal grid cannot be built,
+    /// or [`TemuError::Power`] if the floorplan has fewer core tiles than
+    /// the machine has cores.
+    pub fn new(machine: Machine, map: FloorplanMap, cfg: EmulationConfig) -> Result<ThermalEmulation, TemuError> {
+        map.check_cores(machine.num_cores())?;
         let model = ThermalModel::new(&map.floorplan, &cfg.grid)?;
         let names = map.floorplan.components().iter().map(|c| c.name.clone()).collect();
         Ok(ThermalEmulation {
@@ -142,6 +142,13 @@ impl ThermalEmulation {
     /// The temperature trace recorded so far.
     pub fn trace(&self) -> &ThermalTrace {
         &self.trace
+    }
+
+    /// Consumes the emulation, returning the recorded trace (the artifact
+    /// scenario runs keep after the machine is dropped).
+    #[must_use]
+    pub fn into_trace(self) -> ThermalTrace {
+        self.trace
     }
 
     /// The statistics link.
@@ -259,6 +266,7 @@ impl ThermalEmulation {
             wall: t0.elapsed(),
             all_halted: self.machine.all_halted(),
             aggregate: self.aggregate.clone(),
+            link: *self.link.stats(),
         })
     }
 
@@ -281,6 +289,7 @@ impl ThermalEmulation {
             wall: t0.elapsed(),
             all_halted: self.machine.all_halted(),
             aggregate: self.aggregate.clone(),
+            link: *self.link.stats(),
         })
     }
 }
@@ -307,7 +316,8 @@ mod tests {
         let report = emu.run_to_halt(400).unwrap();
         assert!(report.all_halted, "matrix workload finished");
         assert!(report.windows > 1);
-        assert!(emu.trace().peak_temp() > 300.5, "the die warmed up: {}", emu.trace().peak_temp());
+        let peak = emu.trace().peak_temp().unwrap();
+        assert!(peak > 300.5, "the die warmed up: {peak}");
         assert!(report.fpga_seconds > 0.0);
         assert_eq!(report.virtual_cycles, report.aggregate.cycles());
     }
@@ -315,7 +325,7 @@ mod tests {
     #[test]
     fn trace_grows_one_sample_per_window() {
         let mut emu = emulation(None, 10_000);
-        emu.run_windows(5).unwrap();
+        let _ = emu.run_windows(5).unwrap();
         assert_eq!(emu.trace().len(), 5);
         let t = emu.trace().samples.last().unwrap().t_virtual_s;
         assert!((t - 0.005).abs() < 1e-9);
@@ -327,7 +337,7 @@ mod tests {
         // in within a few windows and halve the cycle budget of later windows.
         let policy = DfsPolicy::new(300.6, 300.3, 500_000_000, 100_000_000);
         let mut emu = emulation(Some(policy), 100_000);
-        emu.run_windows(40).unwrap();
+        let _ = emu.run_windows(40).unwrap();
         let hzs: Vec<u64> = emu.trace().samples.iter().map(|s| s.virtual_hz).collect();
         assert!(hzs.contains(&500_000_000), "starts fast");
         assert!(hzs.contains(&100_000_000), "throttles when hot: {hzs:?}");
@@ -337,7 +347,7 @@ mod tests {
     #[test]
     fn sensors_reflect_model_temperatures() {
         let mut emu = emulation(None, 100_000);
-        emu.run_windows(3).unwrap();
+        let _ = emu.run_windows(3).unwrap();
         let model_t = emu.model().component_temp(emu.map.cores[0].0);
         let sensor_t = emu.machine().uncore().mmio.sensor_kelvin(emu.map.cores[0].0);
         assert!((model_t - sensor_t).abs() < 0.01, "sensor {sensor_t} vs model {model_t}");
@@ -347,8 +357,8 @@ mod tests {
     fn deterministic_across_runs() {
         let mut a = emulation(Some(DfsPolicy::paper()), 2000);
         let mut b = emulation(Some(DfsPolicy::paper()), 2000);
-        a.run_windows(10).unwrap();
-        b.run_windows(10).unwrap();
+        let _ = a.run_windows(10).unwrap();
+        let _ = b.run_windows(10).unwrap();
         assert_eq!(a.trace().samples.len(), b.trace().samples.len());
         for (x, y) in a.trace().samples.iter().zip(b.trace().samples.iter()) {
             assert_eq!(x.virtual_hz, y.virtual_hz);
@@ -388,7 +398,7 @@ mod tests {
             let mut ecfg = EmulationConfig { sampling_window_s: 0.001, ..EmulationConfig::default() };
             ecfg.grid.sweep = sweep;
             let mut emu = ThermalEmulation::new(machine, fig4b_arm11(), ecfg).unwrap();
-            emu.run_windows(10).unwrap();
+            let _ = emu.run_windows(10).unwrap();
             emu.trace().samples.last().unwrap().max_temp_k
         };
         let serial = run(SweepMode::Serial);
@@ -399,7 +409,7 @@ mod tests {
     #[test]
     fn link_carries_stats_every_window() {
         let mut emu = emulation(None, 10_000);
-        emu.run_windows(4).unwrap();
+        let _ = emu.run_windows(4).unwrap();
         assert!(emu.link().stats().frames >= 4, "at least one frame per window");
         assert_eq!(emu.link().stats().freeze_seconds, 0.0, "count-logging never congests");
     }

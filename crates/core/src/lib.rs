@@ -9,19 +9,72 @@
 //! policy (the §7 dual-threshold DFS) retune the virtual clock — then repeat,
 //! autonomously, until the workload halts.
 //!
-//! Two transports are provided:
+//! ## Describing experiments: [`Scenario`]
+//!
+//! A [`Scenario`] is the fluent front door: it composes platform, workload,
+//! power model, thermal grid, DFS policy, floorplan, run budget and an
+//! optional FPGA-fit gate, with presets for the paper's experiments:
+//!
+//! ```
+//! use temu_framework::{Scenario, TemuError};
+//!
+//! fn main() -> Result<(), TemuError> {
+//!     let run = Scenario::exploration_bus(2) // 2 cores, OPB bus, DITHERING
+//!         .sampling_window_s(0.002)
+//!         .run()?;
+//!     assert!(run.report.all_halted);
+//!     println!("peak {:?} K over {} windows", run.trace.peak_temp(), run.report.windows);
+//!     Ok(())
+//! }
+//! ```
+//!
+//! ## Sweeping the design space: [`Campaign`]
+//!
+//! A [`Campaign`] executes many scenarios concurrently across host threads
+//! (`TEMU_CAMPAIGN_THREADS` overrides the width) and returns an
+//! input-ordered [`CampaignReport`] with JSON/CSV export — the batching
+//! layer for design-space exploration, where each scenario is one
+//! "synthesis-free" evaluation point:
+//!
+//! ```no_run
+//! use temu_framework::{Campaign, Scenario};
+//!
+//! let report = Campaign::new()
+//!     .scenarios((1..=4).map(Scenario::exploration_bus))
+//!     .scenario(Scenario::exploration_noc(4))
+//!     .run();
+//! println!("{}", report.to_json());
+//! ```
+//!
+//! Failures stay local: a scenario that returns a [`TemuError`] (or
+//! panics) is carried in its slot of the report while its siblings run to
+//! completion.
+//!
+//! ## Execution transports
 //!
 //! * [`ThermalEmulation`] — in-process sequential loop (deterministic,
-//!   benchmark-friendly);
+//!   benchmark-friendly); built directly or via [`Scenario::build`];
 //! * [`threaded::run_threaded`] — the thermal tool runs on its own host
 //!   thread connected by channels, mirroring the paper's concurrent
 //!   FPGA-plus-host-PC execution. Both produce identical traces (the
 //!   feedback is pipelined by one window in either case, exactly like the
 //!   physical system).
+//!
+//! ## Errors
+//!
+//! Every layer reports a typed error (`PlatformError`, `ThermalError`,
+//! `WorkloadError`, `PowerError`, …); [`TemuError`] folds them into one
+//! workspace-wide hierarchy so whole experiments run behind a single `?`.
 
+mod campaign;
 mod emulation;
+mod error;
+mod scenario;
 pub mod threaded;
 mod trace;
 
+pub use campaign::{Campaign, CampaignReport, ScenarioResult};
 pub use emulation::{EmulationConfig, EmulationReport, ThermalEmulation};
+pub use error::TemuError;
+pub use scenario::{RunBudget, Scenario, ScenarioRun, Workload};
 pub use trace::{ThermalTrace, TraceSample};

@@ -10,6 +10,7 @@
 //! traces** — which the tests assert.
 
 use crate::emulation::EmulationConfig;
+use crate::error::TemuError;
 use crate::trace::{ThermalTrace, TraceSample};
 use crossbeam::channel;
 use std::error::Error;
@@ -26,7 +27,7 @@ pub enum ThreadedError {
     /// The platform faulted.
     Platform(CpuError),
     /// Setup failed (thermal grid, floorplan mismatch).
-    Setup(String),
+    Setup(TemuError),
     /// The thermal thread disappeared (channel closed early).
     LinkClosed,
 }
@@ -56,14 +57,9 @@ pub fn run_threaded(
     cfg: EmulationConfig,
     windows: u64,
 ) -> Result<(Machine, ThermalTrace), ThreadedError> {
-    if map.cores.len() < machine.num_cores() {
-        return Err(ThreadedError::Setup(format!(
-            "floorplan has {} core tiles but the machine has {} cores",
-            map.cores.len(),
-            machine.num_cores()
-        )));
-    }
-    let mut model = ThermalModel::new(&map.floorplan, &cfg.grid).map_err(ThreadedError::Setup)?;
+    map.check_cores(machine.num_cores()).map_err(|e| ThreadedError::Setup(e.into()))?;
+    let mut model =
+        ThermalModel::new(&map.floorplan, &cfg.grid).map_err(|e| ThreadedError::Setup(e.into()))?;
     let names: Vec<String> = map.floorplan.components().iter().map(|c| c.name.clone()).collect();
     let window_s = cfg.sampling_window_s;
 
@@ -182,7 +178,7 @@ mod tests {
     fn threaded_runs_and_heats() {
         let (machine, trace) = run_threaded(machine_with_matrix(50_000), fig4b_arm11(), config(), 12).unwrap();
         assert_eq!(trace.len(), 12);
-        assert!(trace.peak_temp() > 300.1);
+        assert!(trace.peak_temp().unwrap() > 300.1);
         assert!(!machine.all_halted(), "long workload still running");
     }
 
@@ -195,7 +191,7 @@ mod tests {
         let (_, threaded) = run_threaded(machine_with_matrix(50_000), fig4b_arm11(), config(), windows).unwrap();
 
         let mut seq = ThermalEmulation::new(machine_with_matrix(50_000), fig4b_arm11(), config()).unwrap();
-        seq.run_windows(windows).unwrap();
+        let _ = seq.run_windows(windows).unwrap();
 
         assert_eq!(threaded.len(), seq.trace().len());
         for (a, b) in threaded.samples.iter().zip(seq.trace().samples.iter()) {

@@ -38,32 +38,38 @@ impl ThermalTrace {
     }
 
     /// Number of samples.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.samples.len()
     }
 
     /// Whether the trace is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
     }
 
-    /// The hottest temperature ever reached, K.
-    pub fn peak_temp(&self) -> f64 {
-        self.samples.iter().map(|s| s.max_temp_k).fold(f64::NEG_INFINITY, f64::max)
+    /// The hottest temperature ever reached, K; `None` for an empty trace.
+    #[must_use]
+    pub fn peak_temp(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.max_temp_k).reduce(f64::max)
     }
 
-    /// Final maximum temperature, K.
-    pub fn final_temp(&self) -> f64 {
-        self.samples.last().map(|s| s.max_temp_k).unwrap_or(f64::NAN)
+    /// Final maximum temperature, K; `None` for an empty trace.
+    #[must_use]
+    pub fn final_temp(&self) -> Option<f64> {
+        self.samples.last().map(|s| s.max_temp_k)
     }
 
     /// First virtual time at which the hottest component crossed
     /// `threshold_k`, if ever.
+    #[must_use]
     pub fn crossing_time(&self, threshold_k: f64) -> Option<f64> {
         self.samples.iter().find(|s| s.max_temp_k > threshold_k).map(|s| s.t_virtual_s)
     }
 
     /// Virtual seconds spent with the hottest component above `threshold_k`.
+    #[must_use]
     pub fn time_above(&self, threshold_k: f64) -> f64 {
         let mut total = 0.0;
         let mut prev_t = 0.0;
@@ -77,6 +83,7 @@ impl ThermalTrace {
     }
 
     /// Fraction of windows run at the throttled (lowest observed) frequency.
+    #[must_use]
     pub fn throttled_fraction(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
@@ -92,6 +99,7 @@ impl ThermalTrace {
 
     /// Renders the trace as CSV: time, per-component temperatures, frequency,
     /// power.
+    #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from("t_virtual_s");
         for n in &self.component_names {
@@ -116,13 +124,14 @@ impl ThermalTrace {
 
     /// Renders an ASCII plot of the hottest-component curve (Fig. 6 style),
     /// `width`×`height` characters, with threshold guide lines.
+    #[must_use]
     pub fn ascii_plot(&self, width: usize, height: usize, thresholds: &[f64]) -> String {
         if self.samples.is_empty() || width < 8 || height < 3 {
             return String::from("(empty trace)\n");
         }
         let t_end = self.samples.last().expect("nonempty").t_virtual_s;
         let mut lo = self.samples.iter().map(|s| s.max_temp_k).fold(f64::INFINITY, f64::min);
-        let mut hi = self.peak_temp();
+        let mut hi = self.peak_temp().expect("nonempty");
         for &th in thresholds {
             lo = lo.min(th);
             hi = hi.max(th);
@@ -185,12 +194,20 @@ mod tests {
     fn metrics() {
         let tr = trace();
         assert_eq!(tr.len(), 4);
-        assert_eq!(tr.peak_temp(), 352.0);
-        assert_eq!(tr.final_temp(), 341.0);
+        assert_eq!(tr.peak_temp(), Some(352.0));
+        assert_eq!(tr.final_temp(), Some(341.0));
         assert_eq!(tr.crossing_time(350.0), Some(0.03));
         assert_eq!(tr.crossing_time(400.0), None);
         assert!((tr.time_above(350.0) - 0.01).abs() < 1e-12);
         assert!((tr.throttled_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_no_temperatures() {
+        let tr = ThermalTrace::default();
+        assert_eq!(tr.peak_temp(), None);
+        assert_eq!(tr.final_temp(), None);
+        assert_eq!(tr.crossing_time(0.0), None);
     }
 
     #[test]

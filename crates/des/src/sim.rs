@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 use temu_cpu::{Cpu, CpuError};
 use temu_isa::Program;
 use temu_mem::MemArray;
-use temu_platform::{PlatformConfig, Uncore};
+use temu_platform::{PlatformConfig, PlatformError, Uncore};
 
 /// Result of a cycle-driven simulation run.
 #[derive(Clone, Debug)]
@@ -62,9 +62,9 @@ impl DesMachine {
     ///
     /// # Errors
     ///
-    /// Returns the configuration validation error, exactly as
+    /// Returns the [`PlatformError`] validation error, exactly as
     /// [`temu_platform::Machine::new`] does.
-    pub fn new(cfg: PlatformConfig) -> Result<DesMachine, String> {
+    pub fn new(cfg: PlatformConfig) -> Result<DesMachine, PlatformError> {
         cfg.validate()?;
         let cores: Vec<Cpu> = (0..cfg.cores).map(|i| Cpu::new(i, cfg.cpu)).collect();
         let uncore = Uncore::new(&cfg);
@@ -102,11 +102,12 @@ impl DesMachine {
     ///
     /// # Errors
     ///
-    /// Returns a message if the image does not fit in private memory.
-    pub fn load_program(&mut self, core: usize, program: &Program) -> Result<(), String> {
+    /// Returns [`PlatformError::ProgramLoad`] if the image does not fit in
+    /// private memory.
+    pub fn load_program(&mut self, core: usize, program: &Program) -> Result<(), PlatformError> {
         self.uncore
             .load_private(core, program.base, &program.to_bytes())
-            .map_err(|e| format!("loading program into core {core}: {e}"))?;
+            .map_err(|e| PlatformError::ProgramLoad { core, source: e })?;
         self.cores[core].reset(program.entry);
         let sp = self.cfg.private_mem.size - 16;
         self.cores[core].regs_mut().write(temu_isa::Reg::SP, sp);
@@ -117,8 +118,9 @@ impl DesMachine {
     ///
     /// # Errors
     ///
-    /// Returns a message if the image does not fit in private memory.
-    pub fn load_program_all(&mut self, program: &Program) -> Result<(), String> {
+    /// Returns [`PlatformError::ProgramLoad`] if the image does not fit in
+    /// private memory.
+    pub fn load_program_all(&mut self, program: &Program) -> Result<(), PlatformError> {
         for core in 0..self.cores.len() {
             self.load_program(core, program)?;
         }

@@ -15,7 +15,7 @@
 //! ```
 
 use crate::req::{Grant, IcStats, Request};
-use crate::{addr_transitions, data_transitions, Interconnect};
+use crate::{addr_transitions, data_transitions, IcError, Interconnect};
 
 /// Arbitration policy of the custom bus.
 ///
@@ -83,18 +83,19 @@ impl BusConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description if there are no initiators, `cycles_per_word`
-    /// is zero, or a TDMA slot is shorter than one cycle.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint: there must be at least one
+    /// initiator, `cycles_per_word` must be nonzero, and a TDMA slot must be
+    /// at least one cycle.
+    pub fn validate(&self) -> Result<(), IcError> {
         if self.initiators == 0 {
-            return Err("bus needs at least one initiator".into());
+            return Err(IcError::NoInitiators);
         }
         if self.cycles_per_word == 0 {
-            return Err("cycles_per_word must be >= 1".into());
+            return Err(IcError::ZeroCyclesPerWord);
         }
         if let Arbitration::Tdma { slot_cycles } = self.arbitration {
             if slot_cycles == 0 {
-                return Err("TDMA slot must be >= 1 cycle".into());
+                return Err(IcError::ZeroTdmaSlot);
             }
         }
         Ok(())
@@ -303,7 +304,8 @@ mod tests {
         cfg.cycles_per_word = 2;
         let mut bus = Bus::new(cfg);
         let g = bus.transact(&req(0, 0), 0);
-        assert_eq!(g.complete - g.start, 1 + 0 + 8);
+        // addr phase + zero memory latency + 4 words at 2 cycles each
+        assert_eq!(g.complete - g.start, 1 + 8);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Typed validation errors of the interconnect configurations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`BusConfig`](crate::BusConfig) or [`NocConfig`](crate::NocConfig)
+/// failed validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum IcError {
+    /// The bus has no initiator ports.
+    NoInitiators,
+    /// The bus transfers zero words per cycle.
+    ZeroCyclesPerWord,
+    /// A TDMA slot shorter than one cycle.
+    ZeroTdmaSlot,
+    /// The NoC topology has no switches.
+    NoSwitches,
+    /// The NoC routers forward in zero cycles.
+    ZeroRouterLatency,
+    /// No cores are attached to the NoC.
+    NoCoresAttached,
+    /// No memories are attached to the NoC.
+    NoMemoriesAttached,
+    /// A core/memory attachment names a switch outside the topology.
+    AttachmentOutOfRange {
+        /// Position in the concatenated core/memory attachment list.
+        index: usize,
+        /// The nonexistent switch the attachment names.
+        switch: usize,
+        /// Switches the topology actually has.
+        switches: usize,
+    },
+    /// A topology link names a nonexistent switch.
+    LinkOutOfRange {
+        /// Link endpoints.
+        a: usize,
+        /// Link endpoints.
+        b: usize,
+        /// Switches the topology actually has.
+        switches: usize,
+    },
+    /// The switch graph is not connected.
+    Disconnected,
+}
+
+impl fmt::Display for IcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IcError::NoInitiators => write!(f, "bus needs at least one initiator"),
+            IcError::ZeroCyclesPerWord => write!(f, "cycles_per_word must be >= 1"),
+            IcError::ZeroTdmaSlot => write!(f, "TDMA slot must be >= 1 cycle"),
+            IcError::NoSwitches => write!(f, "topology has no switches"),
+            IcError::ZeroRouterLatency => write!(f, "router latency must be >= 1"),
+            IcError::NoCoresAttached => write!(f, "no cores attached"),
+            IcError::NoMemoriesAttached => write!(f, "no memories attached"),
+            IcError::AttachmentOutOfRange { index, switch, switches } => {
+                write!(f, "attachment {index} names switch {switch}, but there are only {switches}")
+            }
+            IcError::LinkOutOfRange { a, b, switches } => {
+                write!(f, "link ({a},{b}) names a nonexistent switch (there are {switches})")
+            }
+            IcError::Disconnected => write!(f, "topology is not connected"),
+        }
+    }
+}
+
+impl Error for IcError {}

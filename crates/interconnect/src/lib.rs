@@ -21,10 +21,12 @@
 //! the half-width average-case estimate per transferred word.
 
 mod bus;
+mod error;
 mod noc;
 mod req;
 
 pub use bus::{Arbitration, Bus, BusConfig, BusKind};
+pub use error::IcError;
 pub use noc::{Noc, NocConfig, Topology};
 pub use req::{Grant, IcStats, Request};
 

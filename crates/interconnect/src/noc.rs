@@ -19,7 +19,7 @@
 //! discipline, keeping the two engines cycle-exact).
 
 use crate::req::{Grant, IcStats, Request};
-use crate::{addr_transitions, data_transitions, Interconnect};
+use crate::{addr_transitions, data_transitions, IcError, Interconnect};
 
 /// NoC topology.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -139,28 +139,28 @@ impl NocConfig {
     /// Returns a description if the graph is disconnected, an attachment
     /// names a nonexistent switch, there are no cores or memories, or
     /// `router_latency` is zero.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), IcError> {
         let n = self.topology.switches();
         if n == 0 {
-            return Err("topology has no switches".into());
+            return Err(IcError::NoSwitches);
         }
         if self.router_latency == 0 {
-            return Err("router latency must be >= 1".into());
+            return Err(IcError::ZeroRouterLatency);
         }
         if self.core_switch.is_empty() {
-            return Err("no cores attached".into());
+            return Err(IcError::NoCoresAttached);
         }
         if self.mem_switch.is_empty() {
-            return Err("no memories attached".into());
+            return Err(IcError::NoMemoriesAttached);
         }
         for (i, &s) in self.core_switch.iter().chain(self.mem_switch.iter()).enumerate() {
             if s >= n {
-                return Err(format!("attachment {i} names switch {s}, but there are only {n}"));
+                return Err(IcError::AttachmentOutOfRange { index: i, switch: s, switches: n });
             }
         }
         for &(a, b) in &self.topology.links() {
             if a >= n || b >= n {
-                return Err(format!("link ({a},{b}) names a nonexistent switch"));
+                return Err(IcError::LinkOutOfRange { a, b, switches: n });
             }
         }
         // Connectivity via BFS from switch 0.
@@ -177,7 +177,7 @@ impl NocConfig {
             }
         }
         if seen.iter().any(|s| !s) {
-            return Err("topology is not connected".into());
+            return Err(IcError::Disconnected);
         }
         Ok(())
     }

@@ -150,6 +150,7 @@ pub enum AluImmOp {
 }
 
 impl AluImmOp {
+    #[cfg_attr(not(test), allow(dead_code))] // proptest strategies only
     pub(crate) const ALL: [AluImmOp; 6] = [
         AluImmOp::Add,
         AluImmOp::And,
@@ -190,6 +191,7 @@ pub enum ShiftOp {
 }
 
 impl ShiftOp {
+    #[cfg_attr(not(test), allow(dead_code))] // proptest strategies only
     pub(crate) const ALL: [ShiftOp; 3] = [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra];
 
     /// Evaluates `a <op> sh`.
@@ -234,6 +236,7 @@ pub enum Cond {
 }
 
 impl Cond {
+    #[cfg_attr(not(test), allow(dead_code))] // proptest strategies only
     pub(crate) const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
 
     /// Evaluates the condition on two register values.

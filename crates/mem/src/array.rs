@@ -53,7 +53,7 @@ impl MemArray {
 
     fn check(&self, addr: u32, width: Width) -> Result<usize, MemError> {
         let bytes = width.bytes();
-        if addr % bytes != 0 {
+        if !addr.is_multiple_of(bytes) {
             return Err(MemError::Misaligned { addr, width });
         }
         let end = addr.checked_add(bytes).ok_or(MemError::OutOfRange { addr, size: self.size() })?;

@@ -5,6 +5,7 @@
 //! the knobs the paper exposes. Replacement is LRU within a set. Write policy
 //! is configurable (the platform default is write-back/write-allocate).
 
+use crate::error::MemConfigError;
 use crate::stats::{AccessKind, CacheStats};
 
 /// Write-handling policy.
@@ -65,24 +66,25 @@ impl CacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint: sizes must be
-    /// powers of two, the line must be ≥ 4 bytes, the capacity must hold at
-    /// least one set, and `hit_latency` must be ≥ 1.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint: sizes must be powers of two,
+    /// the line must be ≥ 4 bytes, the capacity must hold at least one set,
+    /// and `hit_latency` must be ≥ 1.
+    pub fn validate(&self) -> Result<(), MemConfigError> {
         if !self.size_bytes.is_power_of_two() {
-            return Err(format!("cache size {} is not a power of two", self.size_bytes));
+            return Err(MemConfigError::CacheSizeNotPowerOfTwo { size_bytes: self.size_bytes });
         }
         if !self.line_bytes.is_power_of_two() || self.line_bytes < 4 {
-            return Err(format!("line size {} must be a power of two >= 4", self.line_bytes));
+            return Err(MemConfigError::CacheLineInvalid { line_bytes: self.line_bytes });
         }
         if self.ways == 0 || self.size_bytes < self.line_bytes * self.ways {
-            return Err(format!(
-                "capacity {} cannot hold {} way(s) of {}-byte lines",
-                self.size_bytes, self.ways, self.line_bytes
-            ));
+            return Err(MemConfigError::CacheGeometry {
+                size_bytes: self.size_bytes,
+                ways: self.ways,
+                line_bytes: self.line_bytes,
+            });
         }
         if self.hit_latency == 0 {
-            return Err("hit latency must be at least 1 cycle".to_string());
+            return Err(MemConfigError::CacheZeroHitLatency);
         }
         Ok(())
     }

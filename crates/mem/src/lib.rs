@@ -23,11 +23,13 @@
 
 mod array;
 mod cache;
+mod error;
 mod map;
 mod stats;
 
 pub use array::{MemArray, MemError};
 pub use cache::{Cache, CacheConfig, CacheKind, CacheResponse, WritePolicy};
+pub use error::MemConfigError;
 pub use map::{AddressMap, MappedRange, RangeTarget, MMIO_BASE, MMIO_SIZE, SHARED_BASE};
 pub use stats::{AccessKind, CacheStats, MemStats};
 

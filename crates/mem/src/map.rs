@@ -5,6 +5,7 @@
 //! interconnect) or the memory-mapped I/O window, and knows which ranges are
 //! cacheable.
 
+use crate::error::MemConfigError;
 use std::fmt;
 
 /// Device class a range maps to.
@@ -80,14 +81,15 @@ impl AddressMap {
     ///
     /// # Errors
     ///
-    /// Returns a description if ranges are empty-sized or overlap.
-    pub fn new(ranges: Vec<MappedRange>) -> Result<AddressMap, String> {
+    /// Returns [`MemConfigError`] if a range is empty-sized, wraps the
+    /// address space, or overlaps another.
+    pub fn new(ranges: Vec<MappedRange>) -> Result<AddressMap, MemConfigError> {
         for r in &ranges {
             if r.size == 0 {
-                return Err(format!("range at {:#010x} has zero size", r.base));
+                return Err(MemConfigError::ZeroSizedRange { base: r.base });
             }
             if r.base.checked_add(r.size - 1).is_none() {
-                return Err(format!("range at {:#010x} wraps the address space", r.base));
+                return Err(MemConfigError::WrappingRange { base: r.base });
             }
         }
         for (i, a) in ranges.iter().enumerate() {
@@ -95,7 +97,7 @@ impl AddressMap {
                 let a_end = a.base as u64 + a.size as u64;
                 let b_end = b.base as u64 + b.size as u64;
                 if (a.base as u64) < b_end && (b.base as u64) < a_end {
-                    return Err(format!("ranges {a} and {b} overlap"));
+                    return Err(MemConfigError::OverlappingRanges { a: *a, b: *b });
                 }
             }
         }

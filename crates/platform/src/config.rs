@@ -1,9 +1,10 @@
 //! Platform configuration: the knobs the paper's framework exposes.
 
+use crate::error::PlatformError;
 use crate::sniffer::SnifferMode;
 use temu_cpu::CpuConfig;
 use temu_interconnect::{Arbitration, BusConfig, NocConfig};
-use temu_mem::{CacheConfig, MemoryConfig};
+use temu_mem::{CacheConfig, CacheKind, MemoryConfig};
 
 /// Interconnect selection (§3.3).
 #[derive(Clone, PartialEq, Debug)]
@@ -111,38 +112,38 @@ impl PlatformConfig {
     /// Returns the first violated constraint (no cores, invalid cache or
     /// interconnect geometry, interconnect port count not matching `cores`,
     /// zero clock frequencies, private memory too small to be useful).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), PlatformError> {
         if self.cores == 0 {
-            return Err("platform needs at least one core".into());
+            return Err(PlatformError::NoCores);
         }
         if let Some(c) = &self.icache {
-            c.validate().map_err(|e| format!("icache: {e}"))?;
+            c.validate().map_err(|e| PlatformError::Cache { kind: CacheKind::Instruction, source: e })?;
         }
         if let Some(c) = &self.dcache {
-            c.validate().map_err(|e| format!("dcache: {e}"))?;
+            c.validate().map_err(|e| PlatformError::Cache { kind: CacheKind::Data, source: e })?;
         }
-        if self.private_mem.size < 1024 || self.private_mem.size % 4 != 0 {
-            return Err(format!("private memory size {} must be a word multiple >= 1 KB", self.private_mem.size));
+        if self.private_mem.size < 1024 || !self.private_mem.size.is_multiple_of(4) {
+            return Err(PlatformError::MemorySize { which: "private", size: self.private_mem.size });
         }
-        if self.shared_mem.size % 4 != 0 {
-            return Err("shared memory size must be a word multiple".into());
+        if !self.shared_mem.size.is_multiple_of(4) {
+            return Err(PlatformError::MemorySize { which: "shared", size: self.shared_mem.size });
         }
         match &self.interconnect {
             IcChoice::Bus(b) => {
-                b.validate().map_err(|e| format!("bus: {e}"))?;
+                b.validate()?;
                 if b.initiators != self.cores {
-                    return Err(format!("bus has {} ports but platform has {} cores", b.initiators, self.cores));
+                    return Err(PlatformError::PortMismatch { ports: b.initiators, cores: self.cores });
                 }
             }
             IcChoice::Noc(n) => {
-                n.validate().map_err(|e| format!("noc: {e}"))?;
+                n.validate()?;
                 if n.core_switch.len() != self.cores {
-                    return Err(format!("noc attaches {} cores but platform has {}", n.core_switch.len(), self.cores));
+                    return Err(PlatformError::PortMismatch { ports: n.core_switch.len(), cores: self.cores });
                 }
             }
         }
         if self.fpga_hz == 0 || self.virtual_hz == 0 {
-            return Err("clock frequencies must be nonzero".into());
+            return Err(PlatformError::ZeroClock);
         }
         Ok(())
     }
@@ -182,7 +183,8 @@ mod tests {
             c.line_bytes = 3;
         }
         let e = cfg.validate().unwrap_err();
-        assert!(e.contains("icache"));
+        assert!(matches!(e, PlatformError::Cache { kind: CacheKind::Instruction, .. }), "{e:?}");
+        assert!(e.to_string().contains("icache"));
     }
 
     #[test]

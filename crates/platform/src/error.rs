@@ -1,0 +1,92 @@
+//! Typed errors of the platform configuration and machine construction.
+
+use std::error::Error;
+use std::fmt;
+use temu_interconnect::IcError;
+use temu_mem::{CacheKind, MemConfigError, MemError};
+
+/// Why a [`PlatformConfig`](crate::PlatformConfig) was rejected or a
+/// [`Machine`](crate::Machine) operation failed.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// The platform has zero cores.
+    NoCores,
+    /// An L1 cache configuration is invalid.
+    Cache {
+        /// Which cache (instruction or data).
+        kind: CacheKind,
+        /// The underlying geometry violation.
+        source: MemConfigError,
+    },
+    /// A main-memory size is not a word multiple (private memories must
+    /// also be at least 1 KB).
+    MemorySize {
+        /// `"private"` or `"shared"`.
+        which: &'static str,
+        /// The offending size in bytes.
+        size: u32,
+    },
+    /// The bus or NoC configuration is invalid.
+    Interconnect(IcError),
+    /// The interconnect's port/attachment count does not match the core
+    /// count.
+    PortMismatch {
+        /// Initiator ports (bus) or core attachments (NoC).
+        ports: usize,
+        /// Cores the platform has.
+        cores: usize,
+    },
+    /// The FPGA or virtual clock frequency is zero.
+    ZeroClock,
+    /// A program image does not fit in a core's private memory.
+    ProgramLoad {
+        /// The core the image was loaded into.
+        core: usize,
+        /// The underlying memory fault.
+        source: MemError,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoCores => write!(f, "platform needs at least one core"),
+            PlatformError::Cache { kind, source } => {
+                let name = match kind {
+                    CacheKind::Instruction => "icache",
+                    CacheKind::Data => "dcache",
+                };
+                write!(f, "{name}: {source}")
+            }
+            PlatformError::MemorySize { which, size } => {
+                write!(f, "{which} memory size {size} must be a word multiple (private: >= 1 KB)")
+            }
+            PlatformError::Interconnect(e) => write!(f, "interconnect: {e}"),
+            PlatformError::PortMismatch { ports, cores } => {
+                write!(f, "interconnect attaches {ports} core port(s) but the platform has {cores} cores")
+            }
+            PlatformError::ZeroClock => write!(f, "clock frequencies must be nonzero"),
+            PlatformError::ProgramLoad { core, source } => {
+                write!(f, "loading program into core {core}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for PlatformError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlatformError::Cache { source, .. } => Some(source),
+            PlatformError::Interconnect(e) => Some(e),
+            PlatformError::ProgramLoad { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<IcError> for PlatformError {
+    fn from(e: IcError) -> PlatformError {
+        PlatformError::Interconnect(e)
+    }
+}

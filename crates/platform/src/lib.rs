@@ -21,6 +21,7 @@
 //! dual-threshold DFS policy of §7 switches the virtual clock frequency.
 
 mod config;
+mod error;
 mod machine;
 mod mmio;
 mod sniffer;
@@ -29,6 +30,7 @@ mod uncore;
 mod vpcm;
 
 pub use config::{IcChoice, PlatformConfig};
+pub use error::PlatformError;
 pub use machine::{Machine, RunSummary};
 pub use mmio::{
     Mmio, MMIO_CONSOLE, MMIO_CORE_ID, MMIO_CYCLE_HI, MMIO_CYCLE_LO, MMIO_FREQ_MHZ, MMIO_NCORES,

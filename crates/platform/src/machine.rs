@@ -1,6 +1,7 @@
 //! The emulated MPSoC machine and its execution engine.
 
 use crate::config::PlatformConfig;
+use crate::error::PlatformError;
 use crate::stats::WindowStats;
 use crate::uncore::Uncore;
 use crate::vpcm::Vpcm;
@@ -50,9 +51,8 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns the validation error message if the configuration is
-    /// inconsistent.
-    pub fn new(cfg: PlatformConfig) -> Result<Machine, String> {
+    /// Returns [`PlatformError`] if the configuration is inconsistent.
+    pub fn new(cfg: PlatformConfig) -> Result<Machine, PlatformError> {
         cfg.validate()?;
         let cores = (0..cfg.cores).map(|i| Cpu::new(i, cfg.cpu)).collect();
         let uncore = Uncore::new(&cfg);
@@ -128,11 +128,12 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns a message if the image does not fit in private memory.
-    pub fn load_program(&mut self, core: usize, program: &Program) -> Result<(), String> {
+    /// Returns [`PlatformError::ProgramLoad`] if the image does not fit in
+    /// private memory.
+    pub fn load_program(&mut self, core: usize, program: &Program) -> Result<(), PlatformError> {
         self.uncore
             .load_private(core, program.base, &program.to_bytes())
-            .map_err(|e| format!("loading program into core {core}: {e}"))?;
+            .map_err(|e| PlatformError::ProgramLoad { core, source: e })?;
         self.cores[core].reset(program.entry);
         let sp = self.cfg.private_mem.size - 16;
         self.cores[core].regs_mut().write(Reg::SP, sp);
@@ -144,8 +145,9 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns a message if the image does not fit in private memory.
-    pub fn load_program_all(&mut self, program: &Program) -> Result<(), String> {
+    /// Returns [`PlatformError::ProgramLoad`] if the image does not fit in
+    /// private memory.
+    pub fn load_program_all(&mut self, program: &Program) -> Result<(), PlatformError> {
         for core in 0..self.cores.len() {
             self.load_program(core, program)?;
         }

@@ -260,6 +260,7 @@ impl Uncore {
     }
 
     /// Burst service to whichever device owns `addr`.
+    #[allow(clippy::too_many_arguments)] // one flat dispatch for the memory-port hot path
     fn service(&mut self, core: usize, target: RangeTarget, addr: u32, words: u32, wb_words: u32, is_write: bool, issue: u64) -> u64 {
         match target {
             RangeTarget::Private => self.private_service(core, words + wb_words, is_write, issue),
@@ -338,7 +339,7 @@ impl MemoryPort for Uncore {
     fn read(&mut self, core: usize, addr: u32, width: Width, now: u64) -> Result<MemReply, MemError> {
         let range = *self.map.lookup(addr).ok_or(MemError::Unmapped { addr })?;
         if range.target == RangeTarget::Mmio {
-            if addr % width.bytes() != 0 {
+            if !addr.is_multiple_of(width.bytes()) {
                 return Err(MemError::Misaligned { addr, width });
             }
             let value = self.mmio.read(core, range.offset(addr), now);
@@ -358,7 +359,7 @@ impl MemoryPort for Uncore {
     fn write(&mut self, core: usize, addr: u32, width: Width, value: u32, now: u64) -> Result<MemReply, MemError> {
         let range = *self.map.lookup(addr).ok_or(MemError::Unmapped { addr })?;
         if range.target == RangeTarget::Mmio {
-            if addr % width.bytes() != 0 {
+            if !addr.is_multiple_of(width.bytes()) {
                 return Err(MemError::Misaligned { addr, width });
             }
             self.mmio.write(core, range.offset(addr), value);

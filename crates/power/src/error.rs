@@ -1,0 +1,29 @@
+//! Typed errors of the power/floorplan layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a floorplan cannot serve a platform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// The floorplan has fewer processor tiles than the machine has cores.
+    CoreTileMismatch {
+        /// Processor tiles the floorplan provides.
+        core_tiles: usize,
+        /// Cores the platform wants to place.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::CoreTileMismatch { core_tiles, cores } => {
+                write!(f, "floorplan has {core_tiles} core tiles but the machine has {cores} cores")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}

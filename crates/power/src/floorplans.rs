@@ -8,6 +8,7 @@
 //! we reproduce with the documented estimate in the power database.
 
 use crate::db::{CoreKind, PowerDb};
+use crate::error::PowerError;
 use temu_thermal::{ComponentId, Floorplan};
 
 /// A floorplan plus the mapping from platform statistics sources to
@@ -30,6 +31,19 @@ impl FloorplanMap {
     /// Total number of floorplan components.
     pub fn n_components(&self) -> usize {
         self.floorplan.components().len()
+    }
+
+    /// Checks that the floorplan provides a processor tile for each of
+    /// `cores` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::CoreTileMismatch`] when it does not.
+    pub fn check_cores(&self, cores: usize) -> Result<(), PowerError> {
+        if self.cores.len() < cores {
+            return Err(PowerError::CoreTileMismatch { core_tiles: self.cores.len(), cores });
+        }
+        Ok(())
     }
 
     /// Component ids of the processors only (the DFS policy watches these).

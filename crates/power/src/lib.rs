@@ -16,9 +16,11 @@
 //!   with the DFS-controlled virtual clock frequency.
 
 mod db;
+mod error;
 pub mod floorplans;
 mod model;
 
 pub use db::{CoreKind, PowerDb, PowerEntry};
+pub use error::PowerError;
 pub use floorplans::FloorplanMap;
 pub use model::PowerModel;

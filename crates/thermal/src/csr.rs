@@ -109,8 +109,8 @@ impl CellCsr {
         }
         let mut color_cursor: Vec<u32> = color_offsets[..n_colors].to_vec();
         let mut order = vec![0u32; n];
-        for i in 0..n {
-            let c = color[i] as usize;
+        for (i, &c) in color.iter().enumerate() {
+            let c = c as usize;
             order[color_cursor[c] as usize] = i as u32;
             color_cursor[c] += 1;
         }
@@ -153,12 +153,12 @@ mod tests {
             nested[e.a].push((e.b as u32, ei as u32));
             nested[e.b].push((e.a as u32, ei as u32));
         }
-        for i in 0..5 {
+        for (i, expect) in nested.iter().enumerate() {
             let span = csr.offsets[i] as usize..csr.offsets[i + 1] as usize;
             let flat: Vec<(u32, u32)> =
                 span.map(|k| (csr.nbr[k], csr.edge[k])).collect();
-            assert_eq!(flat, nested[i], "cell {i} entry order preserved");
-            assert_eq!(csr.degree(i), nested[i].len());
+            assert_eq!(&flat, expect, "cell {i} entry order preserved");
+            assert_eq!(csr.degree(i), expect.len());
         }
         assert_eq!(csr.conv[4], 0);
         assert_eq!(csr.conv[0], NO_CONV);
@@ -170,7 +170,7 @@ mod tests {
         let edges = [edge(0, 1), edge(1, 2), edge(0, 2), edge(2, 3)];
         let csr = CellCsr::build(4, &edges, &[]);
         assert!(csr.n_colors() >= 3);
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for c in 0..csr.n_colors() {
             for &i in csr.color_cells(c) {
                 assert!(!seen[i as usize], "each cell appears once");

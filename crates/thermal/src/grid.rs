@@ -11,6 +11,7 @@
 //! package resistance.
 
 use crate::csr::CellCsr;
+use crate::error::ThermalError;
 use crate::floorplan::Floorplan;
 use crate::props::ThermalProps;
 
@@ -109,32 +110,33 @@ impl GridConfig {
     /// # Errors
     ///
     /// Returns the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ThermalError> {
         if self.si_layers == 0 {
-            return Err("at least one silicon layer is required".into());
+            return Err(ThermalError::NoSiliconLayers);
         }
         if self.cu_layers == 0 {
-            return Err("at least one copper layer is required".into());
+            return Err(ThermalError::NoCopperLayers);
         }
         if self.default_div == 0 || self.hot_div == 0 {
-            return Err("component subdivisions must be >= 1".into());
+            return Err(ThermalError::ZeroSubdivision);
         }
-        if !(self.filler_pitch_um > 0.0) {
-            return Err("filler pitch must be positive".into());
+        // NaN must fail these checks too, so compare on the accepting side.
+        if self.filler_pitch_um <= 0.0 || self.filler_pitch_um.is_nan() {
+            return Err(ThermalError::NonPositiveFillerPitch { pitch_um: self.filler_pitch_um });
         }
-        if !(self.ambient_k > 0.0) {
-            return Err("ambient temperature must be positive".into());
+        if self.ambient_k <= 0.0 || self.ambient_k.is_nan() {
+            return Err(ThermalError::NonPositiveAmbient { ambient_k: self.ambient_k });
         }
         if self.package_to_air <= 0.0 {
-            return Err("package-to-air resistance must be positive (use INFINITY for adiabatic)".into());
+            return Err(ThermalError::NonPositivePackageResistance { k_per_w: self.package_to_air });
         }
         if let Integrator::SemiImplicit { dt } = self.integrator {
-            if !(dt > 0.0) {
-                return Err("semi-implicit substep must be positive".into());
+            if dt <= 0.0 || dt.is_nan() {
+                return Err(ThermalError::NonPositiveSubstep { dt_s: dt });
             }
         }
         if self.parallel_threshold == 0 {
-            return Err("parallel threshold must be >= 1 cell".into());
+            return Err(ThermalError::ZeroParallelThreshold);
         }
         Ok(())
     }
@@ -197,9 +199,10 @@ impl ThermalGrid {
     ///
     /// # Errors
     ///
-    /// Returns a message if the configuration is invalid or the tiling fails
-    /// to cover the die (which would indicate an inconsistent floorplan).
-    pub fn build(fp: &Floorplan, cfg: &GridConfig) -> Result<ThermalGrid, String> {
+    /// Returns [`ThermalError`] if the configuration is invalid or the
+    /// tiling fails to cover the die (which would indicate an inconsistent
+    /// floorplan).
+    pub fn build(fp: &Floorplan, cfg: &GridConfig) -> Result<ThermalGrid, ThermalError> {
         cfg.validate()?;
         let mut tiles = Vec::new();
 
@@ -267,7 +270,7 @@ impl ThermalGrid {
         let covered: f64 = tiles.iter().map(Tile::area).sum();
         let die = fp.width_um * fp.height_um * UM * UM;
         if ((covered - die) / die).abs() > 1e-6 {
-            return Err(format!("tiling covers {covered:.3e} m^2 of a {die:.3e} m^2 die"));
+            return Err(ThermalError::CoverageGap { covered_m2: covered, die_m2: die });
         }
 
         // 3. Layers.
@@ -295,10 +298,10 @@ impl ThermalGrid {
         //    few thousand tiles.
         let lateral = lateral_adjacency(&tiles);
         let mut edges = Vec::new();
-        for l in 0..n_layers {
+        for (l, &h_l) in layer_h.iter().enumerate() {
             let base = l * n_tiles;
             for &(i, j, half_i, half_j, overlap) in &lateral {
-                let cross = overlap * layer_h[l];
+                let cross = overlap * h_l;
                 edges.push(Edge { a: base + i, b: base + j, g_a: half_i / cross, g_b: half_j / cross });
             }
         }

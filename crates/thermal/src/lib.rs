@@ -64,6 +64,7 @@
 //! ```
 
 mod csr;
+mod error;
 mod floorplan;
 mod grid;
 mod pool;
@@ -71,8 +72,10 @@ mod props;
 mod reference;
 mod solver;
 
+pub use error::ThermalError;
 pub use floorplan::{Component, ComponentId, Floorplan};
 pub use grid::{GridConfig, Integrator, SweepMode, ThermalGrid};
+pub use pool::Pool as WorkerPool;
 pub use props::{
     silicon_conductivity, ThermalProps, COPPER_CONDUCTIVITY, COPPER_SPECIFIC_HEAT_PER_UM3,
     COPPER_THICKNESS_UM, PACKAGE_TO_AIR_K_PER_W, SILICON_SPECIFIC_HEAT_PER_UM3, SILICON_THICKNESS_UM,

@@ -1,4 +1,6 @@
-//! A minimal persistent fork-join pool for the solver's parallel sweeps.
+//! A minimal persistent fork-join pool, shared by the solver's parallel
+//! sweeps and (as [`temu_thermal::WorkerPool`](crate::WorkerPool)) by batch
+//! runners higher in the stack.
 //!
 //! The colored Gauss–Seidel sweep dispatches one tiny job per color per
 //! sweep iteration — thousands of joins per simulated window — so spawning
@@ -7,12 +9,16 @@
 //! closure to all of them; `run` returns only after every worker finished,
 //! which is what makes handing out a non-`'static` closure sound.
 //!
-//! The pool is a process-wide singleton shared by every `ThermalModel`
+//! The solver uses a process-wide singleton shared by every `ThermalModel`
 //! (models are `Clone` and must stay cheap to clone); a dispatch mutex
-//! serializes concurrent `run` calls from different models.
+//! serializes concurrent `run` calls from different models. Independent
+//! consumers (the framework's scenario campaigns) build their *own*
+//! [`Pool`] with [`Pool::new`] instead of sharing the solver's — a job on
+//! one pool may itself dispatch sweeps onto the global pool without
+//! deadlocking on the dispatch mutex.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Type-erased borrowed job: `(worker index, worker count)`. The lifetime
 /// of the pointee is erased; `run` guarantees it outlives every use.
@@ -42,16 +48,42 @@ struct State {
     shutdown: bool,
 }
 
-/// The persistent worker pool.
-pub(crate) struct Pool {
-    shared: &'static Shared,
+/// A persistent fork-join worker pool.
+///
+/// `run` broadcasts a borrowed closure to `n_workers` lanes (index 0 runs on
+/// the calling thread, the rest on parked worker threads) and returns when
+/// every lane finished. Dropping the pool shuts its workers down.
+pub struct Pool {
+    shared: Arc<Shared>,
     /// Worker threads plus the calling thread.
     n_workers: usize,
-    /// Serializes `run` calls from different models.
+    /// Serializes `run` calls from different callers.
     dispatch: Mutex<()>,
 }
 
 impl Pool {
+    /// Builds a dedicated pool with `n_workers` lanes (clamped to at least
+    /// one — the calling thread always participates). `n_workers - 1` OS
+    /// threads are spawned and parked until jobs arrive.
+    pub fn new(n_workers: usize) -> Pool {
+        let n_workers = n_workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { seq: 0, job: None, remaining: 0, shutdown: false }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            n_workers,
+            job_panicked: AtomicBool::new(false),
+        });
+        for index in 1..n_workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("temu-pool-{index}"))
+                .spawn(move || worker_loop(&shared, index))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, n_workers, dispatch: Mutex::new(()) }
+    }
+
     /// Worker lanes a job is split into (worker threads + caller).
     pub fn n_workers(&self) -> usize {
         self.n_workers
@@ -99,7 +131,16 @@ impl Pool {
     }
 }
 
-fn worker_loop(shared: &'static Shared, index: usize) {
+impl Drop for Pool {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.shutdown = true;
+        drop(st);
+        self.shared.start.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
     let mut last_seq = 0u64;
     loop {
         let job = {
@@ -142,27 +183,18 @@ fn worker_loop(shared: &'static Shared, index: usize) {
 /// the parallel paths on small machines.
 pub(crate) fn global() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
-    POOL.get_or_init(|| {
-        let n_workers = std::env::var("TEMU_THERMAL_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .map(|v| v.clamp(1, 64))
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()).min(16));
-        let shared: &'static Shared = Box::leak(Box::new(Shared {
-            state: Mutex::new(State { seq: 0, job: None, remaining: 0, shutdown: false }),
-            start: Condvar::new(),
-            done: Condvar::new(),
-            n_workers,
-            job_panicked: AtomicBool::new(false),
-        }));
-        for index in 1..n_workers {
-            std::thread::Builder::new()
-                .name(format!("temu-thermal-{index}"))
-                .spawn(move || worker_loop(shared, index))
-                .expect("spawn thermal pool worker");
-        }
-        Pool { shared, n_workers, dispatch: Mutex::new(()) }
-    })
+    POOL.get_or_init(|| Pool::new(default_workers("TEMU_THERMAL_THREADS")))
+}
+
+/// Worker count from an environment override (clamped to 1..=64), falling
+/// back to the available parallelism capped at 16 — sweep jobs are
+/// memory-bound and stop scaling well before that.
+pub(crate) fn default_workers(env_var: &str) -> usize {
+    std::env::var(env_var)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|v| v.clamp(1, 64))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()).min(16))
 }
 
 /// A sense-reversing spin barrier for synchronization points *inside* one
@@ -350,6 +382,24 @@ mod tests {
         });
         let expect: usize = (1..=n).sum();
         assert!(phase2.iter().all(|&s| s == expect));
+    }
+
+    #[test]
+    fn dedicated_pool_is_independent_of_the_global_one() {
+        // A job running on a dedicated pool may itself dispatch onto the
+        // global pool (the campaign-runs-parallel-solvers nesting) without
+        // deadlocking on either dispatch mutex.
+        let dedicated = Pool::new(2);
+        let total = AtomicUsize::new(0);
+        dedicated.run(&|_, _| {
+            let inner = AtomicUsize::new(0);
+            global().run(&|_, _| {
+                inner.fetch_add(1, Ordering::SeqCst);
+            });
+            total.fetch_add(inner.load(Ordering::SeqCst), Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 2 * global().n_workers());
+        drop(dedicated); // workers shut down without hanging the test
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! golden baseline for equivalence tests and speedup measurements.
 
 use crate::csr::NO_CONV;
+use crate::error::ThermalError;
 use crate::floorplan::{ComponentId, Floorplan};
 use crate::grid::{GridConfig, Integrator, SweepMode, ThermalGrid};
 use crate::pool::{self, SpinBarrier, UnsafeSlice};
@@ -165,8 +166,8 @@ impl ThermalModel {
     ///
     /// # Errors
     ///
-    /// Returns a message if the grid configuration is invalid.
-    pub fn new(fp: &Floorplan, cfg: &GridConfig) -> Result<ThermalModel, String> {
+    /// Returns [`ThermalError`] if the grid configuration is invalid.
+    pub fn new(fp: &Floorplan, cfg: &GridConfig) -> Result<ThermalModel, ThermalError> {
         let grid = ThermalGrid::build(fp, cfg)?;
         let n = grid.n_cells();
         let n_entries = grid.csr.nbr.len();
@@ -627,10 +628,11 @@ impl ThermalModel {
                     for &cell in &cells[pool::chunk(cells.len(), w, n)] {
                         let i = cell as usize;
                         let mut num = c_over_h[i] * temps[i] + cell_power[i] + g_conv[i] * amb;
-                        for k in csr.offsets[i] as usize..csr.offsets[i + 1] as usize {
+                        let (lo, hi) = (csr.offsets[i] as usize, csr.offsets[i + 1] as usize);
+                        for (&g, &nb) in g_entry[lo..hi].iter().zip(&csr.nbr[lo..hi]) {
                             // SAFETY: neighbours are never this color, so no
                             // worker writes them during this color pass.
-                            num += g_entry[k] * unsafe { work.read(csr.nbr[k] as usize) };
+                            num += g * unsafe { work.read(nb as usize) };
                         }
                         // SAFETY: cell `i` is in exactly one worker's chunk.
                         let old = unsafe { work.read(i) };
@@ -691,8 +693,9 @@ impl ThermalModel {
                     // SAFETY: nobody writes `temps` before the barrier.
                     let t_i = unsafe { temps.read(i) };
                     let mut f = cell_power[i];
-                    for k in csr.offsets[i] as usize..csr.offsets[i + 1] as usize {
-                        f += g_entry[k] * (unsafe { temps.read(csr.nbr[k] as usize) } - t_i);
+                    let (lo, hi) = (csr.offsets[i] as usize, csr.offsets[i + 1] as usize);
+                    for (&g, &nb) in g_entry[lo..hi].iter().zip(&csr.nbr[lo..hi]) {
+                        f += g * (unsafe { temps.read(nb as usize) } - t_i);
                     }
                     let q_conv = g_conv[i] * (t_i - amb);
                     f -= q_conv;

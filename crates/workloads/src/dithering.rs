@@ -13,9 +13,10 @@
 //! and the host reference, so the emulated output must match the reference
 //! byte for byte.
 
+use crate::error::WorkloadError;
 use crate::image::GreyImage;
 use crate::{MMIO_BASE, SHARED_BASE};
-use temu_isa::asm::{assemble, AsmError};
+use temu_isa::asm::assemble;
 use temu_isa::Program;
 
 /// Parameters of a dithering workload instance.
@@ -56,14 +57,14 @@ impl DitherConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message if the height does not divide by the core count or
-    /// a dimension is zero.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`WorkloadError`] if the height does not divide by the core
+    /// count or a dimension is zero.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
         if self.width == 0 || self.height == 0 || self.images == 0 || self.cores == 0 {
-            return Err("dithering dimensions must be nonzero".into());
+            return Err(WorkloadError::ZeroDimension);
         }
-        if self.height % self.cores != 0 {
-            return Err(format!("height {} does not divide across {} cores", self.height, self.cores));
+        if !self.height.is_multiple_of(self.cores) {
+            return Err(WorkloadError::IndivisibleHeight { height: self.height, cores: self.cores });
         }
         Ok(())
     }
@@ -81,8 +82,8 @@ fn err_next_addr(width: u32) -> u32 {
 /// # Errors
 ///
 /// Returns the validation or assembler diagnosis.
-pub fn program(cfg: &DitherConfig) -> Result<Program, AsmError> {
-    cfg.validate().map_err(|msg| AsmError { line: 0, msg })?;
+pub fn program(cfg: &DitherConfig) -> Result<Program, WorkloadError> {
+    cfg.validate()?;
     let src = format!(
         "
         .equ MMIO, {mmio:#x}
@@ -210,7 +211,7 @@ pub fn program(cfg: &DitherConfig) -> Result<Program, AsmError> {
         errwords2 = 2 * (cfg.width + 2),
         img_bytes = cfg.width * cfg.height,
     );
-    assemble(&src)
+    Ok(assemble(&src)?)
 }
 
 /// Host reference: dithers `img` in place with the same band-local

@@ -1,0 +1,64 @@
+//! Typed errors of the workload generators.
+
+use std::error::Error;
+use std::fmt;
+use temu_isa::asm::AsmError;
+
+/// Why a workload configuration was rejected or its program failed to
+/// generate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A workload dimension (image size, matrix order, image count,
+    /// iteration count or core count) is zero.
+    ZeroDimension,
+    /// The image height does not divide evenly across the cores.
+    IndivisibleHeight {
+        /// Image height in pixels.
+        height: u32,
+        /// Cores the rows were to be split across.
+        cores: u32,
+    },
+    /// The workload is parameterized for a different number of cores than
+    /// the platform has (an SPMD program sized for N cores deadlocks its
+    /// barrier on any other count).
+    CoreMismatch {
+        /// Cores the workload was generated for.
+        workload_cores: u32,
+        /// Cores the platform has.
+        platform_cores: usize,
+    },
+    /// The generated TE32 source failed to assemble (a generator bug —
+    /// every supported configuration is exercised by tests).
+    Assembly(AsmError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ZeroDimension => write!(f, "workload dimensions must be nonzero"),
+            WorkloadError::IndivisibleHeight { height, cores } => {
+                write!(f, "height {height} does not divide across {cores} cores")
+            }
+            WorkloadError::CoreMismatch { workload_cores, platform_cores } => {
+                write!(f, "workload is sized for {workload_cores} cores but the platform has {platform_cores}")
+            }
+            WorkloadError::Assembly(e) => write!(f, "generated program does not assemble: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Assembly(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AsmError> for WorkloadError {
+    fn from(e: AsmError) -> WorkloadError {
+        WorkloadError::Assembly(e)
+    }
+}

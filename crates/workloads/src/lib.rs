@@ -20,8 +20,11 @@
 //! `tas` spinlock primitive over shared memory.
 
 pub mod dithering;
+mod error;
 pub mod image;
 pub mod matrix;
+
+pub use error::WorkloadError;
 
 /// Base address of the shared memory in the platform's default address map
 /// (kept in sync with `temu_mem::SHARED_BASE`; asserted in tests).

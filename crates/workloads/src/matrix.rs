@@ -9,8 +9,9 @@
 //! thermal stress driver ("a workload of 100K matrices ... to stress the
 //! MPSoC processing power and observe thermal effects").
 
+use crate::error::WorkloadError;
 use crate::{MMIO_BASE, SHARED_BASE};
-use temu_isa::asm::{assemble, AsmError};
+use temu_isa::asm::assemble;
 use temu_isa::Program;
 
 /// Parameters of a matrix workload instance.
@@ -33,6 +34,19 @@ impl MatrixConfig {
     /// A Matrix-TM-style stress configuration (scale `iters` as needed).
     pub fn thermal(cores: u32, iters: u32) -> MatrixConfig {
         MatrixConfig { n: 16, iters, cores }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroDimension`] if the matrix order, the
+    /// iteration count or the core count is zero.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.n == 0 || self.iters == 0 || self.cores == 0 {
+            return Err(WorkloadError::ZeroDimension);
+        }
+        Ok(())
     }
 }
 
@@ -70,9 +84,11 @@ fn bases(n: u32) -> (u32, u32, u32) {
 ///
 /// # Errors
 ///
-/// Returns the assembler diagnosis (which would indicate a generator bug —
-/// exercised by tests for every supported configuration).
-pub fn program(cfg: &MatrixConfig) -> Result<Program, AsmError> {
+/// Returns the validation error for a degenerate configuration, or the
+/// assembler diagnosis (which would indicate a generator bug — exercised by
+/// tests for every supported configuration).
+pub fn program(cfg: &MatrixConfig) -> Result<Program, WorkloadError> {
+    cfg.validate()?;
     let (a, b, c) = bases(cfg.n);
     let l = layout();
     let src = format!(
@@ -230,7 +246,7 @@ pub fn program(cfg: &MatrixConfig) -> Result<Program, AsmError> {
         n = cfg.n,
         n2 = cfg.n * cfg.n,
     );
-    assemble(&src)
+    Ok(assemble(&src)?)
 }
 
 /// Host-side reference: the checksum core `core` must produce.

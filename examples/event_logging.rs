@@ -7,29 +7,28 @@
 //! cargo run --release --example event_logging
 //! ```
 
-use temu::framework::{EmulationConfig, ThermalEmulation};
-use temu::platform::{Machine, PlatformConfig, SnifferMode};
-use temu::power::floorplans::fig4b_arm11;
-use temu::workloads::matrix::{self, MatrixConfig};
+use temu::platform::{PlatformConfig, SnifferMode};
+use temu::workloads::matrix::MatrixConfig;
+use temu::{Scenario, TemuError, Workload};
 
-fn run(mode: SnifferMode) -> (f64, u64, usize) {
+fn run(mode: SnifferMode) -> Result<(f64, u64, u64), TemuError> {
     let mut platform = PlatformConfig::paper_thermal(4);
     platform.sniffer_mode = mode;
-    let mut machine = Machine::new(platform).expect("valid");
-    let workload = MatrixConfig { n: 16, iters: 100_000, cores: 4 };
-    machine.load_program_all(&matrix::program(&workload).expect("assembles")).expect("fits");
-    let mut emu = ThermalEmulation::new(machine, fig4b_arm11(), EmulationConfig::default()).expect("builds");
-    let report = emu.run_windows(20).expect("runs");
-    (report.fpga_seconds, report.aggregate.events_overflowed, emu.link().stats().frames as usize)
+    let run = Scenario::new()
+        .platform(platform)
+        .workload(Workload::Matrix(MatrixConfig { n: 16, iters: 100_000, cores: 4 }))
+        .windows(20)
+        .run()?;
+    Ok((run.report.fpga_seconds, run.report.aggregate.events_overflowed, run.report.link.frames))
 }
 
-fn main() {
+fn main() -> Result<(), TemuError> {
     println!("20 sampling windows of Matrix-TM under different sniffer modes:\n");
-    let (fpga_count, _, frames_count) = run(SnifferMode::CountLogging);
+    let (fpga_count, _, frames_count) = run(SnifferMode::CountLogging)?;
     println!("count-logging : FPGA time {fpga_count:.4} s, {frames_count} MAC frames, no congestion possible");
 
     for capacity in [1 << 14, 1 << 10] {
-        let (fpga, dropped, frames) = run(SnifferMode::EventLogging { capacity });
+        let (fpga, dropped, frames) = run(SnifferMode::EventLogging { capacity })?;
         println!(
             "event-logging ({capacity:>6}-event buffer): FPGA time {fpga:.4} s, {frames} MAC frames, {dropped} events overflowed",
         );
@@ -37,4 +36,5 @@ fn main() {
     println!("\nThe count-logging mode is why the paper can add 'practically an unlimited");
     println!("number' of sniffers without slowing emulation; event logging is reserved for");
     println!("deep debugging and pays with VPCM clock-freeze time.");
+    Ok(())
 }

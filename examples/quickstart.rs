@@ -1,26 +1,30 @@
 //! Quickstart: build a 4-core MPSoC, run the Matrix kernel, read the sniffer
 //! statistics — the minimal end-to-end tour of the emulation platform.
 //!
+//! Every fallible step surfaces a typed error through `?`; nothing here can
+//! panic on a bad configuration.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use temu::platform::{Machine, PlatformConfig};
 use temu::workloads::matrix::{self, MatrixConfig};
+use temu::TemuError;
 
-fn main() {
+fn main() -> Result<(), TemuError> {
     // The paper's exploration platform: 4 cores, 4 KB I/D caches, private
     // memories, 1 MB shared memory behind an OPB bus (section 7).
     let platform = PlatformConfig::paper_bus(4);
-    let mut machine = Machine::new(platform).expect("valid configuration");
+    let mut machine = Machine::new(platform)?;
 
     // The MATRIX kernel: every core multiplies its own matrices in private
     // memory and the checksums are combined in shared memory.
     let workload = MatrixConfig { n: 16, iters: 4, cores: 4 };
-    let program = matrix::program(&workload).expect("assembles");
-    machine.load_program_all(&program).expect("fits in private memory");
+    let program = matrix::program(&workload)?;
+    machine.load_program_all(&program)?;
 
-    let summary = machine.run_to_halt(u64::MAX).expect("no faults");
+    let summary = machine.run_to_halt(u64::MAX)?;
     assert!(summary.all_halted);
 
     println!("== run ==");
@@ -60,7 +64,8 @@ fn main() {
     // The emulated result must equal the host-side reference.
     let expected = matrix::reference_total(&workload);
     let off = matrix::layout().total_addr - temu::workloads::SHARED_BASE;
-    let got = machine.shared().read(off, temu::isa::Width::Word).unwrap();
+    let got = machine.shared().read(off, temu::isa::Width::Word)?;
     assert_eq!(got, expected);
     println!("\ncombined checksum {got:#010x} matches the host reference — emulation is exact.");
+    Ok(())
 }

@@ -3,51 +3,46 @@
 //! watch the die heat past 350 K, then enable the dual-threshold policy and
 //! watch it saw-tooth inside the 340–350 K band.
 //!
+//! Both observations are one [`Scenario`] preset each; the campaign runs
+//! them concurrently and reports in input order.
+//!
 //! ```sh
 //! cargo run --release --example thermal_management
 //! ```
 
-use temu::framework::{EmulationConfig, ThermalEmulation};
-use temu::platform::{DfsPolicy, Machine, PlatformConfig};
-use temu::power::floorplans::fig4b_arm11;
-use temu::workloads::matrix::{self, MatrixConfig};
+use temu::{Campaign, Scenario, TemuError};
 
-fn emulation(policy: Option<DfsPolicy>) -> ThermalEmulation {
-    // 4 RISC-32 cores, 8 KB caches, 4-switch NoC, 500 MHz virtual clock.
-    let mut machine = Machine::new(PlatformConfig::paper_thermal(4)).expect("valid configuration");
-    let workload = MatrixConfig { n: 16, iters: 20_000, cores: 4 };
-    machine
-        .load_program_all(&matrix::program(&workload).expect("assembles"))
-        .expect("fits");
-    let cfg = EmulationConfig { policy, ..EmulationConfig::default() };
-    ThermalEmulation::new(machine, fig4b_arm11(), cfg).expect("floorplan matches the machine")
-}
+fn main() -> Result<(), TemuError> {
+    let report = Campaign::new()
+        .scenario(Scenario::paper_fig6_unmanaged()) // 500 MHz throughout
+        .scenario(Scenario::paper_fig6()) // the paper's DFS policy
+        .run();
 
-fn main() {
-    let windows = 120; // 120 x 10 ms = 1.2 virtual seconds
-
-    let mut unmanaged = emulation(None);
-    unmanaged.run_windows(windows).expect("runs");
-
-    let mut managed = emulation(Some(DfsPolicy::paper()));
-    managed.run_windows(windows).expect("runs");
+    let mut runs = Vec::new();
+    for result in report.results {
+        runs.push(result.outcome?);
+    }
+    let (unmanaged, managed) = (&runs[0], &runs[1]);
 
     println!("=== without thermal management (500 MHz throughout) ===");
-    println!("{}", unmanaged.trace().ascii_plot(70, 14, &[350.0, 340.0]));
+    println!("{}", unmanaged.trace.ascii_plot(70, 14, &[350.0, 340.0]));
     println!("=== with the paper's DFS policy (>350 K -> 100 MHz, <340 K -> 500 MHz) ===");
-    println!("{}", managed.trace().ascii_plot(70, 14, &[350.0, 340.0]));
+    println!("{}", managed.trace.ascii_plot(70, 14, &[350.0, 340.0]));
 
-    println!("peak temperature : {:.2} K vs {:.2} K", unmanaged.trace().peak_temp(), managed.trace().peak_temp());
+    let peak = |r: &temu::ScenarioRun| r.trace.peak_temp().unwrap_or(f64::NAN);
+    println!("peak temperature : {:.2} K vs {:.2} K", peak(unmanaged), peak(managed));
     println!(
         "time above 350 K : {:.3} s vs {:.3} s",
-        unmanaged.trace().time_above(350.0),
-        managed.trace().time_above(350.0)
+        unmanaged.trace.time_above(350.0),
+        managed.trace.time_above(350.0)
     );
-    println!("throttled windows: {:.0}%", 100.0 * managed.trace().throttled_fraction());
+    println!("throttled windows: {:.0}%", 100.0 * managed.trace.throttled_fraction());
     println!(
         "work done        : {} vs {} instructions",
-        unmanaged.trace().len(),
-        managed.trace().len()
+        unmanaged.report.aggregate.total_instructions(),
+        managed.report.aggregate.total_instructions()
     );
-    println!("\nCSV of the managed run:\n{}", &managed.trace().to_csv()[..400.min(managed.trace().to_csv().len())]);
+    let csv = managed.trace.to_csv();
+    println!("\nCSV of the managed run:\n{}", &csv[..400.min(csv.len())]);
+    Ok(())
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local gate: tier-1 build+tests, lint wall, and the bench-smoke
+# perf gate. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== lint wall: clippy -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "== bench-smoke gate =="
+cargo run --release -p temu-bench --bin thermal_scaling -- --smoke
+
+echo "All checks passed."

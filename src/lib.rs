@@ -4,6 +4,33 @@
 //! of Atienza et al., *"A Fast HW/SW FPGA-Based Thermal Emulation Framework
 //! for Multi-Processor System-on-Chip"* (DAC 2006).
 //!
+//! ## Quickstart
+//!
+//! Experiments are described by a fluent [`Scenario`] — platform, workload,
+//! thermal model, DFS policy, run budget — and executed either one at a time
+//! or in bulk with a [`Campaign`]. All failures are one typed error,
+//! [`TemuError`]:
+//!
+//! ```
+//! use temu::{Campaign, Scenario, TemuError};
+//!
+//! fn main() -> Result<(), TemuError> {
+//!     // One experiment: 2 cores on the OPB bus dithering two images.
+//!     let run = Scenario::exploration_bus(2).sampling_window_s(0.002).run()?;
+//!     assert!(run.report.all_halted);
+//!
+//!     // A design-space sweep: bus vs NoC, executed concurrently, reported
+//!     // in input order with JSON/CSV export.
+//!     let report = Campaign::new()
+//!         .scenario(Scenario::exploration_bus(2).sampling_window_s(0.002))
+//!         .scenario(Scenario::exploration_noc(2).sampling_window_s(0.002))
+//!         .run();
+//!     assert!(report.all_ok());
+//!     println!("{}", report.to_csv());
+//!     Ok(())
+//! }
+//! ```
+//!
 //! Start with [`framework`] for the closed-loop co-emulation flow, or
 //! [`platform`] to build and run an emulated MPSoC directly. See the README
 //! for the architecture overview and DESIGN.md for the experiment index.
@@ -20,3 +47,5 @@ pub use temu_platform as platform;
 pub use temu_power as power;
 pub use temu_thermal as thermal;
 pub use temu_workloads as workloads;
+
+pub use temu_framework::{Campaign, CampaignReport, Scenario, ScenarioResult, ScenarioRun, TemuError, Workload};
