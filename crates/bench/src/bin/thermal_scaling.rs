@@ -10,6 +10,7 @@
 //!                    the tier-1 bench-smoke gate (fails on panic/NaN)
 //!   --budget <s>     wall-clock budget per measurement (default 0.4;
 //!                    smoke default 0.05)
+//!   --mesh <name>    only measure one ladder rung (solver tuning)
 //!   --out <path>     output path (default BENCH_thermal.json)
 
 use temu_bench::thermal_scaling;
@@ -19,6 +20,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut budget = if smoke { 0.05 } else { 0.4 };
     let mut out = String::from("BENCH_thermal.json");
+    let mut mesh: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -29,12 +31,15 @@ fn main() {
                     .expect("--budget takes a positive number of seconds");
             }
             "--out" => out = it.next().expect("--out takes a path").clone(),
+            "--mesh" => mesh = Some(it.next().expect("--mesh takes a rung name").clone()),
             "--smoke" => {}
-            other => panic!("unknown flag {other} (supported: --smoke, --budget <s>, --out <path>)"),
+            other => panic!(
+                "unknown flag {other} (supported: --smoke, --budget <s>, --mesh <name>, --out <path>)"
+            ),
         }
     }
 
-    let report = thermal_scaling::run(smoke, budget);
+    let report = thermal_scaling::run_filtered(smoke, budget, mesh.as_deref());
 
     println!(
         "Thermal solver scaling on the Fig. 4b ARM11 floorplan ({} host core(s){}):\n",
@@ -44,21 +49,24 @@ fn main() {
             .map_or(String::new(), |t| format!(", TEMU_THERMAL_THREADS={t}"))
     );
     println!(
-        "{:<16} {:>7} {:>14} {:>10} {:>14} {:>9} {:>9}",
-        "mesh", "cells", "integrator", "sweep", "substeps/s", "sweeps", "speedup"
+        "{:<16} {:>7} {:>14} {:>10} {:>7} {:>12} {:>7} {:>7} {:>7} {:>9}",
+        "mesh", "cells", "integrator", "sweep", "solver", "substeps/s", "sweeps", "cycles", "unconv", "speedup"
     );
     for c in &report.cases {
         let speedup = report
             .speedup(c.mesh, c.integrator, c.sweep)
             .map_or(String::from("-"), |v| format!("{v:.2}x"));
         println!(
-            "{:<16} {:>7} {:>14} {:>10} {:>14.0} {:>9.1} {:>9}{}",
+            "{:<16} {:>7} {:>14} {:>10} {:>7} {:>12.0} {:>7.1} {:>7.1} {:>7} {:>9}{}",
             c.mesh,
             c.cells,
             c.integrator,
             c.sweep,
+            c.solver,
             c.substeps_per_s,
             c.avg_sweeps,
+            c.avg_cycles,
+            c.unconverged,
             speedup,
             if c.parallel_active { "  [parallel]" } else { "" },
         );

@@ -1,18 +1,25 @@
 //! Thermal-solver scaling benchmark: substeps/second across mesh sizes,
-//! integrators and sweep modes, tracked as `BENCH_thermal.json` so the perf
-//! trajectory is visible across PRs.
+//! integrators, sweep modes and implicit-solver strategies, tracked as
+//! `BENCH_thermal.json` so the perf trajectory is visible across PRs.
 //!
 //! The mesh ladder refines the Fig. 4b ARM11 floorplan from the paper's
 //! ~660-cell operating point (§5.2: "2 s of simulation on 660 cells in
-//! 1.65 s") up to ~46k cells. Every rung measures the seed-faithful
+//! 1.65 s") up to ~105k cells. Every rung measures the seed-faithful
 //! [`SweepMode::Reference`] solver against the optimized serial and
-//! threshold-resolved (`Auto`) paths, for both integrators.
+//! threshold-resolved (`Auto`) paths, for both integrators; the
+//! semi-implicit rungs additionally measure the multigrid solver (`mg`
+//! rows) against the pinned-Gauss–Seidel rows.
+//!
+//! Convergence is part of the contract, not just speed: every case records
+//! its `unconverged_substeps`, and the run **fails** if a multigrid case
+//! accepted any unconverged substep — the silent 60-sweep-cap failure this
+//! solver exists to kill stays loud forever.
 
 use std::time::Instant;
 use temu_power::floorplans::fig4b_arm11;
-use temu_thermal::{GridConfig, Integrator, SweepMode, ThermalGrid, ThermalModel};
+use temu_thermal::{GridConfig, ImplicitSolve, Integrator, SweepMode, ThermalGrid, ThermalModel};
 
-/// One measured (mesh × integrator × sweep mode) point.
+/// One measured (mesh × integrator × sweep mode × solver) point.
 #[derive(Clone, Debug)]
 pub struct CaseResult {
     /// Mesh rung label.
@@ -25,8 +32,10 @@ pub struct CaseResult {
     pub colors: usize,
     /// `"semi_implicit"` or `"explicit"`.
     pub integrator: &'static str,
-    /// `"reference"`, `"serial"` or `"auto"`.
+    /// `"reference"`, `"serial"`, `"auto"` or `"mg"`.
     pub sweep: &'static str,
+    /// Implicit-solver strategy: `"gs"`, `"mg"`, or `"-"` for explicit.
+    pub solver: &'static str,
     /// Whether the run actually used parallel sweeps.
     pub parallel_active: bool,
     /// 10 ms sampling windows executed.
@@ -37,8 +46,14 @@ pub struct CaseResult {
     pub wall_s: f64,
     /// The headline number: substeps per wall-clock second.
     pub substeps_per_s: f64,
-    /// Mean Gauss–Seidel sweeps per substep (0 for explicit).
+    /// Mean fine-grid Gauss–Seidel sweeps per substep (0 for explicit).
     pub avg_sweeps: f64,
+    /// Mean multigrid cycles per substep (0 off the multigrid path).
+    pub avg_cycles: f64,
+    /// Implicit substeps accepted unconverged over the whole model
+    /// lifetime (warm-up included) — non-zero rows are measuring a solver
+    /// that quietly stopped converging.
+    pub unconverged: u64,
     /// Hottest cell at the end (sanity: finite, above ambient).
     pub max_temp_k: f64,
 }
@@ -84,8 +99,12 @@ pub fn mesh_ladder(smoke: bool) -> Vec<(&'static str, GridConfig)> {
         ("xfine", GridConfig { default_div: 6, hot_div: 12, filler_pitch_um: 350.0, ..GridConfig::default() }),
         // ~20k cells: above the default parallel threshold.
         ("xxfine", GridConfig { default_div: 12, hot_div: 24, filler_pitch_um: 180.0, ..GridConfig::default() }),
-        // ~46k cells (11.5k tiles): the mesher stress rung.
+        // ~46k cells (11.5k tiles): the rung where plain Gauss–Seidel used
+        // to pin at the sweep cap.
         ("huge", GridConfig { default_div: 18, hot_div: 36, filler_pitch_um: 120.0, ..GridConfig::default() }),
+        // ~105k cells: the multigrid headroom rung (the ROADMAP's "100k+
+        // cell meshes" target).
+        ("mega", GridConfig { default_div: 28, hot_div: 56, filler_pitch_um: 80.0, ..GridConfig::default() }),
     ];
     if smoke {
         ladder.into_iter().take(2).collect()
@@ -114,10 +133,12 @@ fn measure_case(
     cfg: &GridConfig,
     integrator: (&'static str, Integrator),
     sweep: (&'static str, SweepMode),
+    solve: (&'static str, ImplicitSolve),
     budget_s: f64,
 ) -> CaseResult {
     let map = fig4b_arm11();
-    let cfg = GridConfig { integrator: integrator.1, sweep: sweep.1, ..*cfg };
+    let cfg =
+        GridConfig { integrator: integrator.1, sweep: sweep.1, implicit_solve: solve.1, ..*cfg };
     let mut model = ThermalModel::new(&map.floorplan, &cfg).expect("meshes");
     for &(p, _, _, _) in &map.cores {
         model.set_component_power(p, 1.2);
@@ -129,10 +150,12 @@ fn measure_case(
     let t0 = Instant::now();
     let mut windows = 0u64;
     let mut sweep_samples = 0.0f64;
+    let mut cycle_samples = 0.0f64;
     loop {
         model.step(0.010);
         windows += 1;
         sweep_samples += model.last_sweep_count() as f64;
+        cycle_samples += model.last_cycle_count() as f64;
         if t0.elapsed().as_secs_f64() >= budget_s {
             break;
         }
@@ -142,6 +165,7 @@ fn measure_case(
     let max_temp_k = model.max_temp();
     assert!(max_temp_k.is_finite(), "{mesh}/{}/{}: non-finite temperature", integrator.0, sweep.0);
     assert!(max_temp_k >= cfg.ambient_k - 1e-6, "{mesh}: below ambient");
+    let implicit = integrator.0 == "semi_implicit";
     CaseResult {
         mesh,
         cells: model.grid().n_cells(),
@@ -149,23 +173,54 @@ fn measure_case(
         colors: model.grid().sweep_colors(),
         integrator: integrator.0,
         sweep: sweep.0,
+        solver: if implicit { solve.0 } else { "-" },
         parallel_active: model.uses_parallel_sweeps(),
         windows,
         substeps,
         wall_s,
         substeps_per_s: substeps as f64 / wall_s,
-        avg_sweeps: if integrator.0 == "semi_implicit" { sweep_samples / windows as f64 } else { 0.0 },
+        avg_sweeps: if implicit { sweep_samples / windows as f64 } else { 0.0 },
+        avg_cycles: if implicit { cycle_samples / windows as f64 } else { 0.0 },
+        unconverged: model.solver_stats().unconverged_substeps,
         max_temp_k,
     }
 }
 
 /// Runs the scaling sweep. `budget_s` bounds the wall time of each
-/// (mesh × integrator × sweep) measurement.
+/// (mesh × integrator × sweep × solver) measurement.
+///
+/// # Panics
+///
+/// Panics if any multigrid case accepted an unconverged substep — this is
+/// the bench-side convergence gate (`--smoke` runs it too).
 pub fn run(smoke: bool, budget_s: f64) -> ScalingReport {
+    run_filtered(smoke, budget_s, None)
+}
+
+/// [`run`], optionally restricted to one mesh rung (the bin's `--mesh`
+/// flag — for quick solver-tuning iterations on the big rungs).
+///
+/// # Panics
+///
+/// Panics if `only_mesh` names no rung of the (smoke-filtered) ladder — a
+/// typo must not silently produce an empty report (which would both
+/// clobber the committed `BENCH_thermal.json` and let the convergence
+/// gate pass vacuously).
+pub fn run_filtered(smoke: bool, budget_s: f64, only_mesh: Option<&str>) -> ScalingReport {
+    if let Some(m) = only_mesh {
+        assert!(
+            mesh_ladder(smoke).iter().any(|(mesh, _)| *mesh == m),
+            "no mesh rung named {m:?} in the {} ladder",
+            if smoke { "smoke" } else { "full" },
+        );
+    }
     let mut cases = Vec::new();
     let mut builds = Vec::new();
     let map = fig4b_arm11();
     for (mesh, cfg) in mesh_ladder(smoke) {
+        if only_mesh.is_some_and(|m| m != mesh) {
+            continue;
+        }
         let t0 = Instant::now();
         let grid = ThermalGrid::build(&map.floorplan, &cfg).expect("meshes");
         builds.push(MeshBuild {
@@ -175,10 +230,39 @@ pub fn run(smoke: bool, budget_s: f64) -> ScalingReport {
             wall_s: t0.elapsed().as_secs_f64(),
         });
         for integrator in integrators() {
+            // The gs rows pin Gauss–Seidel so the multigrid comparison
+            // stays meaningful even where the library default (`Auto`)
+            // would already pick multigrid for the mesh.
             for sweep in sweeps() {
-                cases.push(measure_case(mesh, &cfg, integrator, sweep, budget_s));
+                cases.push(measure_case(
+                    mesh,
+                    &cfg,
+                    integrator,
+                    sweep,
+                    ("gs", ImplicitSolve::GaussSeidel),
+                    budget_s,
+                ));
+            }
+            if integrator.0 == "semi_implicit" {
+                cases.push(measure_case(
+                    mesh,
+                    &cfg,
+                    integrator,
+                    ("mg", SweepMode::Auto),
+                    ("mg", ImplicitSolve::Multigrid),
+                    budget_s,
+                ));
             }
         }
+    }
+    for c in &cases {
+        assert!(
+            c.solver != "mg" || c.unconverged == 0,
+            "{}/{}: the multigrid solver accepted {} unconverged substeps",
+            c.mesh,
+            c.sweep,
+            c.unconverged,
+        );
     }
     ScalingReport {
         host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -229,9 +313,11 @@ impl ScalingReport {
                 .map_or("null".into(), |v| format!("{v:.3}"));
             s.push_str(&format!(
                 "    {{\"mesh\": \"{}\", \"cells\": {}, \"edges\": {}, \"colors\": {}, \
-                 \"integrator\": \"{}\", \"sweep\": \"{}\", \"parallel_active\": {}, \
+                 \"integrator\": \"{}\", \"sweep\": \"{}\", \"solver\": \"{}\", \
+                 \"parallel_active\": {}, \
                  \"windows\": {}, \"substeps\": {}, \"wall_s\": {:.6}, \
-                 \"substeps_per_s\": {:.1}, \"avg_sweeps\": {:.2}, \"max_temp_k\": {:.3}, \
+                 \"substeps_per_s\": {:.1}, \"avg_sweeps\": {:.2}, \"avg_cycles\": {:.2}, \
+                 \"unconverged_substeps\": {}, \"max_temp_k\": {:.3}, \
                  \"speedup_vs_reference\": {}}}{}\n",
                 c.mesh,
                 c.cells,
@@ -239,12 +325,15 @@ impl ScalingReport {
                 c.colors,
                 c.integrator,
                 c.sweep,
+                c.solver,
                 c.parallel_active,
                 c.windows,
                 c.substeps,
                 c.wall_s,
                 c.substeps_per_s,
                 c.avg_sweeps,
+                c.avg_cycles,
+                c.unconverged,
                 c.max_temp_k,
                 speedup,
                 if i + 1 < self.cases.len() { "," } else { "" }
@@ -282,12 +371,15 @@ mod tests {
                 colors: 6,
                 integrator: "semi_implicit",
                 sweep: "reference",
+                solver: "gs",
                 parallel_active: false,
                 windows: 3,
                 substeps: 60,
                 wall_s: 0.1,
                 substeps_per_s: 600.0,
                 avg_sweeps: 7.5,
+                avg_cycles: 0.0,
+                unconverged: 60,
                 max_temp_k: 301.0,
             }],
             builds: vec![MeshBuild { mesh: "paper660", tiles: 160, cells: 640, wall_s: 0.001 }],
@@ -299,8 +391,17 @@ mod tests {
             "\"speedup_vs_reference\": 1.000",
             "\"mesh_builds\"",
             "\"smoke\": true",
+            "\"solver\": \"gs\"",
+            "\"unconverged_substeps\": 60",
+            "\"avg_cycles\": 0.00",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn ladder_has_a_100k_rung() {
+        let full = mesh_ladder(false);
+        assert_eq!(full.last().unwrap().0, "mega");
     }
 }

@@ -5,11 +5,15 @@
 //! judged purely on speed.
 
 use temu_power::floorplans::fig4b_arm11;
-use temu_thermal::{GridConfig, Integrator, SweepMode, ThermalModel};
+use temu_thermal::{GridConfig, ImplicitSolve, Integrator, SweepMode, ThermalModel};
 
 fn model(integrator: Integrator, sweep: SweepMode) -> ThermalModel {
+    model_with(integrator, sweep, ImplicitSolve::Auto)
+}
+
+fn model_with(integrator: Integrator, sweep: SweepMode, solve: ImplicitSolve) -> ThermalModel {
     let map = fig4b_arm11();
-    let cfg = GridConfig { integrator, sweep, ..GridConfig::default() };
+    let cfg = GridConfig { integrator, sweep, implicit_solve: solve, ..GridConfig::default() };
     let mut m = ThermalModel::new(&map.floorplan, &cfg).unwrap();
     // Asymmetric load: cores hot, one core hotter — exercises lateral
     // gradients, not just the 1-D stack.
@@ -48,4 +52,33 @@ fn optimized_solver_matches_reference_on_fig4b_over_2s() {
             / reference.energy_out().max(1e-12);
         assert!(rel < 1e-3, "energy-out drift {rel:.2e} ({integrator:?})");
     }
+}
+
+#[test]
+fn multigrid_matches_gauss_seidel_on_fig4b_over_2s() {
+    // The multigrid golden contract, mirroring the PR 1 reference test:
+    // forced multigrid must track the plain Gauss–Seidel path within
+    // 1e-4 K over the same 2 s Fig. 4b transient — both solve each
+    // substep's linear system to the same tolerance, so the trajectories
+    // may differ only by solver-tolerance noise. (`ImplicitSolve` only
+    // affects the semi-implicit integrator; the explicit path is covered
+    // by the reference test above, where the setting is a no-op.)
+    let integrator = Integrator::SemiImplicit { dt: 5e-4 };
+    let mut gs = model_with(integrator, SweepMode::Auto, ImplicitSolve::GaussSeidel);
+    let mut mg = model_with(integrator, SweepMode::Auto, ImplicitSolve::Multigrid);
+    assert!(mg.uses_multigrid() && !gs.uses_multigrid());
+    let mut worst = 0.0f64;
+    for _ in 0..200 {
+        gs.step(0.010);
+        mg.step(0.010);
+        worst = worst.max(max_cell_diff(&gs, &mg));
+    }
+    assert!(worst < 1e-4, "max |ΔT| {worst:.2e} K multigrid vs Gauss-Seidel over 2 s");
+    assert!(gs.max_temp() > 310.0, "the die heated up");
+    // Every substep of both solvers converged (the mesh is paper-scale).
+    assert_eq!(gs.solver_stats().unconverged_substeps, 0);
+    assert_eq!(mg.solver_stats().unconverged_substeps, 0);
+    assert!(mg.solver_stats().total_cycles > 0, "multigrid cycles were spent");
+    let rel = (gs.energy_out() - mg.energy_out()).abs() / gs.energy_out().max(1e-12);
+    assert!(rel < 1e-3, "energy-out drift {rel:.2e}");
 }

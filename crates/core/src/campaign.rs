@@ -8,17 +8,31 @@
 //! finished first — one failed or panicked scenario is carried as its typed
 //! [`TemuError`] without aborting its siblings.
 //!
-//! Thread count resolution: an explicit [`Campaign::threads`] call wins,
-//! then the `TEMU_CAMPAIGN_THREADS` environment variable (clamped to
-//! 1..=64), then the host's available parallelism; the count is always
-//! capped by the number of scenarios.
+//! Thread count resolution: an explicit [`Campaign::threads`] call wins;
+//! otherwise [`temu_thermal::default_workers`] resolves
+//! `TEMU_CAMPAIGN_THREADS` with exactly the same syntax, clamping (1..=64)
+//! and fallback (available parallelism capped at 16) as the solver's
+//! `TEMU_THERMAL_THREADS`; the count is always capped by the number of
+//! scenarios.
+//!
+//! # Export format
+//!
+//! [`CampaignReport::to_json`]/[`CampaignReport::to_csv`] carry, per
+//! scenario, the run summary plus the thermal solver's convergence
+//! accounting ([`temu_thermal::SolverStats`]): `unconverged_substeps`
+//! (implicit substeps accepted without reaching tolerance — non-zero means
+//! the temperatures came from a solver that silently stopped converging)
+//! and `worst_residual_k` (how far from converged the worst such substep
+//! still was). Every floating-point field is emitted as a JSON number only
+//! when finite and as `null` otherwise, so the export is always valid
+//! JSON.
 
 use crate::error::TemuError;
 use crate::scenario::{Scenario, ScenarioRun};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use temu_thermal::WorkerPool;
+use temu_thermal::{default_workers, WorkerPool};
 
 /// The outcome of one scenario inside a campaign.
 #[derive(Debug)]
@@ -116,18 +130,11 @@ impl Campaign {
     }
 
     fn resolve_threads(&self, n_jobs: usize) -> usize {
-        // An explicit `threads()` call wins; the environment variable only
-        // replaces the availability-derived default, so tests that pin a
-        // width stay meaningful on hosts that export the variable.
-        let configured = self
-            .threads
-            .or_else(|| {
-                std::env::var("TEMU_CAMPAIGN_THREADS")
-                    .ok()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .map(|v| v.clamp(1, 64))
-            })
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        // An explicit `threads()` call wins; otherwise the shared
+        // environment-variable helper decides, so tests that pin a width
+        // stay meaningful on hosts that export the variable and both
+        // `TEMU_*_THREADS` knobs behave identically.
+        let configured = self.threads.unwrap_or_else(|| default_workers("TEMU_CAMPAIGN_THREADS"));
         configured.min(n_jobs).max(1)
     }
 }
@@ -178,30 +185,42 @@ impl CampaignReport {
     }
 
     /// Serializes the report as JSON (no external dependencies; failures
-    /// carry their error string).
+    /// carry their error string). Non-finite floats serialize as `null` —
+    /// bare `NaN`/`inf` would make the whole document unparseable.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
-        out.push_str(&format!("  \"wall_s\": {:.6},\n", self.wall.as_secs_f64()));
+        out.push_str(&format!("  \"wall_s\": {},\n", json_f64(self.wall.as_secs_f64(), 6)));
         out.push_str("  \"scenarios\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             out.push_str("    {");
             out.push_str(&format!("\"name\": \"{}\", ", json_escape(&r.name)));
             out.push_str(&format!("\"ok\": {}, ", r.is_ok()));
-            out.push_str(&format!("\"wall_s\": {:.6}", r.wall.as_secs_f64()));
+            out.push_str(&format!("\"wall_s\": {}", json_f64(r.wall.as_secs_f64(), 6)));
             match &r.outcome {
                 Ok(run) => {
                     let rep = &run.report;
                     out.push_str(&format!(", \"windows\": {}", rep.windows));
-                    out.push_str(&format!(", \"virtual_s\": {:.6}", rep.virtual_seconds));
+                    out.push_str(&format!(", \"virtual_s\": {}", json_f64(rep.virtual_seconds, 6)));
                     out.push_str(&format!(", \"virtual_cycles\": {}", rep.virtual_cycles));
-                    out.push_str(&format!(", \"fpga_s\": {:.6}", rep.fpga_seconds));
+                    out.push_str(&format!(", \"fpga_s\": {}", json_f64(rep.fpga_seconds, 6)));
                     out.push_str(&format!(", \"all_halted\": {}", rep.all_halted));
                     out.push_str(&format!(", \"instructions\": {}", rep.aggregate.total_instructions()));
                     out.push_str(&json_num_or_null(", \"peak_temp_k\": ", run.trace.peak_temp()));
                     out.push_str(&json_num_or_null(", \"final_temp_k\": ", run.trace.final_temp()));
-                    out.push_str(&format!(", \"throttled_fraction\": {:.4}", run.trace.throttled_fraction()));
+                    out.push_str(&format!(
+                        ", \"throttled_fraction\": {}",
+                        json_f64(run.trace.throttled_fraction(), 4)
+                    ));
+                    out.push_str(&format!(
+                        ", \"unconverged_substeps\": {}",
+                        rep.solver.unconverged_substeps
+                    ));
+                    out.push_str(&format!(
+                        ", \"worst_residual_k\": {}",
+                        json_f64(rep.solver.worst_residual_k, 9)
+                    ));
                 }
                 Err(e) => out.push_str(&format!(", \"error\": \"{}\"", json_escape(&e.to_string()))),
             }
@@ -211,32 +230,36 @@ impl CampaignReport {
         out
     }
 
-    /// Serializes the per-scenario summary lines as CSV.
+    /// Serializes the per-scenario summary lines as CSV (non-finite floats
+    /// become empty fields, like the other absent values).
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("scenario,ok,wall_s,windows,virtual_s,fpga_s,peak_temp_k,final_temp_k,throttled_fraction,error\n");
+        let mut out = String::from(
+            "scenario,ok,wall_s,windows,virtual_s,fpga_s,peak_temp_k,final_temp_k,throttled_fraction,unconverged_substeps,worst_residual_k,error\n",
+        );
         for r in &self.results {
             match &r.outcome {
                 Ok(run) => {
                     let rep = &run.report;
                     out.push_str(&format!(
-                        "{},true,{:.6},{},{:.6},{:.6},{},{},{:.4},\n",
+                        "{},true,{},{},{},{},{},{},{},{},{},\n",
                         csv_field(&r.name),
-                        r.wall.as_secs_f64(),
+                        csv_f64(r.wall.as_secs_f64(), 6),
                         rep.windows,
-                        rep.virtual_seconds,
-                        rep.fpga_seconds,
+                        csv_f64(rep.virtual_seconds, 6),
+                        csv_f64(rep.fpga_seconds, 6),
                         csv_opt(run.trace.peak_temp()),
                         csv_opt(run.trace.final_temp()),
-                        run.trace.throttled_fraction(),
+                        csv_f64(run.trace.throttled_fraction(), 4),
+                        rep.solver.unconverged_substeps,
+                        csv_f64(rep.solver.worst_residual_k, 9),
                     ));
                 }
                 Err(e) => {
                     out.push_str(&format!(
-                        "{},false,{:.6},,,,,,,{}\n",
+                        "{},false,{},,,,,,,,,{}\n",
                         csv_field(&r.name),
-                        r.wall.as_secs_f64(),
+                        csv_f64(r.wall.as_secs_f64(), 6),
                         csv_field(&e.to_string())
                     ));
                 }
@@ -262,15 +285,34 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// A float as a JSON number with `decimals` places, or `null` when it is
+/// not finite (bare `NaN`/`inf` are not valid JSON).
+fn json_f64(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        String::from("null")
+    }
+}
+
 fn json_num_or_null(prefix: &str, v: Option<f64>) -> String {
-    match v {
+    match v.filter(|x| x.is_finite()) {
         Some(x) => format!("{prefix}{x:.3}"),
         None => format!("{prefix}null"),
     }
 }
 
+/// A float as a CSV field, empty when not finite.
+fn csv_f64(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        String::new()
+    }
+}
+
 fn csv_opt(v: Option<f64>) -> String {
-    v.map_or_else(String::new, |x| format!("{x:.3}"))
+    v.filter(|x| x.is_finite()).map_or_else(String::new, |x| format!("{x:.3}"))
 }
 
 /// Quotes a CSV field when it contains separators or quotes.

@@ -3,11 +3,10 @@
 use crate::error::TemuError;
 use crate::trace::{ThermalTrace, TraceSample};
 use std::time::{Duration, Instant};
-use temu_cpu::CpuError;
 use temu_link::{EthernetConfig, EthernetLink, LinkStats, StatsPacket, TempPacket};
 use temu_platform::{DfsPolicy, Machine, WindowStats, EVENT_BYTES};
 use temu_power::{FloorplanMap, PowerModel};
-use temu_thermal::{GridConfig, ThermalModel};
+use temu_thermal::{GridConfig, SolverStats, ThermalModel};
 
 /// Configuration of the co-emulation loop.
 #[derive(Clone, Debug)]
@@ -64,6 +63,13 @@ pub struct EmulationReport {
     pub aggregate: WindowStats,
     /// Cumulative statistics-link traffic.
     pub link: LinkStats,
+    /// Convergence accounting of the thermal solver. A non-zero
+    /// `unconverged_substeps` means the temperature trace was produced by
+    /// an implicit solver that silently stopped converging — configure
+    /// `GridConfig::strict_convergence` (or
+    /// `Scenario::strict_convergence`) to turn that into a hard
+    /// [`TemuError::Thermal`] instead.
+    pub solver: SolverStats,
 }
 
 /// The in-process sequential HW/SW co-emulation.
@@ -161,8 +167,10 @@ impl ThermalEmulation {
     ///
     /// # Errors
     ///
-    /// Propagates platform faults.
-    pub fn run_window(&mut self) -> Result<(), CpuError> {
+    /// Propagates platform faults as [`TemuError::Cpu`]; under
+    /// `GridConfig::strict_convergence`, a thermal substep that fails to
+    /// converge is [`TemuError::Thermal`].
+    pub fn run_window(&mut self) -> Result<(), TemuError> {
         let window_s = self.cfg.sampling_window_s;
         let hz = self.machine.vpcm().virtual_hz();
         let cycles = (window_s * hz as f64).round() as u64;
@@ -204,7 +212,7 @@ impl ThermalEmulation {
 
         // Thermal step and temperature feedback.
         self.model.set_powers(&powers);
-        self.model.step(window_s);
+        self.model.try_step(window_s)?;
         let temps = self.model.component_temps();
         let reply = TempPacket {
             seq: self.seq,
@@ -249,8 +257,9 @@ impl ThermalEmulation {
     ///
     /// # Errors
     ///
-    /// Propagates platform faults.
-    pub fn run_to_halt(&mut self, max_windows: u64) -> Result<EmulationReport, CpuError> {
+    /// Propagates platform faults and (strict mode) thermal
+    /// non-convergence.
+    pub fn run_to_halt(&mut self, max_windows: u64) -> Result<EmulationReport, TemuError> {
         let t0 = Instant::now();
         for _ in 0..max_windows {
             self.run_window()?;
@@ -258,16 +267,7 @@ impl ThermalEmulation {
                 break;
             }
         }
-        Ok(EmulationReport {
-            windows: self.windows,
-            virtual_seconds: self.virtual_seconds,
-            virtual_cycles: self.virtual_cycles,
-            fpga_seconds: self.fpga_seconds,
-            wall: t0.elapsed(),
-            all_halted: self.machine.all_halted(),
-            aggregate: self.aggregate.clone(),
-            link: *self.link.stats(),
-        })
+        Ok(self.report(t0))
     }
 
     /// Runs a fixed number of windows regardless of halting (long thermal
@@ -275,13 +275,18 @@ impl ThermalEmulation {
     ///
     /// # Errors
     ///
-    /// Propagates platform faults.
-    pub fn run_windows(&mut self, n: u64) -> Result<EmulationReport, CpuError> {
+    /// Propagates platform faults and (strict mode) thermal
+    /// non-convergence.
+    pub fn run_windows(&mut self, n: u64) -> Result<EmulationReport, TemuError> {
         let t0 = Instant::now();
         for _ in 0..n {
             self.run_window()?;
         }
-        Ok(EmulationReport {
+        Ok(self.report(t0))
+    }
+
+    fn report(&self, t0: Instant) -> EmulationReport {
+        EmulationReport {
             windows: self.windows,
             virtual_seconds: self.virtual_seconds,
             virtual_cycles: self.virtual_cycles,
@@ -290,7 +295,8 @@ impl ThermalEmulation {
             all_halted: self.machine.all_halted(),
             aggregate: self.aggregate.clone(),
             link: *self.link.stats(),
-        })
+            solver: self.model.solver_stats(),
+        }
     }
 }
 

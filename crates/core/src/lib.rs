@@ -77,4 +77,5 @@ pub use campaign::{Campaign, CampaignReport, ScenarioResult};
 pub use emulation::{EmulationConfig, EmulationReport, ThermalEmulation};
 pub use error::TemuError;
 pub use scenario::{RunBudget, Scenario, ScenarioRun, Workload};
+pub use temu_thermal::{ImplicitSolve, SolverStats};
 pub use trace::{ThermalTrace, TraceSample};

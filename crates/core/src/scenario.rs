@@ -30,7 +30,7 @@ use temu_mem::CacheConfig;
 use temu_platform::{DfsPolicy, IcChoice, Machine, PlatformConfig};
 use temu_power::floorplans::quad_core;
 use temu_power::{CoreKind, FloorplanMap, PowerModel};
-use temu_thermal::{GridConfig, SweepMode};
+use temu_thermal::{GridConfig, ImplicitSolve, SweepMode};
 use temu_workloads::dithering::{self, DitherConfig};
 use temu_workloads::image::GreyImage;
 use temu_workloads::matrix::{self, MatrixConfig};
@@ -268,6 +268,25 @@ impl Scenario {
     /// Selects the solver's sweep execution strategy.
     pub fn sweep(mut self, sweep: SweepMode) -> Scenario {
         self.emu.grid.sweep = sweep;
+        self
+    }
+
+    /// Selects the semi-implicit linear-system strategy (plain
+    /// Gauss–Seidel, geometric multigrid, or the cell-count-resolved
+    /// [`ImplicitSolve::Auto`] default).
+    pub fn implicit_solve(mut self, solve: ImplicitSolve) -> Scenario {
+        self.emu.grid.implicit_solve = solve;
+        self
+    }
+
+    /// Demands strict solver convergence: a thermal substep that exhausts
+    /// its iteration budget fails the run with a typed
+    /// [`TemuError::Thermal`] instead of silently proceeding on an
+    /// unconverged temperature field. Off by default — but even then every
+    /// such substep is counted in
+    /// [`EmulationReport::solver`](crate::EmulationReport).
+    pub fn strict_convergence(mut self, strict: bool) -> Scenario {
+        self.emu.grid.strict_convergence = strict;
         self
     }
 

@@ -149,3 +149,77 @@ fn empty_campaign_reports_empty() {
     assert_eq!(report.n_failed(), 0);
     assert!(report.to_json().contains("\"scenarios\": [\n  ]"));
 }
+
+#[test]
+fn export_guards_non_finite_floats() {
+    // A report whose run carries NaN/inf durations must still export valid
+    // JSON (`null`, never a bare `NaN`) and empty CSV fields.
+    use std::time::Duration;
+    use temu_framework::{CampaignReport, EmulationReport, ScenarioResult, ScenarioRun, ThermalTrace};
+
+    let report = EmulationReport {
+        windows: 3,
+        virtual_seconds: f64::NAN,
+        virtual_cycles: 42,
+        fpga_seconds: f64::INFINITY,
+        wall: Duration::from_millis(1),
+        all_halted: true,
+        aggregate: temu_platform::WindowStats::default(),
+        link: temu_link::LinkStats::default(),
+        solver: temu_thermal::SolverStats::default(),
+    };
+    let run = ScenarioRun { name: "nan-run".into(), report, trace: ThermalTrace::default() };
+    let campaign = CampaignReport {
+        results: vec![ScenarioResult {
+            name: "nan-run".into(),
+            wall: Duration::from_millis(1),
+            outcome: Ok(run),
+        }],
+        wall: Duration::from_millis(2),
+        threads: 1,
+    };
+    let json = campaign.to_json();
+    assert!(json.contains("\"virtual_s\": null"), "{json}");
+    assert!(json.contains("\"fpga_s\": null"), "{json}");
+    assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    let csv = campaign.to_csv();
+    assert!(!csv.contains("NaN") && !csv.contains("inf"), "{csv}");
+    assert_eq!(csv.lines().count(), 2);
+}
+
+#[test]
+fn export_carries_solver_convergence_stats() {
+    let report = Campaign::new()
+        .scenario(Scenario::exploration_bus(1).sampling_window_s(0.002))
+        .run();
+    assert!(report.all_ok(), "{}", report.to_json());
+    let json = report.to_json();
+    assert!(json.contains("\"unconverged_substeps\": 0"), "{json}");
+    assert!(json.contains("\"worst_residual_k\": 0.000000000"), "{json}");
+    let csv = report.to_csv();
+    assert!(csv.lines().next().unwrap().contains("unconverged_substeps,worst_residual_k"), "{csv}");
+    let run = report.results[0].outcome.as_ref().unwrap();
+    assert_eq!(run.report.solver.unconverged_substeps, 0);
+    assert!(run.report.solver.total_sweeps > 0, "implicit sweeps were counted");
+}
+
+#[test]
+fn strict_multigrid_scenario_runs_clean() {
+    // A paper-scale scenario forced onto the multigrid solver with strict
+    // convergence: must complete (every substep converges) and report a
+    // clean SolverStats through the campaign export.
+    use temu_framework::ImplicitSolve;
+    let report = Campaign::new()
+        .scenario(
+            Scenario::exploration_bus(1)
+                .sampling_window_s(0.002)
+                .implicit_solve(ImplicitSolve::Multigrid)
+                .strict_convergence(true)
+                .name("strict-mg"),
+        )
+        .run();
+    assert!(report.all_ok(), "{}", report.to_json());
+    let run = report.results[0].outcome.as_ref().unwrap();
+    assert_eq!(run.report.solver.unconverged_substeps, 0);
+    assert!(run.report.solver.total_cycles > 0, "the multigrid path was exercised");
+}

@@ -37,6 +37,22 @@ pub enum ThermalError {
     },
     /// The parallel-sweep threshold is zero cells.
     ZeroParallelThreshold,
+    /// The multigrid switch-over threshold is zero cells.
+    ZeroMultigridThreshold,
+    /// An implicit substep exhausted its iteration budget without meeting
+    /// the convergence tolerance, and the configuration demands strict
+    /// convergence (`GridConfig::strict_convergence`). The temperature
+    /// field is left at the last accepted substep.
+    NotConverged {
+        /// Simulated time of the substep that failed, seconds.
+        time_s: f64,
+        /// The substep's final iteration update (max |ΔT| of the last
+        /// sweep), K — the solver's convergence measure, still above the
+        /// tolerance.
+        residual_k: f64,
+        /// Fine-level Gauss–Seidel sweeps the substep spent.
+        sweeps: usize,
+    },
     /// The tiling failed to partition the die (an inconsistent floorplan:
     /// overlapping or out-of-bounds components).
     CoverageGap {
@@ -66,6 +82,11 @@ impl fmt::Display for ThermalError {
                 write!(f, "semi-implicit substep must be positive (got {dt_s})")
             }
             ThermalError::ZeroParallelThreshold => write!(f, "parallel threshold must be >= 1 cell"),
+            ThermalError::ZeroMultigridThreshold => write!(f, "multigrid threshold must be >= 1 cell"),
+            ThermalError::NotConverged { time_s, residual_k, sweeps } => write!(
+                f,
+                "implicit substep at t={time_s:.6} s did not converge within {sweeps} sweeps (last update {residual_k:.3e} K)"
+            ),
             ThermalError::CoverageGap { covered_m2, die_m2 } => {
                 write!(f, "tiling covers {covered_m2:.3e} m^2 of a {die_m2:.3e} m^2 die")
             }

@@ -31,6 +31,28 @@ pub enum Integrator {
     },
 }
 
+/// Linear-system strategy of the semi-implicit (backward-Euler) substep.
+///
+/// Every substep solves `(C/h + G) T' = C/h·T + P + G_conv·T_amb`. The
+/// warm-started SOR Gauss–Seidel iteration is unbeatable on paper-scale
+/// meshes, but its contraction degrades with refinement — on ~46k-cell
+/// meshes it exhausts the sweep budget without converging. The geometric
+/// multigrid option wraps the same sweeps as the smoother of a W-cycle over
+/// a hierarchy of aggregated coarse RC networks (see [`crate`] docs), which
+/// keeps the per-substep cost mesh-size-robust.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImplicitSolve {
+    /// Warm-started SOR Gauss–Seidel sweeps only (the PR 1 solver).
+    GaussSeidel,
+    /// Geometric multigrid W-cycles with Gauss–Seidel smoothing and a dense
+    /// Cholesky solve at the coarsest level.
+    Multigrid,
+    /// [`ImplicitSolve::GaussSeidel`] below
+    /// [`GridConfig::multigrid_threshold`] cells,
+    /// [`ImplicitSolve::Multigrid`] at or above it.
+    Auto,
+}
+
 /// Gauss–Seidel sweep ordering and execution strategy of the solver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SweepMode {
@@ -81,6 +103,21 @@ pub struct GridConfig {
     /// Cell count at which [`SweepMode::Auto`] switches to parallel
     /// colored sweeps.
     pub parallel_threshold: usize,
+    /// Linear-system strategy of the semi-implicit substep (ignored by the
+    /// explicit integrator and by [`SweepMode::Reference`], which stays
+    /// seed-faithful).
+    pub implicit_solve: ImplicitSolve,
+    /// Cell count at which [`ImplicitSolve::Auto`] switches from plain
+    /// Gauss–Seidel to multigrid cycles.
+    pub multigrid_threshold: usize,
+    /// When set, an implicit substep that exhausts its iteration budget
+    /// without meeting the convergence tolerance aborts
+    /// [`crate::ThermalModel::try_step`] with
+    /// [`ThermalError::NotConverged`] instead of silently accepting the
+    /// unconverged temperature field. Off by default: the non-strict paths
+    /// still *record* every such substep in
+    /// [`crate::SolverStats`].
+    pub strict_convergence: bool,
     /// Material constants (Table 2 by default).
     pub props: ThermalProps,
 }
@@ -99,6 +136,9 @@ impl Default for GridConfig {
             integrator: Integrator::SemiImplicit { dt: 5e-4 },
             sweep: SweepMode::Auto,
             parallel_threshold: 6144,
+            implicit_solve: ImplicitSolve::Auto,
+            multigrid_threshold: 12288,
+            strict_convergence: false,
             props: ThermalProps::default(),
         }
     }
@@ -137,6 +177,9 @@ impl GridConfig {
         }
         if self.parallel_threshold == 0 {
             return Err(ThermalError::ZeroParallelThreshold);
+        }
+        if self.multigrid_threshold == 0 {
+            return Err(ThermalError::ZeroMultigridThreshold);
         }
         Ok(())
     }

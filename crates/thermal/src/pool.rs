@@ -189,9 +189,21 @@ pub(crate) fn global() -> &'static Pool {
 /// Worker count from an environment override (clamped to 1..=64), falling
 /// back to the available parallelism capped at 16 — sweep jobs are
 /// memory-bound and stop scaling well before that.
-pub(crate) fn default_workers(env_var: &str) -> usize {
-    std::env::var(env_var)
-        .ok()
+///
+/// This is the one resolution rule for every `TEMU_*_THREADS` variable in
+/// the workspace (`TEMU_THERMAL_THREADS` for the solver's sweep pool,
+/// `TEMU_CAMPAIGN_THREADS` for the framework's batch runner), so both
+/// accept identical syntax and clamp/fall back the same way: a value that
+/// fails to parse as an unsigned integer is ignored, not an error.
+pub fn default_workers(env_var: &str) -> usize {
+    workers_from(std::env::var(env_var).ok().as_deref())
+}
+
+/// The pure resolution rule behind [`default_workers`] (separated so tests
+/// never have to mutate the process environment, which would race with
+/// concurrent `getenv` calls from sibling tests).
+fn workers_from(value: Option<&str>) -> usize {
+    value
         .and_then(|v| v.parse::<usize>().ok())
         .map(|v| v.clamp(1, 64))
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()).min(16))
@@ -400,6 +412,17 @@ mod tests {
         });
         assert_eq!(total.load(Ordering::SeqCst), 2 * global().n_workers());
         drop(dedicated); // workers shut down without hanging the test
+    }
+
+    #[test]
+    fn default_workers_parses_clamps_and_falls_back() {
+        let fallback = workers_from(None);
+        assert!((1..=16).contains(&fallback), "availability-derived default, capped at 16");
+        assert_eq!(workers_from(Some("3")), 3);
+        assert_eq!(workers_from(Some("0")), 1, "clamped up");
+        assert_eq!(workers_from(Some("1000")), 64, "clamped down");
+        assert_eq!(workers_from(Some("not-a-number")), fallback, "garbage is ignored, not fatal");
+        assert_eq!(default_workers("TEMU_TEST_WORKERS_SURELY_UNSET"), fallback);
     }
 
     #[test]

@@ -3,13 +3,25 @@
 //! so the env var is set before the pool's first use) and checks the
 //! parallel paths against the reference trajectory.
 
-use temu_thermal::{Floorplan, GridConfig, Integrator, SweepMode, ThermalModel};
+use temu_thermal::{Floorplan, GridConfig, ImplicitSolve, Integrator, SweepMode, ThermalModel};
+
+/// Sets the pool-width override exactly once for this test binary: two
+/// tests each calling `set_var` could race each other (and the pool's
+/// first `getenv`) across threads, which is undefined behavior on glibc.
+fn force_four_workers() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| std::env::set_var("TEMU_THERMAL_THREADS", "4"));
+}
 
 fn model(sweep: SweepMode, integrator: Integrator) -> ThermalModel {
+    model_with(sweep, integrator, ImplicitSolve::GaussSeidel)
+}
+
+fn model_with(sweep: SweepMode, integrator: Integrator, solve: ImplicitSolve) -> ThermalModel {
     let mut fp = Floorplan::new("fp", 4000.0, 4000.0);
     fp.add_component("hot", 500.0, 500.0, 1500.0, 1500.0, true);
     fp.add_component("cool", 2500.0, 2500.0, 1000.0, 1000.0, false);
-    let cfg = GridConfig { sweep, integrator, ..GridConfig::default() };
+    let cfg = GridConfig { sweep, integrator, implicit_solve: solve, ..GridConfig::default() };
     let mut m = ThermalModel::new(&fp, &cfg).unwrap();
     m.set_powers(&[3.0, 0.5]);
     m
@@ -17,7 +29,7 @@ fn model(sweep: SweepMode, integrator: Integrator) -> ThermalModel {
 
 #[test]
 fn forced_four_worker_pool_matches_reference() {
-    std::env::set_var("TEMU_THERMAL_THREADS", "4");
+    force_four_workers();
     for integrator in [Integrator::SemiImplicit { dt: 5e-4 }, Integrator::Explicit] {
         let mut reference = model(SweepMode::Reference, integrator);
         let mut parallel = model(SweepMode::Parallel, integrator);
@@ -40,4 +52,33 @@ fn forced_four_worker_pool_matches_reference() {
         }
         assert_eq!(again.temps(), parallel.temps());
     }
+}
+
+#[test]
+fn forced_parallel_multigrid_matches_reference() {
+    // Multigrid smoothing on the 4-worker pool: same contract as the plain
+    // colored sweeps, and every substep converges.
+    force_four_workers();
+    let integrator = Integrator::SemiImplicit { dt: 5e-4 };
+    let mut reference = model(SweepMode::Reference, integrator);
+    let mut mg = model_with(SweepMode::Parallel, integrator, ImplicitSolve::Multigrid);
+    assert!(mg.uses_parallel_sweeps() && mg.uses_multigrid());
+    for _ in 0..10 {
+        reference.step(0.01);
+        mg.step(0.01);
+    }
+    let drift = reference
+        .temps()
+        .iter()
+        .zip(mg.temps())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(drift < 1e-4, "4-worker multigrid drift {drift:.2e} K");
+    assert_eq!(mg.solver_stats().unconverged_substeps, 0);
+
+    let mut again = model_with(SweepMode::Parallel, integrator, ImplicitSolve::Multigrid);
+    for _ in 0..10 {
+        again.step(0.01);
+    }
+    assert_eq!(again.temps(), mg.temps(), "deterministic under forced threading");
 }

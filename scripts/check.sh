@@ -14,6 +14,12 @@ echo "== lint wall: clippy -D warnings =="
 cargo clippy --workspace -- -D warnings
 
 echo "== bench-smoke gate =="
-cargo run --release -p temu-bench --bin thermal_scaling -- --smoke
+# Also the solver-convergence gate: the smoke rungs include multigrid
+# cases, and the bench fails if any multigrid substep is accepted
+# unconverged (the tier-1 tests additionally run a strict-convergence
+# multigrid campaign in crates/bench/tests/bench_smoke.rs).
+# --out keeps the smoke report away from the committed full-run
+# BENCH_thermal.json.
+cargo run --release -p temu-bench --bin thermal_scaling -- --smoke --out target/bench_smoke.json
 
 echo "All checks passed."

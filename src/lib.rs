@@ -48,4 +48,7 @@ pub use temu_power as power;
 pub use temu_thermal as thermal;
 pub use temu_workloads as workloads;
 
-pub use temu_framework::{Campaign, CampaignReport, Scenario, ScenarioResult, ScenarioRun, TemuError, Workload};
+pub use temu_framework::{
+    Campaign, CampaignReport, ImplicitSolve, Scenario, ScenarioResult, ScenarioRun, SolverStats,
+    TemuError, Workload,
+};
