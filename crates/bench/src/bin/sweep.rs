@@ -1,0 +1,248 @@
+//! Named design-space sweeps over the `temu::Sweep` engine, with JSON/CSV
+//! export and an optional persistent result cache.
+//!
+//! ```sh
+//! cargo run --release -p temu-bench --bin sweep -- --list
+//! cargo run --release -p temu-bench --bin sweep -- ladder --out ladder.json
+//! cargo run --release -p temu-bench --bin sweep -- grid100 --cache target/sweep_cache.jsonl
+//! cargo run --release -p temu-bench --bin sweep -- --smoke
+//! ```
+//!
+//! Every run streams per-point progress; with `--cache <store.jsonl>` a
+//! re-run (same process or not) skips every already-solved point. `--smoke`
+//! runs the check.sh gate: a strict-convergence mini sweep (8 points,
+//! multigrid included) followed by an in-process re-run that must be 100%
+//! cache hits — any failed point, unconverged substep, or missed cache hit
+//! exits non-zero.
+
+use temu_framework::{ResultCache, Scenario, Sweep, SweepReport, Workload};
+use temu_platform::{DfsBand, DfsPolicy, PlatformConfig};
+use temu_thermal::{GridConfig, ImplicitSolve};
+use temu_workloads::dithering::DitherConfig;
+use temu_workloads::matrix::MatrixConfig;
+
+const NAMES: &[(&str, &str)] = &[
+    ("ladder", "DFS frequency ladders (none/2/3/4-level) × run budgets on the Fig. 6 stress workload (heavy: Fig. 6-scale runs, minutes/point on one core)"),
+    ("mesh", "mesh resolution × implicit solver, strict convergence (6 points)"),
+    ("explore", "interconnect × workload × core count (the §7 exploration, 12 points)"),
+    ("grid100", "100-point grid of tiny scenarios (cache/incremental-rerun demo)"),
+];
+
+fn tiny(iters: u32) -> Workload {
+    Workload::Matrix(MatrixConfig { n: 4, iters, cores: 1 })
+}
+
+fn tiny_base() -> Scenario {
+    Scenario::new().cores(1).workload(tiny(1)).sampling_window_s(0.0005).windows(2)
+}
+
+/// Builds one of the named sweeps.
+fn build(name: &str) -> Option<Sweep> {
+    match name {
+        "ladder" => {
+            let three = DfsPolicy::ladder(
+                &[500_000_000, 250_000_000, 100_000_000],
+                &[DfsBand { hot_k: 345.0, cool_k: 335.0 }, DfsBand { hot_k: 355.0, cool_k: 345.0 }],
+            )
+            .expect("valid 3-level ladder");
+            let four = DfsPolicy::ladder(
+                &[500_000_000, 333_000_000, 250_000_000, 100_000_000],
+                &[
+                    DfsBand { hot_k: 342.0, cool_k: 334.0 },
+                    DfsBand { hot_k: 350.0, cool_k: 341.0 },
+                    DfsBand { hot_k: 358.0, cool_k: 349.0 },
+                ],
+            )
+            .expect("valid 4-level ladder");
+            Some(
+                Sweep::new("ladder", Scenario::paper_fig6_unmanaged())
+                    .dfs_policies(vec![None, Some(DfsPolicy::paper()), Some(three), Some(four)])
+                    .windows(&[150, 300]),
+            )
+        }
+        "mesh" => {
+            let fine = GridConfig { default_div: 3, hot_div: 5, filler_pitch_um: 600.0, ..GridConfig::default() };
+            let xfine = GridConfig { default_div: 4, hot_div: 7, filler_pitch_um: 400.0, ..GridConfig::default() };
+            Some(
+                Sweep::new(
+                    "mesh",
+                    Scenario::exploration_bus(2).sampling_window_s(0.002).strict_convergence(true),
+                )
+                .meshes(vec![
+                    (String::from("paper"), GridConfig::default()),
+                    (String::from("fine"), fine),
+                    (String::from("xfine"), xfine),
+                ])
+                .implicit_solves(&[ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid]),
+            )
+        }
+        "explore" => Some(
+            Sweep::new("explore", Scenario::new().sampling_window_s(0.002))
+                .axis(
+                    "ic",
+                    vec!["bus", "noc"],
+                    ToString::to_string,
+                    |s, ic| {
+                        Ok(match *ic {
+                            "bus" => s.platform(PlatformConfig::paper_bus(4)),
+                            _ => s.platform(PlatformConfig::paper_noc(4)),
+                        })
+                    },
+                )
+                .workloads(vec![
+                    Workload::Matrix(MatrixConfig::small(4)),
+                    Workload::Dithering {
+                        cfg: DitherConfig { width: 64, height: 64, images: 2, cores: 4 },
+                        seed: 7,
+                    },
+                ])
+                .cores(&[1, 2, 4]),
+        ),
+        "grid100" => Some(
+            Sweep::new("grid100", tiny_base())
+                .workloads((1..=5).map(tiny).collect())
+                .dfs_bands(
+                    &[(340.0, 330.0), (345.0, 335.0), (350.0, 340.0), (355.0, 345.0), (360.0, 350.0)],
+                    500_000_000,
+                    100_000_000,
+                )
+                .implicit_solves(&[ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid])
+                .windows(&[1, 2]),
+        ),
+        _ => None,
+    }
+}
+
+fn with_progress(sweep: Sweep) -> Sweep {
+    sweep.on_progress(|p| {
+        let status = match p.outcome {
+            Ok(s) => format!(
+                "peak {} windows {}{}",
+                s.peak_temp_k.map_or_else(|| String::from("-"), |t| format!("{t:.2}K")),
+                s.windows,
+                if p.cache_hit { "  [cached]" } else { "" }
+            ),
+            Err(e) => format!("FAILED: {e}"),
+        };
+        println!("  [{:>3}/{}] {:<60} {status}", p.completed, p.total, p.label);
+    })
+}
+
+fn summarize(report: &SweepReport) {
+    println!(
+        "\n{}: {} point(s), {} executed, {} cache hit(s), {} failed, {:.2} s wall on {} thread(s)",
+        report.name,
+        report.points.len(),
+        report.executed,
+        report.cache_hits,
+        report.n_failed(),
+        report.wall.as_secs_f64(),
+        report.threads
+    );
+}
+
+/// The check.sh gate: a strict-convergence mini sweep (multigrid included)
+/// plus an in-process cached re-run that must skip every execution.
+fn smoke() -> i32 {
+    let cache = ResultCache::in_memory();
+    let base = tiny_base().strict_convergence(true);
+    let build = || {
+        Sweep::new("smoke", base.clone())
+            .workloads((1..=4).map(tiny).collect())
+            .implicit_solves(&[ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid])
+    };
+    println!("sweep smoke: 8-point strict-convergence grid");
+    let first = with_progress(build()).run_cached(&cache);
+    summarize(&first);
+    if !first.all_ok() || first.points.len() < 6 {
+        eprintln!("sweep smoke FAILED: {} failed point(s)\n{}", first.n_failed(), first.to_json());
+        return 1;
+    }
+    for p in &first.points {
+        let s = p.outcome.as_ref().expect("all_ok checked");
+        if s.unconverged_substeps != 0 {
+            eprintln!("sweep smoke FAILED: {} accepted unconverged substeps", p.label);
+            return 1;
+        }
+    }
+    println!("\nsweep smoke: identical re-run must be 100% cache hits");
+    let rerun = with_progress(build()).run_cached(&cache);
+    summarize(&rerun);
+    if rerun.executed != 0 || rerun.cache_hits != rerun.points.len() {
+        eprintln!(
+            "sweep smoke FAILED: re-run executed {} scenario(s), {} cache hit(s)",
+            rerun.executed, rerun.cache_hits
+        );
+        return 1;
+    }
+    println!("\nsweep smoke OK");
+    0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
+    if args.iter().any(|a| a == "--list") || args.is_empty() {
+        println!("named sweeps (run with: sweep <name> [--out x.json] [--csv x.csv] [--cache store.jsonl] [--threads N]):");
+        for (name, what) in NAMES {
+            println!("  {name:<10} {what}");
+        }
+        return;
+    }
+
+    let mut name: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut cache_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(it.next().expect("--out takes a path").clone()),
+            "--csv" => csv = Some(it.next().expect("--csv takes a path").clone()),
+            "--cache" => cache_path = Some(it.next().expect("--cache takes a path").clone()),
+            "--threads" => {
+                threads = Some(
+                    it.next().and_then(|v| v.parse().ok()).expect("--threads takes a positive integer"),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                panic!("unknown flag {flag} (supported: --out, --csv, --cache, --threads, --smoke, --list)")
+            }
+            positional => name = Some(String::from(positional)),
+        }
+    }
+
+    let name = name.expect("pass a sweep name (or --list)");
+    let mut sweep = build(&name)
+        .unwrap_or_else(|| panic!("unknown sweep {name:?} — run with --list to see the named sweeps"));
+    if let Some(t) = threads {
+        sweep = sweep.threads(t);
+    }
+    sweep = with_progress(sweep);
+
+    println!("sweep {name}: {} point(s)", sweep.n_points());
+    let report = match &cache_path {
+        Some(path) => {
+            let cache = ResultCache::with_store(path).expect("open cache store");
+            println!("cache store {path}: {} entr(ies) preloaded", cache.len());
+            sweep.run_cached(&cache)
+        }
+        None => sweep.run(),
+    };
+    summarize(&report);
+
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json()).expect("write JSON report");
+        println!("wrote {path}");
+    }
+    if let Some(path) = csv {
+        std::fs::write(&path, report.to_csv()).expect("write CSV report");
+        println!("wrote {path}");
+    }
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -4,7 +4,8 @@
 //! `cargo run --release -p temu-bench --bin thermal_scaling -- --smoke`.)
 
 use temu_bench::thermal_scaling;
-use temu_framework::{Campaign, ImplicitSolve, Scenario};
+use temu_framework::{Campaign, ImplicitSolve, ResultCache, Scenario, Sweep, Workload};
+use temu_workloads::matrix::MatrixConfig;
 
 #[test]
 fn thermal_scaling_smoke() {
@@ -64,4 +65,33 @@ fn mini_campaign_smoke() {
     assert_eq!(mg.report.solver.unconverged_substeps, 0);
     assert!(mg.report.solver.total_cycles > 0, "multigrid cycles were spent");
     assert_eq!(report.to_csv().lines().count(), 4, "header + 3 rows");
+}
+
+/// The debug-mode twin of `sweep -- --smoke` (the release gate in
+/// check.sh): a strict-convergence mini sweep over workload × solver must
+/// run clean through `Campaign`, and its identical re-run must be 100%
+/// cache hits with zero scenario executions.
+#[test]
+fn mini_sweep_smoke() {
+    let tiny = |iters: u32| Workload::Matrix(MatrixConfig { n: 4, iters, cores: 1 });
+    let base = Scenario::new().cores(1).workload(tiny(1)).sampling_window_s(0.0005).windows(2);
+    let base = base.strict_convergence(true);
+    let build = || {
+        Sweep::new("smoke", base.clone())
+            .workloads((1..=3).map(tiny).collect())
+            .implicit_solves(&[ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid])
+            .threads(2)
+    };
+    let cache = ResultCache::in_memory();
+    let first = build().run_cached(&cache);
+    assert_eq!(first.points.len(), 6);
+    assert!(first.all_ok(), "{}", first.to_json());
+    assert_eq!(first.executed, 6);
+    for p in &first.points {
+        assert_eq!(p.outcome.as_ref().unwrap().unconverged_substeps, 0, "{} converged", p.label);
+    }
+    let rerun = build().run_cached(&cache);
+    assert_eq!(rerun.executed, 0, "identical re-run executes nothing");
+    assert_eq!(rerun.cache_hits, 6);
+    assert!(rerun.to_json().contains("\"cache_hit\": true"));
 }

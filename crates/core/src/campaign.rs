@@ -28,11 +28,33 @@
 //! JSON.
 
 use crate::error::TemuError;
+use crate::export::{csv_f64, csv_field, csv_opt, json_escape, json_f64, json_num_or_null};
 use crate::scenario::{Scenario, ScenarioRun};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use temu_thermal::{default_workers, WorkerPool};
+
+/// A streaming result sink: called once per finished scenario, in
+/// completion order (see [`Campaign::on_result`]).
+pub type ResultSink = dyn Fn(&CampaignProgress<'_>) + Send + Sync;
+
+/// One finished scenario, delivered to a [`Campaign::on_result`] sink while
+/// the rest of the batch is still running.
+#[derive(Debug)]
+pub struct CampaignProgress<'a> {
+    /// Input index of the scenario that just finished (its slot in the
+    /// final [`CampaignReport::results`]).
+    pub index: usize,
+    /// Scenarios finished so far, this one included (monotonically
+    /// increasing across sink invocations: 1, 2, …, `total`).
+    pub completed: usize,
+    /// Scenarios in the whole batch.
+    pub total: usize,
+    /// The finished scenario's result.
+    pub result: &'a ScenarioResult,
+}
 
 /// The outcome of one scenario inside a campaign.
 #[derive(Debug)]
@@ -54,10 +76,21 @@ impl ScenarioResult {
 }
 
 /// A batch of scenarios executed concurrently (see the module docs).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct Campaign {
     scenarios: Vec<Scenario>,
     threads: Option<usize>,
+    sink: Option<Arc<ResultSink>>,
+}
+
+impl fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("scenarios", &self.scenarios)
+            .field("threads", &self.threads)
+            .field("sink", &self.sink.as_ref().map(|_| "Fn(&CampaignProgress)"))
+            .finish()
+    }
 }
 
 impl Campaign {
@@ -86,6 +119,19 @@ impl Campaign {
         self
     }
 
+    /// Installs a streaming result sink: `sink` is called once per
+    /// scenario as it finishes — in **completion order**, from whichever
+    /// worker thread ran it — so long batches can report progress (or
+    /// persist results) incrementally instead of only at the final join.
+    ///
+    /// Invocations are serialized (never concurrent), and
+    /// [`CampaignProgress::completed`] counts them 1..=total; the final
+    /// [`CampaignReport`] is unchanged and stays input-ordered.
+    pub fn on_result(mut self, sink: impl Fn(&CampaignProgress<'_>) + Send + Sync + 'static) -> Campaign {
+        self.sink = Some(Arc::new(sink));
+        self
+    }
+
     /// Number of scenarios queued.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -104,6 +150,7 @@ impl Campaign {
         let n_jobs = self.scenarios.len();
         let threads = self.resolve_threads(n_jobs);
         let next = AtomicUsize::new(0);
+        let completed = Mutex::new(0usize);
         let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
         let worker = |_lane: usize, _lanes: usize| loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -111,6 +158,14 @@ impl Campaign {
                 break;
             }
             let result = run_one(&self.scenarios[i]);
+            if let Some(sink) = &self.sink {
+                // The lock is held across the sink call: invocations are
+                // serialized and `completed` increases monotonically even
+                // when results race in from several workers.
+                let mut done = completed.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                *done += 1;
+                sink(&CampaignProgress { index: i, completed: *done, total: n_jobs, result: &result });
+            }
             *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
         };
         if threads <= 1 {
@@ -269,57 +324,3 @@ impl CampaignReport {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// A float as a JSON number with `decimals` places, or `null` when it is
-/// not finite (bare `NaN`/`inf` are not valid JSON).
-fn json_f64(v: f64, decimals: usize) -> String {
-    if v.is_finite() {
-        format!("{v:.decimals$}")
-    } else {
-        String::from("null")
-    }
-}
-
-fn json_num_or_null(prefix: &str, v: Option<f64>) -> String {
-    match v.filter(|x| x.is_finite()) {
-        Some(x) => format!("{prefix}{x:.3}"),
-        None => format!("{prefix}null"),
-    }
-}
-
-/// A float as a CSV field, empty when not finite.
-fn csv_f64(v: f64, decimals: usize) -> String {
-    if v.is_finite() {
-        format!("{v:.decimals$}")
-    } else {
-        String::new()
-    }
-}
-
-fn csv_opt(v: Option<f64>) -> String {
-    v.filter(|x| x.is_finite()).map_or_else(String::new, |x| format!("{x:.3}"))
-}
-
-/// Quotes a CSV field when it contains separators or quotes.
-fn csv_field(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
-    }
-}

@@ -42,34 +42,76 @@ impl Default for EmulationConfig {
     }
 }
 
-/// Summary of a finished co-emulation run.
+/// Summary of one finished co-emulation run call.
+///
+/// Every field is a **per-call delta**: a second `run_windows` /
+/// `run_to_halt` call on the same emulation reports only the windows,
+/// time, cycles, statistics and link traffic of *that* call, so throughput
+/// derived from a report (windows per wall second, virtual-to-FPGA ratio)
+/// is always internally consistent. Lifetime totals across every call stay
+/// available on the emulation itself via [`ThermalEmulation::totals`].
 #[derive(Clone, Debug)]
 #[must_use]
 pub struct EmulationReport {
-    /// Sampling windows executed.
+    /// Sampling windows executed by this call.
     pub windows: u64,
-    /// Virtual seconds emulated.
+    /// Virtual seconds emulated by this call.
     pub virtual_seconds: f64,
-    /// Virtual cycles executed (varies with DFS).
+    /// Virtual cycles executed by this call (varies with DFS).
     pub virtual_cycles: u64,
-    /// Modeled FPGA (physical) time, including VPCM freezes — the Table 3
-    /// "HW Emulator" quantity, now with the thermal loop attached.
+    /// Modeled FPGA (physical) time of this call, including VPCM freezes —
+    /// the Table 3 "HW Emulator" quantity, now with the thermal loop
+    /// attached.
     pub fpga_seconds: f64,
-    /// Host wall-clock time of the whole loop (platform + thermal + link).
+    /// Host wall-clock time of this call (platform + thermal + link).
     pub wall: Duration,
     /// Whether every core halted.
     pub all_halted: bool,
-    /// Aggregate platform statistics.
+    /// Aggregate platform statistics of this call's windows.
     pub aggregate: WindowStats,
-    /// Cumulative statistics-link traffic.
+    /// Statistics-link traffic of this call.
     pub link: LinkStats,
-    /// Convergence accounting of the thermal solver. A non-zero
+    /// Convergence accounting of the thermal solver over this call. A non-zero
     /// `unconverged_substeps` means the temperature trace was produced by
     /// an implicit solver that silently stopped converging — configure
     /// `GridConfig::strict_convergence` (or
     /// `Scenario::strict_convergence`) to turn that into a hard
     /// [`TemuError::Thermal`] instead.
     pub solver: SolverStats,
+}
+
+/// Lifetime totals of a [`ThermalEmulation`], accumulated across every
+/// `run_*` call (the cumulative view that [`EmulationReport`]'s per-call
+/// deltas deliberately exclude).
+#[derive(Clone, Debug)]
+#[must_use]
+pub struct EmulationTotals {
+    /// Sampling windows executed since construction.
+    pub windows: u64,
+    /// Virtual seconds emulated since construction.
+    pub virtual_seconds: f64,
+    /// Virtual cycles executed since construction.
+    pub virtual_cycles: u64,
+    /// Modeled FPGA (physical) time since construction.
+    pub fpga_seconds: f64,
+    /// Aggregate platform statistics since construction.
+    pub aggregate: WindowStats,
+    /// Statistics-link traffic since construction.
+    pub link: LinkStats,
+    /// Thermal-solver convergence accounting since construction.
+    pub solver: SolverStats,
+}
+
+/// Per-call baseline captured at the start of each `run_*` call so the
+/// report can subtract everything that happened before it.
+#[derive(Clone, Debug, Default)]
+struct CallBase {
+    windows: u64,
+    virtual_seconds: f64,
+    virtual_cycles: u64,
+    fpga_seconds: f64,
+    link: LinkStats,
+    solver: SolverStats,
 }
 
 /// The in-process sequential HW/SW co-emulation.
@@ -92,6 +134,11 @@ pub struct ThermalEmulation {
     virtual_cycles: u64,
     fpga_seconds: f64,
     aggregate: WindowStats,
+    call_aggregate: WindowStats,
+    call_base: CallBase,
+    /// Residual watermarks of *previous* calls (the model's own watermark
+    /// is re-armed per call), folded into [`ThermalEmulation::totals`].
+    past_worst_residual_k: f64,
 }
 
 impl ThermalEmulation {
@@ -111,7 +158,7 @@ impl ThermalEmulation {
             map,
             model,
             link: EthernetLink::new(cfg.link),
-            policy: cfg.policy,
+            policy: cfg.policy.clone(),
             cfg,
             trace: ThermalTrace::new(names),
             seq: 0,
@@ -120,6 +167,9 @@ impl ThermalEmulation {
             virtual_cycles: 0,
             fpga_seconds: 0.0,
             aggregate: WindowStats::default(),
+            call_aggregate: WindowStats::default(),
+            call_base: CallBase::default(),
+            past_worst_residual_k: 0.0,
         })
     }
 
@@ -241,6 +291,7 @@ impl ThermalEmulation {
         self.fpga_seconds += physical_window_s + link_freeze_s;
         let total_power = powers.iter().sum();
         self.aggregate.merge(&stats);
+        self.call_aggregate.merge(&stats);
         let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         self.trace.push(TraceSample {
             t_virtual_s: self.virtual_seconds,
@@ -261,6 +312,7 @@ impl ThermalEmulation {
     /// non-convergence.
     pub fn run_to_halt(&mut self, max_windows: u64) -> Result<EmulationReport, TemuError> {
         let t0 = Instant::now();
+        self.begin_call();
         for _ in 0..max_windows {
             self.run_window()?;
             if self.machine.all_halted() {
@@ -279,23 +331,66 @@ impl ThermalEmulation {
     /// non-convergence.
     pub fn run_windows(&mut self, n: u64) -> Result<EmulationReport, TemuError> {
         let t0 = Instant::now();
+        self.begin_call();
         for _ in 0..n {
             self.run_window()?;
         }
         Ok(self.report(t0))
     }
 
-    fn report(&self, t0: Instant) -> EmulationReport {
-        EmulationReport {
+    /// Lifetime totals across every `run_*` call (and any direct
+    /// [`ThermalEmulation::run_window`] calls) on this emulation — the
+    /// cumulative counterpart of the per-call [`EmulationReport`].
+    pub fn totals(&self) -> EmulationTotals {
+        let mut solver = self.model.solver_stats();
+        solver.worst_residual_k = solver.worst_residual_k.max(self.past_worst_residual_k);
+        EmulationTotals {
             windows: self.windows,
             virtual_seconds: self.virtual_seconds,
             virtual_cycles: self.virtual_cycles,
             fpga_seconds: self.fpga_seconds,
-            wall: t0.elapsed(),
-            all_halted: self.machine.all_halted(),
             aggregate: self.aggregate.clone(),
             link: *self.link.stats(),
+            solver,
+        }
+    }
+
+    /// Marks the start of a `run_*` call: snapshots every cumulative
+    /// counter so [`ThermalEmulation::report`] can subtract it, resets the
+    /// per-call aggregate, and re-arms the solver's residual watermark
+    /// (banking the old one for [`ThermalEmulation::totals`]).
+    fn begin_call(&mut self) {
+        self.call_aggregate = WindowStats::default();
+        self.past_worst_residual_k = self.past_worst_residual_k.max(self.model.solver_stats().worst_residual_k);
+        self.model.reset_residual_watermark();
+        self.call_base = CallBase {
+            windows: self.windows,
+            virtual_seconds: self.virtual_seconds,
+            virtual_cycles: self.virtual_cycles,
+            fpga_seconds: self.fpga_seconds,
+            link: *self.link.stats(),
             solver: self.model.solver_stats(),
+        };
+    }
+
+    fn report(&self, t0: Instant) -> EmulationReport {
+        let base = &self.call_base;
+        let link = *self.link.stats();
+        EmulationReport {
+            windows: self.windows - base.windows,
+            virtual_seconds: self.virtual_seconds - base.virtual_seconds,
+            virtual_cycles: self.virtual_cycles - base.virtual_cycles,
+            fpga_seconds: self.fpga_seconds - base.fpga_seconds,
+            wall: t0.elapsed(),
+            all_halted: self.machine.all_halted(),
+            aggregate: self.call_aggregate.clone(),
+            link: LinkStats {
+                frames: link.frames - base.link.frames,
+                wire_bytes: link.wire_bytes - base.link.wire_bytes,
+                busy_seconds: link.busy_seconds - base.link.busy_seconds,
+                freeze_seconds: link.freeze_seconds - base.link.freeze_seconds,
+            },
+            solver: self.model.solver_stats().delta_since(&base.solver),
         }
     }
 }
@@ -329,6 +424,37 @@ mod tests {
     }
 
     #[test]
+    fn second_call_reports_only_its_own_windows() {
+        // Regression: the report used to mix lifetime-cumulative counters
+        // with a per-call wall clock, so a second `run_windows` call
+        // charged this call's wall time against all-time window counts and
+        // corrupted any derived throughput.
+        let mut emu = emulation(None, 100_000);
+        let first = emu.run_windows(3).unwrap();
+        assert_eq!(first.windows, 3);
+        let second = emu.run_windows(2).unwrap();
+        assert_eq!(second.windows, 2, "second call reports its own windows only");
+        assert!((second.virtual_seconds - 0.002).abs() < 1e-9, "2 × 1 ms windows");
+        assert!(second.virtual_cycles < first.virtual_cycles);
+        assert_eq!(
+            second.virtual_cycles,
+            second.aggregate.cycles(),
+            "per-call aggregate matches per-call cycles"
+        );
+        assert!(second.fpga_seconds > 0.0 && second.fpga_seconds < first.fpga_seconds);
+        assert!(second.link.frames >= 2 && second.link.frames < first.link.frames);
+        assert!(second.solver.substeps > 0 && second.solver.substeps < first.solver.substeps);
+        // The cumulative view lives on the emulation itself.
+        let totals = emu.totals();
+        assert_eq!(totals.windows, 5);
+        assert!((totals.virtual_seconds - 0.005).abs() < 1e-9);
+        assert_eq!(totals.virtual_cycles, first.virtual_cycles + second.virtual_cycles);
+        assert_eq!(totals.aggregate.cycles(), totals.virtual_cycles);
+        assert_eq!(totals.link.frames, first.link.frames + second.link.frames);
+        assert_eq!(totals.solver.substeps, first.solver.substeps + second.solver.substeps);
+    }
+
+    #[test]
     fn trace_grows_one_sample_per_window() {
         let mut emu = emulation(None, 10_000);
         let _ = emu.run_windows(5).unwrap();
@@ -341,7 +467,7 @@ mod tests {
     fn dfs_policy_throttles_when_forced_hot() {
         // An aggressive policy (hot threshold just above ambient) must kick
         // in within a few windows and halve the cycle budget of later windows.
-        let policy = DfsPolicy::new(300.6, 300.3, 500_000_000, 100_000_000);
+        let policy = DfsPolicy::new(300.6, 300.3, 500_000_000, 100_000_000).unwrap();
         let mut emu = emulation(Some(policy), 100_000);
         let _ = emu.run_windows(40).unwrap();
         let hzs: Vec<u64> = emu.trace().samples.iter().map(|s| s.virtual_hz).collect();

@@ -1,0 +1,92 @@
+//! Shared CSV/JSON serialization helpers for the report exporters
+//! ([`crate::CampaignReport`], [`crate::ThermalTrace`],
+//! [`crate::SweepReport`]).
+//!
+//! The framework hand-rolls its exports (no external dependencies), so the
+//! escaping rules live in exactly one place: CSV fields are quoted whenever
+//! they contain a separator, quote, or line break (`\r` included — a bare
+//! carriage return splits a record under RFC 4180 just like `\n`), and every
+//! floating-point JSON value is emitted as a number only when finite
+//! (`NaN`/`inf` are not valid JSON).
+
+/// Quotes a CSV field when it contains separators, quotes, or line breaks.
+pub(crate) fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// A float as a CSV field, empty when not finite.
+pub(crate) fn csv_f64(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        String::new()
+    }
+}
+
+/// An optional float as a CSV field, empty when absent or not finite.
+pub(crate) fn csv_opt(v: Option<f64>) -> String {
+    v.filter(|x| x.is_finite()).map_or_else(String::new, |x| format!("{x:.3}"))
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A float as a JSON number with `decimals` places, or `null` when it is
+/// not finite (bare `NaN`/`inf` are not valid JSON).
+pub(crate) fn json_f64(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        String::from("null")
+    }
+}
+
+/// `prefix` followed by the float as a JSON number, or by `null` when the
+/// value is absent or not finite.
+pub(crate) fn json_num_or_null(prefix: &str, v: Option<f64>) -> String {
+    match v.filter(|x| x.is_finite()) {
+        Some(x) => format!("{prefix}{x:.3}"),
+        None => format!("{prefix}null"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_field_quotes_all_breaking_characters() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(csv_field("carriage\rreturn"), "\"carriage\rreturn\"", "\\r must be quoted too");
+    }
+
+    #[test]
+    fn float_helpers_guard_non_finite_values() {
+        assert_eq!(json_f64(1.5, 2), "1.50");
+        assert_eq!(json_f64(f64::NAN, 2), "null");
+        assert_eq!(csv_f64(f64::INFINITY, 2), "");
+        assert_eq!(csv_opt(Some(f64::NAN)), "");
+        assert_eq!(json_num_or_null("x: ", None), "x: null");
+    }
+}

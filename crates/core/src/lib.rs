@@ -48,7 +48,30 @@
 //!
 //! Failures stay local: a scenario that returns a [`TemuError`] (or
 //! panics) is carried in its slot of the report while its siblings run to
-//! completion.
+//! completion. [`Campaign::on_result`] streams each result as it finishes,
+//! so long batches report incrementally instead of only at the join.
+//!
+//! ## Sweeping parameter grids: [`Sweep`]
+//!
+//! A [`Sweep`] expands cartesian axes — core counts, DFS frequency
+//! ladders ([`temu_platform::DfsPolicy::ladder`]) or threshold bands,
+//! mesh resolutions, workloads, implicit-solver choices, run budgets, or
+//! custom knobs — into one campaign and reports per grid point
+//! ([`SweepReport`]). A [`ResultCache`] memoizes each point under its
+//! configuration content key ([`Scenario::content_key`], optionally
+//! persisted to an on-disk JSON-lines store), so re-running an identical
+//! or overlapping sweep skips every already-solved point:
+//!
+//! ```no_run
+//! use temu_framework::{ResultCache, Scenario, Sweep};
+//!
+//! let cache = ResultCache::in_memory();
+//! let report = Sweep::new("bands", Scenario::paper_fig6_unmanaged())
+//!     .cores(&[2, 4])
+//!     .dfs_bands(&[(350.0, 340.0), (345.0, 335.0)], 500_000_000, 100_000_000)
+//!     .run_cached(&cache);
+//! println!("{}", report.to_csv());
+//! ```
 //!
 //! ## Execution transports
 //!
@@ -69,13 +92,19 @@
 mod campaign;
 mod emulation;
 mod error;
+mod export;
 mod scenario;
+mod sweep;
 pub mod threaded;
 mod trace;
 
-pub use campaign::{Campaign, CampaignReport, ScenarioResult};
+pub use campaign::{Campaign, CampaignProgress, CampaignReport, ResultSink, ScenarioResult};
 pub use emulation::{EmulationConfig, EmulationReport, ThermalEmulation};
 pub use error::TemuError;
+pub use emulation::EmulationTotals;
 pub use scenario::{RunBudget, Scenario, ScenarioRun, Workload};
+pub use sweep::{
+    PointSummary, ResultCache, Sweep, SweepPoint, SweepPointResult, SweepProgress, SweepReport, SweepSink,
+};
 pub use temu_thermal::{ImplicitSolve, SolverStats};
 pub use trace::{ThermalTrace, TraceSample};

@@ -353,6 +353,27 @@ impl Scenario {
         &self.platform
     }
 
+    /// A stable content key of everything that determines the run's
+    /// outcome — platform, floorplan, workload, emulation configuration
+    /// (grid, solver, power, link, DFS policy), run budget and fit gate —
+    /// deliberately excluding the display name. Two scenarios with equal
+    /// keys produce identical runs, which is what lets
+    /// [`crate::ResultCache`] skip re-executing repeated sweep points.
+    #[must_use]
+    pub fn content_key(&self) -> u64 {
+        crate::sweep::fnv1a64(self.fingerprint_source().as_bytes())
+    }
+
+    /// The canonical configuration description behind
+    /// [`Scenario::content_key`] (a deterministic `Debug` rendering of
+    /// every outcome-relevant field).
+    pub(crate) fn fingerprint_source(&self) -> String {
+        format!(
+            "platform={:?};floorplan={:?};workload={:?};emu={:?};budget={:?};fit={:?}",
+            self.platform, self.floorplan, self.workload, self.emu, self.budget, self.fit_device
+        )
+    }
+
     /// The workload.
     pub fn workload_config(&self) -> &Workload {
         &self.workload

@@ -1,0 +1,1100 @@
+//! Cartesian design-space sweeps over [`Scenario`] axes, with content-keyed
+//! result caching — the batching layer the paper's "fast design-space
+//! exploration" claim turns into an API.
+//!
+//! A [`Sweep`] starts from one base scenario and takes any number of
+//! **axes** — core counts, DFS frequency ladders or threshold bands, mesh
+//! resolutions ([`GridConfig`]), workloads, implicit-solver choices, run
+//! budgets, or arbitrary custom knobs — and expands their cartesian product
+//! into one [`Campaign`] run. Results come back as a [`SweepReport`] keyed
+//! by grid point (one row per parameter combination, labelled
+//! `axis=value/axis=value/…`), with JSON/CSV export.
+//!
+//! ```no_run
+//! use temu_framework::{ResultCache, Scenario, Sweep};
+//!
+//! let cache = ResultCache::in_memory();
+//! let sweep = || {
+//!     Sweep::new("ladder-study", Scenario::paper_fig6_unmanaged())
+//!         .cores(&[2, 4])
+//!         .dfs_bands(&[(350.0, 340.0), (345.0, 335.0)], 500_000_000, 100_000_000)
+//! };
+//! let report = sweep().run_cached(&cache);
+//! println!("{}", report.to_csv());
+//! // Re-running the identical sweep executes zero scenarios:
+//! let rerun = sweep().run_cached(&cache);
+//! assert_eq!(rerun.executed, 0);
+//! assert_eq!(rerun.cache_hits, 4);
+//! ```
+//!
+//! # Caching
+//!
+//! Every grid point is identified by [`Scenario::content_key`] — a stable
+//! FNV-1a hash of the scenario's canonical configuration (platform,
+//! floorplan, workload, grid/solver, power, link, DFS policy, budget, fit
+//! gate; *not* its display name). A [`ResultCache`] memoizes the
+//! [`PointSummary`] per key in process, and optionally persists it to an
+//! on-disk JSON-lines store ([`ResultCache::with_store`]) so re-runs of a
+//! sweep — including across processes, or sweeps that merely overlap — are
+//! incremental: cached points are reported without executing their
+//! scenarios. Failed points are never cached (they re-run until they
+//! succeed).
+//!
+//! # Streaming progress
+//!
+//! [`Sweep::on_progress`] installs a sink that is called once per grid
+//! point — cache hits first, then executed points in completion order off
+//! the campaign's worker threads — so a long sweep reports incrementally
+//! instead of only at the join (see [`SweepProgress`]).
+//!
+//! # Error containment
+//!
+//! A sweep-generated bad grid point (say, an inverted DFS hysteresis band
+//! from [`Sweep::dfs_bands`]) surfaces as that point's typed [`TemuError`]
+//! in its slot of the report — never as a panic, and without aborting its
+//! sibling points.
+
+use crate::campaign::Campaign;
+use crate::error::TemuError;
+use crate::export::{csv_f64, csv_field, csv_opt, json_escape, json_f64, json_num_or_null};
+use crate::scenario::{Scenario, ScenarioRun, Workload};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use temu_platform::{DfsBand, DfsPolicy};
+use temu_thermal::{GridConfig, ImplicitSolve};
+
+/// 64-bit FNV-1a: a small, dependency-free hash whose value is defined by
+/// the algorithm alone — unlike `DefaultHasher`, it cannot drift between
+/// compiler releases, so on-disk cache keys stay valid.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Point summaries (the cacheable unit)
+// ---------------------------------------------------------------------------
+
+/// The scalar outcome of one sweep point: what a design-space comparison
+/// actually consumes (and what the cache stores) — run totals, the Fig. 6
+/// thermal headline numbers, the per-frequency DFS residency and the
+/// solver-convergence accounting. When the full [`ScenarioRun`] (trace
+/// included) is needed, run the point through a plain [`Campaign`].
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub struct PointSummary {
+    /// Sampling windows executed.
+    pub windows: u64,
+    /// Virtual seconds emulated.
+    pub virtual_s: f64,
+    /// Modeled FPGA (physical) seconds.
+    pub fpga_s: f64,
+    /// Host wall seconds of the original execution (a cache hit reports
+    /// the time the point took when it actually ran).
+    pub wall_s: f64,
+    /// Whether every core halted.
+    pub all_halted: bool,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Hottest temperature ever reached, K.
+    pub peak_temp_k: Option<f64>,
+    /// Final maximum temperature, K.
+    pub final_temp_k: Option<f64>,
+    /// Fraction of windows below the top observed frequency.
+    pub throttled_fraction: f64,
+    /// Virtual seconds at each observed clock frequency, fastest first
+    /// ([`crate::ThermalTrace::time_at_hz`]).
+    pub time_at_hz: Vec<(u64, f64)>,
+    /// Implicit substeps accepted unconverged (non-zero = suspect data).
+    pub unconverged_substeps: u64,
+    /// Worst unconverged residual, K.
+    pub worst_residual_k: f64,
+}
+
+impl PointSummary {
+    fn from_run(run: &ScenarioRun, wall: Duration) -> PointSummary {
+        PointSummary {
+            windows: run.report.windows,
+            virtual_s: run.report.virtual_seconds,
+            fpga_s: run.report.fpga_seconds,
+            wall_s: wall.as_secs_f64(),
+            all_halted: run.report.all_halted,
+            instructions: run.report.aggregate.total_instructions(),
+            peak_temp_k: run.trace.peak_temp(),
+            final_temp_k: run.trace.final_temp(),
+            throttled_fraction: run.trace.throttled_fraction(),
+            time_at_hz: run.trace.time_at_hz(),
+            unconverged_substeps: run.report.solver.unconverged_substeps,
+            worst_residual_k: run.report.solver.worst_residual_k,
+        }
+    }
+
+    /// The summary's fields as the inner part of a flat JSON object (no
+    /// braces) — shared between the report export and the disk store.
+    fn json_fields(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\"windows\": {}", self.windows));
+        out.push_str(&format!(", \"virtual_s\": {}", json_f64(self.virtual_s, 6)));
+        out.push_str(&format!(", \"fpga_s\": {}", json_f64(self.fpga_s, 6)));
+        out.push_str(&format!(", \"wall_s\": {}", json_f64(self.wall_s, 6)));
+        out.push_str(&format!(", \"all_halted\": {}", self.all_halted));
+        out.push_str(&format!(", \"instructions\": {}", self.instructions));
+        out.push_str(&json_num_or_null(", \"peak_temp_k\": ", self.peak_temp_k));
+        out.push_str(&json_num_or_null(", \"final_temp_k\": ", self.final_temp_k));
+        out.push_str(&format!(", \"throttled_fraction\": {}", json_f64(self.throttled_fraction, 4)));
+        out.push_str(&format!(", \"time_at_hz\": \"{}\"", self.residency_field()));
+        out.push_str(&format!(", \"unconverged_substeps\": {}", self.unconverged_substeps));
+        out.push_str(&format!(", \"worst_residual_k\": {}", json_f64(self.worst_residual_k, 9)));
+        out
+    }
+
+    /// The residency encoded as space-separated `hz:seconds` pairs — one
+    /// CSV/JSON string field instead of a nested structure.
+    fn residency_field(&self) -> String {
+        self.time_at_hz.iter().map(|(hz, s)| format!("{hz}:{s:.6}")).collect::<Vec<_>>().join(" ")
+    }
+
+    fn parse_residency(s: &str) -> Vec<(u64, f64)> {
+        s.split_whitespace()
+            .filter_map(|pair| {
+                let (hz, secs) = pair.split_once(':')?;
+                Some((hz.parse().ok()?, secs.parse().ok()?))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A minimal flat-JSON reader for the on-disk store
+// ---------------------------------------------------------------------------
+
+/// One value of a flat JSON object (the store writes nothing deeper).
+#[derive(Clone, PartialEq, Debug)]
+enum FlatJson {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl FlatJson {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            FlatJson::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            FlatJson::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"key": value, …}` with string, number,
+/// boolean or null values). Returns `None` on any malformed input — a
+/// corrupt store line is skipped, not fatal.
+fn parse_flat_json(line: &str) -> Option<HashMap<String, FlatJson>> {
+    use std::iter::Peekable;
+    use std::str::CharIndices;
+
+    fn skip_ws(chars: &mut Peekable<CharIndices<'_>>) {
+        while chars.peek().is_some_and(|(_, c)| c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(chars: &mut Peekable<CharIndices<'_>>) -> Option<String> {
+        let mut v = String::new();
+        if chars.next()?.1 != '"' {
+            return None;
+        }
+        loop {
+            let (_, c) = chars.next()?;
+            match c {
+                '"' => return Some(v),
+                '\\' => match chars.next()?.1 {
+                    '"' => v.push('"'),
+                    '\\' => v.push('\\'),
+                    'n' => v.push('\n'),
+                    'r' => v.push('\r'),
+                    't' => v.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + chars.next()?.1.to_digit(16)?;
+                        }
+                        v.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => v.push(c),
+            }
+        }
+    }
+
+    let s = line.trim();
+    let mut chars = s.char_indices().peekable();
+    let mut out = HashMap::new();
+    skip_ws(&mut chars);
+    if chars.next()?.1 != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()?.1 {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            _ => {}
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()?.1 != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek()?.1 {
+            '"' => FlatJson::Str(parse_string(&mut chars)?),
+            't' | 'f' | 'n' => {
+                let start = chars.peek()?.0;
+                while chars.peek().is_some_and(|(_, c)| c.is_ascii_alphabetic()) {
+                    chars.next();
+                }
+                let end = chars.peek().map_or(s.len(), |(i, _)| *i);
+                match &s[start..end] {
+                    "true" => FlatJson::Bool(true),
+                    "false" => FlatJson::Bool(false),
+                    "null" => FlatJson::Null,
+                    _ => return None,
+                }
+            }
+            _ => {
+                let start = chars.peek()?.0;
+                while chars.peek().is_some_and(|(_, c)| matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E')) {
+                    chars.next();
+                }
+                let end = chars.peek().map_or(s.len(), |(i, _)| *i);
+                FlatJson::Num(s[start..end].parse().ok()?)
+            }
+        };
+        out.insert(key, value);
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// The result cache
+// ---------------------------------------------------------------------------
+
+struct CacheInner {
+    mem: Mutex<HashMap<u64, PointSummary>>,
+    store: Option<Mutex<std::fs::File>>,
+    path: Option<PathBuf>,
+}
+
+/// A content-keyed memo of sweep-point results: [`Scenario::content_key`] →
+/// [`PointSummary`].
+///
+/// The cache is a cheaply-cloneable handle (clones share the same state),
+/// so one cache can serve many sweeps — overlapping grids skip their
+/// shared points. [`ResultCache::with_store`] additionally persists every
+/// insert to an append-only JSON-lines file and pre-loads existing
+/// entries, making sweep re-runs incremental across processes.
+#[derive(Clone)]
+pub struct ResultCache {
+    inner: Arc<CacheInner>,
+}
+
+impl fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("entries", &self.len())
+            .field("store", &self.inner.path)
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// An empty in-process cache (no disk store).
+    #[must_use]
+    pub fn in_memory() -> ResultCache {
+        ResultCache {
+            inner: Arc::new(CacheInner { mem: Mutex::new(HashMap::new()), store: None, path: None }),
+        }
+    }
+
+    /// A cache backed by an on-disk JSON-lines store: existing entries at
+    /// `path` are loaded (unparseable lines are skipped), and every new
+    /// insert is appended.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening or reading the store file.
+    pub fn with_store(path: impl AsRef<Path>) -> std::io::Result<ResultCache> {
+        let path = path.as_ref().to_path_buf();
+        let mut mem = HashMap::new();
+        if path.exists() {
+            for line in std::fs::read_to_string(&path)?.lines() {
+                if let Some((key, summary)) = ResultCache::decode_line(line) {
+                    mem.insert(key, summary);
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(ResultCache {
+            inner: Arc::new(CacheInner {
+                mem: Mutex::new(mem),
+                store: Some(Mutex::new(file)),
+                path: Some(path),
+            }),
+        })
+    }
+
+    /// Number of cached points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.mem.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Whether the cache holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The on-disk store path, when persistent.
+    #[must_use]
+    pub fn store_path(&self) -> Option<&Path> {
+        self.inner.path.as_deref()
+    }
+
+    /// Looks a content key up.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<PointSummary> {
+        self.inner.mem.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key).cloned()
+    }
+
+    /// Memoizes one point (and appends it to the disk store, if any; a
+    /// store write failure degrades to in-memory caching rather than
+    /// failing the sweep).
+    pub fn insert(&self, key: u64, summary: PointSummary) {
+        let fresh = self
+            .inner
+            .mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, summary.clone())
+            .is_none();
+        if fresh {
+            if let Some(store) = &self.inner.store {
+                let line = format!("{{\"key\": \"{key:016x}\", {}}}\n", summary.json_fields());
+                let mut f = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let _ = f.write_all(line.as_bytes());
+            }
+        }
+    }
+
+    fn decode_line(line: &str) -> Option<(u64, PointSummary)> {
+        let obj = parse_flat_json(line)?;
+        let key = match obj.get("key")? {
+            FlatJson::Str(s) => u64::from_str_radix(s, 16).ok()?,
+            _ => return None,
+        };
+        let num = |name: &str| obj.get(name).and_then(FlatJson::as_f64);
+        let int = |name: &str| obj.get(name).and_then(FlatJson::as_u64);
+        let summary = PointSummary {
+            windows: int("windows")?,
+            virtual_s: num("virtual_s")?,
+            fpga_s: num("fpga_s")?,
+            wall_s: num("wall_s")?,
+            all_halted: matches!(obj.get("all_halted")?, FlatJson::Bool(true)),
+            instructions: int("instructions")?,
+            peak_temp_k: num("peak_temp_k"),
+            final_temp_k: num("final_temp_k"),
+            throttled_fraction: num("throttled_fraction")?,
+            time_at_hz: match obj.get("time_at_hz")? {
+                FlatJson::Str(s) => PointSummary::parse_residency(s),
+                _ => return None,
+            },
+            unconverged_substeps: int("unconverged_substeps")?,
+            worst_residual_k: num("worst_residual_k").unwrap_or(0.0),
+        };
+        Some((key, summary))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Axes and the sweep builder
+// ---------------------------------------------------------------------------
+
+type Applier = Arc<dyn Fn(Scenario) -> Result<Scenario, TemuError> + Send + Sync>;
+
+#[derive(Clone)]
+struct AxisValue {
+    label: String,
+    apply: Applier,
+}
+
+#[derive(Clone)]
+struct Axis {
+    name: String,
+    values: Vec<AxisValue>,
+}
+
+/// A streaming per-point sink (see [`Sweep::on_progress`]).
+pub type SweepSink = dyn Fn(&SweepProgress<'_>) + Send + Sync;
+
+/// One finished (or cache-served) sweep point, delivered to a
+/// [`Sweep::on_progress`] sink while the rest of the grid is still
+/// running.
+#[derive(Debug)]
+pub struct SweepProgress<'a> {
+    /// Grid-point index (the point's slot in [`SweepReport::points`]).
+    pub index: usize,
+    /// Points finished so far, this one included (1, 2, …, `total` across
+    /// sink invocations).
+    pub completed: usize,
+    /// Points in the whole grid.
+    pub total: usize,
+    /// The point's `axis=value/…` label.
+    pub label: &'a str,
+    /// Whether the result came from the cache (no scenario executed).
+    pub cache_hit: bool,
+    /// The point's summary, or the typed error that stopped it.
+    pub outcome: Result<&'a PointSummary, &'a TemuError>,
+}
+
+/// A cartesian parameter grid over [`Scenario`] axes (see the module
+/// docs).
+#[derive(Clone)]
+pub struct Sweep {
+    name: String,
+    base: Scenario,
+    axes: Vec<Axis>,
+    threads: Option<usize>,
+    sink: Option<Arc<SweepSink>>,
+}
+
+impl fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let axes: Vec<String> = self.axes.iter().map(|a| format!("{}×{}", a.name, a.values.len())).collect();
+        f.debug_struct("Sweep")
+            .field("name", &self.name)
+            .field("axes", &axes)
+            .field("points", &self.n_points())
+            .finish()
+    }
+}
+
+impl Sweep {
+    /// A sweep of `base` with no axes yet (one grid point: the base
+    /// itself).
+    pub fn new(name: impl Into<String>, base: Scenario) -> Sweep {
+        Sweep { name: name.into(), base, axes: Vec::new(), threads: None, sink: None }
+    }
+
+    /// The sweep's name (prefixed onto every point's scenario name).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of grid points the current axes expand to.
+    #[must_use]
+    pub fn n_points(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Adds a custom axis: one grid dimension named `name`, taking each
+    /// value in `params`. `label` renders a parameter for point labels;
+    /// `apply` folds it into the point's scenario — returning an error
+    /// marks that grid point (and only it) failed with a typed
+    /// [`TemuError`].
+    pub fn axis<P, L, F>(mut self, name: impl Into<String>, params: Vec<P>, label: L, apply: F) -> Sweep
+    where
+        P: Send + Sync + 'static,
+        L: Fn(&P) -> String,
+        F: Fn(Scenario, &P) -> Result<Scenario, TemuError> + Send + Sync + Clone + 'static,
+    {
+        let values = params
+            .into_iter()
+            .map(|p| {
+                let label = label(&p);
+                let apply = apply.clone();
+                AxisValue { label, apply: Arc::new(move |s| apply(s, &p)) }
+            })
+            .collect();
+        self.axes.push(Axis { name: name.into(), values });
+        self
+    }
+
+    /// A `cores` axis: each point is retargeted with [`Scenario::cores`].
+    pub fn cores(self, cores: &[usize]) -> Sweep {
+        self.axis("cores", cores.to_vec(), ToString::to_string, |s, &n| Ok(s.cores(n)))
+    }
+
+    /// A DFS-policy axis over pre-built frequency ladders (`None` =
+    /// unmanaged). Labels come from [`DfsPolicy::label`].
+    pub fn dfs_policies(self, policies: Vec<Option<DfsPolicy>>) -> Sweep {
+        self.axis(
+            "dfs",
+            policies,
+            |p| p.as_ref().map_or_else(|| String::from("none"), DfsPolicy::label),
+            |s, p| {
+                Ok(match p {
+                    Some(p) => s.policy(p.clone()),
+                    None => s.no_policy(),
+                })
+            },
+        )
+    }
+
+    /// A DFS threshold axis: each `(hot_k, cool_k)` pair becomes the
+    /// classic two-level policy between `high_hz` and `low_hz`. The
+    /// policy is constructed **per grid point**, so an inverted pair
+    /// surfaces as that point's typed [`TemuError::Platform`] instead of
+    /// a panic.
+    pub fn dfs_bands(self, bands: &[(f64, f64)], high_hz: u64, low_hz: u64) -> Sweep {
+        self.axis(
+            "dfs",
+            bands.to_vec(),
+            |(hot, cool)| format!("{hot:.0}/{cool:.0}"),
+            move |s, &(hot, cool)| Ok(s.policy(DfsPolicy::new(hot, cool, high_hz, low_hz)?)),
+        )
+    }
+
+    /// A multi-level DFS ladder axis built per point from shared
+    /// frequency levels and per-point hysteresis band sets — a malformed
+    /// ladder surfaces as that point's typed error.
+    pub fn dfs_ladders(self, levels_hz: Vec<u64>, band_sets: Vec<Vec<DfsBand>>) -> Sweep {
+        self.axis(
+            "dfs",
+            band_sets,
+            |bands| {
+                bands.iter().map(|b| format!("{:.0}/{:.0}", b.hot_k, b.cool_k)).collect::<Vec<_>>().join("+")
+            },
+            move |s, bands| Ok(s.policy(DfsPolicy::ladder(&levels_hz, bands)?)),
+        )
+    }
+
+    /// A mesh-resolution axis: named [`GridConfig`]s (the names label the
+    /// points).
+    pub fn meshes(self, meshes: Vec<(String, GridConfig)>) -> Sweep {
+        self.axis("mesh", meshes, |(name, _)| name.clone(), |s, (_, grid)| Ok(s.grid(*grid)))
+    }
+
+    /// A workload axis; labels come from [`Workload::label`].
+    pub fn workloads(self, workloads: Vec<Workload>) -> Sweep {
+        self.axis("workload", workloads, Workload::label, |s, w| Ok(s.workload(w.clone())))
+    }
+
+    /// An implicit-solver axis (`gs`, `mg`, `auto`).
+    pub fn implicit_solves(self, solves: &[ImplicitSolve]) -> Sweep {
+        self.axis(
+            "solver",
+            solves.to_vec(),
+            |s| {
+                String::from(match s {
+                    ImplicitSolve::GaussSeidel => "gs",
+                    ImplicitSolve::Multigrid => "mg",
+                    _ => "auto",
+                })
+            },
+            |s, &solve| Ok(s.implicit_solve(solve)),
+        )
+    }
+
+    /// A run-budget axis: each point runs exactly `n` sampling windows.
+    pub fn windows(self, windows: &[u64]) -> Sweep {
+        self.axis("windows", windows.to_vec(), |n| format!("{n}w"), |s, &n| Ok(s.windows(n)))
+    }
+
+    /// Sets the campaign worker-thread count for executed points.
+    pub fn threads(mut self, threads: usize) -> Sweep {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Installs a streaming per-point sink: cache hits and malformed
+    /// points are delivered first, then executed points in completion
+    /// order. Invocations are serialized, with
+    /// [`SweepProgress::completed`] counting 1..=total.
+    pub fn on_progress(mut self, sink: impl Fn(&SweepProgress<'_>) + Send + Sync + 'static) -> Sweep {
+        self.sink = Some(Arc::new(sink));
+        self
+    }
+
+    /// Expands the cartesian grid without running anything: one
+    /// [`SweepPoint`] per combination, first axis slowest-varying (the
+    /// order [`SweepReport::points`] uses). Useful for inspecting point
+    /// counts, labels and content keys up front.
+    #[must_use]
+    pub fn expand(&self) -> Vec<SweepPoint> {
+        let total = self.n_points();
+        let mut points = Vec::with_capacity(total);
+        for i in 0..total {
+            let mut label = String::new();
+            let mut scenario: Result<Scenario, TemuError> = Ok(self.base.clone());
+            let mut stride = total;
+            for axis in &self.axes {
+                stride /= axis.values.len();
+                let value = &axis.values[(i / stride) % axis.values.len()];
+                if !label.is_empty() {
+                    label.push('/');
+                }
+                label.push_str(&axis.name);
+                label.push('=');
+                label.push_str(&value.label);
+                scenario = scenario.and_then(|s| (value.apply)(s));
+            }
+            let scenario = scenario.map(|s| s.name(format!("{}/{label}", self.name)));
+            let key = scenario.as_ref().ok().map(Scenario::content_key);
+            points.push(SweepPoint { index: i, label, key, scenario });
+        }
+        points
+    }
+
+    /// Runs the sweep without caching (every point executes).
+    pub fn run(&self) -> SweepReport {
+        self.run_with(None)
+    }
+
+    /// Runs the sweep against a [`ResultCache`]: points whose content key
+    /// is already cached are reported (and streamed) without executing
+    /// their scenario; fresh points run through one [`Campaign`] and are
+    /// inserted into the cache as they finish.
+    pub fn run_cached(&self, cache: &ResultCache) -> SweepReport {
+        self.run_with(Some(cache))
+    }
+
+    fn run_with(&self, cache: Option<&ResultCache>) -> SweepReport {
+        let t0 = Instant::now();
+        let expanded = self.expand();
+        let total = expanded.len();
+        let mut slots: Vec<Option<SweepPointResult>> = (0..total).map(|_| None).collect();
+        let mut queue: Vec<Scenario> = Vec::new();
+        // Per campaign slot: which grid point it is, its label and key.
+        let mut queued: Vec<(usize, String, u64)> = Vec::new();
+        let mut completed = 0usize;
+        let mut cache_hits = 0usize;
+
+        // Resolve every point that needs no execution — cache hits and
+        // malformed grid points — streaming them to the sink up front.
+        for point in expanded {
+            match point.scenario {
+                Err(e) => {
+                    completed += 1;
+                    self.emit(&point.label, point.index, completed, total, false, Err(&e));
+                    slots[point.index] = Some(SweepPointResult {
+                        label: point.label,
+                        key: point.key,
+                        cache_hit: false,
+                        outcome: Err(e),
+                    });
+                }
+                Ok(scenario) => {
+                    let key = point.key.expect("every valid scenario has a content key");
+                    if let Some(summary) = cache.and_then(|c| c.get(key)) {
+                        completed += 1;
+                        cache_hits += 1;
+                        self.emit(&point.label, point.index, completed, total, true, Ok(&summary));
+                        slots[point.index] = Some(SweepPointResult {
+                            label: point.label,
+                            key: point.key,
+                            cache_hit: true,
+                            outcome: Ok(summary),
+                        });
+                    } else {
+                        queued.push((point.index, point.label, key));
+                        queue.push(scenario);
+                    }
+                }
+            }
+        }
+
+        let executed = queue.len();
+        let mut threads = 1;
+        if executed > 0 {
+            // Stream executed points through the campaign's result sink:
+            // map campaign slots back to grid points, memoize summaries as
+            // they land, and forward progress to the sweep's sink.
+            let meta: Arc<Vec<(usize, String, u64)>> = Arc::new(queued);
+            let counter = Arc::new(Mutex::new(completed));
+            let cache_handle = cache.cloned();
+            let sweep_sink = self.sink.clone();
+            // Summaries computed in the sink are stashed per campaign slot
+            // so the slot-filling pass below doesn't re-scan every trace.
+            let stash: Arc<Vec<Mutex<Option<PointSummary>>>> =
+                Arc::new((0..executed).map(|_| Mutex::new(None)).collect());
+
+            let mut campaign = Campaign::new().scenarios(queue);
+            if let Some(t) = self.threads {
+                campaign = campaign.threads(t);
+            }
+            {
+                let meta = Arc::clone(&meta);
+                let stash = Arc::clone(&stash);
+                campaign = campaign.on_result(move |p| {
+                    let (point, label, key) = &meta[p.index];
+                    let mut done = counter.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *done += 1;
+                    match &p.result.outcome {
+                        Ok(run) => {
+                            let summary = PointSummary::from_run(run, p.result.wall);
+                            *stash[p.index].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                                Some(summary.clone());
+                            if let Some(cache) = &cache_handle {
+                                cache.insert(*key, summary.clone());
+                            }
+                            if let Some(sink) = &sweep_sink {
+                                sink(&SweepProgress {
+                                    index: *point,
+                                    completed: *done,
+                                    total,
+                                    label,
+                                    cache_hit: false,
+                                    outcome: Ok(&summary),
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            if let Some(sink) = &sweep_sink {
+                                sink(&SweepProgress {
+                                    index: *point,
+                                    completed: *done,
+                                    total,
+                                    label,
+                                    cache_hit: false,
+                                    outcome: Err(e),
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+            let report = campaign.run();
+            threads = report.threads;
+            for (slot, result) in report.results.into_iter().enumerate() {
+                let (point, label, key) = &meta[slot];
+                let outcome = match result.outcome {
+                    Ok(run) => Ok(stash[slot]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                        .unwrap_or_else(|| PointSummary::from_run(&run, result.wall))),
+                    Err(e) => Err(e),
+                };
+                slots[*point] =
+                    Some(SweepPointResult { label: label.clone(), key: Some(*key), cache_hit: false, outcome });
+            }
+        }
+
+        SweepReport {
+            name: self.name.clone(),
+            threads,
+            wall: t0.elapsed(),
+            executed,
+            cache_hits,
+            points: slots.into_iter().map(|s| s.expect("every grid-point slot is filled")).collect(),
+        }
+    }
+
+    fn emit(
+        &self,
+        label: &str,
+        index: usize,
+        completed: usize,
+        total: usize,
+        cache_hit: bool,
+        outcome: Result<&PointSummary, &TemuError>,
+    ) {
+        if let Some(sink) = &self.sink {
+            sink(&SweepProgress { index, completed, total, label, cache_hit, outcome });
+        }
+    }
+}
+
+/// One expanded grid point (see [`Sweep::expand`]).
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// The point's position in the grid (first axis slowest-varying).
+    pub index: usize,
+    /// The `axis=value/…` label.
+    pub label: String,
+    /// The scenario's content key ([`Scenario::content_key`]); `None`
+    /// when the point is malformed.
+    pub key: Option<u64>,
+    /// The fully-applied scenario, or the typed error that invalidated
+    /// the point.
+    pub scenario: Result<Scenario, TemuError>,
+}
+
+/// One grid point's slot in a [`SweepReport`].
+#[derive(Debug)]
+pub struct SweepPointResult {
+    /// The point's `axis=value/…` label.
+    pub label: String,
+    /// The scenario's content key, `None` for malformed points.
+    pub key: Option<u64>,
+    /// Whether the result came from the cache (no execution).
+    pub cache_hit: bool,
+    /// The point's summary, or the typed error that stopped it.
+    pub outcome: Result<PointSummary, TemuError>,
+}
+
+impl SweepPointResult {
+    /// Whether the point completed.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// Grid-ordered results of a sweep, with JSON and CSV export.
+#[derive(Debug)]
+#[must_use]
+pub struct SweepReport {
+    /// The sweep's name.
+    pub name: String,
+    /// Worker threads the executed points ran on (1 when everything was
+    /// cached).
+    pub threads: usize,
+    /// Host wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Points that actually executed a scenario.
+    pub executed: usize,
+    /// Points served from the cache.
+    pub cache_hits: usize,
+    /// One result per grid point, in expansion order.
+    pub points: Vec<SweepPointResult>,
+}
+
+impl SweepReport {
+    /// Whether every point completed.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.points.iter().all(SweepPointResult::is_ok)
+    }
+
+    /// Number of failed points.
+    #[must_use]
+    pub fn n_failed(&self) -> usize {
+        self.points.iter().filter(|p| !p.is_ok()).count()
+    }
+
+    /// Serializes the report as JSON (same conventions as
+    /// [`crate::CampaignReport::to_json`]: hand-rolled, non-finite floats
+    /// as `null`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"sweep\": \"{}\",\n", json_escape(&self.name)));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"wall_s\": {},\n", json_f64(self.wall.as_secs_f64(), 6)));
+        out.push_str(&format!("  \"points_total\": {},\n", self.points.len()));
+        out.push_str(&format!("  \"executed\": {},\n", self.executed));
+        out.push_str(&format!("  \"cache_hits\": {},\n", self.cache_hits));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"label\": \"{}\", ", json_escape(&p.label)));
+            match p.key {
+                Some(k) => out.push_str(&format!("\"key\": \"{k:016x}\", ")),
+                None => out.push_str("\"key\": null, "),
+            }
+            out.push_str(&format!("\"cache_hit\": {}, ", p.cache_hit));
+            out.push_str(&format!("\"ok\": {}", p.is_ok()));
+            match &p.outcome {
+                Ok(s) => {
+                    out.push_str(", ");
+                    out.push_str(&s.json_fields());
+                }
+                Err(e) => out.push_str(&format!(", \"error\": \"{}\"", json_escape(&e.to_string()))),
+            }
+            out.push_str(if i + 1 < self.points.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serializes the per-point summary lines as CSV (field quoting
+    /// shared with every other exporter; `time_at_hz` is `hz:seconds`
+    /// pairs in one field).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "point,key,cache_hit,ok,windows,virtual_s,fpga_s,wall_s,all_halted,instructions,peak_temp_k,final_temp_k,throttled_fraction,time_at_hz,unconverged_substeps,worst_residual_k,error\n",
+        );
+        for p in &self.points {
+            let key = p.key.map_or_else(String::new, |k| format!("{k:016x}"));
+            match &p.outcome {
+                Ok(s) => out.push_str(&format!(
+                    "{},{},{},true,{},{},{},{},{},{},{},{},{},{},{},{},\n",
+                    csv_field(&p.label),
+                    key,
+                    p.cache_hit,
+                    s.windows,
+                    csv_f64(s.virtual_s, 6),
+                    csv_f64(s.fpga_s, 6),
+                    csv_f64(s.wall_s, 6),
+                    s.all_halted,
+                    s.instructions,
+                    csv_opt(s.peak_temp_k),
+                    csv_opt(s.final_temp_k),
+                    csv_f64(s.throttled_fraction, 4),
+                    csv_field(&s.residency_field()),
+                    s.unconverged_substeps,
+                    csv_f64(s.worst_residual_k, 9),
+                )),
+                // 12 empty fields (windows..worst_residual_k) keep failed
+                // rows aligned with the 17-column header.
+                Err(e) => out.push_str(&format!(
+                    "{},{},false,false,,,,,,,,,,,,,{}\n",
+                    csv_field(&p.label),
+                    key,
+                    csv_field(&e.to_string())
+                )),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temu_platform::PlatformError;
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for 64-bit FNV-1a — the on-disk cache format
+        // depends on these never changing.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn expansion_counts_labels_and_orders_points() {
+        let sweep = Sweep::new("t", Scenario::new()).cores(&[1, 2]).windows(&[1, 2, 3]);
+        assert_eq!(sweep.n_points(), 6);
+        let points = sweep.expand();
+        assert_eq!(points.len(), 6);
+        // First axis slowest-varying, later axes cycle fastest.
+        let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "cores=1/windows=1w",
+                "cores=1/windows=2w",
+                "cores=1/windows=3w",
+                "cores=2/windows=1w",
+                "cores=2/windows=2w",
+                "cores=2/windows=3w",
+            ]
+        );
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+            let s = p.scenario.as_ref().unwrap();
+            assert_eq!(s.label(), format!("t/{}", p.label), "scenario names carry the sweep prefix");
+        }
+        // All six configurations are distinct, so all six keys are.
+        let mut keys: Vec<u64> = points.iter().map(|p| p.key.unwrap()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn content_key_ignores_display_name_only() {
+        let a = Scenario::exploration_bus(2);
+        let b = Scenario::exploration_bus(2).name("renamed");
+        let c = Scenario::exploration_bus(2).sampling_window_s(0.002);
+        assert_eq!(a.content_key(), b.content_key(), "names do not affect the key");
+        assert_ne!(a.content_key(), c.content_key(), "configuration does");
+    }
+
+    #[test]
+    fn inverted_band_grid_point_is_a_typed_platform_error() {
+        let points = Sweep::new("bad", Scenario::new())
+            .dfs_bands(&[(350.0, 340.0), (340.0, 350.0)], 500_000_000, 100_000_000)
+            .expand();
+        assert_eq!(points.len(), 2);
+        assert!(points[0].scenario.is_ok());
+        match &points[1].scenario {
+            Err(TemuError::Platform(PlatformError::DfsLadder { .. })) => {}
+            other => panic!("expected a typed DfsLadder error, got {other:?}"),
+        }
+        assert!(points[1].key.is_none());
+    }
+
+    #[test]
+    fn flat_json_round_trips_a_summary() {
+        let summary = PointSummary {
+            windows: 12,
+            virtual_s: 0.012,
+            fpga_s: 0.05,
+            wall_s: 0.25,
+            all_halted: true,
+            instructions: 34567,
+            peak_temp_k: Some(351.25),
+            final_temp_k: None,
+            throttled_fraction: 0.25,
+            time_at_hz: vec![(500_000_000, 0.01), (100_000_000, 0.002)],
+            unconverged_substeps: 0,
+            worst_residual_k: 0.0,
+        };
+        let line = format!("{{\"key\": \"{:016x}\", {}}}", 0xdead_beefu64, summary.json_fields());
+        let (key, decoded) = ResultCache::decode_line(&line).expect("line parses");
+        assert_eq!(key, 0xdead_beef);
+        assert_eq!(decoded.windows, 12);
+        assert_eq!(decoded.peak_temp_k, Some(351.25));
+        assert_eq!(decoded.final_temp_k, None);
+        assert_eq!(decoded.time_at_hz, summary.time_at_hz);
+        assert!(ResultCache::decode_line("not json").is_none());
+        assert!(ResultCache::decode_line("{\"key\": \"zz\"}").is_none());
+    }
+
+    #[test]
+    fn cache_handles_share_state() {
+        let a = ResultCache::in_memory();
+        let b = a.clone();
+        a.insert(
+            7,
+            PointSummary {
+                windows: 1,
+                virtual_s: 0.0,
+                fpga_s: 0.0,
+                wall_s: 0.0,
+                all_halted: true,
+                instructions: 0,
+                peak_temp_k: None,
+                final_temp_k: None,
+                throttled_fraction: 0.0,
+                time_at_hz: Vec::new(),
+                unconverged_substeps: 0,
+                worst_residual_k: 0.0,
+            },
+        );
+        assert_eq!(b.len(), 1);
+        assert!(b.get(7).is_some());
+        assert!(b.get(8).is_none());
+    }
+}

@@ -169,7 +169,7 @@ mod tests {
     fn config() -> EmulationConfig {
         EmulationConfig {
             sampling_window_s: 0.001,
-            policy: Some(DfsPolicy::new(300.6, 300.3, 500_000_000, 100_000_000)),
+            policy: Some(DfsPolicy::new(300.6, 300.3, 500_000_000, 100_000_000).unwrap()),
             ..EmulationConfig::default()
         }
     }

@@ -1,5 +1,7 @@
 //! Thermal traces: the data behind Fig. 6.
 
+use crate::export::csv_field;
+
 /// One sampling window's record.
 #[derive(Clone, PartialEq, Debug)]
 pub struct TraceSample {
@@ -82,28 +84,51 @@ impl ThermalTrace {
         total
     }
 
-    /// Fraction of windows run at the throttled (lowest observed) frequency.
+    /// Fraction of windows run *below* the top observed frequency — i.e.
+    /// any window the DFS policy held the clock on a lower ladder rung, not
+    /// just the lowest one. (A per-minimum-frequency count would undercount
+    /// throttling on a 3+-level ladder, or on a run that only briefly
+    /// touched its bottom step.)
     #[must_use]
     pub fn throttled_fraction(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let min_hz = self.samples.iter().map(|s| s.virtual_hz).min().expect("nonempty");
         let max_hz = self.samples.iter().map(|s| s.virtual_hz).max().expect("nonempty");
-        if min_hz == max_hz {
-            return 0.0;
-        }
-        let n = self.samples.iter().filter(|s| s.virtual_hz == min_hz).count();
+        let n = self.samples.iter().filter(|s| s.virtual_hz < max_hz).count();
         n as f64 / self.samples.len() as f64
     }
 
+    /// Per-frequency residency: virtual seconds spent at each observed
+    /// clock frequency, fastest first. Window durations are taken from the
+    /// sample timestamps, so DFS-stretched runs weigh correctly even though
+    /// every window covers the same virtual span.
+    #[must_use]
+    pub fn time_at_hz(&self) -> Vec<(u64, f64)> {
+        let mut residency: Vec<(u64, f64)> = Vec::new();
+        let mut prev_t = 0.0;
+        for s in &self.samples {
+            let dt = s.t_virtual_s - prev_t;
+            prev_t = s.t_virtual_s;
+            match residency.iter_mut().find(|(hz, _)| *hz == s.virtual_hz) {
+                Some((_, t)) => *t += dt,
+                None => residency.push((s.virtual_hz, dt)),
+            }
+        }
+        residency.sort_by_key(|&(hz, _)| std::cmp::Reverse(hz));
+        residency
+    }
+
     /// Renders the trace as CSV: time, per-component temperatures, frequency,
-    /// power.
+    /// power. Component names are quoted like every other exported field, so
+    /// a floorplan component named with a comma (or quote, or line break)
+    /// cannot corrupt the header row.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from("t_virtual_s");
         for n in &self.component_names {
-            out.push_str(&format!(",{n}_K"));
+            out.push(',');
+            out.push_str(&csv_field(&format!("{n}_K")));
         }
         out.push_str(",max_K,virtual_mhz,power_w,fpga_s\n");
         for s in &self.samples {
@@ -129,7 +154,13 @@ impl ThermalTrace {
         if self.samples.is_empty() || width < 8 || height < 3 {
             return String::from("(empty trace)\n");
         }
-        let t_end = self.samples.last().expect("nonempty").t_virtual_s;
+        // A single-sample (or zero-span) trace has no time axis to scale
+        // against; plot it against a nominal 1 s span instead of dividing
+        // by zero.
+        let t_end = match self.samples.last().expect("nonempty").t_virtual_s {
+            t if t > 0.0 => t,
+            _ => 1.0,
+        };
         let mut lo = self.samples.iter().map(|s| s.max_temp_k).fold(f64::INFINITY, f64::min);
         let mut hi = self.peak_temp().expect("nonempty");
         for &th in thresholds {
@@ -217,6 +248,67 @@ mod tests {
         tr.push(sample(0.02, 301.0, 500_000_000));
         assert_eq!(tr.throttled_fraction(), 0.0);
         assert_eq!(ThermalTrace::default().throttled_fraction(), 0.0);
+    }
+
+    #[test]
+    fn throttled_fraction_counts_every_rung_below_the_top() {
+        // A 3-level ladder trace: one window at 500 MHz, one at the middle
+        // 250 MHz rung, one at the bottom. A minimum-frequency count would
+        // report 1/3; every window below the top frequency is throttled.
+        let mut tr = ThermalTrace::new(vec!["cpu".into()]);
+        tr.push(sample(0.01, 310.0, 500_000_000));
+        tr.push(sample(0.02, 348.0, 250_000_000));
+        tr.push(sample(0.03, 352.0, 100_000_000));
+        assert!((tr.throttled_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        // A run that never revisits its lowest step still counts the
+        // partial throttle.
+        let mut tr = ThermalTrace::new(vec!["cpu".into()]);
+        tr.push(sample(0.01, 310.0, 500_000_000));
+        tr.push(sample(0.02, 348.0, 250_000_000));
+        tr.push(sample(0.03, 340.0, 250_000_000));
+        tr.push(sample(0.04, 335.0, 500_000_000));
+        assert!((tr.throttled_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_at_hz_reports_per_frequency_residency() {
+        let tr = trace(); // 2 windows at 500 MHz, 2 at 100 MHz, 10 ms each
+        let residency = tr.time_at_hz();
+        assert_eq!(residency.len(), 2);
+        assert_eq!(residency[0].0, 500_000_000, "fastest first");
+        assert!((residency[0].1 - 0.02).abs() < 1e-12);
+        assert_eq!(residency[1].0, 100_000_000);
+        assert!((residency[1].1 - 0.02).abs() < 1e-12);
+        assert!(ThermalTrace::default().time_at_hz().is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_component_names() {
+        let mut tr = ThermalTrace::new(vec!["cpu0, shader".into(), "plain".into()]);
+        tr.push(TraceSample {
+            t_virtual_s: 0.01,
+            temps_k: vec![310.0, 305.0],
+            max_temp_k: 310.0,
+            virtual_hz: 500_000_000,
+            total_power_w: 1.0,
+            fpga_seconds: 0.05,
+        });
+        let csv = tr.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(header.contains("\"cpu0, shader_K\""), "comma-bearing name is quoted: {header}");
+        assert!(header.contains(",plain_K,"), "plain names stay bare");
+        // Header and data rows agree on the field count when parsed with
+        // quote-aware splitting; the unquoted header used to gain a column.
+        assert_eq!(header.matches("\",\"").count(), 0);
+    }
+
+    #[test]
+    fn ascii_plot_survives_a_single_sample_at_t_zero() {
+        let mut tr = ThermalTrace::new(vec!["cpu".into()]);
+        tr.push(sample(0.0, 320.0, 500_000_000));
+        let plot = tr.ascii_plot(40, 12, &[350.0]);
+        assert!(plot.contains('*'), "the lone sample is plotted: {plot}");
+        assert!(!plot.contains("NaN"));
     }
 
     #[test]

@@ -53,6 +53,36 @@ fn campaign_runs_concurrently_in_input_order_with_json_export() {
 }
 
 #[test]
+fn streaming_sink_sees_every_result_exactly_once_under_two_threads() {
+    use std::sync::{Arc, Mutex};
+    let seen: Arc<Mutex<Vec<(usize, usize, String, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_log = Arc::clone(&seen);
+    let report = Campaign::new()
+        .scenarios(four_scenarios())
+        .threads(2)
+        .on_result(move |p| {
+            assert_eq!(p.total, 4);
+            sink_log.lock().unwrap().push((p.completed, p.index, p.result.name.clone(), p.result.is_ok()));
+        })
+        .run();
+    assert!(report.all_ok());
+    let log = seen.lock().unwrap();
+    assert_eq!(log.len(), 4, "one sink call per scenario");
+    // `completed` counts invocations in call order: 1, 2, 3, 4 — even with
+    // two workers racing results in.
+    assert_eq!(log.iter().map(|e| e.0).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    // Every input index is delivered exactly once, and the streamed names
+    // match the final (input-ordered) report slots.
+    let mut indices: Vec<usize> = log.iter().map(|e| e.1).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, vec![0, 1, 2, 3]);
+    for (_, index, name, ok) in log.iter() {
+        assert_eq!(&report.results[*index].name, name);
+        assert!(*ok);
+    }
+}
+
+#[test]
 fn failing_scenario_does_not_abort_siblings() {
     let bad_grid = GridConfig { si_layers: 0, ..GridConfig::default() };
     let report = Campaign::new()

@@ -1,0 +1,193 @@
+//! Integration tests of the design-space sweep engine: grid execution
+//! through `Campaign`, streaming progress, content-keyed caching (memory
+//! and disk), and per-point error containment.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use temu_framework::{ImplicitSolve, ResultCache, Scenario, Sweep, TemuError, Workload};
+use temu_platform::PlatformError;
+use temu_workloads::matrix::MatrixConfig;
+
+/// The cheapest useful scenario: one core, a one-iteration 4×4 MATRIX
+/// kernel, a single 0.2 ms sampling window.
+fn tiny() -> Scenario {
+    Scenario::new()
+        .cores(1)
+        .workload(Workload::Matrix(MatrixConfig { n: 4, iters: 1, cores: 1 }))
+        .sampling_window_s(0.0002)
+        .windows(1)
+}
+
+fn tiny_matrix(iters: u32) -> Workload {
+    Workload::Matrix(MatrixConfig { n: 4, iters, cores: 1 })
+}
+
+#[test]
+fn identical_sweep_rerun_is_all_cache_hits() {
+    let cache = ResultCache::in_memory();
+    let sweep = || {
+        Sweep::new("cache-test", tiny())
+            .workloads(vec![tiny_matrix(1), tiny_matrix(2)])
+            .windows(&[1, 2])
+            .threads(2)
+    };
+    let first = sweep().run_cached(&cache);
+    assert_eq!(first.points.len(), 4);
+    assert!(first.all_ok(), "{}", first.to_json());
+    assert_eq!(first.executed, 4);
+    assert_eq!(first.cache_hits, 0);
+    assert_eq!(cache.len(), 4);
+    for p in &first.points {
+        assert!(!p.cache_hit);
+        let s = p.outcome.as_ref().unwrap();
+        assert!(s.windows >= 1);
+        assert!(s.peak_temp_k.unwrap() > 300.0);
+    }
+
+    let second = sweep().run_cached(&cache);
+    assert_eq!(second.executed, 0, "identical rerun executes zero scenarios");
+    assert_eq!(second.cache_hits, 4, "every point is served from the cache");
+    assert!(second.all_ok());
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.key, b.key);
+        assert!(b.cache_hit);
+        assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap(), "cached summary is identical");
+    }
+
+    // A third sweep that merely overlaps reuses the shared points.
+    let overlapping = Sweep::new("overlap", tiny())
+        .workloads(vec![tiny_matrix(1), tiny_matrix(3)])
+        .windows(&[1])
+        .run_cached(&cache);
+    assert_eq!(overlapping.cache_hits, 1, "workload=1/windows=1 was already cached");
+    assert_eq!(overlapping.executed, 1);
+}
+
+#[test]
+fn disk_store_makes_reruns_incremental_across_cache_instances() {
+    let path = std::env::temp_dir().join(format!("temu_sweep_store_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let sweep = || Sweep::new("disk", tiny()).workloads(vec![tiny_matrix(1), tiny_matrix(2), tiny_matrix(3)]);
+
+    let cache = ResultCache::with_store(&path).unwrap();
+    assert!(cache.is_empty());
+    let first = sweep().run_cached(&cache);
+    assert!(first.all_ok(), "{}", first.to_json());
+    assert_eq!(first.executed, 3);
+    drop(cache);
+
+    // A brand-new cache instance loads the persisted entries.
+    let reloaded = ResultCache::with_store(&path).unwrap();
+    assert_eq!(reloaded.len(), 3, "store reloads every persisted point");
+    let second = sweep().run_cached(&reloaded);
+    assert_eq!(second.executed, 0);
+    assert_eq!(second.cache_hits, 3);
+    for (a, b) in first.points.iter().zip(&second.points) {
+        let (x, y) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        assert_eq!(x.windows, y.windows);
+        assert_eq!(x.instructions, y.instructions);
+        assert!((x.fpga_s - y.fpga_s).abs() < 1e-9, "numeric fields survive the JSON round trip");
+        assert_eq!(x.time_at_hz.len(), y.time_at_hz.len());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bad_grid_point_is_contained_and_never_cached() {
+    let cache = ResultCache::in_memory();
+    let sweep = || {
+        Sweep::new("bands", tiny())
+            .dfs_bands(&[(301.0, 300.5), (300.5, 301.0)], 500_000_000, 100_000_000)
+    };
+    let report = sweep().run_cached(&cache);
+    assert_eq!(report.points.len(), 2);
+    assert_eq!(report.n_failed(), 1);
+    assert!(report.points[0].is_ok(), "the valid band runs");
+    match &report.points[1].outcome {
+        Err(TemuError::Platform(PlatformError::DfsLadder { .. })) => {}
+        other => panic!("inverted band must be a typed platform error, got {other:?}"),
+    }
+    assert_eq!(report.executed, 1, "the malformed point never reaches the campaign");
+    assert_eq!(cache.len(), 1, "failures are not cached");
+    // The report row for the failure carries the error in CSV and JSON,
+    // and failed rows stay aligned with the header's 17 columns (none of
+    // these rows contain quoted fields, so a plain comma count is exact).
+    let csv = report.to_csv();
+    assert!(csv.contains("DFS ladder"));
+    let header_cols = csv.lines().next().unwrap().matches(',').count();
+    for line in csv.lines().skip(1) {
+        assert!(!line.contains('"'), "field-count check requires unquoted rows: {line}");
+        assert_eq!(line.matches(',').count(), header_cols, "row misaligned: {line}");
+    }
+    assert!(report.to_json().contains("\"ok\": false"));
+
+    // Re-running: the good point hits the cache, the bad one fails again.
+    let rerun = sweep().run_cached(&cache);
+    assert_eq!(rerun.executed, 0);
+    assert_eq!(rerun.cache_hits, 1);
+    assert_eq!(rerun.n_failed(), 1);
+}
+
+#[test]
+fn hundred_point_sweep_streams_progress_and_reruns_from_cache() {
+    // The acceptance grid: 5 workloads × 5 DFS bands × 2 solvers × 2 run
+    // budgets = 100 points, every scenario deliberately tiny.
+    let cache = ResultCache::in_memory();
+    let build = || {
+        Sweep::new("grid100", tiny())
+            .workloads((1..=5).map(tiny_matrix).collect())
+            .dfs_bands(
+                &[(340.0, 330.0), (345.0, 335.0), (350.0, 340.0), (355.0, 345.0), (360.0, 350.0)],
+                500_000_000,
+                100_000_000,
+            )
+            .implicit_solves(&[ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid])
+            .windows(&[1, 2])
+            .threads(2)
+    };
+
+    let events: Arc<Mutex<Vec<(usize, usize, bool, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&events);
+    let report = build()
+        .on_progress(move |p| {
+            assert_eq!(p.total, 100);
+            log.lock().unwrap().push((p.completed, p.index, p.cache_hit, p.outcome.is_ok()));
+        })
+        .run_cached(&cache);
+
+    assert_eq!(report.points.len(), 100);
+    assert!(report.all_ok(), "{}", report.to_json());
+    assert_eq!(report.executed, 100);
+    assert_eq!(report.cache_hits, 0);
+
+    // Streaming: one event per point, `completed` counting 1..=100 in call
+    // order, every grid index delivered exactly once.
+    let streamed = events.lock().unwrap();
+    assert_eq!(streamed.len(), 100);
+    assert_eq!(streamed.iter().map(|e| e.0).collect::<Vec<_>>(), (1..=100).collect::<Vec<_>>());
+    let mut indices: Vec<usize> = streamed.iter().map(|e| e.1).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..100).collect::<Vec<_>>());
+    assert!(streamed.iter().all(|e| !e.2 && e.3), "first run: no cache hits, no failures");
+    drop(streamed);
+
+    // The identical sweep re-run: 100% cache hits, zero executions.
+    let hits = Arc::new(AtomicUsize::new(0));
+    let hit_counter = Arc::clone(&hits);
+    let rerun = build()
+        .on_progress(move |p| {
+            assert!(p.cache_hit, "rerun point {} must be cached", p.label);
+            hit_counter.fetch_add(1, Ordering::Relaxed);
+        })
+        .run_cached(&cache);
+    assert_eq!(rerun.executed, 0, "identical 100-point rerun executes zero scenarios");
+    assert_eq!(rerun.cache_hits, 100, "100% cache hits");
+    assert_eq!(hits.load(Ordering::Relaxed), 100);
+    assert!(rerun.all_ok());
+    assert!(rerun.wall < report.wall, "a fully cached sweep is faster than the real one");
+
+    // Exports: one CSV row per point plus the header.
+    assert_eq!(rerun.to_csv().lines().count(), 101);
+    assert!(rerun.to_json().contains("\"cache_hits\": 100"));
+}

@@ -39,6 +39,13 @@ pub enum PlatformError {
     },
     /// The FPGA or virtual clock frequency is zero.
     ZeroClock,
+    /// A DFS frequency ladder is malformed (too few levels, non-descending
+    /// frequencies, wrong band count, or empty/inverted/overlapping
+    /// hysteresis bands).
+    DfsLadder {
+        /// What the ladder violated.
+        reason: String,
+    },
     /// A program image does not fit in a core's private memory.
     ProgramLoad {
         /// The core the image was loaded into.
@@ -67,6 +74,7 @@ impl fmt::Display for PlatformError {
                 write!(f, "interconnect attaches {ports} core port(s) but the platform has {cores} cores")
             }
             PlatformError::ZeroClock => write!(f, "clock frequencies must be nonzero"),
+            PlatformError::DfsLadder { reason } => write!(f, "DFS ladder: {reason}"),
             PlatformError::ProgramLoad { core, source } => {
                 write!(f, "loading program into core {core}: {source}")
             }

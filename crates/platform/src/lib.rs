@@ -39,4 +39,4 @@ pub use mmio::{
 pub use sniffer::{Event, EventBuffer, EventKind, SnifferMode, EVENT_BYTES};
 pub use stats::WindowStats;
 pub use uncore::Uncore;
-pub use vpcm::{DfsPolicy, Vpcm};
+pub use vpcm::{DfsBand, DfsPolicy, Vpcm};

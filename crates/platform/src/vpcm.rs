@@ -12,8 +12,11 @@
 //! Virtual-frequency scaling is what lets the 100 MHz FPGA emulate a 500 MHz
 //! MPSoC: a 10 ms virtual sampling window at 500 MHz is 5 M virtual cycles,
 //! i.e. 50 ms of physical execution — the thermal model is still fed 10 ms
-//! windows. The dual-threshold [`DfsPolicy`] reproduces the run-time thermal
-//! manager of §7 (500 MHz above 350 K → 100 MHz until back under 340 K).
+//! windows. The [`DfsPolicy`] frequency ladder generalizes the run-time
+//! thermal manager of §7 (500 MHz above 350 K → 100 MHz until back under
+//! 340 K) to any number of hysteresis-separated clock levels.
+
+use crate::error::PlatformError;
 
 /// Virtual-clock bookkeeping for one platform.
 #[derive(Clone, Copy, Debug)]
@@ -84,61 +87,157 @@ impl Vpcm {
     }
 }
 
-/// The §7 run-time thermal-management policy: "a simple dual-state machine
-/// that monitors at run-time if the temperature of each MPSoC component
-/// increases/decreases above/below two certain thresholds (350 or 340
-/// degrees Kelvin). Then the temperature sensors inform the VPCM, which
-/// performs dynamic frequency scaling choosing 500 or 100 MHz accordingly."
-#[derive(Clone, Copy, Debug)]
+/// One hysteresis band of a [`DfsPolicy`] ladder, sitting between two
+/// adjacent frequency levels.
+///
+/// While the platform runs at or above the band's faster level, exceeding
+/// `hot_k` steps the clock down past the band; while it runs at or below
+/// the slower level, cooling under `cool_k` steps it back up. The gap
+/// between the two thresholds is the hysteresis that keeps the policy from
+/// chattering around a single set point.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DfsBand {
+    /// Throttle down past this band when any sensor exceeds this (K).
+    pub hot_k: f64,
+    /// Recover up past this band when all sensors drop below this (K).
+    pub cool_k: f64,
+}
+
+/// The run-time thermal-management policy: a frequency *ladder* of N
+/// descending clock levels separated by N−1 hysteresis bands.
+///
+/// The paper's §7 policy — "a simple dual-state machine that monitors at
+/// run-time if the temperature of each MPSoC component increases/decreases
+/// above/below two certain thresholds (350 or 340 degrees Kelvin)", scaling
+/// between 500 and 100 MHz — is the trivial two-level ladder
+/// ([`DfsPolicy::paper`]). Deeper ladders (as explored by multi-level
+/// emulated DVFS monitors) throttle progressively: each window the hottest
+/// sensor temperature is compared against the bands around the current
+/// level, stepping down one band per `hot_k` exceeded and back up one band
+/// per `cool_k` undercut.
+#[derive(Clone, PartialEq, Debug)]
 pub struct DfsPolicy {
-    /// Switch to `low_hz` when any sensor exceeds this temperature (K).
-    pub hot_threshold_k: f64,
-    /// Switch back to `high_hz` when all sensors drop below this (K).
-    pub cool_threshold_k: f64,
-    /// Fast clock (Hz).
-    pub high_hz: u64,
-    /// Throttled clock (Hz).
-    pub low_hz: u64,
-    throttled: bool,
+    /// Clock levels in Hz, strictly descending (index 0 = fastest).
+    levels_hz: Vec<u64>,
+    /// `bands[i]` sits between `levels_hz[i]` and `levels_hz[i + 1]`; hot
+    /// and cool thresholds are strictly increasing along the ladder (it
+    /// takes an ever hotter die to throttle further down).
+    bands: Vec<DfsBand>,
+    level: usize,
 }
 
 impl DfsPolicy {
     /// The paper's exact policy: 350 K / 340 K thresholds, 500/100 MHz.
     pub fn paper() -> DfsPolicy {
         DfsPolicy::new(350.0, 340.0, 500_000_000, 100_000_000)
+            .expect("the paper's dual-threshold policy is a valid ladder")
     }
 
-    /// Creates a policy with custom thresholds and frequencies.
+    /// Creates the classic two-level policy with custom thresholds and
+    /// frequencies.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cool_threshold_k >= hot_threshold_k` (the hysteresis band
-    /// would be empty or inverted).
-    pub fn new(hot_threshold_k: f64, cool_threshold_k: f64, high_hz: u64, low_hz: u64) -> DfsPolicy {
-        assert!(cool_threshold_k < hot_threshold_k, "cool threshold must sit below hot threshold");
-        DfsPolicy { hot_threshold_k, cool_threshold_k, high_hz, low_hz, throttled: false }
+    /// [`PlatformError::DfsLadder`] when the hysteresis band is empty or
+    /// inverted (`cool_threshold_k >= hot_threshold_k`) or the frequencies
+    /// do not strictly descend.
+    pub fn new(
+        hot_threshold_k: f64,
+        cool_threshold_k: f64,
+        high_hz: u64,
+        low_hz: u64,
+    ) -> Result<DfsPolicy, PlatformError> {
+        DfsPolicy::ladder(&[high_hz, low_hz], &[DfsBand { hot_k: hot_threshold_k, cool_k: cool_threshold_k }])
     }
 
-    /// Whether the policy currently holds the platform at the low frequency.
+    /// Creates an N-level ladder: `levels_hz` strictly descending clock
+    /// frequencies and `bands[i]` the hysteresis band between
+    /// `levels_hz[i]` and `levels_hz[i + 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::DfsLadder`] when the ladder is malformed: fewer
+    /// than two levels, a zero or non-descending frequency, a band count
+    /// other than `levels_hz.len() - 1`, an empty or inverted band
+    /// (`cool_k >= hot_k`), a non-finite threshold, or bands whose
+    /// thresholds do not strictly increase down the ladder.
+    pub fn ladder(levels_hz: &[u64], bands: &[DfsBand]) -> Result<DfsPolicy, PlatformError> {
+        let fail = |reason: String| Err(PlatformError::DfsLadder { reason });
+        if levels_hz.len() < 2 {
+            return fail(format!("a ladder needs at least two frequency levels, got {}", levels_hz.len()));
+        }
+        if bands.len() != levels_hz.len() - 1 {
+            return fail(format!(
+                "{} level(s) need exactly {} hysteresis band(s), got {}",
+                levels_hz.len(),
+                levels_hz.len() - 1,
+                bands.len()
+            ));
+        }
+        if levels_hz.contains(&0) {
+            return fail(String::from("frequency levels must be nonzero"));
+        }
+        if !levels_hz.windows(2).all(|w| w[0] > w[1]) {
+            return fail(format!("frequency levels must strictly descend, got {levels_hz:?}"));
+        }
+        for (i, b) in bands.iter().enumerate() {
+            if !b.hot_k.is_finite() || !b.cool_k.is_finite() {
+                return fail(format!("band {i} thresholds must be finite, got {b:?}"));
+            }
+            if b.cool_k >= b.hot_k {
+                return fail(format!(
+                    "band {i}: cool threshold {} K must sit below hot threshold {} K",
+                    b.cool_k, b.hot_k
+                ));
+            }
+        }
+        if !bands.windows(2).all(|w| w[0].hot_k < w[1].hot_k && w[0].cool_k < w[1].cool_k) {
+            return fail(format!("band thresholds must strictly increase down the ladder, got {bands:?}"));
+        }
+        Ok(DfsPolicy { levels_hz: levels_hz.to_vec(), bands: bands.to_vec(), level: 0 })
+    }
+
+    /// Whether the policy currently holds the platform below its top
+    /// frequency.
     pub fn is_throttled(&self) -> bool {
-        self.throttled
+        self.level > 0
+    }
+
+    /// The current ladder rung (0 = fastest).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The ladder's clock levels, Hz, fastest first.
+    pub fn levels_hz(&self) -> &[u64] {
+        &self.levels_hz
+    }
+
+    /// The hysteresis bands between adjacent levels.
+    pub fn bands(&self) -> &[DfsBand] {
+        &self.bands
+    }
+
+    /// A compact configuration label, e.g. `"500-100MHz@350/340"` for the
+    /// paper's policy (frequencies in MHz, then each band's hot/cool
+    /// thresholds in K) — used as a sweep-axis value name.
+    pub fn label(&self) -> String {
+        let freqs: Vec<String> = self.levels_hz.iter().map(|hz| format!("{}", hz / 1_000_000)).collect();
+        let bands: Vec<String> = self.bands.iter().map(|b| format!("{}/{}", b.hot_k, b.cool_k)).collect();
+        format!("{}MHz@{}", freqs.join("-"), bands.join("+"))
     }
 
     /// Feeds the hottest sensor temperature and returns the frequency the
-    /// platform should run at for the next window.
+    /// platform should run at for the next window, stepping at most one
+    /// band per call in either direction (the window-granular state
+    /// machine of §7).
     pub fn update(&mut self, max_temp_k: f64) -> u64 {
-        if self.throttled {
-            if max_temp_k < self.cool_threshold_k {
-                self.throttled = false;
-            }
-        } else if max_temp_k > self.hot_threshold_k {
-            self.throttled = true;
+        if self.level + 1 < self.levels_hz.len() && max_temp_k > self.bands[self.level].hot_k {
+            self.level += 1;
+        } else if self.level > 0 && max_temp_k < self.bands[self.level - 1].cool_k {
+            self.level -= 1;
         }
-        if self.throttled {
-            self.low_hz
-        } else {
-            self.high_hz
-        }
+        self.levels_hz[self.level]
     }
 }
 
@@ -185,9 +284,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cool threshold")]
-    fn inverted_thresholds_panic() {
-        let _ = DfsPolicy::new(340.0, 350.0, 1, 1);
+    fn three_level_ladder_steps_band_by_band() {
+        let mut p = DfsPolicy::ladder(
+            &[500_000_000, 250_000_000, 100_000_000],
+            &[DfsBand { hot_k: 345.0, cool_k: 335.0 }, DfsBand { hot_k: 355.0, cool_k: 347.0 }],
+        )
+        .unwrap();
+        assert_eq!(p.levels_hz().len(), 3);
+        assert_eq!(p.update(300.0), 500_000_000, "cool: top rung");
+        assert_eq!(p.update(346.0), 250_000_000, "crossed band 0: one rung down");
+        assert_eq!(p.level(), 1);
+        assert_eq!(p.update(350.0), 250_000_000, "inside band 1 hysteresis: hold");
+        assert_eq!(p.update(356.0), 100_000_000, "crossed band 1: bottom rung");
+        assert!(p.is_throttled());
+        assert_eq!(p.update(348.0), 100_000_000, "above band 1 cool: hold");
+        assert_eq!(p.update(346.0), 250_000_000, "under 347 K: one rung up");
+        assert_eq!(p.update(340.0), 250_000_000, "inside band 0 hysteresis: hold");
+        assert_eq!(p.update(334.0), 500_000_000, "under 335 K: back to the top");
+        assert!(!p.is_throttled());
+    }
+
+    #[test]
+    fn ladder_steps_one_band_per_window() {
+        // Even a huge jump throttles one band per update: the state machine
+        // reacts at sampling-window granularity like the paper's.
+        let mut p = DfsPolicy::ladder(
+            &[500_000_000, 250_000_000, 100_000_000],
+            &[DfsBand { hot_k: 345.0, cool_k: 335.0 }, DfsBand { hot_k: 355.0, cool_k: 347.0 }],
+        )
+        .unwrap();
+        assert_eq!(p.update(400.0), 250_000_000);
+        assert_eq!(p.update(400.0), 100_000_000);
+        assert_eq!(p.update(300.0), 250_000_000);
+        assert_eq!(p.update(300.0), 500_000_000);
+    }
+
+    #[test]
+    fn malformed_ladders_are_typed_errors() {
+        use crate::error::PlatformError;
+        let bad = |r: Result<DfsPolicy, PlatformError>, what: &str| {
+            assert!(matches!(r, Err(PlatformError::DfsLadder { .. })), "{what}: {r:?}");
+        };
+        bad(DfsPolicy::new(340.0, 350.0, 2, 1), "inverted band");
+        bad(DfsPolicy::new(350.0, 350.0, 2, 1), "empty band");
+        bad(DfsPolicy::new(350.0, 340.0, 1, 1), "equal frequencies");
+        bad(DfsPolicy::new(350.0, 340.0, 1, 2), "ascending frequencies");
+        bad(DfsPolicy::new(350.0, 340.0, 2, 0), "zero frequency");
+        bad(DfsPolicy::ladder(&[500], &[]), "single level");
+        bad(DfsPolicy::ladder(&[500, 100], &[]), "missing band");
+        bad(DfsPolicy::ladder(&[500, 100], &[DfsBand { hot_k: f64::NAN, cool_k: 340.0 }]), "NaN threshold");
+        bad(
+            DfsPolicy::ladder(
+                &[500, 250, 100],
+                &[DfsBand { hot_k: 355.0, cool_k: 345.0 }, DfsBand { hot_k: 350.0, cool_k: 340.0 }],
+            ),
+            "bands not increasing down the ladder",
+        );
+        assert!(DfsPolicy::new(350.0, 340.0, 500_000_000, 100_000_000).is_ok());
+    }
+
+    #[test]
+    fn policy_labels_are_compact() {
+        assert_eq!(DfsPolicy::paper().label(), "500-100MHz@350/340");
+        let l = DfsPolicy::ladder(
+            &[500_000_000, 250_000_000, 100_000_000],
+            &[DfsBand { hot_k: 345.0, cool_k: 335.0 }, DfsBand { hot_k: 355.0, cool_k: 347.0 }],
+        )
+        .unwrap();
+        assert_eq!(l.label(), "500-250-100MHz@345/335+355/347");
     }
 
     #[test]

@@ -154,6 +154,24 @@ pub struct SolverStats {
     pub total_cycles: u64,
 }
 
+impl SolverStats {
+    /// The counter difference `self − base`, for reporting per-run deltas
+    /// on top of the model's cumulative accounting. `worst_residual_k` is
+    /// a watermark, not a counter: the value is carried from `self`, which
+    /// is exact when the watermark was re-armed at `base` via
+    /// [`ThermalModel::reset_residual_watermark`].
+    #[must_use]
+    pub fn delta_since(&self, base: &SolverStats) -> SolverStats {
+        SolverStats {
+            substeps: self.substeps - base.substeps,
+            unconverged_substeps: self.unconverged_substeps - base.unconverged_substeps,
+            worst_residual_k: self.worst_residual_k,
+            total_sweeps: self.total_sweeps - base.total_sweeps,
+            total_cycles: self.total_cycles - base.total_cycles,
+        }
+    }
+}
+
 /// The thermal model: a meshed floorplan plus its temperature state and the
 /// per-component power inputs.
 ///
@@ -358,6 +376,14 @@ impl ThermalModel {
             total_sweeps: self.total_sweeps,
             total_cycles: self.total_cycles,
         }
+    }
+
+    /// Re-arms the `worst_residual_k` watermark without touching the
+    /// cumulative counters. Callers that report per-run deltas (the
+    /// co-emulation loop's per-call [`SolverStats`]) reset it at the start
+    /// of each run so the reported residual belongs to that run alone.
+    pub fn reset_residual_watermark(&mut self) {
+        self.worst_unconverged_delta = 0.0;
     }
 
     /// Sets a component's dissipated power in watts (injected as equivalent

@@ -1,0 +1,79 @@
+//! Design-space sweeps with caching: expand a cartesian parameter grid
+//! over DFS frequency ladders and core counts, run it as one campaign with
+//! streaming per-point progress, then re-run it and watch every point come
+//! back from the content-keyed result cache without executing a single
+//! scenario — the "fast design-space exploration" loop of section 1, made
+//! incremental.
+//!
+//! ```sh
+//! cargo run --release --example sweep
+//! ```
+
+use temu::platform::{DfsBand, DfsPolicy};
+use temu::{ResultCache, Scenario, Sweep, TemuError, Workload};
+use temu::workloads::matrix::MatrixConfig;
+
+fn main() -> Result<(), TemuError> {
+    // A 3-level ladder (500 → 250 → 100 MHz) next to a 2-level policy and
+    // an unmanaged baseline. The thresholds sit just above ambient so the
+    // policies engage within this example's short observation window (the
+    // paper's 350 K/340 K policy needs ~2.6 s of virtual time to trip —
+    // run the `temu-bench` `sweep ladder` bin for the full experiment).
+    // The constructors are fallible: an inverted hysteresis band is a
+    // typed PlatformError, not a panic.
+    let two_level = DfsPolicy::new(300.5, 300.3, 500_000_000, 100_000_000)?;
+    let three_level = DfsPolicy::ladder(
+        &[500_000_000, 250_000_000, 100_000_000],
+        &[DfsBand { hot_k: 300.5, cool_k: 300.3 }, DfsBand { hot_k: 300.8, cool_k: 300.55 }],
+    )?;
+
+    let base = Scenario::new()
+        .workload(Workload::Matrix(MatrixConfig::thermal(4, 20_000)))
+        .windows(40)
+        .sampling_window_s(0.002);
+
+    let sweep = || {
+        Sweep::new("dfs-ladders", base.clone())
+            .cores(&[2, 4])
+            .dfs_policies(vec![None, Some(two_level.clone()), Some(three_level.clone())])
+            .on_progress(|p| {
+                let outcome = match p.outcome {
+                    Ok(s) => format!(
+                        "peak {:.2} K, {:.0}% throttled{}",
+                        s.peak_temp_k.unwrap_or(f64::NAN),
+                        s.throttled_fraction * 100.0,
+                        if p.cache_hit { "  [cached]" } else { "" }
+                    ),
+                    Err(e) => format!("failed: {e}"),
+                };
+                println!("  [{}/{}] {:<40} {outcome}", p.completed, p.total, p.label);
+            })
+    };
+
+    // One shared cache: the grid runs once…
+    let cache = ResultCache::in_memory();
+    println!("first run (everything executes):");
+    let report = sweep().run_cached(&cache);
+    println!(
+        "  -> {} executed, {} cache hits, {:.2} s\n",
+        report.executed,
+        report.cache_hits,
+        report.wall.as_secs_f64()
+    );
+
+    // …and the identical sweep replays instantly from the cache.
+    println!("identical re-run (zero executions):");
+    let rerun = sweep().run_cached(&cache);
+    println!(
+        "  -> {} executed, {} cache hits, {:.3} s\n",
+        rerun.executed,
+        rerun.cache_hits,
+        rerun.wall.as_secs_f64()
+    );
+    assert_eq!(rerun.executed, 0);
+
+    println!("{}", report.to_csv());
+    println!("Each row is one grid point; `time_at_hz` is the per-frequency residency");
+    println!("(hz:seconds pairs) a multi-level ladder spreads across its rungs.");
+    Ok(())
+}

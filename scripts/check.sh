@@ -22,4 +22,10 @@ echo "== bench-smoke gate =="
 # BENCH_thermal.json.
 cargo run --release -p temu-bench --bin thermal_scaling -- --smoke --out target/bench_smoke.json
 
+echo "== sweep-smoke gate =="
+# The design-space sweep gate: an 8-point strict-convergence mini sweep
+# (multigrid included) must run clean, and its identical in-process re-run
+# must be 100% cache hits with zero scenario executions.
+cargo run --release -p temu-bench --bin sweep -- --smoke
+
 echo "All checks passed."

@@ -31,6 +31,12 @@
 //! }
 //! ```
 //!
+//! For full design-space grids there is [`Sweep`]: cartesian parameter
+//! axes (core counts, DFS frequency ladders, mesh resolutions, workloads,
+//! solver choices) expand into one campaign, stream per-point progress,
+//! and memoize results by configuration content key ([`ResultCache`]) so
+//! repeated or overlapping sweeps skip already-solved points.
+//!
 //! Start with [`framework`] for the closed-loop co-emulation flow, or
 //! [`platform`] to build and run an emulated MPSoC directly. See the README
 //! for the architecture overview and DESIGN.md for the experiment index.
@@ -49,6 +55,7 @@ pub use temu_thermal as thermal;
 pub use temu_workloads as workloads;
 
 pub use temu_framework::{
-    Campaign, CampaignReport, ImplicitSolve, Scenario, ScenarioResult, ScenarioRun, SolverStats,
-    TemuError, Workload,
+    Campaign, CampaignProgress, CampaignReport, ImplicitSolve, PointSummary, ResultCache, Scenario,
+    ScenarioResult, ScenarioRun, SolverStats, Sweep, SweepPoint, SweepPointResult, SweepProgress,
+    SweepReport, TemuError, Workload,
 };

@@ -57,7 +57,7 @@ fn dfs_trades_time_for_temperature() {
         ThermalEmulation::new(machine, fig4b_arm11(), cfg).unwrap()
     };
     // A policy with thresholds low enough to trip on a short test run.
-    let policy = DfsPolicy::new(300.8, 300.4, 500_000_000, 100_000_000);
+    let policy = DfsPolicy::new(300.8, 300.4, 500_000_000, 100_000_000).unwrap();
 
     let mut fast = build(None);
     let fast_report = fast.run_to_halt(100_000).unwrap();
