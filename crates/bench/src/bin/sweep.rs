@@ -8,109 +8,22 @@
 //! cargo run --release -p temu-bench --bin sweep -- --smoke
 //! ```
 //!
-//! Every run streams per-point progress; with `--cache <store.jsonl>` a
-//! re-run (same process or not) skips every already-solved point. `--smoke`
-//! runs the check.sh gate: a strict-convergence mini sweep (8 points,
+//! The named sweeps are the workspace's shared [`SweepSpec::named`]
+//! presets — the same grids `temu-client submit --preset` sends to a
+//! `temu-serve` server; this bin runs them in-process. Every run streams
+//! per-point progress; with `--cache <store.jsonl>` a re-run (same
+//! process or not) skips every already-solved point. `--smoke` runs the
+//! check.sh gate: the strict-convergence `smoke` preset (8 points,
 //! multigrid included) followed by an in-process re-run that must be 100%
-//! cache hits — any failed point, unconverged substep, or missed cache hit
-//! exits non-zero.
+//! cache hits — any failed point, unconverged substep, or missed cache
+//! hit exits non-zero.
 
-use temu_framework::{ResultCache, Scenario, Sweep, SweepReport, Workload};
-use temu_platform::{DfsBand, DfsPolicy, PlatformConfig};
-use temu_thermal::{GridConfig, ImplicitSolve};
-use temu_workloads::dithering::DitherConfig;
-use temu_workloads::matrix::MatrixConfig;
+use temu_framework::{ResultCache, Sweep, SweepReport, SweepSpec, NAMED_SWEEPS};
 
-const NAMES: &[(&str, &str)] = &[
-    ("ladder", "DFS frequency ladders (none/2/3/4-level) × run budgets on the Fig. 6 stress workload (heavy: Fig. 6-scale runs, minutes/point on one core)"),
-    ("mesh", "mesh resolution × implicit solver, strict convergence (6 points)"),
-    ("explore", "interconnect × workload × core count (the §7 exploration, 12 points)"),
-    ("grid100", "100-point grid of tiny scenarios (cache/incremental-rerun demo)"),
-];
-
-fn tiny(iters: u32) -> Workload {
-    Workload::Matrix(MatrixConfig { n: 4, iters, cores: 1 })
-}
-
-fn tiny_base() -> Scenario {
-    Scenario::new().cores(1).workload(tiny(1)).sampling_window_s(0.0005).windows(2)
-}
-
-/// Builds one of the named sweeps.
+/// Resolves a named preset and lowers it onto the sweep engine.
 fn build(name: &str) -> Option<Sweep> {
-    match name {
-        "ladder" => {
-            let three = DfsPolicy::ladder(
-                &[500_000_000, 250_000_000, 100_000_000],
-                &[DfsBand { hot_k: 345.0, cool_k: 335.0 }, DfsBand { hot_k: 355.0, cool_k: 345.0 }],
-            )
-            .expect("valid 3-level ladder");
-            let four = DfsPolicy::ladder(
-                &[500_000_000, 333_000_000, 250_000_000, 100_000_000],
-                &[
-                    DfsBand { hot_k: 342.0, cool_k: 334.0 },
-                    DfsBand { hot_k: 350.0, cool_k: 341.0 },
-                    DfsBand { hot_k: 358.0, cool_k: 349.0 },
-                ],
-            )
-            .expect("valid 4-level ladder");
-            Some(
-                Sweep::new("ladder", Scenario::paper_fig6_unmanaged())
-                    .dfs_policies(vec![None, Some(DfsPolicy::paper()), Some(three), Some(four)])
-                    .windows(&[150, 300]),
-            )
-        }
-        "mesh" => {
-            let fine = GridConfig { default_div: 3, hot_div: 5, filler_pitch_um: 600.0, ..GridConfig::default() };
-            let xfine = GridConfig { default_div: 4, hot_div: 7, filler_pitch_um: 400.0, ..GridConfig::default() };
-            Some(
-                Sweep::new(
-                    "mesh",
-                    Scenario::exploration_bus(2).sampling_window_s(0.002).strict_convergence(true),
-                )
-                .meshes(vec![
-                    (String::from("paper"), GridConfig::default()),
-                    (String::from("fine"), fine),
-                    (String::from("xfine"), xfine),
-                ])
-                .implicit_solves(&[ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid]),
-            )
-        }
-        "explore" => Some(
-            Sweep::new("explore", Scenario::new().sampling_window_s(0.002))
-                .axis(
-                    "ic",
-                    vec!["bus", "noc"],
-                    ToString::to_string,
-                    |s, ic| {
-                        Ok(match *ic {
-                            "bus" => s.platform(PlatformConfig::paper_bus(4)),
-                            _ => s.platform(PlatformConfig::paper_noc(4)),
-                        })
-                    },
-                )
-                .workloads(vec![
-                    Workload::Matrix(MatrixConfig::small(4)),
-                    Workload::Dithering {
-                        cfg: DitherConfig { width: 64, height: 64, images: 2, cores: 4 },
-                        seed: 7,
-                    },
-                ])
-                .cores(&[1, 2, 4]),
-        ),
-        "grid100" => Some(
-            Sweep::new("grid100", tiny_base())
-                .workloads((1..=5).map(tiny).collect())
-                .dfs_bands(
-                    &[(340.0, 330.0), (345.0, 335.0), (350.0, 340.0), (355.0, 345.0), (360.0, 350.0)],
-                    500_000_000,
-                    100_000_000,
-                )
-                .implicit_solves(&[ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid])
-                .windows(&[1, 2]),
-        ),
-        _ => None,
-    }
+    let spec = SweepSpec::named(name)?;
+    Some(spec.lower().unwrap_or_else(|e| panic!("preset {name} must lower: {e}")))
 }
 
 fn with_progress(sweep: Sweep) -> Sweep {
@@ -141,16 +54,12 @@ fn summarize(report: &SweepReport) {
     );
 }
 
-/// The check.sh gate: a strict-convergence mini sweep (multigrid included)
-/// plus an in-process cached re-run that must skip every execution.
+/// The check.sh gate: the strict-convergence `smoke` preset (multigrid
+/// included) plus an in-process cached re-run that must skip every
+/// execution.
 fn smoke() -> i32 {
     let cache = ResultCache::in_memory();
-    let base = tiny_base().strict_convergence(true);
-    let build = || {
-        Sweep::new("smoke", base.clone())
-            .workloads((1..=4).map(tiny).collect())
-            .implicit_solves(&[ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid])
-    };
+    let build = || build("smoke").expect("the smoke preset exists");
     println!("sweep smoke: 8-point strict-convergence grid");
     let first = with_progress(build()).run_cached(&cache);
     summarize(&first);
@@ -186,7 +95,7 @@ fn main() {
     }
     if args.iter().any(|a| a == "--list") || args.is_empty() {
         println!("named sweeps (run with: sweep <name> [--out x.json] [--csv x.csv] [--cache store.jsonl] [--threads N]):");
-        for (name, what) in NAMES {
+        for (name, what) in NAMED_SWEEPS {
             println!("  {name:<10} {what}");
         }
         return;

@@ -1,0 +1,36 @@
+//! Serve smoke under tier-1: an in-process `temu-serve` server driven by
+//! the protocol client, exercising the full loop the release gate scripts
+//! run through the real bins — submit the strict-convergence smoke
+//! preset, assert every point converges, resubmit and assert the job is
+//! answered entirely from the shared cache.
+
+use temu_framework::{JsonValue, SweepSpec};
+use temu_serve::{Client, ServeConfig, Server};
+
+#[test]
+fn smoke_preset_runs_clean_and_reruns_fully_cached() {
+    let handle = Server::spawn(ServeConfig {
+        addr: String::from("127.0.0.1:0"),
+        ..ServeConfig::default()
+    })
+    .expect("spawn in-process server");
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let spec = SweepSpec::named("smoke").expect("the smoke preset exists");
+    let first = client.submit(&spec, true, |_| {}).unwrap().done.unwrap();
+    assert!(first.ok, "smoke preset converges strictly: {first:?}");
+    assert_eq!(first.points, 8, "the 8-point strict-convergence grid");
+    assert_eq!((first.executed, first.cache_hits, first.failed), (8, 0, 0));
+
+    let rerun = client.submit(&spec, true, |_| {}).unwrap().done.unwrap();
+    assert_eq!(
+        (rerun.executed, rerun.cache_hits),
+        (0, 8),
+        "resubmission is served from the shared cache without executing"
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("jobs_completed").and_then(JsonValue::as_u64), Some(2));
+    assert!(stats.get("cache_hit_rate").and_then(JsonValue::as_f64).unwrap() > 0.49);
+    handle.shutdown();
+}

@@ -175,10 +175,21 @@ impl Campaign {
         }
         let results = slots
             .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .expect("every scenario slot is filled before the pool joins")
+            .enumerate()
+            .map(|(i, m)| {
+                // A slot can only be empty if its worker aborted between
+                // claiming the scenario and storing the result (e.g. a
+                // panicking result sink). Surface that as the scenario's
+                // typed error instead of panicking the whole report.
+                m.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner).unwrap_or_else(|| {
+                    ScenarioResult {
+                        name: self.scenarios[i].label(),
+                        wall: Duration::ZERO,
+                        outcome: Err(TemuError::ScenarioPanicked(String::from(
+                            "scenario result was never delivered",
+                        ))),
+                    }
+                })
             })
             .collect();
         CampaignReport { results, wall: t0.elapsed(), threads }

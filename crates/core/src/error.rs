@@ -45,6 +45,9 @@ pub enum TemuError {
     /// A scenario panicked inside a campaign worker; the payload is the
     /// panic message.
     ScenarioPanicked(String),
+    /// A wire-format experiment spec ([`crate::ScenarioSpec`] /
+    /// [`crate::SweepSpec`]) failed to parse or lower onto the builders.
+    Spec(crate::SpecError),
 }
 
 impl fmt::Display for TemuError {
@@ -67,6 +70,7 @@ impl fmt::Display for TemuError {
                 report.device.bram18
             ),
             TemuError::ScenarioPanicked(msg) => write!(f, "scenario panicked: {msg}"),
+            TemuError::Spec(e) => write!(f, "spec: {e}"),
         }
     }
 }
@@ -82,8 +86,15 @@ impl Error for TemuError {
             TemuError::Interconnect(e) => Some(e),
             TemuError::SharedData(e) => Some(e),
             TemuError::Cpu(e) => Some(e),
+            TemuError::Spec(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::SpecError> for TemuError {
+    fn from(e: crate::SpecError) -> TemuError {
+        TemuError::Spec(e)
     }
 }
 

@@ -94,6 +94,7 @@ mod emulation;
 mod error;
 mod export;
 mod scenario;
+mod spec;
 mod sweep;
 pub mod threaded;
 mod trace;
@@ -102,7 +103,12 @@ pub use campaign::{Campaign, CampaignProgress, CampaignReport, ResultSink, Scena
 pub use emulation::{EmulationConfig, EmulationReport, ThermalEmulation};
 pub use error::TemuError;
 pub use emulation::EmulationTotals;
+pub use export::{json_escape, JsonValue};
 pub use scenario::{RunBudget, Scenario, ScenarioRun, Workload};
+pub use spec::{
+    AxisSpec, DfsSpec, MeshSpec, PlatformSpec, ScenarioSpec, SpecError, SweepSpec, WorkloadSpec,
+    NAMED_SWEEPS,
+};
 pub use sweep::{
     PointSummary, ResultCache, Sweep, SweepPoint, SweepPointResult, SweepProgress, SweepReport, SweepSink,
 };

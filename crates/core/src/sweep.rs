@@ -56,7 +56,7 @@
 
 use crate::campaign::Campaign;
 use crate::error::TemuError;
-use crate::export::{csv_f64, csv_field, csv_opt, json_escape, json_f64, json_num_or_null};
+use crate::export::{csv_f64, csv_field, csv_opt, json_escape, json_f64, json_num_or_null, JsonValue};
 use crate::scenario::{Scenario, ScenarioRun, Workload};
 use std::collections::HashMap;
 use std::fmt;
@@ -174,132 +174,6 @@ impl PointSummary {
 }
 
 // ---------------------------------------------------------------------------
-// A minimal flat-JSON reader for the on-disk store
-// ---------------------------------------------------------------------------
-
-/// One value of a flat JSON object (the store writes nothing deeper).
-#[derive(Clone, PartialEq, Debug)]
-enum FlatJson {
-    Str(String),
-    Num(f64),
-    Bool(bool),
-    Null,
-}
-
-impl FlatJson {
-    fn as_u64(&self) -> Option<u64> {
-        match self {
-            FlatJson::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            FlatJson::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-}
-
-/// Parses one flat JSON object (`{"key": value, …}` with string, number,
-/// boolean or null values). Returns `None` on any malformed input — a
-/// corrupt store line is skipped, not fatal.
-fn parse_flat_json(line: &str) -> Option<HashMap<String, FlatJson>> {
-    use std::iter::Peekable;
-    use std::str::CharIndices;
-
-    fn skip_ws(chars: &mut Peekable<CharIndices<'_>>) {
-        while chars.peek().is_some_and(|(_, c)| c.is_whitespace()) {
-            chars.next();
-        }
-    }
-
-    fn parse_string(chars: &mut Peekable<CharIndices<'_>>) -> Option<String> {
-        let mut v = String::new();
-        if chars.next()?.1 != '"' {
-            return None;
-        }
-        loop {
-            let (_, c) = chars.next()?;
-            match c {
-                '"' => return Some(v),
-                '\\' => match chars.next()?.1 {
-                    '"' => v.push('"'),
-                    '\\' => v.push('\\'),
-                    'n' => v.push('\n'),
-                    'r' => v.push('\r'),
-                    't' => v.push('\t'),
-                    'u' => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            code = code * 16 + chars.next()?.1.to_digit(16)?;
-                        }
-                        v.push(char::from_u32(code)?);
-                    }
-                    _ => return None,
-                },
-                c => v.push(c),
-            }
-        }
-    }
-
-    let s = line.trim();
-    let mut chars = s.char_indices().peekable();
-    let mut out = HashMap::new();
-    skip_ws(&mut chars);
-    if chars.next()?.1 != '{' {
-        return None;
-    }
-    loop {
-        skip_ws(&mut chars);
-        match chars.peek()?.1 {
-            '}' => {
-                chars.next();
-                break;
-            }
-            ',' => {
-                chars.next();
-                continue;
-            }
-            _ => {}
-        }
-        let key = parse_string(&mut chars)?;
-        skip_ws(&mut chars);
-        if chars.next()?.1 != ':' {
-            return None;
-        }
-        skip_ws(&mut chars);
-        let value = match chars.peek()?.1 {
-            '"' => FlatJson::Str(parse_string(&mut chars)?),
-            't' | 'f' | 'n' => {
-                let start = chars.peek()?.0;
-                while chars.peek().is_some_and(|(_, c)| c.is_ascii_alphabetic()) {
-                    chars.next();
-                }
-                let end = chars.peek().map_or(s.len(), |(i, _)| *i);
-                match &s[start..end] {
-                    "true" => FlatJson::Bool(true),
-                    "false" => FlatJson::Bool(false),
-                    "null" => FlatJson::Null,
-                    _ => return None,
-                }
-            }
-            _ => {
-                let start = chars.peek()?.0;
-                while chars.peek().is_some_and(|(_, c)| matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E')) {
-                    chars.next();
-                }
-                let end = chars.peek().map_or(s.len(), |(i, _)| *i);
-                FlatJson::Num(s[start..end].parse().ok()?)
-            }
-        };
-        out.insert(key, value);
-    }
-    Some(out)
-}
-
-// ---------------------------------------------------------------------------
 // The result cache
 // ---------------------------------------------------------------------------
 
@@ -341,8 +215,17 @@ impl ResultCache {
     }
 
     /// A cache backed by an on-disk JSON-lines store: existing entries at
-    /// `path` are loaded (unparseable lines are skipped), and every new
-    /// insert is appended.
+    /// `path` are loaded, and every new insert is appended.
+    ///
+    /// The store is safe to share between concurrent writers — worker
+    /// threads of one server process or several processes appending to the
+    /// same file: the file is opened `O_APPEND` and each record is written
+    /// as one complete line in a single write call, so records never
+    /// interleave. Loading tolerates a torn record (a writer that died
+    /// mid-append): the damaged record is skipped and — because another
+    /// process may already have appended past it onto the same line —
+    /// any complete records glued after it on that line are still
+    /// recovered, instead of being dropped with it.
     ///
     /// # Errors
     ///
@@ -352,9 +235,7 @@ impl ResultCache {
         let mut mem = HashMap::new();
         if path.exists() {
             for line in std::fs::read_to_string(&path)?.lines() {
-                if let Some((key, summary)) = ResultCache::decode_line(line) {
-                    mem.insert(key, summary);
-                }
+                ResultCache::decode_recovering(line, &mut mem);
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
@@ -393,7 +274,9 @@ impl ResultCache {
 
     /// Memoizes one point (and appends it to the disk store, if any; a
     /// store write failure degrades to in-memory caching rather than
-    /// failing the sweep).
+    /// failing the sweep). The store append is one complete
+    /// newline-terminated line in a single `O_APPEND` write, so concurrent
+    /// writers — threads or whole processes — never interleave records.
     pub fn insert(&self, key: u64, summary: PointSummary) {
         let fresh = self
             .inner
@@ -411,32 +294,63 @@ impl ResultCache {
         }
     }
 
-    fn decode_line(line: &str) -> Option<(u64, PointSummary)> {
-        let obj = parse_flat_json(line)?;
-        let key = match obj.get("key")? {
-            FlatJson::Str(s) => u64::from_str_radix(s, 16).ok()?,
-            _ => return None,
-        };
-        let num = |name: &str| obj.get(name).and_then(FlatJson::as_f64);
-        let int = |name: &str| obj.get(name).and_then(FlatJson::as_u64);
+    /// Decodes every record on one store line into `mem`. The common case
+    /// is one whole line = one record; when the head of the line is a torn
+    /// partial (a writer died mid-append and a later `O_APPEND` writer
+    /// glued its complete record onto the same line), the torn prefix is
+    /// skipped and decoding resumes at each subsequent `{"key"` marker.
+    fn decode_recovering(line: &str, mem: &mut HashMap<u64, PointSummary>) {
+        let mut rest = line.trim_start();
+        while !rest.is_empty() {
+            if let Some((key, summary, consumed)) = ResultCache::decode_prefix(rest) {
+                mem.insert(key, summary);
+                rest = rest[consumed..].trim_start();
+            } else {
+                // Torn or foreign bytes: resync at the next record marker
+                // (skipping one whole character — foreign lines may start
+                // with multi-byte UTF-8, and a byte-offset slice there
+                // would panic on the char boundary).
+                let skip = rest.chars().next().map_or(1, char::len_utf8);
+                match rest[skip..].find("{\"key\"") {
+                    Some(off) => rest = &rest[skip + off..],
+                    None => return,
+                }
+            }
+        }
+    }
+
+    /// Decodes one record at the head of `text`, returning how many bytes
+    /// it consumed. `text` may continue with further records (recovery
+    /// path), so this scans for the record's closing `}` instead of
+    /// requiring the parse to consume the whole slice.
+    fn decode_prefix(text: &str) -> Option<(u64, PointSummary, usize)> {
+        // Store records are flat objects whose only strings never contain
+        // '}', so the first '}' closes the record.
+        let end = text.find('}')? + 1;
+        let obj = JsonValue::parse(&text[..end]).ok()?;
+        let key = u64::from_str_radix(obj.get("key")?.as_str()?, 16).ok()?;
+        let num = |name: &str| obj.get(name).and_then(JsonValue::as_f64);
+        let int = |name: &str| obj.get(name).and_then(JsonValue::as_u64);
         let summary = PointSummary {
             windows: int("windows")?,
             virtual_s: num("virtual_s")?,
             fpga_s: num("fpga_s")?,
             wall_s: num("wall_s")?,
-            all_halted: matches!(obj.get("all_halted")?, FlatJson::Bool(true)),
+            all_halted: obj.get("all_halted")?.as_bool()?,
             instructions: int("instructions")?,
             peak_temp_k: num("peak_temp_k"),
             final_temp_k: num("final_temp_k"),
             throttled_fraction: num("throttled_fraction")?,
-            time_at_hz: match obj.get("time_at_hz")? {
-                FlatJson::Str(s) => PointSummary::parse_residency(s),
-                _ => return None,
-            },
+            time_at_hz: PointSummary::parse_residency(obj.get("time_at_hz")?.as_str()?),
             unconverged_substeps: int("unconverged_substeps")?,
             worst_residual_k: num("worst_residual_k").unwrap_or(0.0),
         };
-        Some((key, summary))
+        Some((key, summary, end))
+    }
+
+    #[cfg(test)]
+    fn decode_line(line: &str) -> Option<(u64, PointSummary)> {
+        ResultCache::decode_prefix(line.trim()).map(|(k, s, _)| (k, s))
     }
 }
 
@@ -688,7 +602,10 @@ impl Sweep {
         let t0 = Instant::now();
         let expanded = self.expand();
         let total = expanded.len();
-        let mut slots: Vec<Option<SweepPointResult>> = (0..total).map(|_| None).collect();
+        // Finished points in arbitrary order; sorted back into grid order
+        // at the end. (No pre-sized Option slots: report assembly must be
+        // panic-free — a long-running server survives any malformed point.)
+        let mut filled: Vec<(usize, SweepPointResult)> = Vec::with_capacity(total);
         let mut queue: Vec<Scenario> = Vec::new();
         // Per campaign slot: which grid point it is, its label and key.
         let mut queued: Vec<(usize, String, u64)> = Vec::new();
@@ -702,25 +619,31 @@ impl Sweep {
                 Err(e) => {
                     completed += 1;
                     self.emit(&point.label, point.index, completed, total, false, Err(&e));
-                    slots[point.index] = Some(SweepPointResult {
-                        label: point.label,
-                        key: point.key,
-                        cache_hit: false,
-                        outcome: Err(e),
-                    });
+                    filled.push((
+                        point.index,
+                        SweepPointResult {
+                            label: point.label,
+                            key: point.key,
+                            cache_hit: false,
+                            outcome: Err(e),
+                        },
+                    ));
                 }
                 Ok(scenario) => {
-                    let key = point.key.expect("every valid scenario has a content key");
+                    let key = point.key.unwrap_or_else(|| scenario.content_key());
                     if let Some(summary) = cache.and_then(|c| c.get(key)) {
                         completed += 1;
                         cache_hits += 1;
                         self.emit(&point.label, point.index, completed, total, true, Ok(&summary));
-                        slots[point.index] = Some(SweepPointResult {
-                            label: point.label,
-                            key: point.key,
-                            cache_hit: true,
-                            outcome: Ok(summary),
-                        });
+                        filled.push((
+                            point.index,
+                            SweepPointResult {
+                                label: point.label,
+                                key: Some(key),
+                                cache_hit: true,
+                                outcome: Ok(summary),
+                            },
+                        ));
                     } else {
                         queued.push((point.index, point.label, key));
                         queue.push(scenario);
@@ -791,8 +714,8 @@ impl Sweep {
             }
             let report = campaign.run();
             threads = report.threads;
-            for (slot, result) in report.results.into_iter().enumerate() {
-                let (point, label, key) = &meta[slot];
+            for ((slot, result), (point, label, key)) in report.results.into_iter().enumerate().zip(&meta[..])
+            {
                 let outcome = match result.outcome {
                     Ok(run) => Ok(stash[slot]
                         .lock()
@@ -801,19 +724,39 @@ impl Sweep {
                         .unwrap_or_else(|| PointSummary::from_run(&run, result.wall))),
                     Err(e) => Err(e),
                 };
-                slots[*point] =
-                    Some(SweepPointResult { label: label.clone(), key: Some(*key), cache_hit: false, outcome });
+                filled.push((
+                    *point,
+                    SweepPointResult { label: label.clone(), key: Some(*key), cache_hit: false, outcome },
+                ));
             }
         }
 
-        SweepReport {
-            name: self.name.clone(),
-            threads,
-            wall: t0.elapsed(),
-            executed,
-            cache_hits,
-            points: slots.into_iter().map(|s| s.expect("every grid-point slot is filled")).collect(),
+        // Grid-order the points. Every index is filled exactly once by the
+        // passes above; if a slot were ever skipped (a campaign delivering
+        // short — which run() prevents by construction), it surfaces as a
+        // typed per-point error rather than a server-killing panic.
+        filled.sort_unstable_by_key(|(index, _)| *index);
+        let mut points: Vec<SweepPointResult> = Vec::with_capacity(total);
+        let mut it = filled.into_iter().peekable();
+        for index in 0..total {
+            match it.peek() {
+                Some((i, _)) if *i == index => {
+                    if let Some((_, result)) = it.next() {
+                        points.push(result);
+                    }
+                }
+                _ => points.push(SweepPointResult {
+                    label: format!("point-{index}"),
+                    key: None,
+                    cache_hit: false,
+                    outcome: Err(TemuError::ScenarioPanicked(String::from(
+                        "sweep point result was never delivered",
+                    ))),
+                }),
+            }
         }
+
+        SweepReport { name: self.name.clone(), threads, wall: t0.elapsed(), executed, cache_hits, points }
     }
 
     fn emit(

@@ -94,6 +94,53 @@ fn disk_store_makes_reruns_incremental_across_cache_instances() {
 }
 
 #[test]
+fn torn_store_lines_are_skipped_without_dropping_later_records() {
+    // Simulate a writer that died mid-append: a torn partial record with
+    // no trailing newline, after which another O_APPEND writer glued a
+    // complete record onto the same physical line — followed by further
+    // intact lines. The loader must recover every complete record and
+    // skip only the torn one.
+    let path = std::env::temp_dir().join(format!("temu_torn_store_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let seed = ResultCache::with_store(&path).unwrap();
+    let report = Sweep::new("seed", tiny())
+        .workloads(vec![tiny_matrix(1), tiny_matrix(2), tiny_matrix(3)])
+        .run_cached(&seed);
+    assert!(report.all_ok());
+    drop(seed);
+
+    // Tear the store: truncate the first line mid-record and glue the
+    // remaining content (which starts with line 2's complete record)
+    // directly after it, newline-free — exactly what interleaved
+    // crash-and-append produces.
+    let content = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = content.lines().collect();
+    assert_eq!(lines.len(), 3);
+    let torn = format!("{}{}\n{}\n", &lines[0][..lines[0].len() / 2], lines[1], lines[2]);
+    std::fs::write(&path, torn).unwrap();
+
+    let reloaded = ResultCache::with_store(&path).unwrap();
+    assert_eq!(reloaded.len(), 2, "both intact records survive; only the torn one is lost");
+
+    // A trailing torn partial (crash during the very last append) is
+    // skipped without disturbing anything before it, and a foreign line
+    // starting with multi-byte UTF-8 must not panic the resync scan.
+    let content = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, format!("é foreign bytes\n{content}{{\"key\": \"1234\", \"windows\": 5")).unwrap();
+    let reloaded = ResultCache::with_store(&path).unwrap();
+    assert_eq!(reloaded.len(), 2, "torn trailing partial and foreign line are skipped");
+
+    // The torn point simply re-executes on the next sweep.
+    let rerun = Sweep::new("seed", tiny())
+        .workloads(vec![tiny_matrix(1), tiny_matrix(2), tiny_matrix(3)])
+        .run_cached(&reloaded);
+    assert_eq!(rerun.cache_hits, 2);
+    assert_eq!(rerun.executed, 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn bad_grid_point_is_contained_and_never_cached() {
     let cache = ResultCache::in_memory();
     let sweep = || {

@@ -1,0 +1,204 @@
+//! The emulation job client.
+//!
+//! ```sh
+//! temu-client [--addr HOST:PORT] submit (--spec FILE.json | --preset NAME)
+//!             [--threads N] [--no-watch] [--require-cached]
+//! temu-client [--addr HOST:PORT] status JOB | result JOB | cancel JOB |
+//!             watch JOB | stats | shutdown
+//! temu-client presets
+//! ```
+//!
+//! `submit` sends a sweep spec (a JSON file — a full sweep, or a bare
+//! scenario spec that becomes a one-point sweep — or a named preset) and,
+//! unless `--no-watch`, pretty-prints the streamed per-point progress.
+//!
+//! Exit codes: 0 success; 1 failed points or a failed/cancelled job;
+//! 2 usage, connection or server-refusal errors; 3 `--require-cached` was
+//! passed and the job executed any scenario instead of hitting the cache.
+
+use std::process::exit;
+use temu_framework::{JsonValue, SweepSpec, NAMED_SWEEPS};
+use temu_serve::{spec_from_document, Client, ADDR_ENV, DEFAULT_ADDR};
+
+const USAGE: &str = "usage: temu-client [--addr HOST:PORT] <submit|status|result|cancel|watch|stats|shutdown|presets> [args]
+  submit (--spec FILE.json | --preset NAME) [--threads N] [--no-watch] [--require-cached]
+  status|result|cancel|watch JOB
+  presets    list the named sweep presets";
+
+fn fail(message: impl std::fmt::Display, code: i32) -> ! {
+    eprintln!("temu-client: {message}");
+    exit(code);
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| fail(format!("{addr}: {e}"), 2))
+}
+
+fn print_event(event: &JsonValue) {
+    match event.get("event").and_then(JsonValue::as_str) {
+        Some("start") => {
+            let total = event.get("total").and_then(JsonValue::as_u64).unwrap_or(0);
+            println!("running {total} point(s)");
+        }
+        Some("point") => {
+            let field = |k: &str| event.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+            let label = event.get("label").and_then(JsonValue::as_str).unwrap_or("?");
+            let status = if event.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+                let peak = event
+                    .get("peak_temp_k")
+                    .and_then(JsonValue::as_f64)
+                    .map_or_else(|| String::from("-"), |t| format!("{t:.2}K"));
+                let cached = if event.get("cache_hit").and_then(JsonValue::as_bool) == Some(true) {
+                    "  [cached]"
+                } else {
+                    ""
+                };
+                format!("peak {peak} windows {}{cached}", field("windows"))
+            } else {
+                format!("FAILED: {}", event.get("error").and_then(JsonValue::as_str).unwrap_or("?"))
+            };
+            println!("  [{:>3}/{}] {:<60} {status}", field("completed"), field("total"), label);
+        }
+        Some("done") => {}
+        _ => println!("{event}"),
+    }
+}
+
+fn summarize(done: &temu_serve::DoneSummary) {
+    println!(
+        "job finished: {} point(s), {} executed, {} cache hit(s), {} failed, {:.2} s server wall",
+        done.points, done.executed, done.cache_hits, done.failed, done.wall_s
+    );
+    if let Some(e) = &done.error {
+        println!("job error: {e}");
+    }
+}
+
+fn submit(addr: &str, args: &[String]) -> ! {
+    let mut spec: Option<SweepSpec> = None;
+    let mut watch = true;
+    let mut require_cached = false;
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => {
+                let path = it.next().unwrap_or_else(|| fail("--spec takes a path", 2));
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| fail(format!("reading {path}: {e}"), 2));
+                let doc = JsonValue::parse(&text)
+                    .unwrap_or_else(|e| fail(format!("{path}: invalid JSON: {e}"), 2));
+                spec = Some(
+                    spec_from_document(&doc).unwrap_or_else(|e| fail(format!("{path}: {e}"), 2)),
+                );
+            }
+            "--preset" => {
+                let name = it.next().unwrap_or_else(|| fail("--preset takes a name", 2));
+                spec = Some(SweepSpec::named(name).unwrap_or_else(|| {
+                    fail(format!("unknown preset {name:?} (see: temu-client presets)"), 2)
+                }));
+            }
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--threads takes a positive integer", 2)),
+                );
+            }
+            "--no-watch" => watch = false,
+            "--require-cached" => require_cached = true,
+            other => fail(format!("unknown submit argument {other:?}\n{USAGE}"), 2),
+        }
+    }
+    let mut spec = spec.unwrap_or_else(|| fail(format!("submit needs --spec or --preset\n{USAGE}"), 2));
+    if require_cached && !watch {
+        // The cache gate needs the job's done summary, which only a
+        // watched submission delivers.
+        fail("--require-cached needs the watched submission (drop --no-watch)", 2);
+    }
+    if threads.is_some() {
+        spec.threads = threads;
+    }
+
+    let mut client = connect(addr);
+    println!("submitting \"{}\" to {addr}", spec.name);
+    let outcome = client
+        .submit(&spec, watch, print_event)
+        .unwrap_or_else(|e| fail(e, 2));
+    if !watch {
+        println!("queued as job {} ({} point(s))", outcome.job, outcome.total);
+        exit(0);
+    }
+    let done = outcome.done.unwrap_or_else(|| fail("watched submission ended without a done event", 2));
+    summarize(&done);
+    if require_cached && done.executed != 0 {
+        fail(format!("--require-cached: {} point(s) executed instead of hitting the cache", done.executed), 3);
+    }
+    exit(i32::from(!(done.ok && done.failed == 0)));
+}
+
+fn job_arg(args: &[String]) -> u64 {
+    args.first()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail(format!("expected a job id\n{USAGE}"), 2))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = std::env::var(ADDR_ENV).unwrap_or_else(|_| String::from(DEFAULT_ADDR));
+    let mut rest = &args[..];
+    while let [flag, value, tail @ ..] = rest {
+        if flag == "--addr" {
+            addr = value.clone();
+            rest = tail;
+        } else {
+            break;
+        }
+    }
+    let Some((cmd, cmd_args)) = rest.split_first() else {
+        eprintln!("{USAGE}");
+        exit(2);
+    };
+    match cmd.as_str() {
+        "submit" => submit(&addr, cmd_args),
+        "presets" => {
+            println!("named sweep presets (submit with: temu-client submit --preset NAME):");
+            for (name, what) in NAMED_SWEEPS {
+                println!("  {name:<10} {what}");
+            }
+        }
+        "status" => {
+            let frame = connect(&addr).status(job_arg(cmd_args)).unwrap_or_else(|e| fail(e, 2));
+            println!("{frame}");
+        }
+        "result" => {
+            let job = job_arg(cmd_args);
+            let frame = connect(&addr).result(job).unwrap_or_else(|e| fail(e, 2));
+            match frame.get("report") {
+                Some(report) => println!("{report}"),
+                None => println!("{frame}"),
+            }
+            let failed = frame.get("failed").and_then(JsonValue::as_u64).unwrap_or(0);
+            exit(i32::from(failed != 0));
+        }
+        "cancel" => {
+            let frame = connect(&addr).cancel(job_arg(cmd_args)).unwrap_or_else(|e| fail(e, 2));
+            println!("{frame}");
+        }
+        "watch" => {
+            let done =
+                connect(&addr).watch(job_arg(cmd_args), print_event).unwrap_or_else(|e| fail(e, 2));
+            summarize(&done);
+            exit(i32::from(!(done.ok && done.failed == 0)));
+        }
+        "stats" => {
+            let frame = connect(&addr).stats().unwrap_or_else(|e| fail(e, 2));
+            println!("{frame}");
+        }
+        "shutdown" => {
+            connect(&addr).shutdown().unwrap_or_else(|e| fail(e, 2));
+            println!("server at {addr} shutting down");
+        }
+        other => fail(format!("unknown command {other:?}\n{USAGE}"), 2),
+    }
+}

@@ -1,0 +1,248 @@
+//! The client half of the protocol: connect, submit, stream progress,
+//! fetch results — the library under the `temu-client` bin and the
+//! end-to-end tests.
+
+use crate::protocol::Request;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use temu_framework::{JsonValue, SweepSpec};
+
+/// A client-side failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The connection failed or dropped.
+    Io(std::io::Error),
+    /// The server sent a frame the client could not interpret.
+    Protocol(String),
+    /// The server answered `{"ok": false, ...}`; the payload is its
+    /// error message.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl Error for ClientError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// The terminal summary of a watched job (the protocol's `done` event).
+#[derive(Clone, PartialEq, Debug)]
+pub struct DoneSummary {
+    /// Whether the job finished with every point succeeding.
+    pub ok: bool,
+    /// Grid points in the job.
+    pub points: u64,
+    /// Points that executed a scenario.
+    pub executed: u64,
+    /// Points served from the shared cache.
+    pub cache_hits: u64,
+    /// Points that failed.
+    pub failed: u64,
+    /// Server-side wall seconds.
+    pub wall_s: f64,
+    /// The job-level error, when it failed before running.
+    pub error: Option<String>,
+    /// Whether the job was cancelled while queued.
+    pub cancelled: bool,
+}
+
+impl DoneSummary {
+    fn from_event(v: &JsonValue) -> Result<DoneSummary, ClientError> {
+        let int = |key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        Ok(DoneSummary {
+            ok: v
+                .get("ok")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| ClientError::Protocol(format!("done event without ok: {v}")))?,
+            points: int("points"),
+            executed: int("executed"),
+            cache_hits: int("cache_hits"),
+            failed: int("failed"),
+            wall_s: v.get("wall_s").and_then(JsonValue::as_f64).unwrap_or(0.0),
+            error: v.get("error").and_then(JsonValue::as_str).map(String::from),
+            cancelled: v.get("cancelled").and_then(JsonValue::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// The acknowledgement plus (when watching) terminal summary of one
+/// submission.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Submission {
+    /// The server's job id.
+    pub job: u64,
+    /// Grid points the job expands to.
+    pub total: u64,
+    /// The terminal summary (`None` for fire-and-forget submissions).
+    pub done: Option<DoneSummary>,
+}
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        writeln!(self.writer, "{}", request.to_line())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one frame; `Err(Protocol)` on EOF or non-JSON bytes.
+    fn recv(&mut self) -> Result<JsonValue, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(String::from("server closed the connection")));
+        }
+        JsonValue::parse(line.trim()).map_err(ClientError::Protocol)
+    }
+
+    /// Reads one response frame, mapping `{"ok": false}` to
+    /// [`ClientError::Server`].
+    fn recv_ok(&mut self) -> Result<JsonValue, ClientError> {
+        let v = self.recv()?;
+        match v.get("ok").and_then(JsonValue::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => Err(ClientError::Server(
+                v.get("error").and_then(JsonValue::as_str).unwrap_or("unspecified error").to_string(),
+            )),
+            None => Err(ClientError::Protocol(format!("response without ok field: {v}"))),
+        }
+    }
+
+    fn request(&mut self, request: &Request) -> Result<JsonValue, ClientError> {
+        self.send(request)?;
+        self.recv_ok()
+    }
+
+    /// Submits a sweep. With `watch`, streams events to `on_event` until
+    /// the job's `done` event, which is summarized in the returned
+    /// [`Submission`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for a refused spec or full queue; protocol
+    /// and I/O failures.
+    pub fn submit(
+        &mut self,
+        spec: &SweepSpec,
+        watch: bool,
+        mut on_event: impl FnMut(&JsonValue),
+    ) -> Result<Submission, ClientError> {
+        let ack = self.request(&Request::Submit { spec: Box::new(spec.clone()), watch })?;
+        let job = ack
+            .get("job")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("submit ack without job id: {ack}")))?;
+        let total = ack.get("total").and_then(JsonValue::as_u64).unwrap_or(0);
+        if !watch {
+            return Ok(Submission { job, total, done: None });
+        }
+        loop {
+            let event = self.recv()?;
+            on_event(&event);
+            if event.get("event").and_then(JsonValue::as_str) == Some("done") {
+                return Ok(Submission { job, total, done: Some(DoneSummary::from_event(&event)?) });
+            }
+        }
+    }
+
+    /// Fetches a job's state and progress counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for an unknown job.
+    pub fn status(&mut self, job: u64) -> Result<JsonValue, ClientError> {
+        self.request(&Request::Status { job })
+    }
+
+    /// Fetches a finished job's result frame; the `"report"` field holds
+    /// the full `SweepReport` JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the job is unknown or unfinished.
+    pub fn result(&mut self, job: u64) -> Result<JsonValue, ClientError> {
+        self.request(&Request::Result { job })
+    }
+
+    /// Cancels a queued job.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the job is unknown or already
+    /// running/finished.
+    pub fn cancel(&mut self, job: u64) -> Result<JsonValue, ClientError> {
+        self.request(&Request::Cancel { job })
+    }
+
+    /// Attaches to a job's event stream until it finishes, returning its
+    /// terminal summary.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for an unknown job.
+    pub fn watch(&mut self, job: u64, mut on_event: impl FnMut(&JsonValue)) -> Result<DoneSummary, ClientError> {
+        self.request(&Request::Watch { job })?;
+        loop {
+            let event = self.recv()?;
+            on_event(&event);
+            if event.get("event").and_then(JsonValue::as_str) == Some("done") {
+                return DoneSummary::from_event(&event);
+            }
+        }
+    }
+
+    /// Fetches the server counters.
+    ///
+    /// # Errors
+    ///
+    /// Protocol and I/O failures.
+    pub fn stats(&mut self) -> Result<JsonValue, ClientError> {
+        self.request(&Request::Stats)
+    }
+
+    /// Asks the server to stop.
+    ///
+    /// # Errors
+    ///
+    /// Protocol and I/O failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}

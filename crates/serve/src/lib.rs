@@ -1,0 +1,44 @@
+//! # temu-serve — the caching emulation job server
+//!
+//! Turns the workspace's experiment engine
+//! ([`Scenario`](temu_framework::Scenario) →
+//! [`Campaign`](temu_framework::Campaign) →
+//! [`Sweep`](temu_framework::Sweep)) into shared, network-reachable
+//! infrastructure: a `std`-only TCP server speaking newline-delimited
+//! JSON, executing submitted [`SweepSpec`](temu_framework::SweepSpec)s on
+//! a bounded job queue against one process-wide
+//! [`ResultCache`](temu_framework::ResultCache), and streaming per-point
+//! progress back to the submitter.
+//!
+//! Every client of the cache — a script resubmitting an overlapping
+//! design-space grid, a second connection watching a long job, a restart
+//! reloading the on-disk store — sees the same content-keyed results: a
+//! scenario configuration is only ever emulated once per store.
+//!
+//! ```no_run
+//! use temu_serve::{Client, ServeConfig, Server};
+//! use temu_framework::SweepSpec;
+//!
+//! let handle = Server::spawn(ServeConfig {
+//!     addr: String::from("127.0.0.1:0"),
+//!     ..ServeConfig::default()
+//! }).unwrap();
+//! let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+//! let spec = SweepSpec::named("smoke").unwrap();
+//! let outcome = client.submit(&spec, true, |event| println!("{event}")).unwrap();
+//! assert!(outcome.done.unwrap().ok);
+//! handle.shutdown();
+//! ```
+//!
+//! The two bins wrap exactly this: `temu-serve` hosts [`Server::run`];
+//! `temu-client` drives [`Client`] (submit a spec file or named preset,
+//! pretty-print the streamed progress, exit nonzero on failed points).
+//! See [`protocol`] for the wire format.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, DoneSummary, Submission};
+pub use protocol::{spec_from_document, Request, ADDR_ENV, DEFAULT_ADDR};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,200 @@
+//! The `temu-serve` wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every frame — request, response, or streamed event — is one complete
+//! JSON object on one line. A connection carries any number of requests;
+//! each request yields exactly one response line, except `submit` with
+//! `"watch": true` and `watch`, which follow the response with a stream of
+//! event lines ending in a `"done"` event.
+//!
+//! # Requests
+//!
+//! | `cmd` | fields | response |
+//! |---|---|---|
+//! | `submit` | `sweep` ([`SweepSpec`] object), optional `watch` | `{"ok", "job", "total"}` (+ events) |
+//! | `status` | `job` | job state and progress counters |
+//! | `result` | `job` | the finished job's [`SweepReport`](temu_framework::SweepReport) JSON |
+//! | `cancel` | `job` | ok for queued jobs; running/finished jobs refuse |
+//! | `watch` | `job` | `{"ok"}` + event stream until the job finishes |
+//! | `stats` | — | server counters (jobs, queue depth, cache hit rate) |
+//! | `shutdown` | — | `{"ok"}`; the server then stops accepting and exits |
+//!
+//! # Events
+//!
+//! `{"event": "start", "job", "total"}` once when a job begins executing;
+//! `{"event": "point", ...}` per finished grid point (label, cache_hit,
+//! ok, and either summary headline numbers or the point's error);
+//! `{"event": "done", "job", "ok", "points", "executed", "cache_hits",
+//! "failed", "wall_s"}` exactly once, last (with `"error"` when the job
+//! failed to lower and `"cancelled": true` when it was cancelled).
+//!
+//! Responses to failed requests are `{"ok": false, "error": "..."}`; the
+//! connection stays usable.
+
+use temu_framework::{json_escape, JsonValue, SpecError, SweepSpec};
+
+/// The default server address (loopback; the server is an experiment
+/// cache, not an internet service).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7181";
+
+/// Environment variable overriding the default address for both bins.
+pub const ADDR_ENV: &str = "TEMU_SERVE_ADDR";
+
+/// One parsed client request.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum Request {
+    /// Queue a sweep; optionally stream its progress on this connection.
+    Submit {
+        /// The experiment to run.
+        spec: Box<SweepSpec>,
+        /// Stream `point`/`done` events after the acknowledgement.
+        watch: bool,
+    },
+    /// Report a job's state and progress counters.
+    Status {
+        /// The job id from `submit`.
+        job: u64,
+    },
+    /// Fetch a finished job's full `SweepReport` JSON.
+    Result {
+        /// The job id from `submit`.
+        job: u64,
+    },
+    /// Cancel a still-queued job.
+    Cancel {
+        /// The job id from `submit`.
+        job: u64,
+    },
+    /// Attach to a job's event stream until it finishes.
+    Watch {
+        /// The job id from `submit`.
+        job: u64,
+    },
+    /// Report server counters.
+    Stats,
+    /// Stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed frame.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = JsonValue::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let cmd = v
+            .get("cmd")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| String::from("missing string field \"cmd\""))?;
+        let job = || {
+            v.get("job")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("\"{cmd}\" needs an integer \"job\" field"))
+        };
+        match cmd {
+            "submit" => {
+                let spec_value =
+                    v.get("sweep").ok_or_else(|| String::from("\"submit\" needs a \"sweep\" spec object"))?;
+                let spec = SweepSpec::from_value(spec_value).map_err(|e| e.to_string())?;
+                let watch = v.get("watch").and_then(JsonValue::as_bool).unwrap_or(false);
+                Ok(Request::Submit { spec: Box::new(spec), watch })
+            }
+            "status" => Ok(Request::Status { job: job()? }),
+            "result" => Ok(Request::Result { job: job()? }),
+            "cancel" => Ok(Request::Cancel { job: job()? }),
+            "watch" => Ok(Request::Watch { job: job()? }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd {other:?}")),
+        }
+    }
+
+    /// Renders the request as one protocol line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Submit { spec, watch } => {
+                format!("{{\"cmd\": \"submit\", \"watch\": {watch}, \"sweep\": {}}}", spec.to_json())
+            }
+            Request::Status { job } => format!("{{\"cmd\": \"status\", \"job\": {job}}}"),
+            Request::Result { job } => format!("{{\"cmd\": \"result\", \"job\": {job}}}"),
+            Request::Cancel { job } => format!("{{\"cmd\": \"cancel\", \"job\": {job}}}"),
+            Request::Watch { job } => format!("{{\"cmd\": \"watch\", \"job\": {job}}}"),
+            Request::Stats => String::from("{\"cmd\": \"stats\"}"),
+            Request::Shutdown => String::from("{\"cmd\": \"shutdown\"}"),
+        }
+    }
+}
+
+/// Renders the standard error response line.
+#[must_use]
+pub fn error_line(message: &str) -> String {
+    format!("{{\"ok\": false, \"error\": \"{}\"}}", json_escape(message))
+}
+
+/// Interprets a spec file's JSON as a submittable [`SweepSpec`]: a
+/// document with a `"sweep"` key is a sweep spec; anything else is read
+/// as a [`ScenarioSpec`](temu_framework::ScenarioSpec) and wrapped into a
+/// one-point sweep (named after the spec's `name`, or `"scenario"`).
+///
+/// # Errors
+///
+/// [`SpecError`] from whichever shape the document matched.
+pub fn spec_from_document(v: &JsonValue) -> Result<SweepSpec, SpecError> {
+    if v.get("sweep").is_some() {
+        return SweepSpec::from_value(v);
+    }
+    let scenario = temu_framework::ScenarioSpec::from_value(v)?;
+    let name = scenario.name.clone().unwrap_or_else(|| String::from("scenario"));
+    Ok(SweepSpec::new(name, scenario))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_lines() {
+        let reqs = vec![
+            Request::Submit {
+                spec: Box::new(SweepSpec::named("smoke").unwrap()),
+                watch: true,
+            },
+            Request::Status { job: 3 },
+            Request::Result { job: 4 },
+            Request::Cancel { job: 5 },
+            Request::Watch { job: 6 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_line();
+            assert!(!line.contains('\n'), "one frame = one line: {line}");
+            assert_eq!(Request::parse(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        assert!(Request::parse("").unwrap_err().contains("invalid JSON"));
+        assert!(Request::parse("{}").unwrap_err().contains("cmd"));
+        assert!(Request::parse("{\"cmd\": \"nope\"}").unwrap_err().contains("unknown cmd"));
+        assert!(Request::parse("{\"cmd\": \"status\"}").unwrap_err().contains("job"));
+        assert!(Request::parse("{\"cmd\": \"submit\"}").unwrap_err().contains("sweep"));
+        let bad_spec = "{\"cmd\": \"submit\", \"sweep\": {\"sweep\": \"x\", \"base\": {\"preset\": 7}}}";
+        assert!(Request::parse(bad_spec).unwrap_err().contains("preset"));
+    }
+
+    #[test]
+    fn scenario_documents_wrap_into_one_point_sweeps() {
+        let v = JsonValue::parse("{\"preset\": \"paper_fig6\", \"name\": \"mine\"}").unwrap();
+        let spec = spec_from_document(&v).unwrap();
+        assert_eq!(spec.name, "mine");
+        assert_eq!(spec.axes.len(), 0);
+        let v = JsonValue::parse("{\"sweep\": \"s\", \"axes\": [{\"axis\": \"cores\", \"values\": [1, 2]}]}")
+            .unwrap();
+        assert_eq!(spec_from_document(&v).unwrap().lower().unwrap().n_points(), 2);
+    }
+}

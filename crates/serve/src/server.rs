@@ -1,0 +1,709 @@
+//! The job server: a bounded queue of sweep jobs drained by worker
+//! threads into one process-wide [`ResultCache`].
+//!
+//! Architecture (all `std`, no external dependencies):
+//!
+//! * one **accept loop** ([`Server::run`]) spawning a thread per
+//!   connection;
+//! * a **bounded job queue** (`VecDeque` under the jobs mutex, refused at
+//!   [`ServeConfig::queue_limit`]) drained by [`ServeConfig::workers`]
+//!   worker threads;
+//! * each job re-lowers its [`SweepSpec`] and executes through the
+//!   ordinary [`Sweep`](temu_framework::Sweep) →
+//!   [`Campaign`](temu_framework::Campaign) engine — the server is a
+//!   transport in front of the experiment API, never a second execution
+//!   path;
+//! * every job runs against the **shared cache** (optionally persisted via
+//!   [`ResultCache::with_store`]), so resubmitted or overlapping sweeps
+//!   are served without executing scenarios, across jobs, connections and
+//!   server restarts;
+//! * progress streams to subscribed connections as the protocol's `point`
+//!   events, straight from the sweep's
+//!   [`on_progress`](temu_framework::Sweep::on_progress) sink.
+//!
+//! Cancellation is queue-level: a queued job is removed before it ever
+//! runs; a job that already reached a worker runs to completion (the
+//! emulation core has no preemption points, and a completed point is a
+//! cache entry the next submission reuses anyway).
+
+use crate::protocol::{error_line, Request};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use temu_framework::{json_escape, ResultCache, SweepProgress, SweepSpec};
+
+/// Server configuration (see the module docs).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; use port 0 for an ephemeral port (the bound
+    /// address is reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads draining the job queue (each job additionally
+    /// parallelizes its points through the campaign pool).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs; further submissions are
+    /// refused with a typed error response.
+    pub queue_limit: usize,
+    /// Optional JSON-lines path for the shared result cache
+    /// ([`ResultCache::with_store`]); `None` keeps results in memory only.
+    pub store: Option<PathBuf>,
+    /// How many finished (done/failed/cancelled) jobs to keep queryable
+    /// via `status`/`result`. Older terminal jobs are evicted so a
+    /// long-running server's job registry stays bounded — their cached
+    /// *results* live on in the shared [`ResultCache`].
+    pub history_limit: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: String::from(crate::protocol::DEFAULT_ADDR),
+            workers: 1,
+            queue_limit: 64,
+            store: None,
+            history_limit: 256,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobState {
+    fn tag(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+struct Job {
+    name: String,
+    spec: SweepSpec,
+    state: JobState,
+    total: usize,
+    completed: usize,
+    executed: usize,
+    cache_hits: usize,
+    failed: usize,
+    wall_s: f64,
+    error: Option<String>,
+    report_json: Option<String>,
+    subscribers: Vec<Sender<String>>,
+}
+
+struct Jobs {
+    map: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    /// Terminal job ids, oldest first — the eviction order that keeps the
+    /// registry bounded at [`ServeConfig::history_limit`].
+    terminal: VecDeque<u64>,
+    next_id: u64,
+}
+
+impl Jobs {
+    /// Records a job's terminal transition and evicts the oldest finished
+    /// jobs beyond the history limit.
+    fn note_terminal(&mut self, id: u64, limit: usize) {
+        self.terminal.push_back(id);
+        while self.terminal.len() > limit {
+            if let Some(evicted) = self.terminal.pop_front() {
+                self.map.remove(&evicted);
+            }
+        }
+    }
+}
+
+struct Shared {
+    cache: ResultCache,
+    queue_limit: usize,
+    history_limit: usize,
+    workers: usize,
+    jobs: Mutex<Jobs>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    points_executed: AtomicU64,
+    point_cache_hits: AtomicU64,
+    points_failed: AtomicU64,
+}
+
+impl Shared {
+    fn lock_jobs(&self) -> MutexGuard<'_, Jobs> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Sends `line` to the job's subscribers, dropping the ones that went
+    /// away; a terminal line also detaches everyone (their receivers then
+    /// disconnect, ending the client-side stream loop).
+    fn broadcast(&self, job_id: u64, line: &str, terminal: bool) {
+        let mut jobs = self.lock_jobs();
+        if let Some(job) = jobs.map.get_mut(&job_id) {
+            job.subscribers.retain(|tx| tx.send(line.to_string()).is_ok());
+            if terminal {
+                job.subscribers.clear();
+            }
+        }
+    }
+}
+
+/// The terminal `done` event / non-terminal progress snapshot for a job.
+fn done_line(job_id: u64, job: &Job) -> String {
+    let mut line = format!(
+        "{{\"event\": \"done\", \"job\": {job_id}, \"ok\": {}, \"points\": {}, \"executed\": {}, \"cache_hits\": {}, \"failed\": {}, \"wall_s\": {:.6}",
+        job.state == JobState::Done && job.failed == 0,
+        job.total,
+        job.executed,
+        job.cache_hits,
+        job.failed,
+        job.wall_s,
+    );
+    if let Some(e) = &job.error {
+        line.push_str(&format!(", \"error\": \"{}\"", json_escape(e)));
+    }
+    if job.state == JobState::Cancelled {
+        line.push_str(", \"cancelled\": true");
+    }
+    line.push('}');
+    line
+}
+
+fn point_line(job_id: u64, p: &SweepProgress<'_>) -> String {
+    let mut line = format!(
+        "{{\"event\": \"point\", \"job\": {job_id}, \"index\": {}, \"completed\": {}, \"total\": {}, \"label\": \"{}\", \"cache_hit\": {}, \"ok\": {}",
+        p.index,
+        p.completed,
+        p.total,
+        json_escape(p.label),
+        p.cache_hit,
+        p.outcome.is_ok(),
+    );
+    match p.outcome {
+        Ok(s) => {
+            if let Some(peak) = s.peak_temp_k.filter(|t| t.is_finite()) {
+                line.push_str(&format!(", \"peak_temp_k\": {peak:.3}"));
+            }
+            line.push_str(&format!(
+                ", \"windows\": {}, \"unconverged_substeps\": {}",
+                s.windows, s.unconverged_substeps
+            ));
+        }
+        Err(e) => line.push_str(&format!(", \"error\": \"{}\"", json_escape(&e.to_string()))),
+    }
+    line.push('}');
+    line
+}
+
+/// A bound, not-yet-running job server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Handle to a server running on a background thread (see
+/// [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server (idempotent): closes the queue, wakes the accept
+    /// loop, and joins the server thread.
+    pub fn shutdown(mut self) {
+        request_shutdown(&self.shared, self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Flags the server down and unblocks its accept loop with a dummy
+/// connection.
+fn request_shutdown(shared: &Shared, addr: SocketAddr) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.cv.notify_all();
+    let _ = TcpStream::connect(addr);
+}
+
+impl Server {
+    /// Binds the listen socket and opens the shared cache (loading any
+    /// existing store entries).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error binding the address or opening the store.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let cache = match &config.store {
+            Some(path) => ResultCache::with_store(path)?,
+            None => ResultCache::in_memory(),
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        let shared = Arc::new(Shared {
+            cache,
+            queue_limit: config.queue_limit.max(1),
+            history_limit: config.history_limit.max(1),
+            workers: config.workers.max(1),
+            jobs: Mutex::new(Jobs {
+                map: HashMap::new(),
+                queue: VecDeque::new(),
+                terminal: VecDeque::new(),
+                next_id: 1,
+            }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            points_executed: AtomicU64::new(0),
+            point_cache_hits: AtomicU64::new(0),
+            points_failed: AtomicU64::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    ///
+    /// # Errors
+    ///
+    /// The socket's address lookup failure (effectively never after a
+    /// successful bind).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Number of cached points currently shared across jobs.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Runs the server on the current thread until a `shutdown` request
+    /// arrives: spawns the worker pool, then accepts and serves
+    /// connections.
+    pub fn run(self) {
+        let addr = self.listener.local_addr().ok();
+        let workers: Vec<JoinHandle<()>> = (0..self.shared.workers)
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || {
+                let _ = serve_connection(&shared, stream, addr);
+            });
+        }
+        self.shared.cv.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        // No watcher is left hanging by shutdown: any job the workers
+        // never claimed is cancelled with a terminal event (workers stop
+        // claiming once the flag is set, so the drain below races with
+        // nothing).
+        let abandoned: Vec<(u64, String)> = {
+            let mut jobs = self.shared.lock_jobs();
+            let ids: Vec<u64> = jobs.queue.drain(..).collect();
+            ids.into_iter()
+                .filter_map(|id| {
+                    let job = jobs.map.get_mut(&id)?;
+                    job.state = JobState::Cancelled;
+                    job.error = Some(String::from("server shut down before the job ran"));
+                    Some((id, done_line(id, job)))
+                })
+                .collect()
+        };
+        for (id, line) in abandoned {
+            self.shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            self.shared.broadcast(id, &line, true);
+            self.shared.lock_jobs().note_terminal(id, self.shared.history_limit);
+        }
+    }
+
+    /// Runs the server on a background thread, returning a handle with
+    /// the bound address — the in-process form the tests and examples
+    /// drive.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Server::bind`] error.
+    pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let server = Server::bind(config)?;
+        let addr = server.local_addr()?;
+        let shared = Arc::clone(&server.shared);
+        let thread = std::thread::spawn(move || server.run());
+        Ok(ServerHandle { addr, shared, thread: Some(thread) })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let claimed = {
+            let mut jobs = shared.lock_jobs();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                if let Some(id) = jobs.queue.pop_front() {
+                    if let Some(job) = jobs.map.get_mut(&id) {
+                        if job.state == JobState::Queued {
+                            job.state = JobState::Running;
+                            break Some((id, job.spec.clone()));
+                        }
+                    }
+                    continue;
+                }
+                jobs = shared.cv.wait(jobs).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some((id, spec)) = claimed else { return };
+        run_job(shared, id, &spec);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, id: u64, spec: &SweepSpec) {
+    let sweep = match spec.lower() {
+        Ok(sweep) => sweep,
+        Err(e) => {
+            // Lowering is validated at submit time, but the running server
+            // must survive any spec that slips through regardless.
+            finish_job(shared, id, JobState::Failed, Some(e.to_string()), None);
+            return;
+        }
+    };
+    let total = sweep.n_points();
+    shared.broadcast(id, &format!("{{\"event\": \"start\", \"job\": {id}, \"total\": {total}}}"), false);
+    let progress_shared = Arc::clone(shared);
+    let report = sweep
+        .on_progress(move |p| {
+            {
+                let mut jobs = progress_shared.lock_jobs();
+                if let Some(job) = jobs.map.get_mut(&id) {
+                    job.completed = p.completed;
+                    if p.cache_hit {
+                        job.cache_hits += 1;
+                    } else {
+                        job.executed += 1;
+                    }
+                    if p.outcome.is_err() {
+                        job.failed += 1;
+                    }
+                }
+            }
+            let line = point_line(id, p);
+            progress_shared.broadcast(id, &line, false);
+        })
+        .run_cached(&shared.cache);
+    shared.points_executed.fetch_add(report.executed as u64, Ordering::Relaxed);
+    shared.point_cache_hits.fetch_add(report.cache_hits as u64, Ordering::Relaxed);
+    shared.points_failed.fetch_add(report.n_failed() as u64, Ordering::Relaxed);
+    finish_job(shared, id, JobState::Done, None, Some(report));
+}
+
+fn finish_job(
+    shared: &Arc<Shared>,
+    id: u64,
+    state: JobState,
+    error: Option<String>,
+    report: Option<temu_framework::SweepReport>,
+) {
+    let line = {
+        let mut jobs = shared.lock_jobs();
+        let Some(job) = jobs.map.get_mut(&id) else { return };
+        job.state = state;
+        job.error = error;
+        if let Some(report) = &report {
+            job.total = report.points.len();
+            job.completed = report.points.len();
+            job.executed = report.executed;
+            job.cache_hits = report.cache_hits;
+            job.failed = report.n_failed();
+            job.wall_s = report.wall.as_secs_f64();
+            // Stored single-line: every newline in the pretty export is
+            // structural (strings escape theirs), so this stays valid JSON.
+            job.report_json = Some(report.to_json().replace('\n', " "));
+        }
+        done_line(id, job)
+    };
+    match state {
+        JobState::Done => shared.jobs_completed.fetch_add(1, Ordering::Relaxed),
+        _ => shared.jobs_failed.fetch_add(1, Ordering::Relaxed),
+    };
+    shared.broadcast(id, &line, true);
+    shared.lock_jobs().note_terminal(id, shared.history_limit);
+}
+
+// ---------------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------------
+
+fn serve_connection(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    addr: Option<SocketAddr>,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                writeln!(writer, "{}", error_line(&e))?;
+                continue;
+            }
+        };
+        match request {
+            Request::Submit { spec, watch } => handle_submit(shared, &mut writer, *spec, watch)?,
+            Request::Status { job } => writeln!(writer, "{}", status_response(shared, job))?,
+            Request::Result { job } => writeln!(writer, "{}", result_response(shared, job))?,
+            Request::Cancel { job } => writeln!(writer, "{}", cancel_response(shared, job))?,
+            Request::Watch { job } => handle_watch(shared, &mut writer, job)?,
+            Request::Stats => writeln!(writer, "{}", stats_response(shared))?,
+            Request::Shutdown => {
+                writeln!(writer, "{{\"ok\": true, \"shutdown\": true}}")?;
+                if let Some(addr) = addr {
+                    request_shutdown(shared, addr);
+                }
+                return Ok(());
+            }
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn handle_submit(
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    spec: SweepSpec,
+    watch: bool,
+) -> std::io::Result<()> {
+    // Validate by lowering once up front, so a bad spec is the
+    // submitter's typed error, not a later queue failure.
+    let total = match spec.lower() {
+        Ok(sweep) => sweep.n_points(),
+        Err(e) => {
+            writeln!(writer, "{}", error_line(&e.to_string()))?;
+            return Ok(());
+        }
+    };
+    let subscription = {
+        let mut jobs = shared.lock_jobs();
+        if jobs.queue.len() >= shared.queue_limit {
+            drop(jobs);
+            writeln!(
+                writer,
+                "{}",
+                error_line(&format!("queue full ({} job(s) queued)", shared.queue_limit))
+            )?;
+            return Ok(());
+        }
+        let id = jobs.next_id;
+        jobs.next_id += 1;
+        let mut job = Job {
+            name: spec.name.clone(),
+            spec,
+            state: JobState::Queued,
+            total,
+            completed: 0,
+            executed: 0,
+            cache_hits: 0,
+            failed: 0,
+            wall_s: 0.0,
+            error: None,
+            report_json: None,
+            subscribers: Vec::new(),
+        };
+        // Subscribe before the job can start: no event is ever missed.
+        let rx = watch.then(|| {
+            let (tx, rx) = channel();
+            job.subscribers.push(tx);
+            rx
+        });
+        jobs.map.insert(id, job);
+        jobs.queue.push_back(id);
+        (id, rx)
+    };
+    let (id, rx) = subscription;
+    shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    shared.cv.notify_one();
+    writeln!(writer, "{{\"ok\": true, \"job\": {id}, \"total\": {total}}}")?;
+    writer.flush()?;
+    if let Some(rx) = rx {
+        stream_events(writer, &rx)?;
+    }
+    Ok(())
+}
+
+/// Forwards queued event lines until the job's terminal event detaches
+/// the sender side.
+fn stream_events(writer: &mut TcpStream, rx: &Receiver<String>) -> std::io::Result<()> {
+    while let Ok(line) = rx.recv() {
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+enum WatchOutcome {
+    Missing,
+    AlreadyTerminal(String),
+    Attached(Receiver<String>),
+}
+
+fn handle_watch(shared: &Arc<Shared>, writer: &mut TcpStream, job_id: u64) -> std::io::Result<()> {
+    let outcome = {
+        let mut jobs = shared.lock_jobs();
+        match jobs.map.get_mut(&job_id) {
+            None => WatchOutcome::Missing,
+            Some(job) if job.state.terminal() => WatchOutcome::AlreadyTerminal(done_line(job_id, job)),
+            Some(job) => {
+                let (tx, rx) = channel();
+                job.subscribers.push(tx);
+                WatchOutcome::Attached(rx)
+            }
+        }
+    };
+    match outcome {
+        WatchOutcome::Missing => writeln!(writer, "{}", error_line(&format!("no such job {job_id}"))),
+        WatchOutcome::AlreadyTerminal(done) => {
+            writeln!(writer, "{{\"ok\": true, \"job\": {job_id}}}")?;
+            writeln!(writer, "{done}")
+        }
+        WatchOutcome::Attached(rx) => {
+            writeln!(writer, "{{\"ok\": true, \"job\": {job_id}}}")?;
+            writer.flush()?;
+            stream_events(writer, &rx)
+        }
+    }
+}
+
+fn status_response(shared: &Arc<Shared>, job_id: u64) -> String {
+    let jobs = shared.lock_jobs();
+    match jobs.map.get(&job_id) {
+        None => error_line(&format!("no such job {job_id}")),
+        Some(job) => format!(
+            "{{\"ok\": true, \"job\": {job_id}, \"name\": \"{}\", \"state\": \"{}\", \"completed\": {}, \"total\": {}, \"executed\": {}, \"cache_hits\": {}, \"failed\": {}}}",
+            json_escape(&job.name),
+            job.state.tag(),
+            job.completed,
+            job.total,
+            job.executed,
+            job.cache_hits,
+            job.failed,
+        ),
+    }
+}
+
+fn result_response(shared: &Arc<Shared>, job_id: u64) -> String {
+    let jobs = shared.lock_jobs();
+    match jobs.map.get(&job_id) {
+        None => error_line(&format!("no such job {job_id}")),
+        Some(job) => match (&job.report_json, job.state) {
+            (Some(report), _) => {
+                format!(
+                    "{{\"ok\": true, \"job\": {job_id}, \"state\": \"{}\", \"failed\": {}, \"report\": {report}}}",
+                    job.state.tag(),
+                    job.failed
+                )
+            }
+            (None, state) => error_line(&format!("job {job_id} has no report (state: {})", state.tag())),
+        },
+    }
+}
+
+fn cancel_response(shared: &Arc<Shared>, job_id: u64) -> String {
+    let line = {
+        let mut jobs = shared.lock_jobs();
+        match jobs.map.get_mut(&job_id) {
+            None => return error_line(&format!("no such job {job_id}")),
+            Some(job) if job.state == JobState::Queued => {
+                job.state = JobState::Cancelled;
+                let done = done_line(job_id, job);
+                jobs.queue.retain(|id| *id != job_id);
+                done
+            }
+            Some(job) => {
+                return error_line(&format!(
+                    "job {job_id} is {} — only queued jobs can be cancelled",
+                    job.state.tag()
+                ))
+            }
+        }
+    };
+    shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    shared.broadcast(job_id, &line, true);
+    shared.lock_jobs().note_terminal(job_id, shared.history_limit);
+    format!("{{\"ok\": true, \"job\": {job_id}, \"cancelled\": true}}")
+}
+
+fn stats_response(shared: &Arc<Shared>) -> String {
+    let (queue_depth, running) = {
+        let jobs = shared.lock_jobs();
+        let running = jobs.map.values().filter(|j| j.state == JobState::Running).count();
+        (jobs.queue.len(), running)
+    };
+    let executed = shared.points_executed.load(Ordering::Relaxed);
+    let hits = shared.point_cache_hits.load(Ordering::Relaxed);
+    let served = executed + hits;
+    let hit_rate = if served == 0 { 0.0 } else { hits as f64 / served as f64 };
+    format!(
+        "{{\"ok\": true, \"jobs_submitted\": {}, \"jobs_completed\": {}, \"jobs_failed\": {}, \"jobs_cancelled\": {}, \"queue_depth\": {queue_depth}, \"running\": {running}, \"workers\": {}, \"queue_limit\": {}, \"points_executed\": {executed}, \"point_cache_hits\": {hits}, \"points_failed\": {}, \"cache_hit_rate\": {hit_rate:.4}, \"cache_entries\": {}, \"store\": {}}}",
+        shared.jobs_submitted.load(Ordering::Relaxed),
+        shared.jobs_completed.load(Ordering::Relaxed),
+        shared.jobs_failed.load(Ordering::Relaxed),
+        shared.jobs_cancelled.load(Ordering::Relaxed),
+        shared.workers,
+        shared.queue_limit,
+        shared.points_failed.load(Ordering::Relaxed),
+        shared.cache.len(),
+        match shared.cache.store_path() {
+            Some(path) => format!("\"{}\"", json_escape(&path.display().to_string())),
+            None => String::from("null"),
+        },
+    )
+}

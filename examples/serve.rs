@@ -1,0 +1,66 @@
+//! The job-server loop end to end, in one process: spin up `temu-serve`
+//! on an ephemeral port, submit a sweep described as wire-format JSON
+//! (exactly what `temu-client submit --spec file.json` sends), stream its
+//! per-point progress, then resubmit it and watch the server answer the
+//! whole job from its shared content-keyed cache without executing a
+//! single scenario.
+//!
+//! ```sh
+//! cargo run --release --example serve
+//! ```
+//!
+//! Against a long-lived server the same loop is two shell commands:
+//!
+//! ```sh
+//! temu-serve --store cache.jsonl &
+//! temu-client submit --preset explore
+//! ```
+
+use temu::serve::{Client, ServeConfig, Server};
+use temu::SweepSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The experiment as data: a 4-point grid (two tiny MATRIX workloads ×
+    // two implicit solvers) over the default §7 platform, shrunk to
+    // fractions of a second per point.
+    let spec_json = r#"{
+        "sweep": "serve-example",
+        "base": {
+            "cores": 1,
+            "workload": {"kind": "matrix", "n": 4, "iters": 1, "cores": 1},
+            "sampling_window_s": 0.0005,
+            "windows": 2,
+            "strict_convergence": true
+        },
+        "axes": [
+            {"axis": "workloads", "values": [
+                {"kind": "matrix", "n": 4, "iters": 1, "cores": 1},
+                {"kind": "matrix", "n": 4, "iters": 2, "cores": 1}
+            ]},
+            {"axis": "solvers", "values": ["gs", "mg"]}
+        ]
+    }"#;
+    let spec = SweepSpec::from_json(spec_json)?;
+
+    let handle =
+        Server::spawn(ServeConfig { addr: String::from("127.0.0.1:0"), ..ServeConfig::default() })?;
+    println!("temu-serve listening on {}", handle.addr());
+    let mut client = Client::connect(&handle.addr().to_string())?;
+
+    println!("\nsubmitting \"{}\" ({} points)…", spec.name, spec.lower()?.n_points());
+    let first = client
+        .submit(&spec, true, |event| println!("  {event}"))?
+        .done
+        .expect("watched submissions end with a done summary");
+    println!("first run: {} executed, {} cache hits", first.executed, first.cache_hits);
+
+    println!("\nresubmitting the identical spec…");
+    let rerun = client.submit(&spec, true, |_| {})?.done.expect("done summary");
+    println!("rerun:     {} executed, {} cache hits", rerun.executed, rerun.cache_hits);
+    assert_eq!(rerun.executed, 0, "the shared cache answers the whole job");
+
+    let stats = client.stats()?;
+    println!("\nserver stats: {stats}");
+    handle.shutdown();
+    Ok(())
+}

@@ -28,4 +28,40 @@ echo "== sweep-smoke gate =="
 # must be 100% cache hits with zero scenario executions.
 cargo run --release -p temu-bench --bin sweep -- --smoke
 
+echo "== serve-smoke gate =="
+# The job-server gate, through the real bins over a real socket: start
+# temu-serve on an ephemeral port with a temp cache store, submit the
+# 8-point strict-convergence smoke preset via temu-client (any
+# non-converging or failed point exits non-zero), then resubmit and
+# require the whole job be served from the cache with zero scenarios
+# executed (--require-cached).
+SERVE_TMP=$(mktemp -d)
+SERVE_PID=""
+serve_cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$SERVE_TMP"
+}
+trap serve_cleanup EXIT
+target/release/temu-serve --addr 127.0.0.1:0 --store "$SERVE_TMP/cache.jsonl" \
+    > "$SERVE_TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^temu-serve listening on //p' "$SERVE_TMP/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve smoke FAILED: temu-serve never reported its address"
+    cat "$SERVE_TMP/serve.log"
+    exit 1
+fi
+target/release/temu-client --addr "$addr" submit --preset smoke
+target/release/temu-client --addr "$addr" submit --preset smoke --require-cached
+target/release/temu-client --addr "$addr" stats
+target/release/temu-client --addr "$addr" shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "serve smoke OK"
+
 echo "All checks passed."

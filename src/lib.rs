@@ -37,6 +37,12 @@
 //! and memoize results by configuration content key ([`ResultCache`]) so
 //! repeated or overlapping sweeps skip already-solved points.
 //!
+//! Experiments are also expressible as *data*: a [`ScenarioSpec`] /
+//! [`SweepSpec`] is the JSON wire form of the same builders, and the
+//! [`serve`] crate (`temu-serve` / `temu-client` bins) runs submitted
+//! specs on a shared job server whose content-keyed [`ResultCache`] spans
+//! jobs, connections and restarts.
+//!
 //! Start with [`framework`] for the closed-loop co-emulation flow, or
 //! [`platform`] to build and run an emulated MPSoC directly. See the README
 //! for the architecture overview and DESIGN.md for the experiment index.
@@ -51,11 +57,12 @@ pub use temu_link as link;
 pub use temu_mem as mem;
 pub use temu_platform as platform;
 pub use temu_power as power;
+pub use temu_serve as serve;
 pub use temu_thermal as thermal;
 pub use temu_workloads as workloads;
 
 pub use temu_framework::{
     Campaign, CampaignProgress, CampaignReport, ImplicitSolve, PointSummary, ResultCache, Scenario,
-    ScenarioResult, ScenarioRun, SolverStats, Sweep, SweepPoint, SweepPointResult, SweepProgress,
-    SweepReport, TemuError, Workload,
+    ScenarioResult, ScenarioRun, ScenarioSpec, SolverStats, SpecError, Sweep, SweepPoint,
+    SweepPointResult, SweepProgress, SweepReport, SweepSpec, TemuError, Workload,
 };
