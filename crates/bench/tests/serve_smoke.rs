@@ -5,7 +5,7 @@
 //! answered entirely from the shared cache.
 
 use temu_framework::{JsonValue, SweepSpec};
-use temu_serve::{Client, ServeConfig, Server};
+use temu_serve::{Client, RetryPolicy, ServeConfig, Server};
 
 #[test]
 fn smoke_preset_runs_clean_and_reruns_fully_cached() {
@@ -14,7 +14,8 @@ fn smoke_preset_runs_clean_and_reruns_fully_cached() {
         ..ServeConfig::default()
     })
     .expect("spawn in-process server");
-    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let mut client = Client::connect_with_retry(&handle.addr().to_string(), &RetryPolicy::default())
+        .expect("connect");
 
     let spec = SweepSpec::named("smoke").expect("the smoke preset exists");
     let first = client.submit(&spec, true, |_| {}).unwrap().done.unwrap();
@@ -32,5 +33,9 @@ fn smoke_preset_runs_clean_and_reruns_fully_cached() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.get("jobs_completed").and_then(JsonValue::as_u64), Some(2));
     assert!(stats.get("cache_hit_rate").and_then(JsonValue::as_f64).unwrap() > 0.49);
+    // An in-memory server journals nothing and recovers nothing.
+    assert_eq!(stats.get("jobs_recovered").and_then(JsonValue::as_u64), Some(0));
+    assert_eq!(stats.get("journal"), Some(&JsonValue::Null));
+    client.close();
     handle.shutdown();
 }

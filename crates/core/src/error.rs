@@ -45,6 +45,10 @@ pub enum TemuError {
     /// A scenario panicked inside a campaign worker; the payload is the
     /// panic message.
     ScenarioPanicked(String),
+    /// The sweep was cancelled at a checkpoint before this point ran
+    /// (see [`crate::Sweep::on_checkpoint`]); already-completed points
+    /// keep their results.
+    Cancelled,
     /// A wire-format experiment spec ([`crate::ScenarioSpec`] /
     /// [`crate::SweepSpec`]) failed to parse or lower onto the builders.
     Spec(crate::SpecError),
@@ -70,6 +74,7 @@ impl fmt::Display for TemuError {
                 report.device.bram18
             ),
             TemuError::ScenarioPanicked(msg) => write!(f, "scenario panicked: {msg}"),
+            TemuError::Cancelled => write!(f, "cancelled before execution"),
             TemuError::Spec(e) => write!(f, "spec: {e}"),
         }
     }

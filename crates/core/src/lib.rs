@@ -110,7 +110,8 @@ pub use spec::{
     NAMED_SWEEPS,
 };
 pub use sweep::{
-    PointSummary, ResultCache, Sweep, SweepPoint, SweepPointResult, SweepProgress, SweepReport, SweepSink,
+    CheckpointDecision, CheckpointHook, PointSummary, ResultCache, Sweep, SweepCheckpoint, SweepPoint,
+    SweepPointResult, SweepProgress, SweepReport, SweepSink,
 };
 pub use temu_thermal::{ImplicitSolve, SolverStats};
 pub use trace::{ThermalTrace, TraceSample};

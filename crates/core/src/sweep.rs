@@ -66,7 +66,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use temu_platform::{DfsBand, DfsPolicy};
-use temu_thermal::{GridConfig, ImplicitSolve};
+use temu_thermal::{default_workers, GridConfig, ImplicitSolve};
 
 /// 64-bit FNV-1a: a small, dependency-free hash whose value is defined by
 /// the algorithm alone — unlike `DefaultHasher`, it cannot drift between
@@ -266,6 +266,18 @@ impl ResultCache {
         self.inner.path.as_deref()
     }
 
+    /// Flushes the on-disk store to stable storage (`fdatasync`); a no-op
+    /// for in-memory caches. Inserts already reach the OS in one
+    /// `O_APPEND` write each, so this only matters for surviving machine
+    /// (not process) crashes — the natural call site is a sweep
+    /// checkpoint between grid points.
+    pub fn sync(&self) {
+        if let Some(store) = &self.inner.store {
+            let f = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = f.sync_data();
+        }
+    }
+
     /// Looks a content key up.
     #[must_use]
     pub fn get(&self, key: u64) -> Option<PointSummary> {
@@ -375,6 +387,35 @@ struct Axis {
 /// A streaming per-point sink (see [`Sweep::on_progress`]).
 pub type SweepSink = dyn Fn(&SweepProgress<'_>) + Send + Sync;
 
+/// What a [`Sweep::on_checkpoint`] hook tells the sweep to do next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckpointDecision {
+    /// Keep executing the remaining grid points.
+    Continue,
+    /// Stop between grid points: no further point starts, points already
+    /// dispatched finish (and stay cached), and every never-started point
+    /// is reported as [`TemuError::Cancelled`].
+    Cancel,
+}
+
+/// The sweep's position when a checkpoint hook runs (between grid-point
+/// batches, on the thread that called [`Sweep::run_cached`]).
+#[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
+pub struct SweepCheckpoint {
+    /// Points finished so far (cache hits and executed points).
+    pub completed: usize,
+    /// Points executed so far (scenarios actually run).
+    pub executed: usize,
+    /// Points not yet dispatched.
+    pub remaining: usize,
+    /// Points in the whole grid.
+    pub total: usize,
+}
+
+/// A between-grid-point callback (see [`Sweep::on_checkpoint`]).
+pub type CheckpointHook = dyn Fn(&SweepCheckpoint) -> CheckpointDecision + Send + Sync;
+
 /// One finished (or cache-served) sweep point, delivered to a
 /// [`Sweep::on_progress`] sink while the rest of the grid is still
 /// running.
@@ -404,6 +445,7 @@ pub struct Sweep {
     axes: Vec<Axis>,
     threads: Option<usize>,
     sink: Option<Arc<SweepSink>>,
+    checkpoint: Option<Arc<CheckpointHook>>,
 }
 
 impl fmt::Debug for Sweep {
@@ -421,7 +463,7 @@ impl Sweep {
     /// A sweep of `base` with no axes yet (one grid point: the base
     /// itself).
     pub fn new(name: impl Into<String>, base: Scenario) -> Sweep {
-        Sweep { name: name.into(), base, axes: Vec::new(), threads: None, sink: None }
+        Sweep { name: name.into(), base, axes: Vec::new(), threads: None, sink: None, checkpoint: None }
     }
 
     /// The sweep's name (prefixed onto every point's scenario name).
@@ -555,6 +597,26 @@ impl Sweep {
         self
     }
 
+    /// Installs a between-grid-point checkpoint hook, called on the thread
+    /// running the sweep before each batch of executed points (batch width
+    /// = the campaign thread count, so with one thread the hook runs
+    /// between every two points). Returning
+    /// [`CheckpointDecision::Cancel`] stops the sweep: no further point
+    /// starts, and every never-started point lands in the report as
+    /// [`TemuError::Cancelled`] with [`SweepReport::cancelled`] set.
+    ///
+    /// The hook only runs when there is something left to execute — a
+    /// fully cache-served sweep never checkpoints. It is the natural
+    /// place to flush incremental state (e.g. [`ResultCache::sync`]), so
+    /// a sweep killed at point *k* resumes as *k* cache hits.
+    pub fn on_checkpoint(
+        mut self,
+        hook: impl Fn(&SweepCheckpoint) -> CheckpointDecision + Send + Sync + 'static,
+    ) -> Sweep {
+        self.checkpoint = Some(Arc::new(hook));
+        self
+    }
+
     /// Expands the cartesian grid without running anything: one
     /// [`SweepPoint`] per combination, first axis slowest-varying (the
     /// order [`SweepReport::points`] uses). Useful for inspecting point
@@ -652,82 +714,137 @@ impl Sweep {
             }
         }
 
-        let executed = queue.len();
+        let n_queued = queue.len();
+        let mut executed = 0usize;
+        let mut cancelled = false;
         let mut threads = 1;
-        if executed > 0 {
+        if n_queued > 0 {
             // Stream executed points through the campaign's result sink:
             // map campaign slots back to grid points, memoize summaries as
             // they land, and forward progress to the sweep's sink.
             let meta: Arc<Vec<(usize, String, u64)>> = Arc::new(queued);
             let counter = Arc::new(Mutex::new(completed));
             let cache_handle = cache.cloned();
-            let sweep_sink = self.sink.clone();
             // Summaries computed in the sink are stashed per campaign slot
             // so the slot-filling pass below doesn't re-scan every trace.
             let stash: Arc<Vec<Mutex<Option<PointSummary>>>> =
-                Arc::new((0..executed).map(|_| Mutex::new(None)).collect());
+                Arc::new((0..n_queued).map(|_| Mutex::new(None)).collect());
 
-            let mut campaign = Campaign::new().scenarios(queue);
-            if let Some(t) = self.threads {
-                campaign = campaign.threads(t);
-            }
-            {
-                let meta = Arc::clone(&meta);
-                let stash = Arc::clone(&stash);
-                campaign = campaign.on_result(move |p| {
-                    let (point, label, key) = &meta[p.index];
-                    let mut done = counter.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                    *done += 1;
-                    match &p.result.outcome {
-                        Ok(run) => {
-                            let summary = PointSummary::from_run(run, p.result.wall);
-                            *stash[p.index].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
-                                Some(summary.clone());
-                            if let Some(cache) = &cache_handle {
-                                cache.insert(*key, summary.clone());
-                            }
-                            if let Some(sink) = &sweep_sink {
-                                sink(&SweepProgress {
-                                    index: *point,
-                                    completed: *done,
-                                    total,
-                                    label,
-                                    cache_hit: false,
-                                    outcome: Ok(&summary),
-                                });
-                            }
-                        }
-                        Err(e) => {
-                            if let Some(sink) = &sweep_sink {
-                                sink(&SweepProgress {
-                                    index: *point,
-                                    completed: *done,
-                                    total,
-                                    label,
-                                    cache_hit: false,
-                                    outcome: Err(e),
-                                });
-                            }
-                        }
+            // Without a checkpoint hook, everything runs as one campaign.
+            // With one, execution proceeds in batches of the campaign
+            // width and the hook runs between batches on this thread, so
+            // cancellation (and any flushing the hook does) lands at a
+            // grid-point boundary.
+            let width =
+                self.threads.unwrap_or_else(|| default_workers("TEMU_CAMPAIGN_THREADS")).max(1);
+            let batch_size = if self.checkpoint.is_some() { width } else { n_queued };
+            let mut queue = queue;
+            while executed < n_queued {
+                if let Some(hook) = &self.checkpoint {
+                    let done =
+                        *counter.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let decision = hook(&SweepCheckpoint {
+                        completed: done,
+                        executed,
+                        remaining: n_queued - executed,
+                        total,
+                    });
+                    if decision == CheckpointDecision::Cancel {
+                        cancelled = true;
+                        break;
                     }
-                });
+                }
+                let offset = executed;
+                let take = batch_size.min(n_queued - offset);
+                let scenarios: Vec<Scenario> = queue.drain(..take).collect();
+                let mut campaign = Campaign::new().scenarios(scenarios);
+                if let Some(t) = self.threads {
+                    campaign = campaign.threads(t);
+                }
+                {
+                    let meta = Arc::clone(&meta);
+                    let stash = Arc::clone(&stash);
+                    let counter = Arc::clone(&counter);
+                    let cache_handle = cache_handle.clone();
+                    let sweep_sink = self.sink.clone();
+                    campaign = campaign.on_result(move |p| {
+                        let slot = offset + p.index;
+                        let (point, label, key) = &meta[slot];
+                        let mut done =
+                            counter.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        *done += 1;
+                        match &p.result.outcome {
+                            Ok(run) => {
+                                let summary = PointSummary::from_run(run, p.result.wall);
+                                *stash[slot]
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                                    Some(summary.clone());
+                                if let Some(cache) = &cache_handle {
+                                    cache.insert(*key, summary.clone());
+                                }
+                                if let Some(sink) = &sweep_sink {
+                                    sink(&SweepProgress {
+                                        index: *point,
+                                        completed: *done,
+                                        total,
+                                        label,
+                                        cache_hit: false,
+                                        outcome: Ok(&summary),
+                                    });
+                                }
+                            }
+                            Err(e) => {
+                                if let Some(sink) = &sweep_sink {
+                                    sink(&SweepProgress {
+                                        index: *point,
+                                        completed: *done,
+                                        total,
+                                        label,
+                                        cache_hit: false,
+                                        outcome: Err(e),
+                                    });
+                                }
+                            }
+                        }
+                    });
+                }
+                let report = campaign.run();
+                threads = threads.max(report.threads);
+                for ((i, result), (point, label, key)) in
+                    report.results.into_iter().enumerate().zip(&meta[offset..offset + take])
+                {
+                    let slot = offset + i;
+                    let outcome = match result.outcome {
+                        Ok(run) => Ok(stash[slot]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .take()
+                            .unwrap_or_else(|| PointSummary::from_run(&run, result.wall))),
+                        Err(e) => Err(e),
+                    };
+                    filled.push((
+                        *point,
+                        SweepPointResult { label: label.clone(), key: Some(*key), cache_hit: false, outcome },
+                    ));
+                }
+                executed += take;
             }
-            let report = campaign.run();
-            threads = report.threads;
-            for ((slot, result), (point, label, key)) in report.results.into_iter().enumerate().zip(&meta[..])
-            {
-                let outcome = match result.outcome {
-                    Ok(run) => Ok(stash[slot]
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .take()
-                        .unwrap_or_else(|| PointSummary::from_run(&run, result.wall))),
-                    Err(e) => Err(e),
-                };
-                filled.push((
-                    *point,
-                    SweepPointResult { label: label.clone(), key: Some(*key), cache_hit: false, outcome },
-                ));
+            // Cancelled points were never dispatched: fill their slots
+            // with the typed cancellation error (they are not streamed to
+            // the progress sink — the terminal report is their record).
+            if cancelled {
+                for (point, label, key) in &meta[executed..] {
+                    filled.push((
+                        *point,
+                        SweepPointResult {
+                            label: label.clone(),
+                            key: Some(*key),
+                            cache_hit: false,
+                            outcome: Err(TemuError::Cancelled),
+                        },
+                    ));
+                }
             }
         }
 
@@ -756,7 +873,15 @@ impl Sweep {
             }
         }
 
-        SweepReport { name: self.name.clone(), threads, wall: t0.elapsed(), executed, cache_hits, points }
+        SweepReport {
+            name: self.name.clone(),
+            threads,
+            wall: t0.elapsed(),
+            executed,
+            cache_hits,
+            cancelled,
+            points,
+        }
     }
 
     fn emit(
@@ -825,6 +950,9 @@ pub struct SweepReport {
     pub executed: usize,
     /// Points served from the cache.
     pub cache_hits: usize,
+    /// Whether a checkpoint hook cancelled the sweep before every point
+    /// ran (the never-started points carry [`TemuError::Cancelled`]).
+    pub cancelled: bool,
     /// One result per grid point, in expansion order.
     pub points: Vec<SweepPointResult>,
 }
@@ -836,10 +964,20 @@ impl SweepReport {
         self.points.iter().all(SweepPointResult::is_ok)
     }
 
-    /// Number of failed points.
+    /// Number of failed points (cancelled-before-start points are
+    /// accounted separately by [`SweepReport::n_cancelled`]).
     #[must_use]
     pub fn n_failed(&self) -> usize {
-        self.points.iter().filter(|p| !p.is_ok()).count()
+        self.points
+            .iter()
+            .filter(|p| !p.is_ok() && !matches!(p.outcome, Err(TemuError::Cancelled)))
+            .count()
+    }
+
+    /// Number of points cancelled before they started.
+    #[must_use]
+    pub fn n_cancelled(&self) -> usize {
+        self.points.iter().filter(|p| matches!(p.outcome, Err(TemuError::Cancelled))).count()
     }
 
     /// Serializes the report as JSON (same conventions as
@@ -854,6 +992,7 @@ impl SweepReport {
         out.push_str(&format!("  \"points_total\": {},\n", self.points.len()));
         out.push_str(&format!("  \"executed\": {},\n", self.executed));
         out.push_str(&format!("  \"cache_hits\": {},\n", self.cache_hits));
+        out.push_str(&format!("  \"cancelled\": {},\n", self.cancelled));
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             out.push_str("    {");

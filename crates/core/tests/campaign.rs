@@ -55,7 +55,8 @@ fn campaign_runs_concurrently_in_input_order_with_json_export() {
 #[test]
 fn streaming_sink_sees_every_result_exactly_once_under_two_threads() {
     use std::sync::{Arc, Mutex};
-    let seen: Arc<Mutex<Vec<(usize, usize, String, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+    type SinkLog = Arc<Mutex<Vec<(usize, usize, String, bool)>>>;
+    let seen: SinkLog = Arc::new(Mutex::new(Vec::new()));
     let sink_log = Arc::clone(&seen);
     let report = Campaign::new()
         .scenarios(four_scenarios())

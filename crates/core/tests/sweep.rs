@@ -194,7 +194,8 @@ fn hundred_point_sweep_streams_progress_and_reruns_from_cache() {
             .threads(2)
     };
 
-    let events: Arc<Mutex<Vec<(usize, usize, bool, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+    type ProgressLog = Arc<Mutex<Vec<(usize, usize, bool, bool)>>>;
+    let events: ProgressLog = Arc::new(Mutex::new(Vec::new()));
     let log = Arc::clone(&events);
     let report = build()
         .on_progress(move |p| {
@@ -237,4 +238,76 @@ fn hundred_point_sweep_streams_progress_and_reruns_from_cache() {
     // Exports: one CSV row per point plus the header.
     assert_eq!(rerun.to_csv().lines().count(), 101);
     assert!(rerun.to_json().contains("\"cache_hits\": 100"));
+}
+
+#[test]
+fn checkpoint_hook_cancels_between_grid_points() {
+    use temu_framework::{CheckpointDecision, SweepCheckpoint};
+
+    // Six points, one thread: the hook runs before every point. Cancel
+    // after two points executed.
+    let cache = ResultCache::in_memory();
+    let seen = Arc::new(Mutex::new(Vec::<SweepCheckpoint>::new()));
+    let log = Arc::clone(&seen);
+    let report = Sweep::new("cancelme", tiny())
+        .workloads((1..=6).map(tiny_matrix).collect())
+        .threads(1)
+        .on_checkpoint(move |cp| {
+            log.lock().unwrap().push(*cp);
+            if cp.executed >= 2 {
+                CheckpointDecision::Cancel
+            } else {
+                CheckpointDecision::Continue
+            }
+        })
+        .run_cached(&cache);
+
+    assert!(report.cancelled, "the hook's Cancel decision is recorded");
+    assert_eq!(report.executed, 2, "no point starts after the Cancel decision");
+    assert_eq!(report.n_cancelled(), 4);
+    assert_eq!(report.n_failed(), 0, "cancelled points are not failures");
+    assert!(!report.all_ok());
+    assert_eq!(cache.len(), 2, "completed points stay cached");
+    for (i, p) in report.points.iter().enumerate() {
+        if i < 2 {
+            assert!(p.is_ok());
+        } else {
+            assert!(matches!(p.outcome, Err(TemuError::Cancelled)), "point {i}: {:?}", p.outcome);
+        }
+    }
+    // The hook saw monotonically increasing progress, one call per
+    // batch boundary (3 calls: before points 0, 1, 2).
+    let checkpoints = seen.lock().unwrap();
+    assert_eq!(checkpoints.len(), 3);
+    assert_eq!(checkpoints.iter().map(|c| c.executed).collect::<Vec<_>>(), vec![0, 1, 2]);
+    assert!(checkpoints.iter().all(|c| c.total == 6));
+
+    // Re-running without a hook resumes from the cache: the two completed
+    // points are hits, the cancelled four execute now.
+    let resume = Sweep::new("cancelme", tiny())
+        .workloads((1..=6).map(tiny_matrix).collect())
+        .threads(1)
+        .run_cached(&cache);
+    assert!(resume.all_ok());
+    assert_eq!((resume.cache_hits, resume.executed), (2, 4), "a cancelled sweep resumes as cache hits");
+    assert!(!resume.cancelled);
+    assert!(resume.to_json().contains("\"cancelled\": false"));
+}
+
+#[test]
+fn fully_cached_sweep_never_checkpoints() {
+    let cache = ResultCache::in_memory();
+    let build = || Sweep::new("warm", tiny()).workloads(vec![tiny_matrix(1), tiny_matrix(2)]).threads(1);
+    assert!(build().run_cached(&cache).all_ok());
+    let calls = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&calls);
+    let rerun = build()
+        .on_checkpoint(move |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            temu_framework::CheckpointDecision::Cancel
+        })
+        .run_cached(&cache);
+    assert_eq!(rerun.cache_hits, 2);
+    assert!(!rerun.cancelled, "nothing to execute, nothing to cancel");
+    assert_eq!(calls.load(Ordering::Relaxed), 0, "the hook only runs when points execute");
 }

@@ -1,7 +1,8 @@
 //! The emulation job client.
 //!
 //! ```sh
-//! temu-client [--addr HOST:PORT] submit (--spec FILE.json | --preset NAME)
+//! temu-client [--addr HOST:PORT] [--retries N | --no-retry]
+//!             submit (--spec FILE.json | --preset NAME)
 //!             [--threads N] [--no-watch] [--require-cached]
 //! temu-client [--addr HOST:PORT] status JOB | result JOB | cancel JOB |
 //!             watch JOB | stats | shutdown
@@ -12,15 +13,23 @@
 //! scenario spec that becomes a one-point sweep — or a named preset) and,
 //! unless `--no-watch`, pretty-prints the streamed per-point progress.
 //!
+//! Transient failures (refused connect, dropped connection, deadline) are
+//! retried with exponential backoff and jitter — `--retries N` sizes the
+//! budget, `--no-retry` fails fast. Retried submissions are safe: the
+//! server memoizes results by content key, so a resubmitted sweep's
+//! completed points are cache hits.
+//!
 //! Exit codes: 0 success; 1 failed points or a failed/cancelled job;
-//! 2 usage, connection or server-refusal errors; 3 `--require-cached` was
-//! passed and the job executed any scenario instead of hitting the cache.
+//! 2 usage, connection or server-refusal errors (including an unreachable
+//! server after all attempts); 3 `--require-cached` was passed and the
+//! job executed any scenario instead of hitting the cache.
 
 use std::process::exit;
 use temu_framework::{JsonValue, SweepSpec, NAMED_SWEEPS};
-use temu_serve::{spec_from_document, Client, ADDR_ENV, DEFAULT_ADDR};
+use temu_serve::client::{request_with_retry, submit_with_retry};
+use temu_serve::{spec_from_document, Client, ClientError, RetryPolicy, ADDR_ENV, DEFAULT_ADDR};
 
-const USAGE: &str = "usage: temu-client [--addr HOST:PORT] <submit|status|result|cancel|watch|stats|shutdown|presets> [args]
+const USAGE: &str = "usage: temu-client [--addr HOST:PORT] [--retries N | --no-retry] <submit|status|result|cancel|watch|stats|shutdown|presets> [args]
   submit (--spec FILE.json | --preset NAME) [--threads N] [--no-watch] [--require-cached]
   status|result|cancel|watch JOB
   presets    list the named sweep presets";
@@ -30,8 +39,22 @@ fn fail(message: impl std::fmt::Display, code: i32) -> ! {
     exit(code);
 }
 
-fn connect(addr: &str) -> Client {
-    Client::connect(addr).unwrap_or_else(|e| fail(format!("{addr}: {e}"), 2))
+fn fail_client(e: &ClientError) -> ! {
+    match e {
+        ClientError::Unreachable { addr, attempts, .. } => {
+            fail(format!("server unreachable at {addr} after {attempts} attempt(s)"), 2)
+        }
+        other => fail(other, 2),
+    }
+}
+
+/// One idempotent request with full retry (fresh connection per attempt).
+fn retrying<T>(
+    addr: &str,
+    policy: &RetryPolicy,
+    call: impl FnMut(&mut Client) -> Result<T, ClientError>,
+) -> T {
+    request_with_retry(addr, policy, call).unwrap_or_else(|e| fail_client(&e))
 }
 
 fn print_event(event: &JsonValue) {
@@ -74,7 +97,7 @@ fn summarize(done: &temu_serve::DoneSummary) {
     }
 }
 
-fn submit(addr: &str, args: &[String]) -> ! {
+fn submit(addr: &str, policy: &RetryPolicy, args: &[String]) -> ! {
     let mut spec: Option<SweepSpec> = None;
     let mut watch = true;
     let mut require_cached = false;
@@ -120,11 +143,9 @@ fn submit(addr: &str, args: &[String]) -> ! {
         spec.threads = threads;
     }
 
-    let mut client = connect(addr);
     println!("submitting \"{}\" to {addr}", spec.name);
-    let outcome = client
-        .submit(&spec, watch, print_event)
-        .unwrap_or_else(|e| fail(e, 2));
+    let outcome =
+        submit_with_retry(addr, policy, &spec, watch, print_event).unwrap_or_else(|e| fail_client(&e));
     if !watch {
         println!("queued as job {} ({} point(s))", outcome.job, outcome.total);
         exit(0);
@@ -146,13 +167,25 @@ fn job_arg(args: &[String]) -> u64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = std::env::var(ADDR_ENV).unwrap_or_else(|_| String::from(DEFAULT_ADDR));
+    let mut policy = RetryPolicy::default();
     let mut rest = &args[..];
-    while let [flag, value, tail @ ..] = rest {
-        if flag == "--addr" {
-            addr = value.clone();
-            rest = tail;
-        } else {
-            break;
+    loop {
+        match rest {
+            [flag, value, tail @ ..] if flag == "--addr" => {
+                addr = value.clone();
+                rest = tail;
+            }
+            [flag, value, tail @ ..] if flag == "--retries" => {
+                policy.retries = value
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--retries takes a count\n{USAGE}"), 2));
+                rest = tail;
+            }
+            [flag, tail @ ..] if flag == "--no-retry" => {
+                policy = RetryPolicy::none();
+                rest = tail;
+            }
+            _ => break,
         }
     }
     let Some((cmd, cmd_args)) = rest.split_first() else {
@@ -160,7 +193,7 @@ fn main() {
         exit(2);
     };
     match cmd.as_str() {
-        "submit" => submit(&addr, cmd_args),
+        "submit" => submit(&addr, &policy, cmd_args),
         "presets" => {
             println!("named sweep presets (submit with: temu-client submit --preset NAME):");
             for (name, what) in NAMED_SWEEPS {
@@ -168,12 +201,13 @@ fn main() {
             }
         }
         "status" => {
-            let frame = connect(&addr).status(job_arg(cmd_args)).unwrap_or_else(|e| fail(e, 2));
+            let job = job_arg(cmd_args);
+            let frame = retrying(&addr, &policy, |c| c.status(job));
             println!("{frame}");
         }
         "result" => {
             let job = job_arg(cmd_args);
-            let frame = connect(&addr).result(job).unwrap_or_else(|e| fail(e, 2));
+            let frame = retrying(&addr, &policy, |c| c.result(job));
             match frame.get("report") {
                 Some(report) => println!("{report}"),
                 None => println!("{frame}"),
@@ -182,21 +216,24 @@ fn main() {
             exit(i32::from(failed != 0));
         }
         "cancel" => {
-            let frame = connect(&addr).cancel(job_arg(cmd_args)).unwrap_or_else(|e| fail(e, 2));
+            let job = job_arg(cmd_args);
+            let frame = retrying(&addr, &policy, |c| c.cancel(job));
             println!("{frame}");
         }
         "watch" => {
-            let done =
-                connect(&addr).watch(job_arg(cmd_args), print_event).unwrap_or_else(|e| fail(e, 2));
+            // A mid-stream drop reattaches; a job that finished in the
+            // gap answers the re-watch with its done summary immediately.
+            let job = job_arg(cmd_args);
+            let done = retrying(&addr, &policy, |c| c.watch(job, print_event));
             summarize(&done);
             exit(i32::from(!(done.ok && done.failed == 0)));
         }
         "stats" => {
-            let frame = connect(&addr).stats().unwrap_or_else(|e| fail(e, 2));
+            let frame = retrying(&addr, &policy, |c| c.stats());
             println!("{frame}");
         }
         "shutdown" => {
-            connect(&addr).shutdown().unwrap_or_else(|e| fail(e, 2));
+            retrying(&addr, &policy, |c| c.shutdown());
             println!("server at {addr} shutting down");
         }
         other => fail(format!("unknown command {other:?}\n{USAGE}"), 2),

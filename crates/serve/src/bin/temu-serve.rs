@@ -2,20 +2,22 @@
 //!
 //! ```sh
 //! temu-serve [--addr 127.0.0.1:7181] [--store cache.jsonl] \
-//!            [--workers N] [--queue-limit N]
+//!            [--journal jobs.jsonl] [--workers N] [--queue-limit N]
 //! ```
 //!
 //! Binds, prints the resolved address (`--addr 127.0.0.1:0` requests an
 //! ephemeral port — scripts parse the printed line), and serves until a
 //! client sends `shutdown`. With `--store`, results persist across
 //! restarts and resubmitted experiments are answered from the cache
-//! without executing a single scenario.
+//! without executing a single scenario; a job journal (`jobs.jsonl` next
+//! to the store, or `--journal`) additionally re-enqueues jobs that were
+//! in flight when a previous server process died.
 
 use std::path::PathBuf;
 use std::process::exit;
 use temu_serve::{ServeConfig, Server, ADDR_ENV};
 
-const USAGE: &str = "usage: temu-serve [--addr HOST:PORT] [--store CACHE.jsonl] [--workers N] [--queue-limit N]";
+const USAGE: &str = "usage: temu-serve [--addr HOST:PORT] [--store CACHE.jsonl] [--journal JOBS.jsonl] [--workers N] [--queue-limit N]";
 
 fn main() {
     let mut config = ServeConfig::default();
@@ -34,6 +36,7 @@ fn main() {
         match arg.as_str() {
             "--addr" => config.addr = value("an address"),
             "--store" => config.store = Some(PathBuf::from(value("a path"))),
+            "--journal" => config.journal = Some(PathBuf::from(value("a path"))),
             "--workers" => {
                 config.workers = value("a count").parse().unwrap_or_else(|_| {
                     eprintln!("--workers takes a positive integer\n{USAGE}");
@@ -76,6 +79,14 @@ fn main() {
             println!("cache store {}: {} entr(ies) preloaded", path.display(), server.cache_len());
         }
         None => println!("cache: in-memory only (pass --store to persist results)"),
+    }
+    match server.journal_path() {
+        Some(path) => println!(
+            "job journal {}: {} job(s) recovered and re-enqueued",
+            path.display(),
+            server.recovered_jobs()
+        ),
+        None => println!("job journal: off (in-memory server; pass --store or --journal)"),
     }
     println!("{} worker(s), queue limit {}", config.workers.max(1), config.queue_limit.max(1));
     server.run();

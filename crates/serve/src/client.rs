@@ -1,12 +1,22 @@
 //! The client half of the protocol: connect, submit, stream progress,
 //! fetch results — the library under the `temu-client` bin and the
 //! end-to-end tests.
+//!
+//! Transient failures — a refused connect while the server restarts, a
+//! dropped connection, an elapsed socket deadline — are retryable:
+//! [`Client::connect_with_retry`] backs off exponentially with jitter
+//! ([`RetryPolicy`]), and resubmitting after a drop is safe because
+//! results are memoized by `content_key` (a re-run sweep is served from
+//! the cache, not re-executed).
 
-use crate::protocol::Request;
+use crate::protocol::{read_frame, ProtocolError, Request, MAX_FRAME_LEN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::error::Error;
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
 use temu_framework::{JsonValue, SweepSpec};
 
 /// A client-side failure.
@@ -15,19 +25,37 @@ use temu_framework::{JsonValue, SweepSpec};
 pub enum ClientError {
     /// The connection failed or dropped.
     Io(std::io::Error),
+    /// A socket deadline elapsed while waiting on the server.
+    Timeout,
+    /// The server closed the connection mid-exchange.
+    Closed,
     /// The server sent a frame the client could not interpret.
     Protocol(String),
     /// The server answered `{"ok": false, ...}`; the payload is its
     /// error message.
     Server(String),
+    /// Every connect attempt failed ([`Client::connect_with_retry`]).
+    Unreachable {
+        /// The address that never answered.
+        addr: String,
+        /// Connect attempts made.
+        attempts: u32,
+        /// The last attempt's error.
+        last: Box<ClientError>,
+    },
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Timeout => write!(f, "timed out waiting for the server"),
+            ClientError::Closed => write!(f, "server closed the connection"),
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
             ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Unreachable { addr, attempts, last } => {
+                write!(f, "server unreachable at {addr} after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -36,6 +64,7 @@ impl Error for ClientError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ClientError::Io(e) => Some(e),
+            ClientError::Unreachable { last, .. } => Some(last),
             _ => None,
         }
     }
@@ -43,8 +72,81 @@ impl Error for ClientError {
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> ClientError {
-        ClientError::Io(e)
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ClientError::Timeout,
+            std::io::ErrorKind::UnexpectedEof => ClientError::Closed,
+            _ => ClientError::Io(e),
+        }
     }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        match e {
+            ProtocolError::Timeout => ClientError::Timeout,
+            ProtocolError::Closed => ClientError::Closed,
+            ProtocolError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+impl ClientError {
+    /// Whether retrying on a fresh connection could succeed: connection
+    /// trouble is transient; a server refusal or malformed frame is not.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_) | ClientError::Timeout | ClientError::Closed
+        )
+    }
+}
+
+/// Exponential backoff with full jitter for transient failures.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub retries: u32,
+    /// Backoff before retry *n* is uniform in `(0, base * 2^n]`.
+    pub base: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { retries: 4, base: Duration::from_millis(50), cap: Duration::from_secs(2) }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// The sleep before retry `attempt` (1-based): full jitter over the
+    /// exponentially grown, capped window. Randomized so a fleet of
+    /// clients re-finding a restarted server doesn't stampede it.
+    fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let ceiling = self
+            .base
+            .saturating_mul(2u32.saturating_pow(attempt.min(16)))
+            .min(self.cap)
+            .max(Duration::from_millis(1));
+        let nanos = u64::try_from(ceiling.as_nanos()).unwrap_or(u64::MAX);
+        Duration::from_nanos(rng.gen_range(1..=nanos))
+    }
+}
+
+fn jitter_rng() -> StdRng {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    StdRng::seed_from_u64(u64::from(nanos) ^ (u64::from(std::process::id()) << 32))
 }
 
 /// The terminal summary of a watched job (the protocol's `done` event).
@@ -100,21 +202,66 @@ pub struct Submission {
 }
 
 /// One protocol connection.
+///
+/// Request/response exchanges run under the socket deadline set at
+/// connect time; event *streams* (`submit --watch`, `watch`) lift the
+/// read deadline while waiting, because a slow grid point legitimately
+/// produces long silences (a killed server still surfaces immediately as
+/// [`ClientError::Closed`] — TCP delivers the reset). Dropping the client
+/// shuts the socket down cleanly ([`Client::close`]).
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
+/// The deadline on each request/response exchange.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server (single attempt; see
+    /// [`Client::connect_with_retry`]).
     ///
     /// # Errors
     ///
     /// Any socket error.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
         let writer = stream.try_clone()?;
         Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Connects, retrying transient failures with exponential backoff and
+    /// jitter — the restart-tolerant entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Unreachable`] once every attempt failed.
+    pub fn connect_with_retry(addr: &str, policy: &RetryPolicy) -> Result<Client, ClientError> {
+        let mut rng = jitter_rng();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if e.is_transient() && attempts <= policy.retries => {
+                    std::thread::sleep(policy.backoff(attempts, &mut rng));
+                }
+                Err(e) => {
+                    return Err(ClientError::Unreachable {
+                        addr: addr.to_string(),
+                        attempts,
+                        last: Box::new(e),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Shuts the connection down cleanly (also done on drop).
+    pub fn close(self) {
+        // Drop runs the shutdown.
     }
 
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
@@ -123,13 +270,19 @@ impl Client {
         Ok(())
     }
 
-    /// Reads one frame; `Err(Protocol)` on EOF or non-JSON bytes.
+    /// Reads one frame; `Err(Closed)` on EOF, typed errors for deadline,
+    /// oversized, or non-JSON frames.
     fn recv(&mut self) -> Result<JsonValue, ClientError> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(ClientError::Protocol(String::from("server closed the connection")));
+        match read_frame(&mut self.reader, MAX_FRAME_LEN)? {
+            None => Err(ClientError::Closed),
+            Some(line) => JsonValue::parse(line.trim()).map_err(ClientError::Protocol),
         }
-        JsonValue::parse(line.trim()).map_err(ClientError::Protocol)
+    }
+
+    /// Lifts or restores the read deadline around event streaming.
+    fn set_read_deadline(&self, deadline: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(deadline)?;
+        Ok(())
     }
 
     /// Reads one response frame, mapping `{"ok": false}` to
@@ -173,13 +326,30 @@ impl Client {
         if !watch {
             return Ok(Submission { job, total, done: None });
         }
-        loop {
-            let event = self.recv()?;
+        let done = self.stream_until_done(&mut on_event)?;
+        Ok(Submission { job, total, done: Some(done) })
+    }
+
+    /// Forwards events until `done`, with the read deadline lifted: the
+    /// gap between events is one grid point's execution, which has no
+    /// a-priori bound.
+    fn stream_until_done(
+        &mut self,
+        on_event: &mut impl FnMut(&JsonValue),
+    ) -> Result<DoneSummary, ClientError> {
+        self.set_read_deadline(None)?;
+        let outcome = loop {
+            let event = match self.recv() {
+                Ok(event) => event,
+                Err(e) => break Err(e),
+            };
             on_event(&event);
             if event.get("event").and_then(JsonValue::as_str) == Some("done") {
-                return Ok(Submission { job, total, done: Some(DoneSummary::from_event(&event)?) });
+                break DoneSummary::from_event(&event);
             }
-        }
+        };
+        self.set_read_deadline(Some(IO_TIMEOUT))?;
+        outcome
     }
 
     /// Fetches a job's state and progress counters.
@@ -219,13 +389,7 @@ impl Client {
     /// [`ClientError::Server`] for an unknown job.
     pub fn watch(&mut self, job: u64, mut on_event: impl FnMut(&JsonValue)) -> Result<DoneSummary, ClientError> {
         self.request(&Request::Watch { job })?;
-        loop {
-            let event = self.recv()?;
-            on_event(&event);
-            if event.get("event").and_then(JsonValue::as_str) == Some("done") {
-                return DoneSummary::from_event(&event);
-            }
-        }
+        self.stream_until_done(&mut on_event)
     }
 
     /// Fetches the server counters.
@@ -244,5 +408,66 @@ impl Client {
     /// Protocol and I/O failures.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        // Half-open connections are what the server's deadlines exist to
+        // kill; a well-behaved client hangs up explicitly instead.
+        let _ = self.writer.shutdown(Shutdown::Both);
+    }
+}
+
+/// Submits with end-to-end retry: transient failures (dropped connection,
+/// deadline, refused connect) reconnect and resubmit. Safe because the
+/// server memoizes results by `content_key` — a resubmitted sweep's
+/// completed points are cache hits, not re-executions (the retried job
+/// does get a fresh job id).
+///
+/// # Errors
+///
+/// The last attempt's error once `policy.retries` is exhausted, or the
+/// first non-transient error.
+pub fn submit_with_retry(
+    addr: &str,
+    policy: &RetryPolicy,
+    spec: &SweepSpec,
+    watch: bool,
+    mut on_event: impl FnMut(&JsonValue),
+) -> Result<Submission, ClientError> {
+    request_with_retry(addr, policy, |client| client.submit(spec, watch, &mut on_event))
+}
+
+/// Runs one request against a fresh connection with end-to-end retry:
+/// transient failures (dropped connection, deadline, refused connect)
+/// reconnect and reissue the call. Only suitable for idempotent requests
+/// — every protocol request except `submit` qualifies, and `submit` is
+/// made idempotent by the content-keyed cache (see [`submit_with_retry`]).
+///
+/// # Errors
+///
+/// The last attempt's error once `policy.retries` is exhausted, or the
+/// first non-transient error.
+pub fn request_with_retry<T>(
+    addr: &str,
+    policy: &RetryPolicy,
+    mut call: impl FnMut(&mut Client) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let mut rng = jitter_rng();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        // Connect attempts budget their own retries inside the same
+        // policy; a mid-stream drop falls through to the outer loop.
+        let result = Client::connect_with_retry(addr, policy).and_then(|mut client| call(&mut client));
+        match result {
+            Ok(value) => return Ok(value),
+            Err(e @ ClientError::Unreachable { .. }) => return Err(e),
+            Err(e) if e.is_transient() && attempts <= policy.retries => {
+                std::thread::sleep(policy.backoff(attempts, &mut rng));
+            }
+            Err(e) => return Err(e),
+        }
     }
 }

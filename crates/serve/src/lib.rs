@@ -35,10 +35,26 @@
 //! pretty-print the streamed progress, exit nonzero on failed points).
 //! See [`protocol`] for the wire format.
 
+//! # Fault tolerance
+//!
+//! The server is crash-safe: job transitions are journaled
+//! ([`journal`]) and replayed on restart, every sweep checkpoints its
+//! result store between grid points, accepted connections carry socket
+//! deadlines and bounded frames ([`protocol::read_frame`]), the client
+//! retries transient failures with exponential backoff ([`RetryPolicy`]),
+//! and a [`fault`]-injection harness (`TEMU_FAULT`) drives the chaos
+//! tests that prove all of it.
+
 pub mod client;
+pub mod fault;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, DoneSummary, Submission};
-pub use protocol::{spec_from_document, Request, ADDR_ENV, DEFAULT_ADDR};
+pub use client::{Client, ClientError, DoneSummary, RetryPolicy, Submission};
+pub use fault::FaultPlan;
+pub use journal::{Journal, JournalReplay, RecoveredJob};
+pub use protocol::{
+    read_frame, spec_from_document, ProtocolError, Request, ADDR_ENV, DEFAULT_ADDR, MAX_FRAME_LEN,
+};
 pub use server::{ServeConfig, Server, ServerHandle};

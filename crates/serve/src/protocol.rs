@@ -30,6 +30,9 @@
 //! Responses to failed requests are `{"ok": false, "error": "..."}`; the
 //! connection stays usable.
 
+use std::error::Error;
+use std::fmt;
+use std::io::BufRead;
 use temu_framework::{json_escape, JsonValue, SpecError, SweepSpec};
 
 /// The default server address (loopback; the server is an experiment
@@ -38,6 +41,131 @@ pub const DEFAULT_ADDR: &str = "127.0.0.1:7181";
 
 /// Environment variable overriding the default address for both bins.
 pub const ADDR_ENV: &str = "TEMU_SERVE_ADDR";
+
+/// The hard bound on one NDJSON frame (1 MiB). A peer sending a longer
+/// line — slowloris drip, a runaway spec, or plain garbage — is refused
+/// with a typed error instead of being buffered unbounded into memory.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// A transport-level failure of the NDJSON framing layer, shared by the
+/// server's connection handler and the [`Client`](crate::Client).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A socket deadline elapsed (`set_read_timeout`/`set_write_timeout`):
+    /// the peer stopped sending or stopped draining.
+    Timeout,
+    /// The peer sent a line longer than the frame bound.
+    FrameTooLong {
+        /// The bound that was exceeded ([`MAX_FRAME_LEN`] by default).
+        limit: usize,
+    },
+    /// The peer closed the connection.
+    Closed,
+    /// Any other socket failure.
+    Io(std::io::Error),
+    /// The frame's bytes were not UTF-8.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Timeout => write!(f, "socket deadline elapsed"),
+            ProtocolError::FrameTooLong { limit } => {
+                write!(f, "frame exceeds the {limit}-byte protocol bound")
+            }
+            ProtocolError::Closed => write!(f, "peer closed the connection"),
+            ProtocolError::Io(e) => write!(f, "socket: {e}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> ProtocolError {
+        match e.kind() {
+            // A read/write deadline surfaces as WouldBlock on Unix and
+            // TimedOut on Windows; both mean the peer missed the deadline.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ProtocolError::Timeout,
+            std::io::ErrorKind::UnexpectedEof => ProtocolError::Closed,
+            _ => ProtocolError::Io(e),
+        }
+    }
+}
+
+impl ProtocolError {
+    /// Whether retrying the operation on a fresh connection could
+    /// succeed (connection-level trouble, not a malformed frame).
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ProtocolError::Timeout | ProtocolError::Closed | ProtocolError::Io(_))
+    }
+}
+
+/// Reads one newline-terminated frame without ever buffering more than
+/// `max` bytes: the length check runs as bytes arrive, so an oversized or
+/// never-terminated line is refused while still in flight. Returns
+/// `Ok(None)` on clean EOF; a final unterminated line is delivered as a
+/// frame (the lenient behavior of `BufRead::lines`).
+///
+/// # Errors
+///
+/// [`ProtocolError::FrameTooLong`] past the bound,
+/// [`ProtocolError::Timeout`] when the socket deadline elapses mid-frame,
+/// [`ProtocolError::Malformed`] for non-UTF-8 bytes, and
+/// [`ProtocolError::Io`] for any other socket failure.
+pub fn read_frame<R: BufRead>(reader: &mut R, max: usize) -> Result<Option<String>, ProtocolError> {
+    let mut frame: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtocolError::from(e)),
+        };
+        if available.is_empty() {
+            if frame.is_empty() {
+                return Ok(None);
+            }
+            break;
+        }
+        let (chunk, terminated) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (available.len(), false),
+        };
+        // Check before buffering: the frame is refused while oversized
+        // bytes are still on the wire, not after they fill memory (+2
+        // tolerates a CRLF terminator on an exactly-max-length frame; the
+        // post-loop check bounds the content itself).
+        if frame.len() + chunk > max.saturating_add(2) {
+            return Err(ProtocolError::FrameTooLong { limit: max });
+        }
+        frame.extend_from_slice(&available[..chunk]);
+        reader.consume(chunk);
+        if terminated {
+            frame.pop();
+            if frame.last() == Some(&b'\r') {
+                frame.pop();
+            }
+            break;
+        }
+    }
+    if frame.len() > max {
+        return Err(ProtocolError::FrameTooLong { limit: max });
+    }
+    String::from_utf8(frame)
+        .map(Some)
+        .map_err(|_| ProtocolError::Malformed(String::from("non-UTF-8 bytes")))
+}
 
 /// One parsed client request.
 #[derive(Clone, PartialEq, Debug)]

@@ -21,21 +21,37 @@
 //!   events, straight from the sweep's
 //!   [`on_progress`](temu_framework::Sweep::on_progress) sink.
 //!
-//! Cancellation is queue-level: a queued job is removed before it ever
-//! runs; a job that already reached a worker runs to completion (the
-//! emulation core has no preemption points, and a completed point is a
-//! cache entry the next submission reuses anyway).
+//! # Crash safety
+//!
+//! * every job transition is journaled ([`crate::journal::Journal`],
+//!   `jobs.jsonl` next to the store by default): on startup the server
+//!   replays the journal and re-enqueues jobs that were queued or running
+//!   when the previous process died, preserving their ids;
+//! * every job runs with a sweep checkpoint between grid points that
+//!   flushes the store ([`ResultCache::sync`]) and observes cancellation,
+//!   so a job killed at point *k* restarts as *k* cache hits, and `cancel`
+//!   stops a *running* job between points (ROADMAP 1c);
+//! * a worker that panics (a scenario bug, or the `worker_panic` fault
+//!   from [`crate::fault`]) fails only its own job with a typed error —
+//!   the worker thread survives and keeps draining the queue;
+//! * accepted connections carry read/write deadlines and a bounded frame
+//!   reader ([`crate::protocol::read_frame`]), so a slowloris or garbage
+//!   peer cannot pin a handler thread or buffer unbounded bytes.
 
-use crate::protocol::{error_line, Request};
+use crate::journal::Journal;
+use crate::protocol::{error_line, read_frame, ProtocolError, Request, MAX_FRAME_LEN};
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use temu_framework::{json_escape, ResultCache, SweepProgress, SweepSpec};
+use std::time::Duration;
+use temu_framework::{
+    json_escape, CheckpointDecision, ResultCache, SweepProgress, SweepSpec,
+};
 
 /// Server configuration (see the module docs).
 #[derive(Clone, Debug)]
@@ -57,6 +73,15 @@ pub struct ServeConfig {
     /// long-running server's job registry stays bounded — their cached
     /// *results* live on in the shared [`ResultCache`].
     pub history_limit: usize,
+    /// Job journal path. `None` derives `jobs.jsonl` next to the store
+    /// (no journal at all when the cache is purely in-memory); an explicit
+    /// path journals regardless of the store.
+    pub journal: Option<PathBuf>,
+    /// Read/write deadline on every accepted connection (`None` disables
+    /// deadlines). A peer that stops sending mid-request or stops draining
+    /// its event stream is disconnected instead of pinning a handler
+    /// thread forever.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +92,8 @@ impl Default for ServeConfig {
             queue_limit: 64,
             store: None,
             history_limit: 256,
+            journal: None,
+            io_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -109,6 +136,27 @@ struct Job {
     error: Option<String>,
     report_json: Option<String>,
     subscribers: Vec<Sender<String>>,
+    /// Set by `cancel` on a running job; the sweep's checkpoint hook
+    /// observes it between grid points.
+    cancel: Arc<AtomicBool>,
+}
+
+fn new_job(name: String, spec: SweepSpec, total: usize) -> Job {
+    Job {
+        name,
+        spec,
+        state: JobState::Queued,
+        total,
+        completed: 0,
+        executed: 0,
+        cache_hits: 0,
+        failed: 0,
+        wall_s: 0.0,
+        error: None,
+        report_json: None,
+        subscribers: Vec::new(),
+        cancel: Arc::new(AtomicBool::new(false)),
+    }
 }
 
 struct Jobs {
@@ -135,12 +183,15 @@ impl Jobs {
 
 struct Shared {
     cache: ResultCache,
+    journal: Option<Journal>,
+    io_timeout: Option<Duration>,
     queue_limit: usize,
     history_limit: usize,
     workers: usize,
     jobs: Mutex<Jobs>,
     cv: Condvar,
     shutdown: AtomicBool,
+    jobs_recovered: AtomicU64,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
@@ -267,9 +318,25 @@ impl Server {
             Some(path) => ResultCache::with_store(path)?,
             None => ResultCache::in_memory(),
         };
+        // The journal lives next to the store unless placed explicitly; a
+        // fully in-memory server has nothing durable to recover into, so
+        // it runs unjournaled.
+        let journal_path = config
+            .journal
+            .clone()
+            .or_else(|| config.store.as_ref().map(|s| s.with_file_name("jobs.jsonl")));
+        let (journal, replayed) = match journal_path {
+            Some(path) => {
+                let (journal, replayed) = Journal::open(path)?;
+                (Some(journal), replayed)
+            }
+            None => (None, crate::journal::JournalReplay { next_id: 1, ..Default::default() }),
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let shared = Arc::new(Shared {
             cache,
+            journal,
+            io_timeout: config.io_timeout,
             queue_limit: config.queue_limit.max(1),
             history_limit: config.history_limit.max(1),
             workers: config.workers.max(1),
@@ -277,10 +344,11 @@ impl Server {
                 map: HashMap::new(),
                 queue: VecDeque::new(),
                 terminal: VecDeque::new(),
-                next_id: 1,
+                next_id: replayed.next_id.max(1),
             }),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            jobs_recovered: AtomicU64::new(0),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
@@ -289,7 +357,43 @@ impl Server {
             point_cache_hits: AtomicU64::new(0),
             points_failed: AtomicU64::new(0),
         });
+        // Re-enqueue what the previous incarnation never finished — their
+        // executed points are already cache entries, so a recovered job
+        // resumes as cache hits plus the remaining grid.
+        for recovered in replayed.pending {
+            let total = match recovered.spec.lower() {
+                Ok(sweep) => sweep.n_points(),
+                Err(e) => {
+                    // The spec journaled fine but no longer lowers (e.g. a
+                    // preset removed across versions): close it out rather
+                    // than re-journal it forever.
+                    if let Some(journal) = &shared.journal {
+                        journal.record_terminal(recovered.id, "failed");
+                    }
+                    let _ = e;
+                    continue;
+                }
+            };
+            let mut jobs = shared.lock_jobs();
+            jobs.map.insert(recovered.id, new_job(recovered.name, recovered.spec, total));
+            jobs.queue.push_back(recovered.id);
+            drop(jobs);
+            shared.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(Server { listener, shared })
+    }
+
+    /// Jobs the journal recovered at bind time (queued again, not yet
+    /// counted as submitted).
+    #[must_use]
+    pub fn recovered_jobs(&self) -> u64 {
+        self.shared.jobs_recovered.load(Ordering::Relaxed)
+    }
+
+    /// The journal path, when journaling is active.
+    #[must_use]
+    pub fn journal_path(&self) -> Option<&std::path::Path> {
+        self.shared.journal.as_ref().map(Journal::path)
     }
 
     /// The bound address (resolves an ephemeral port request).
@@ -351,6 +455,9 @@ impl Server {
         };
         for (id, line) in abandoned {
             self.shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            if let Some(journal) = &self.shared.journal {
+                journal.record_terminal(id, JobState::Cancelled.tag());
+            }
             self.shared.broadcast(id, &line, true);
             self.shared.lock_jobs().note_terminal(id, self.shared.history_limit);
         }
@@ -388,7 +495,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     if let Some(job) = jobs.map.get_mut(&id) {
                         if job.state == JobState::Queued {
                             job.state = JobState::Running;
-                            break Some((id, job.spec.clone()));
+                            break Some((id, job.spec.clone(), Arc::clone(&job.cancel)));
                         }
                     }
                     continue;
@@ -396,12 +503,28 @@ fn worker_loop(shared: &Arc<Shared>) {
                 jobs = shared.cv.wait(jobs).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let Some((id, spec)) = claimed else { return };
-        run_job(shared, id, &spec);
+        let Some((id, spec, cancel)) = claimed else { return };
+        if let Some(journal) = &shared.journal {
+            journal.record_start(id);
+        }
+        // A panicking job — a scenario bug past the campaign's own
+        // isolation, or the `worker_panic` fault — fails that job with a
+        // typed error; this worker thread survives to drain the queue.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(shared, id, &spec, &cancel);
+        }));
+        if let Err(payload) = outcome {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| String::from("opaque panic payload"));
+            finish_job(shared, id, JobState::Failed, Some(format!("worker panicked: {message}")), None);
+        }
     }
 }
 
-fn run_job(shared: &Arc<Shared>, id: u64, spec: &SweepSpec) {
+fn run_job(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cancel: &Arc<AtomicBool>) {
     let sweep = match spec.lower() {
         Ok(sweep) => sweep,
         Err(e) => {
@@ -414,6 +537,8 @@ fn run_job(shared: &Arc<Shared>, id: u64, spec: &SweepSpec) {
     let total = sweep.n_points();
     shared.broadcast(id, &format!("{{\"event\": \"start\", \"job\": {id}, \"total\": {total}}}"), false);
     let progress_shared = Arc::clone(shared);
+    let checkpoint_shared = Arc::clone(shared);
+    let checkpoint_cancel = Arc::clone(cancel);
     let report = sweep
         .on_progress(move |p| {
             {
@@ -433,11 +558,27 @@ fn run_job(shared: &Arc<Shared>, id: u64, spec: &SweepSpec) {
             let line = point_line(id, p);
             progress_shared.broadcast(id, &line, false);
         })
+        // Between grid points: inject chaos (under this worker's
+        // catch_unwind), flush the incremental store so a crash here
+        // resumes as cache hits, then observe cancellation — from the
+        // client's `cancel` or from server shutdown.
+        .on_checkpoint(move |_cp| {
+            crate::fault::worker_panic_point();
+            checkpoint_shared.cache.sync();
+            let stop = checkpoint_cancel.load(Ordering::Acquire)
+                || checkpoint_shared.shutdown.load(Ordering::SeqCst);
+            if stop {
+                CheckpointDecision::Cancel
+            } else {
+                CheckpointDecision::Continue
+            }
+        })
         .run_cached(&shared.cache);
     shared.points_executed.fetch_add(report.executed as u64, Ordering::Relaxed);
     shared.point_cache_hits.fetch_add(report.cache_hits as u64, Ordering::Relaxed);
     shared.points_failed.fetch_add(report.n_failed() as u64, Ordering::Relaxed);
-    finish_job(shared, id, JobState::Done, None, Some(report));
+    let state = if report.cancelled { JobState::Cancelled } else { JobState::Done };
+    finish_job(shared, id, state, None, Some(report));
 }
 
 fn finish_job(
@@ -454,7 +595,9 @@ fn finish_job(
         job.error = error;
         if let Some(report) = &report {
             job.total = report.points.len();
-            job.completed = report.points.len();
+            // Cancelled-before-start points never completed; they are
+            // placeholders in the report, not progress.
+            job.completed = report.points.len() - report.n_cancelled();
             job.executed = report.executed;
             job.cache_hits = report.cache_hits;
             job.failed = report.n_failed();
@@ -467,8 +610,12 @@ fn finish_job(
     };
     match state {
         JobState::Done => shared.jobs_completed.fetch_add(1, Ordering::Relaxed),
+        JobState::Cancelled => shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed),
         _ => shared.jobs_failed.fetch_add(1, Ordering::Relaxed),
     };
+    if let Some(journal) = &shared.journal {
+        journal.record_terminal(id, state.tag());
+    }
     shared.broadcast(id, &line, true);
     shared.lock_jobs().note_terminal(id, shared.history_limit);
 }
@@ -482,10 +629,35 @@ fn serve_connection(
     stream: TcpStream,
     addr: Option<SocketAddr>,
 ) -> std::io::Result<()> {
+    // The `drop_conn` fault: hang up before serving, as a crashing or
+    // partitioned server would, leaving the client to retry.
+    if crate::fault::drop_connection() {
+        return Ok(());
+    }
+    stream.set_read_timeout(shared.io_timeout)?;
+    stream.set_write_timeout(shared.io_timeout)?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_frame(&mut reader, MAX_FRAME_LEN) {
+            Ok(Some(line)) => line,
+            // Clean EOF: the client is done with the connection.
+            Ok(None) => return Ok(()),
+            Err(e @ ProtocolError::FrameTooLong { .. }) => {
+                // Typed refusal, then hang up: the rest of the oversized
+                // line is still in flight and nothing after it can be
+                // framed reliably.
+                let refusal = format!(
+                    "{{\"ok\": false, \"code\": \"frame_too_long\", \"limit\": {MAX_FRAME_LEN}, \"error\": \"{}\"}}",
+                    json_escape(&e.to_string())
+                );
+                writeln!(writer, "{refusal}")?;
+                return Ok(());
+            }
+            // Deadline elapsed or the socket failed: the peer is gone or
+            // unresponsive — stop serving it (a live client reconnects).
+            Err(_) => return Ok(()),
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -513,7 +685,6 @@ fn serve_connection(
         }
         writer.flush()?;
     }
-    Ok(())
 }
 
 fn handle_submit(
@@ -544,20 +715,13 @@ fn handle_submit(
         }
         let id = jobs.next_id;
         jobs.next_id += 1;
-        let mut job = Job {
-            name: spec.name.clone(),
-            spec,
-            state: JobState::Queued,
-            total,
-            completed: 0,
-            executed: 0,
-            cache_hits: 0,
-            failed: 0,
-            wall_s: 0.0,
-            error: None,
-            report_json: None,
-            subscribers: Vec::new(),
-        };
+        let mut job = new_job(spec.name.clone(), spec, total);
+        // Write-ahead: the submit record lands (under the jobs lock, so
+        // journal order matches queue order) before the job is visible to
+        // workers — a crash from here on recovers it.
+        if let Some(journal) = &shared.journal {
+            journal.record_submit(id, &job.name, &job.spec);
+        }
         // Subscribe before the job can start: no event is ever missed.
         let rx = watch.then(|| {
             let (tx, rx) = channel();
@@ -667,15 +831,25 @@ fn cancel_response(shared: &Arc<Shared>, job_id: u64) -> String {
                 jobs.queue.retain(|id| *id != job_id);
                 done
             }
+            Some(job) if job.state == JobState::Running => {
+                // Acknowledge now; the sweep observes the flag at its next
+                // checkpoint, stops between grid points, and the worker
+                // emits the terminal event (completed points stay cached).
+                job.cancel.store(true, Ordering::Release);
+                return format!("{{\"ok\": true, \"job\": {job_id}, \"cancelling\": true}}");
+            }
             Some(job) => {
                 return error_line(&format!(
-                    "job {job_id} is {} — only queued jobs can be cancelled",
+                    "job {job_id} is {} — finished jobs cannot be cancelled",
                     job.state.tag()
                 ))
             }
         }
     };
     shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    if let Some(journal) = &shared.journal {
+        journal.record_terminal(job_id, JobState::Cancelled.tag());
+    }
     shared.broadcast(job_id, &line, true);
     shared.lock_jobs().note_terminal(job_id, shared.history_limit);
     format!("{{\"ok\": true, \"job\": {job_id}, \"cancelled\": true}}")
@@ -692,17 +866,22 @@ fn stats_response(shared: &Arc<Shared>) -> String {
     let served = executed + hits;
     let hit_rate = if served == 0 { 0.0 } else { hits as f64 / served as f64 };
     format!(
-        "{{\"ok\": true, \"jobs_submitted\": {}, \"jobs_completed\": {}, \"jobs_failed\": {}, \"jobs_cancelled\": {}, \"queue_depth\": {queue_depth}, \"running\": {running}, \"workers\": {}, \"queue_limit\": {}, \"points_executed\": {executed}, \"point_cache_hits\": {hits}, \"points_failed\": {}, \"cache_hit_rate\": {hit_rate:.4}, \"cache_entries\": {}, \"store\": {}}}",
+        "{{\"ok\": true, \"jobs_submitted\": {}, \"jobs_completed\": {}, \"jobs_failed\": {}, \"jobs_cancelled\": {}, \"jobs_recovered\": {}, \"queue_depth\": {queue_depth}, \"running\": {running}, \"workers\": {}, \"queue_limit\": {}, \"points_executed\": {executed}, \"point_cache_hits\": {hits}, \"points_failed\": {}, \"cache_hit_rate\": {hit_rate:.4}, \"cache_entries\": {}, \"store\": {}, \"journal\": {}}}",
         shared.jobs_submitted.load(Ordering::Relaxed),
         shared.jobs_completed.load(Ordering::Relaxed),
         shared.jobs_failed.load(Ordering::Relaxed),
         shared.jobs_cancelled.load(Ordering::Relaxed),
+        shared.jobs_recovered.load(Ordering::Relaxed),
         shared.workers,
         shared.queue_limit,
         shared.points_failed.load(Ordering::Relaxed),
         shared.cache.len(),
         match shared.cache.store_path() {
             Some(path) => format!("\"{}\"", json_escape(&path.display().to_string())),
+            None => String::from("null"),
+        },
+        match shared.journal.as_ref().map(|j| j.path().display().to_string()) {
+            Some(path) => format!("\"{}\"", json_escape(&path)),
             None => String::from("null"),
         },
     )

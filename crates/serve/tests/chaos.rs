@@ -1,0 +1,143 @@
+//! Chaos e2e: the fault-injection harness turned up high against a real
+//! in-process server. Workers panic at checkpoints, journal appends tear,
+//! and fresh connections drop — yet no request hangs, every job reaches a
+//! terminal state, progress accumulates in the store across panics, and a
+//! resubmitted sweep eventually completes fully from the cache.
+//!
+//! Lives in its own test binary so `fault::install` (process-global,
+//! first caller wins) cannot leak into the other e2e suites.
+
+use std::path::PathBuf;
+use temu_framework::{
+    AxisSpec, ImplicitSolve, JsonValue, ScenarioSpec, SweepSpec, WorkloadSpec,
+};
+use temu_serve::client::submit_with_retry;
+use temu_serve::journal::replay;
+use temu_serve::{Client, ClientError, FaultPlan, RetryPolicy, ServeConfig, Server};
+
+/// A 4-point sweep on one campaign thread, so a checkpoint (and therefore
+/// a `worker_panic` roll) lands between every grid point.
+fn chaos_sweep() -> SweepSpec {
+    let tiny = |iters: u32| WorkloadSpec::Matrix { n: 4, iters, cores: 1 };
+    SweepSpec {
+        name: String::from("chaos"),
+        base: ScenarioSpec {
+            cores: Some(1),
+            workload: Some(tiny(1)),
+            sampling_window_s: Some(0.0005),
+            windows: Some(2),
+            strict_convergence: Some(true),
+            ..ScenarioSpec::default()
+        },
+        axes: vec![
+            AxisSpec::Workloads(vec![tiny(1), tiny(2)]),
+            AxisSpec::Solvers(vec![ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid]),
+        ],
+        threads: Some(1),
+    }
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("temu_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Retries a client call until it survives the connection-dropping fault.
+fn with_retry<T>(mut call: impl FnMut() -> Result<T, ClientError>) -> T {
+    for _ in 0..40 {
+        match call() {
+            Ok(value) => return value,
+            Err(e) if e.is_transient() => std::thread::sleep(std::time::Duration::from_millis(5)),
+            Err(e) => panic!("non-transient client error under chaos: {e}"),
+        }
+    }
+    panic!("client call did not survive 40 attempts under chaos");
+}
+
+#[test]
+fn server_under_injected_faults_stays_terminal_and_converges_to_cached() {
+    // Every fault dialed high, installed before the server exists. The
+    // `install` return tells us whether this process won the global slot
+    // (it must — this test binary owns it).
+    assert!(
+        temu_serve::fault::install(FaultPlan { worker_panic: 0.5, torn_write: 0.5, drop_conn: 0.3 }),
+        "this test binary installs the fault plan first"
+    );
+
+    let dir = temp_dir();
+    let store = dir.join("cache.jsonl");
+    let _ = std::fs::remove_file(&store);
+    let journal = store.with_file_name("jobs.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    let handle = Server::spawn(ServeConfig {
+        addr: String::from("127.0.0.1:0"),
+        store: Some(store.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = handle.addr().to_string();
+    let spec = chaos_sweep();
+    let policy = RetryPolicy { retries: 8, ..RetryPolicy::default() };
+
+    // Resubmit until one run completes with every point ok. Each failed
+    // run still banked at least the points it executed before its panic
+    // (the checkpoint hook syncs the store first, then rolls the panic
+    // die), so this converges long before the attempt budget — the final
+    // successful run is typically served fully from the cache, where no
+    // checkpoint fires and `worker_panic` cannot reach it.
+    let mut done = None;
+    let mut attempts = 0u32;
+    while attempts < 60 {
+        attempts += 1;
+        let outcome = submit_with_retry(&addr, &policy, &spec, true, |_| {})
+            .expect("submission survives transient chaos");
+        let summary = outcome.done.expect("watched submissions end with a done summary");
+        if summary.ok && summary.failed == 0 {
+            done = Some(summary);
+            break;
+        }
+    }
+    let done = done.expect("a chaos-battered sweep still completes within 60 submissions");
+    assert_eq!(done.points, 4);
+    assert_eq!(done.executed + done.cache_hits, 4, "the whole grid was served");
+
+    // One more submission is pure cache: immune to worker panics.
+    let outcome = submit_with_retry(&addr, &policy, &spec, true, |_| {})
+        .expect("cached resubmission survives transient chaos");
+    let cached = outcome.done.unwrap();
+    assert!(cached.ok);
+    assert_eq!((cached.cache_hits, cached.executed, cached.failed), (4, 0, 0));
+
+    // Every job the server ever accepted is terminal, and the server is
+    // still answering requests.
+    let stats = with_retry(|| Client::connect_with_retry(&addr, &policy)?.stats());
+    let counter = |k: &str| stats.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    assert_eq!(stats.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(counter("running"), 0);
+    assert_eq!(counter("queue_depth"), 0);
+    assert_eq!(
+        counter("jobs_submitted"),
+        counter("jobs_completed") + counter("jobs_failed") + counter("jobs_cancelled"),
+        "no job is left in limbo: {stats}"
+    );
+    assert!(counter("jobs_completed") >= 2, "both clean runs completed: {stats}");
+
+    with_retry(|| Client::connect_with_retry(&addr, &policy)?.shutdown());
+    handle.shutdown();
+
+    // The journal the chaos run left behind — torn appends and all —
+    // replays without panicking, and never resurrects a job id that was
+    // never submitted.
+    let text = std::fs::read_to_string(&journal).expect("journal exists next to the store");
+    let replayed = replay(&text);
+    let submitted = counter("jobs_submitted");
+    for job in &replayed.pending {
+        assert!(job.id >= 1 && job.id <= submitted, "phantom pending job {}", job.id);
+        // A torn tail may lose the highest ids entirely, but whatever is
+        // recoverable must be cleared by the fresh-id horizon.
+        assert!(replayed.next_id > job.id, "fresh ids clear every recovered job");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -215,6 +215,83 @@ fn shutdown_never_leaves_a_watcher_hanging() {
 }
 
 #[test]
+fn cancel_during_run_stops_between_grid_points() {
+    let handle = spawn_server(None);
+
+    // Six slower points, one campaign thread: the sweep checkpoints
+    // before every point, so a cancel acknowledged mid-run allows at most
+    // the in-flight point to finish.
+    let tiny = |iters: u32| temu_framework::WorkloadSpec::Matrix { n: 4, iters, cores: 1 };
+    let spec = SweepSpec {
+        name: String::from("cancel-mid-run"),
+        base: ScenarioSpec {
+            cores: Some(1),
+            workload: Some(tiny(1)),
+            sampling_window_s: Some(0.0005),
+            windows: Some(40),
+            strict_convergence: Some(true),
+            ..ScenarioSpec::default()
+        },
+        axes: vec![
+            AxisSpec::Workloads(vec![tiny(1), tiny(2), tiny(3)]),
+            AxisSpec::Solvers(vec![ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid]),
+        ],
+        threads: Some(1),
+    };
+
+    let mut client = connect(&handle);
+    let mut canceller = connect(&handle);
+    let mut acked = false;
+    let mut points_after_ack = 0u64;
+    let mut completed_at_ack = 0u64;
+    let outcome = client
+        .submit(&spec, true, |event| {
+            if event.get("event").and_then(JsonValue::as_str) != Some("point") {
+                return;
+            }
+            if acked {
+                points_after_ack += 1;
+                return;
+            }
+            // First point landed: cancel the running job from a second
+            // connection and count what still executes after the ack.
+            let job = event.get("job").and_then(JsonValue::as_u64).expect("point carries job id");
+            let frame = canceller.cancel(job).expect("cancel a running job");
+            assert_eq!(
+                frame.get("cancelling").and_then(JsonValue::as_bool),
+                Some(true),
+                "a running job acknowledges with cancelling: {frame}"
+            );
+            acked = true;
+            completed_at_ack = event.get("completed").and_then(JsonValue::as_u64).unwrap_or(0);
+        })
+        .unwrap();
+
+    let done = outcome.done.expect("watched submission ends with done");
+    assert!(acked, "the job produced at least one point before finishing");
+    assert!(done.cancelled, "the job reports cancellation: {done:?}");
+    assert!(
+        points_after_ack <= 1,
+        "at most the in-flight point finishes after the ack, saw {points_after_ack}"
+    );
+    let finished = done.executed + done.cache_hits;
+    assert!(finished < done.points, "some grid points never started: {done:?}");
+    assert_eq!(done.failed, 0, "cancelled points are not failures");
+
+    let status = client.status(outcome.job).unwrap();
+    assert_eq!(status.get("state").and_then(JsonValue::as_str), Some("cancelled"));
+
+    // The completed points stayed cached: resubmitting finishes the grid
+    // with exactly those points served from the cache.
+    let rerun = client.submit(&spec, true, |_| {}).unwrap().done.unwrap();
+    assert!(rerun.ok, "{rerun:?}");
+    assert_eq!(rerun.cache_hits, finished, "completed points survived the cancellation");
+    assert_eq!(rerun.executed, rerun.points - finished);
+
+    handle.shutdown();
+}
+
+#[test]
 fn refusals_are_typed_and_do_not_kill_the_connection() {
     let handle = spawn_server(None);
     let mut client = connect(&handle);
@@ -232,19 +309,23 @@ fn refusals_are_typed_and_do_not_kill_the_connection() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.get("jobs_submitted").and_then(JsonValue::as_u64), Some(0));
 
-    // A cancelled-while-queued job reports as cancelled. Queue a job and
-    // cancel it immediately; with a single worker busy elsewhere this
-    // races, so accept either "cancelled in time" or "already running".
+    // Cancelling races against the single worker: a still-queued job
+    // reports "cancelled", one caught running acknowledges "cancelling"
+    // (it stops at its next checkpoint), and one already finished is a
+    // typed refusal.
     let mut submitter = connect(&handle);
     let queued = submitter.submit(&tiny_sweep("cancelme"), false, |_| {}).unwrap();
     match client.cancel(queued.job) {
         Ok(frame) => {
-            assert_eq!(frame.get("cancelled").and_then(JsonValue::as_bool), Some(true));
-            let status = client.status(queued.job).unwrap();
-            assert_eq!(status.get("state").and_then(JsonValue::as_str), Some("cancelled"));
+            if frame.get("cancelled").and_then(JsonValue::as_bool) == Some(true) {
+                let status = client.status(queued.job).unwrap();
+                assert_eq!(status.get("state").and_then(JsonValue::as_str), Some("cancelled"));
+            } else {
+                assert_eq!(frame.get("cancelling").and_then(JsonValue::as_bool), Some(true));
+            }
         }
         Err(ClientError::Server(message)) => {
-            assert!(message.contains("only queued jobs"), "{message}");
+            assert!(message.contains("finished jobs cannot be cancelled"), "{message}");
         }
         Err(other) => panic!("unexpected cancel failure: {other}"),
     }

@@ -64,4 +64,52 @@ wait "$SERVE_PID"
 SERVE_PID=""
 echo "serve smoke OK"
 
+echo "== chaos-smoke gate =="
+# The fault-tolerance gate: the same serve smoke with faults injected —
+# workers panic at 30% of checkpoints and 20% of fresh connections are
+# dropped on the floor. Submissions are retried until one run completes
+# (every failed run banks its finished points in the store), and the
+# rerun must still be answered 100% from the cache with exit 0: a
+# fully-cached job never checkpoints, so panics cannot reach it, and
+# dropped connections are absorbed by the client's backoff.
+CHAOS_TMP=$(mktemp -d)
+CHAOS_PID=""
+chaos_cleanup() {
+    [ -n "$CHAOS_PID" ] && kill "$CHAOS_PID" 2>/dev/null || true
+    rm -rf "$CHAOS_TMP" "$SERVE_TMP"
+}
+trap chaos_cleanup EXIT
+TEMU_FAULT="worker_panic:0.3,drop_conn:0.2" \
+    target/release/temu-serve --addr 127.0.0.1:0 --store "$CHAOS_TMP/cache.jsonl" \
+    > "$CHAOS_TMP/serve.log" 2>&1 &
+CHAOS_PID=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^temu-serve listening on //p' "$CHAOS_TMP/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "chaos smoke FAILED: temu-serve never reported its address"
+    cat "$CHAOS_TMP/serve.log"
+    exit 1
+fi
+chaos_ok=""
+for attempt in $(seq 1 15); do
+    if target/release/temu-client --addr "$addr" --retries 8 submit --preset smoke; then
+        chaos_ok=yes
+        break
+    fi
+    echo "chaos smoke: submission $attempt hit an injected fault, retrying"
+done
+if [ -z "$chaos_ok" ]; then
+    echo "chaos smoke FAILED: no submission completed within 15 attempts"
+    exit 1
+fi
+target/release/temu-client --addr "$addr" --retries 8 submit --preset smoke --require-cached
+target/release/temu-client --addr "$addr" --retries 8 shutdown
+wait "$CHAOS_PID" || true
+CHAOS_PID=""
+echo "chaos smoke OK"
+
 echo "All checks passed."
