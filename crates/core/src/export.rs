@@ -158,6 +158,23 @@ impl JsonValue {
         }
     }
 
+    /// The value as a signed integer, if it is a whole number in range
+    /// (bounds exclusive on the positive side for the same saturation
+    /// reason as [`JsonValue::as_u64`]).
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Num(n)
+                if n.fract() == 0.0
+                    && *n >= -9.223372036854776e18
+                    && *n < 9.223372036854776e18 =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
     /// The value as a `usize`, if it is a whole non-negative number that
     /// fits.
     #[must_use]
@@ -531,5 +548,10 @@ mod tests {
         // below it converts exactly.
         assert_eq!(JsonValue::Num(18446744073709551616.0).as_u64(), None);
         assert_eq!(JsonValue::Num(18446744073709549568.0).as_u64(), Some(18_446_744_073_709_549_568));
+        assert_eq!(JsonValue::Num(-3.0).as_i64(), Some(-3));
+        assert_eq!(JsonValue::Num(3.0).as_i64(), Some(3));
+        assert_eq!(JsonValue::Num(3.5).as_i64(), None);
+        assert_eq!(JsonValue::Num(9223372036854775808.0).as_i64(), None);
+        assert_eq!(JsonValue::Num(-9223372036854775808.0).as_i64(), Some(i64::MIN));
     }
 }

@@ -110,8 +110,8 @@ pub use spec::{
     NAMED_SWEEPS,
 };
 pub use sweep::{
-    CheckpointDecision, CheckpointHook, PointSummary, ResultCache, Sweep, SweepCheckpoint, SweepPoint,
-    SweepPointResult, SweepProgress, SweepReport, SweepSink,
+    fnv1a64, CheckpointDecision, CheckpointHook, PointSummary, ResultCache, Sweep, SweepCheckpoint,
+    SweepPoint, SweepPointResult, SweepProgress, SweepReport, SweepSink,
 };
 pub use temu_thermal::{ImplicitSolve, SolverStats};
 pub use trace::{ThermalTrace, TraceSample};

@@ -1258,6 +1258,47 @@ impl SweepSpec {
             .finish()
     }
 
+    /// The content key of every grid point, in expansion order
+    /// ([`Sweep::expand`]): `Some(key)` for well-formed points, `None`
+    /// for points whose axis application fails (those carry a typed
+    /// per-point error when run). This is the spec-level view of the
+    /// cache's addressing — what a fleet front-end shards on.
+    ///
+    /// # Errors
+    ///
+    /// The same lowering errors as [`SweepSpec::lower`]: a malformed
+    /// *base* fails the whole spec, while a malformed *point* is just
+    /// `None` in its slot.
+    pub fn point_keys(&self) -> Result<Vec<Option<u64>>, TemuError> {
+        Ok(self.lower()?.expand().iter().map(|p| p.key).collect())
+    }
+
+    /// One stable content key for the *whole* sweep: FNV-1a over the
+    /// grid-point keys in expansion order (a marker byte distinguishes
+    /// malformed points). Like [`Scenario::content_key`] it depends only
+    /// on what would execute — not on the sweep's display name or thread
+    /// count — so a renamed resubmission of the same grid hashes
+    /// identically. The fleet router rendezvous-hashes this key to pick
+    /// the member that owns (and caches) the sweep.
+    ///
+    /// # Errors
+    ///
+    /// The same lowering errors as [`SweepSpec::lower`].
+    pub fn content_key(&self) -> Result<u64, TemuError> {
+        let keys = self.point_keys()?;
+        let mut bytes = Vec::with_capacity(keys.len() * 9);
+        for key in keys {
+            match key {
+                Some(k) => {
+                    bytes.push(1u8);
+                    bytes.extend_from_slice(&k.to_le_bytes());
+                }
+                None => bytes.push(0u8),
+            }
+        }
+        Ok(crate::sweep::fnv1a64(&bytes))
+    }
+
     /// Parses a spec from JSON text.
     ///
     /// # Errors
@@ -1303,6 +1344,25 @@ mod tests {
         assert_eq!(spec.lower().unwrap().content_key(), Scenario::new().content_key());
         assert_eq!(spec.to_json(), "{}");
         assert_eq!(ScenarioSpec::from_json("{}").unwrap(), spec);
+    }
+
+    #[test]
+    fn sweep_content_key_tracks_the_grid_not_the_name() {
+        let spec = SweepSpec::named("smoke").unwrap();
+        let keys = spec.point_keys().unwrap();
+        assert_eq!(keys.len(), spec.lower().unwrap().n_points());
+        assert!(keys.iter().all(Option::is_some), "every smoke point is well-formed");
+
+        let mut renamed = spec.clone();
+        renamed.name = String::from("renamed");
+        renamed.threads = Some(3);
+        assert_eq!(
+            spec.content_key().unwrap(),
+            renamed.content_key().unwrap(),
+            "name and threads do not change what executes"
+        );
+        let other = SweepSpec::named("ladder").unwrap();
+        assert_ne!(spec.content_key().unwrap(), other.content_key().unwrap());
     }
 
     #[test]

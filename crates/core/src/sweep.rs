@@ -61,7 +61,7 @@ use crate::scenario::{Scenario, ScenarioRun, Workload};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::OpenOptions;
-use std::io::Write as _;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -70,8 +70,12 @@ use temu_thermal::{default_workers, GridConfig, ImplicitSolve};
 
 /// 64-bit FNV-1a: a small, dependency-free hash whose value is defined by
 /// the algorithm alone — unlike `DefaultHasher`, it cannot drift between
-/// compiler releases, so on-disk cache keys stay valid.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+/// compiler releases, so on-disk cache keys stay valid. Public because
+/// everything content-addressed in the workspace hashes with it: scenario
+/// and sweep content keys here, and the fleet router's rendezvous member
+/// scoring on top of them.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -177,9 +181,26 @@ impl PointSummary {
 // The result cache
 // ---------------------------------------------------------------------------
 
+/// Compaction trigger: minimum record + junk runs decoded at load before
+/// the dead-fraction rule applies (tiny stores are never worth rewriting).
+const COMPACT_MIN_RECORDS: usize = 64;
+/// Compaction trigger: fraction of dead runs (duplicate records + torn
+/// junk) above which the store is rewritten deduped at load.
+const COMPACT_DEAD_FRACTION: f64 = 0.25;
+
+/// The persistent half of a cache: the `O_APPEND` write handle, plus a
+/// separate read handle and the byte offset already decoded into memory,
+/// so [`ResultCache::refresh`] can pick up records appended by *other*
+/// writers sharing the store file (fleet members behind one store).
+struct StoreState {
+    append: std::fs::File,
+    read: std::fs::File,
+    offset: u64,
+}
+
 struct CacheInner {
     mem: Mutex<HashMap<u64, PointSummary>>,
-    store: Option<Mutex<std::fs::File>>,
+    store: Option<Mutex<StoreState>>,
     path: Option<PathBuf>,
 }
 
@@ -227,25 +248,90 @@ impl ResultCache {
     /// any complete records glued after it on that line are still
     /// recovered, instead of being dropped with it.
     ///
+    /// # Header and compaction
+    ///
+    /// Fresh stores open with a version header line
+    /// (`{"temu_store": 1, …}`); loaders shipped before the header treat
+    /// it as an undecodable run and skip it, so old and new processes can
+    /// share one file. When loading finds the file is mostly dead weight —
+    /// duplicate records from overlapping sweeps plus torn junk exceeding
+    /// [`COMPACT_DEAD_FRACTION`] of at least [`COMPACT_MIN_RECORDS`] runs
+    /// — it is rewritten deduped under a fresh header via a tmp file and
+    /// atomic rename. A rewrite failure degrades to loading the dirty
+    /// store; compaction is an optimization, never a correctness gate.
+    /// Note the rename caveat: a *concurrent* writer still holding the old
+    /// file keeps appending to the unlinked inode — its records stay
+    /// correct in its own memory but become invisible to others, who
+    /// simply re-execute those points on miss. Prefer starting the store's
+    /// long-lived owners together.
+    ///
     /// # Errors
     ///
     /// Any I/O error opening or reading the store file.
     pub fn with_store(path: impl AsRef<Path>) -> std::io::Result<ResultCache> {
         let path = path.as_ref().to_path_buf();
         let mut mem = HashMap::new();
+        let mut offset = 0u64;
         if path.exists() {
-            for line in std::fs::read_to_string(&path)?.lines() {
-                ResultCache::decode_recovering(line, &mut mem);
+            let text = std::fs::read_to_string(&path)?;
+            offset = text.len() as u64;
+            let (mut records, mut junk) = (0usize, 0usize);
+            for line in text.lines() {
+                ResultCache::decode_recovering(line, &mut mem, &mut records, &mut junk);
+            }
+            let total = records + junk;
+            let dead = junk + records.saturating_sub(mem.len());
+            #[allow(clippy::cast_precision_loss)]
+            if total >= COMPACT_MIN_RECORDS && dead as f64 > total as f64 * COMPACT_DEAD_FRACTION {
+                if let Ok(len) = ResultCache::rewrite_store(&path, &mem) {
+                    offset = len;
+                }
+            }
+        } else {
+            // Stamp fresh stores with the header line. `create_new`, not a
+            // plain write: a racing sibling process that already created
+            // (and appended to) the file must not be truncated.
+            if let Ok(mut f) = OpenOptions::new().write(true).create_new(true).open(&path) {
+                let _ = f.write_all(format!("{}\n", ResultCache::header_line(0)).as_bytes());
             }
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let append = OpenOptions::new().create(true).append(true).open(&path)?;
+        let read = std::fs::File::open(&path)?;
         Ok(ResultCache {
             inner: Arc::new(CacheInner {
                 mem: Mutex::new(mem),
-                store: Some(Mutex::new(file)),
+                store: Some(Mutex::new(StoreState { append, read, offset })),
                 path: Some(path),
             }),
         })
+    }
+
+    /// The store's version/header line (no trailing newline). Flat like
+    /// every record, so the first-`}`-closes-it decode discipline holds.
+    fn header_line(entries: usize) -> String {
+        format!("{{\"temu_store\": 1, \"entries\": {entries}}}")
+    }
+
+    /// Rewrites the store deduped — header plus one record per key, sorted
+    /// so the output is deterministic — into a tmp file that atomically
+    /// replaces the original. Returns the compacted length in bytes.
+    fn rewrite_store(path: &Path, mem: &HashMap<u64, PointSummary>) -> std::io::Result<u64> {
+        let tmp = path.with_extension("compact.tmp");
+        let mut out = String::with_capacity(mem.len() * 160 + 64);
+        out.push_str(&ResultCache::header_line(mem.len()));
+        out.push('\n');
+        let mut keys: Vec<u64> = mem.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            out.push_str(&format!("{{\"key\": \"{key:016x}\", {}}}\n", mem[&key].json_fields()));
+        }
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(out.len() as u64)
     }
 
     /// Number of cached points.
@@ -273,15 +359,69 @@ impl ResultCache {
     /// checkpoint between grid points.
     pub fn sync(&self) {
         if let Some(store) = &self.inner.store {
-            let f = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            let _ = f.sync_data();
+            let s = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = s.append.sync_data();
         }
     }
 
-    /// Looks a content key up.
+    /// Looks a content key up. On a persistent cache, a miss first pulls
+    /// in anything other writers appended to the store file since the last
+    /// read ([`ResultCache::refresh`]) — so processes sharing one store
+    /// (fleet members, say) see each other's results without restarting.
     #[must_use]
     pub fn get(&self, key: u64) -> Option<PointSummary> {
+        let hit = self
+            .inner
+            .mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+            .cloned();
+        if hit.is_some() || self.inner.store.is_none() {
+            return hit;
+        }
+        self.refresh();
         self.inner.mem.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key).cloned()
+    }
+
+    /// Decodes any records appended to the store file since the last load
+    /// or refresh into memory (existing in-memory entries win). Only
+    /// complete lines are consumed — a concurrent writer's half-append is
+    /// left for the next refresh, once its newline lands. Returns the
+    /// number of keys that were new to this handle; 0 for in-memory
+    /// caches (and on any read error, which degrades to a plain miss).
+    pub fn refresh(&self) -> usize {
+        let Some(store) = &self.inner.store else { return 0 };
+        let text = {
+            let mut s = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut buf = String::new();
+            let start = s.offset;
+            if s.read.seek(SeekFrom::Start(start)).is_err() || s.read.read_to_string(&mut buf).is_err()
+            {
+                return 0;
+            }
+            let complete = buf.rfind('\n').map_or(0, |i| i + 1);
+            if complete == 0 {
+                return 0;
+            }
+            buf.truncate(complete);
+            s.offset = start + complete as u64;
+            buf
+        };
+        let mut fresh = HashMap::new();
+        let (mut records, mut junk) = (0usize, 0usize);
+        for line in text.lines() {
+            ResultCache::decode_recovering(line, &mut fresh, &mut records, &mut junk);
+        }
+        let mut mem = self.inner.mem.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut new = 0usize;
+        for (key, summary) in fresh {
+            if let std::collections::hash_map::Entry::Vacant(slot) = mem.entry(key) {
+                slot.insert(summary);
+                new += 1;
+            }
+        }
+        new
     }
 
     /// Memoizes one point (and appends it to the disk store, if any; a
@@ -300,8 +440,8 @@ impl ResultCache {
         if fresh {
             if let Some(store) = &self.inner.store {
                 let line = format!("{{\"key\": \"{key:016x}\", {}}}\n", summary.json_fields());
-                let mut f = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                let _ = f.write_all(line.as_bytes());
+                let mut s = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let _ = s.append.write_all(line.as_bytes());
             }
         }
     }
@@ -311,13 +451,26 @@ impl ResultCache {
     /// partial (a writer died mid-append and a later `O_APPEND` writer
     /// glued its complete record onto the same line), the torn prefix is
     /// skipped and decoding resumes at each subsequent `{"key"` marker.
-    fn decode_recovering(line: &str, mem: &mut HashMap<u64, PointSummary>) {
+    /// `records` counts decoded records and `junk` counts skipped runs —
+    /// together they drive the load-time compaction decision.
+    fn decode_recovering(
+        line: &str,
+        mem: &mut HashMap<u64, PointSummary>,
+        records: &mut usize,
+        junk: &mut usize,
+    ) {
         let mut rest = line.trim_start();
         while !rest.is_empty() {
             if let Some((key, summary, consumed)) = ResultCache::decode_prefix(rest) {
+                *records += 1;
                 mem.insert(key, summary);
                 rest = rest[consumed..].trim_start();
+            } else if let Some(consumed) = ResultCache::header_prefix(rest) {
+                // The version header a compacted (or fresh) store opens
+                // with: recognized, not junk.
+                rest = rest[consumed..].trim_start();
             } else {
+                *junk += 1;
                 // Torn or foreign bytes: resync at the next record marker
                 // (skipping one whole character — foreign lines may start
                 // with multi-byte UTF-8, and a byte-offset slice there
@@ -358,6 +511,18 @@ impl ResultCache {
             worst_residual_k: num("worst_residual_k").unwrap_or(0.0),
         };
         Some((key, summary, end))
+    }
+
+    /// Length of a store version header at the head of `text`, `None`
+    /// when it is not one. Headers are flat objects like the records, so
+    /// the first `}` closes them.
+    fn header_prefix(text: &str) -> Option<usize> {
+        if !text.starts_with("{\"temu_store\"") {
+            return None;
+        }
+        let end = text.find('}')? + 1;
+        JsonValue::parse(&text[..end]).ok()?;
+        Some(end)
     }
 
     #[cfg(test)]

@@ -116,8 +116,10 @@ fn torn_store_lines_are_skipped_without_dropping_later_records() {
     // crash-and-append produces.
     let content = std::fs::read_to_string(&path).unwrap();
     let lines: Vec<&str> = content.lines().collect();
-    assert_eq!(lines.len(), 3);
-    let torn = format!("{}{}\n{}\n", &lines[0][..lines[0].len() / 2], lines[1], lines[2]);
+    assert_eq!(lines.len(), 4, "version header + 3 records");
+    assert!(lines[0].starts_with("{\"temu_store\""), "fresh stores open with the header line");
+    let torn =
+        format!("{}\n{}{}\n{}\n", lines[0], &lines[1][..lines[1].len() / 2], lines[2], lines[3]);
     std::fs::write(&path, torn).unwrap();
 
     let reloaded = ResultCache::with_store(&path).unwrap();
@@ -137,6 +139,74 @@ fn torn_store_lines_are_skipped_without_dropping_later_records() {
         .run_cached(&reloaded);
     assert_eq!(rerun.cache_hits, 2);
     assert_eq!(rerun.executed, 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mostly_dead_store_is_compacted_on_load_and_round_trips() {
+    let path = std::env::temp_dir().join(format!("temu_compact_store_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Seed three real records, then inflate the file with duplicates far
+    // past the dead-fraction threshold, plus a torn tail.
+    let seed = ResultCache::with_store(&path).unwrap();
+    let sweep = || {
+        Sweep::new("compact", tiny()).workloads(vec![tiny_matrix(1), tiny_matrix(2), tiny_matrix(3)])
+    };
+    assert!(sweep().run_cached(&seed).all_ok());
+    drop(seed);
+
+    let content = std::fs::read_to_string(&path).unwrap();
+    let records: Vec<&str> = content.lines().filter(|l| l.starts_with("{\"key\"")).collect();
+    assert_eq!(records.len(), 3);
+    let mut dirty = content.clone();
+    for _ in 0..40 {
+        for r in &records {
+            dirty.push_str(r);
+            dirty.push('\n');
+        }
+    }
+    dirty.push_str("torn junk without a newline");
+    std::fs::write(&path, &dirty).unwrap();
+    let dirty_len = std::fs::metadata(&path).unwrap().len();
+
+    // Loading compacts: the file shrinks back to header + 3 unique
+    // records, and the cache still answers every original content key.
+    let compacted = ResultCache::with_store(&path).unwrap();
+    assert_eq!(compacted.len(), 3);
+    let clean = std::fs::read_to_string(&path).unwrap();
+    assert!(std::fs::metadata(&path).unwrap().len() < dirty_len / 10, "compaction shrinks the file");
+    assert_eq!(clean.lines().count(), 4, "header + one line per unique key");
+    assert!(clean.lines().next().unwrap().starts_with("{\"temu_store\": 1"));
+    let rerun = sweep().run_cached(&compacted);
+    assert_eq!((rerun.cache_hits, rerun.executed), (3, 0), "identical content keys round-trip");
+    drop(compacted);
+
+    // Reloading the compacted store is stable: nothing dead, no rewrite.
+    let reloaded = ResultCache::with_store(&path).unwrap();
+    assert_eq!(reloaded.len(), 3);
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), clean);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sibling_cache_handles_see_each_others_appends_via_refresh() {
+    // Two independent ResultCache instances sharing one store file — the
+    // fleet's members-behind-one-store topology. A miss in one handle
+    // picks up what the other appended since its last read.
+    let path = std::env::temp_dir().join(format!("temu_shared_store_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let a = ResultCache::with_store(&path).unwrap();
+    let b = ResultCache::with_store(&path).unwrap();
+
+    let sweep = || Sweep::new("shared", tiny()).workloads(vec![tiny_matrix(1), tiny_matrix(2)]);
+    assert!(sweep().run_cached(&a).all_ok());
+    assert_eq!(a.len(), 2);
+    assert_eq!(b.len(), 0, "b has not looked yet");
+
+    let rerun = sweep().run_cached(&b);
+    assert_eq!((rerun.cache_hits, rerun.executed), (2, 0), "b misses, refreshes, and hits a's records");
+    assert_eq!(b.len(), 2);
     let _ = std::fs::remove_file(&path);
 }
 

@@ -1,0 +1,13 @@
+//! `temu-member`: the `temu-serve` CLI under the fleet crate's name.
+//!
+//! Identical behavior to `temu-serve` (same flags, same banner — both
+//! call [`temu_serve::cli::serve_main`]). It exists so this crate's
+//! integration tests can spawn real member processes via
+//! `CARGO_BIN_EXE_temu-member` — cargo only exposes that env var for
+//! bins of the crate under test — and so a fleet deployment can name
+//! its member role explicitly.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    temu_serve::cli::serve_main(&args);
+}

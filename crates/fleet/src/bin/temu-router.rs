@@ -1,0 +1,73 @@
+//! The fleet router.
+//!
+//! ```sh
+//! temu-router [--addr 127.0.0.1:7182] --member HOST:PORT [--member HOST:PORT ...] \
+//!             [--probe-ms N]
+//! ```
+//!
+//! Binds, prints the resolved address (`--addr 127.0.0.1:0` requests an
+//! ephemeral port — scripts parse the printed line), and routes the
+//! `temu-serve` protocol across the member table until a client sends
+//! `shutdown` (members keep running). See the `temu-fleet` crate docs
+//! for the sharding and failover model.
+
+use std::process::exit;
+use std::time::Duration;
+use temu_fleet::{Router, RouterConfig};
+
+const USAGE: &str =
+    "usage: temu-router [--addr HOST:PORT] --member HOST:PORT [--member HOST:PORT ...] [--probe-ms N]";
+
+fn main() {
+    let mut config = RouterConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{arg} takes {what}\n{USAGE}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("an address"),
+            "--member" => config.members.push(value("an address")),
+            "--probe-ms" => {
+                let ms: u64 = value("a millisecond count").parse().unwrap_or_else(|_| {
+                    eprintln!("--probe-ms takes a positive integer\n{USAGE}");
+                    exit(2);
+                });
+                config.probe_interval = Duration::from_millis(ms.max(1));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    let members = config.members.clone();
+    let router = match Router::bind(config) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("temu-router: {e}\n{USAGE}");
+            exit(2);
+        }
+    };
+    match router.local_addr() {
+        Ok(addr) => println!("temu-router listening on {addr}"),
+        Err(e) => {
+            eprintln!("temu-router: no local address: {e}");
+            exit(1);
+        }
+    }
+    println!("fleet: {} member(s)", members.len());
+    for member in &members {
+        println!("  member {member}");
+    }
+    router.run();
+    println!("temu-router: shut down");
+}

@@ -1,0 +1,165 @@
+//! Fleet failover e2e: two real `temu-member` processes behind an
+//! in-process router; the rendezvous owner of the sweep is SIGKILLed
+//! mid-run. The in-flight submission must fail over to the survivor and
+//! complete (points the dead member synced replay from the shared store
+//! as cache hits), and a resubmission through the router must be served
+//! 100% from cache.
+//!
+//! The members share one `--store` (content-keyed records append
+//! concurrently and merge on refresh) but use *distinct* `--journal`s —
+//! a shared journal would collide job ids across processes.
+
+use std::cell::RefCell;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+use temu_fleet::{MemberTable, Router, RouterConfig};
+use temu_framework::{
+    AxisSpec, ImplicitSolve, JsonValue, ScenarioSpec, SweepSpec, WorkloadSpec,
+};
+use temu_serve::Client;
+
+/// A 6-point sweep whose points are slow enough (~tens of ms each) that
+/// a kill lands mid-run; one campaign thread so store syncs fall between
+/// every point.
+fn slow_sweep() -> SweepSpec {
+    let tiny = |iters: u32| WorkloadSpec::Matrix { n: 4, iters, cores: 1 };
+    SweepSpec {
+        name: String::from("failover"),
+        base: ScenarioSpec {
+            cores: Some(1),
+            workload: Some(tiny(1)),
+            sampling_window_s: Some(0.0005),
+            windows: Some(40),
+            strict_convergence: Some(true),
+            ..ScenarioSpec::default()
+        },
+        axes: vec![
+            AxisSpec::Workloads(vec![tiny(1), tiny(2), tiny(3)]),
+            AxisSpec::Solvers(vec![ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid]),
+        ],
+        threads: Some(1),
+    }
+}
+
+/// Spawns a real `temu-member` process on an ephemeral port and parses
+/// the bound address from its banner.
+fn spawn_member(store: &Path, journal: &Path, name: &str) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_temu-member"))
+        .args(["--addr", "127.0.0.1:0", "--member", name, "--store"])
+        .arg(store)
+        .arg("--journal")
+        .arg(journal)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn temu-member");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let addr = read_banner_addr(&mut stdout);
+    (child, addr)
+}
+
+fn read_banner_addr(stdout: &mut BufReader<ChildStdout>) -> String {
+    let mut addr = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if stdout.read_line(&mut line).expect("read banner") == 0 {
+            panic!("temu-member exited before printing its banner");
+        }
+        if let Some(rest) = line.trim().strip_prefix("temu-serve listening on ") {
+            addr = Some(rest.to_string());
+        }
+        if line.contains("worker(s)") {
+            break;
+        }
+    }
+    addr.expect("member printed its address")
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("temu_fleet_failover_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn killing_the_owner_mid_sweep_fails_over_and_the_resubmission_is_cached() {
+    let dir = temp_dir();
+    let store = dir.join("cache.jsonl");
+    let spec = slow_sweep();
+
+    let (child_a, addr_a) = spawn_member(&store, &dir.join("jobs-a.jsonl"), "a");
+    let (child_b, addr_b) = spawn_member(&store, &dir.join("jobs-b.jsonl"), "b");
+    let router = Router::spawn(RouterConfig {
+        addr: String::from("127.0.0.1:0"),
+        members: vec![addr_a.clone(), addr_b.clone()],
+        probe_interval: Duration::from_millis(200),
+        ..RouterConfig::default()
+    })
+    .expect("bind the router");
+
+    // The member the router will pick first — computed with the same
+    // rendezvous hash over the same table.
+    let table = MemberTable::new([addr_a.clone(), addr_b.clone()]);
+    let key = spec.content_key().expect("content key");
+    let owner = table.rendezvous(key)[0];
+    let mut children = [Some(child_a), Some(child_b)];
+    let victim = RefCell::new(children[owner].take());
+
+    // Submit through the router; SIGKILL the owner after its second
+    // point event. The router must fail over to the survivor under the
+    // same job id and finish the stream.
+    let mut client = Client::connect(&router.addr().to_string()).expect("connect to router");
+    let mut points = 0u32;
+    let outcome = client
+        .submit(&spec, true, |event| {
+            if event.get("event").and_then(JsonValue::as_str) == Some("point") {
+                points += 1;
+                if points == 2 {
+                    if let Some(mut child) = victim.borrow_mut().take() {
+                        child.kill().expect("SIGKILL the owner");
+                        let _ = child.wait();
+                    }
+                }
+            }
+        })
+        .expect("the submission survives the kill via failover");
+    let done = outcome.done.expect("the failover stream still ends with done");
+    assert!(done.ok, "the sweep completes on the survivor: {done:?}");
+    assert_eq!(done.points, 6);
+    assert_eq!(done.executed + done.cache_hits, 6, "the whole grid was served: {done:?}");
+    assert!(
+        done.cache_hits >= 1,
+        "points the dead owner synced replay from the shared store: {done:?}"
+    );
+
+    // Resubmitting the same sweep through the router is pure cache on
+    // the survivor.
+    let rerun = client.submit(&spec, true, |_| {}).expect("resubmit after failover");
+    let cached = rerun.done.expect("done summary");
+    assert!(cached.ok);
+    assert_eq!(
+        (cached.executed, cached.cache_hits),
+        (0, 6),
+        "a retried submission is never penalized by a dead member: {cached:?}"
+    );
+
+    // The router knows what happened: one member down, failovers counted.
+    let stats = client.stats().expect("router stats");
+    assert_eq!(stats.get("members_up").and_then(JsonValue::as_u64), Some(1), "stats: {stats}");
+    assert!(
+        stats.get("failovers").and_then(JsonValue::as_u64).unwrap_or(0) >= 1,
+        "the failover was counted: {stats}"
+    );
+
+    router.shutdown();
+    for child in children.iter_mut().filter_map(Option::take) {
+        let mut child = child;
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,7 +3,7 @@
 //! ```sh
 //! temu-client [--addr HOST:PORT] [--retries N | --no-retry]
 //!             submit (--spec FILE.json | --preset NAME)
-//!             [--threads N] [--no-watch] [--require-cached]
+//!             [--threads N] [--priority N] [--no-watch] [--require-cached]
 //! temu-client [--addr HOST:PORT] status JOB | result JOB | cancel JOB |
 //!             watch JOB | stats | shutdown
 //! temu-client presets
@@ -30,7 +30,7 @@ use temu_serve::client::{request_with_retry, submit_with_retry};
 use temu_serve::{spec_from_document, Client, ClientError, RetryPolicy, ADDR_ENV, DEFAULT_ADDR};
 
 const USAGE: &str = "usage: temu-client [--addr HOST:PORT] [--retries N | --no-retry] <submit|status|result|cancel|watch|stats|shutdown|presets> [args]
-  submit (--spec FILE.json | --preset NAME) [--threads N] [--no-watch] [--require-cached]
+  submit (--spec FILE.json | --preset NAME) [--threads N] [--priority N] [--no-watch] [--require-cached]
   status|result|cancel|watch JOB
   presets    list the named sweep presets";
 
@@ -102,6 +102,7 @@ fn submit(addr: &str, policy: &RetryPolicy, args: &[String]) -> ! {
     let mut watch = true;
     let mut require_cached = false;
     let mut threads: Option<usize> = None;
+    let mut priority: i64 = 0;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -128,6 +129,12 @@ fn submit(addr: &str, policy: &RetryPolicy, args: &[String]) -> ! {
                         .unwrap_or_else(|| fail("--threads takes a positive integer", 2)),
                 );
             }
+            "--priority" => {
+                priority = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--priority takes an integer (higher runs first)", 2));
+            }
             "--no-watch" => watch = false,
             "--require-cached" => require_cached = true,
             other => fail(format!("unknown submit argument {other:?}\n{USAGE}"), 2),
@@ -144,8 +151,8 @@ fn submit(addr: &str, policy: &RetryPolicy, args: &[String]) -> ! {
     }
 
     println!("submitting \"{}\" to {addr}", spec.name);
-    let outcome =
-        submit_with_retry(addr, policy, &spec, watch, print_event).unwrap_or_else(|e| fail_client(&e));
+    let outcome = submit_with_retry(addr, policy, &spec, watch, priority, print_event)
+        .unwrap_or_else(|e| fail_client(&e));
     if !watch {
         println!("queued as job {} ({} point(s))", outcome.job, outcome.total);
         exit(0);
@@ -156,6 +163,30 @@ fn submit(addr: &str, policy: &RetryPolicy, args: &[String]) -> ! {
         fail(format!("--require-cached: {} point(s) executed instead of hitting the cache", done.executed), 3);
     }
     exit(i32::from(!(done.ok && done.failed == 0)));
+}
+
+/// Human-oriented lines after the raw stats frame. Every field is
+/// optional — an older server (no `queue_depth`) or a plain member (no
+/// `members` breakdown) just prints fewer lines.
+fn print_stats_summary(frame: &JsonValue) {
+    if let Some(depth) = frame.get("queue_depth").and_then(JsonValue::as_u64) {
+        let running = frame.get("running").and_then(JsonValue::as_u64).unwrap_or(0);
+        let workers = frame.get("workers").and_then(JsonValue::as_u64).unwrap_or(0);
+        println!("queue: {depth} queued, {running} running, {workers} worker(s)");
+    }
+    let Some(JsonValue::Arr(members)) = frame.get("members") else { return };
+    println!("fleet: {} member(s)", members.len());
+    for member in members {
+        let addr = member.get("addr").and_then(JsonValue::as_str).unwrap_or("?");
+        let state = if member.get("up").and_then(JsonValue::as_bool) == Some(true) {
+            "up"
+        } else {
+            "DOWN"
+        };
+        let routed = member.get("routed").and_then(JsonValue::as_u64).unwrap_or(0);
+        let failures = member.get("failures").and_then(JsonValue::as_u64).unwrap_or(0);
+        println!("  {addr:<21} {state:<4} {routed} routed, {failures} failure(s)");
+    }
 }
 
 fn job_arg(args: &[String]) -> u64 {
@@ -231,6 +262,7 @@ fn main() {
         "stats" => {
             let frame = retrying(&addr, &policy, |c| c.stats());
             println!("{frame}");
+            print_stats_summary(&frame);
         }
         "shutdown" => {
             retrying(&addr, &policy, |c| c.shutdown());

@@ -2,7 +2,8 @@
 //!
 //! ```sh
 //! temu-serve [--addr 127.0.0.1:7181] [--store cache.jsonl] \
-//!            [--journal jobs.jsonl] [--workers N] [--queue-limit N]
+//!            [--journal jobs.jsonl] [--workers N] [--queue-limit N] \
+//!            [--member NAME]
 //! ```
 //!
 //! Binds, prints the resolved address (`--addr 127.0.0.1:0` requests an
@@ -11,84 +12,13 @@
 //! restarts and resubmitted experiments are answered from the cache
 //! without executing a single scenario; a job journal (`jobs.jsonl` next
 //! to the store, or `--journal`) additionally re-enqueues jobs that were
-//! in flight when a previous server process died.
-
-use std::path::PathBuf;
-use std::process::exit;
-use temu_serve::{ServeConfig, Server, ADDR_ENV};
-
-const USAGE: &str = "usage: temu-serve [--addr HOST:PORT] [--store CACHE.jsonl] [--journal JOBS.jsonl] [--workers N] [--queue-limit N]";
+//! in flight when a previous server process died. `--member NAME` tags
+//! the server's `stats` with a fleet member identity (see the
+//! `temu-fleet` crate). The whole CLI lives in
+//! [`temu_serve::cli::serve_main`] so the fleet crate can ship an
+//! identical `temu-member` binary.
 
 fn main() {
-    let mut config = ServeConfig::default();
-    if let Ok(addr) = std::env::var(ADDR_ENV) {
-        config.addr = addr;
-    }
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut value = |what: &str| {
-            it.next().cloned().unwrap_or_else(|| {
-                eprintln!("{arg} takes {what}\n{USAGE}");
-                exit(2);
-            })
-        };
-        match arg.as_str() {
-            "--addr" => config.addr = value("an address"),
-            "--store" => config.store = Some(PathBuf::from(value("a path"))),
-            "--journal" => config.journal = Some(PathBuf::from(value("a path"))),
-            "--workers" => {
-                config.workers = value("a count").parse().unwrap_or_else(|_| {
-                    eprintln!("--workers takes a positive integer\n{USAGE}");
-                    exit(2);
-                });
-            }
-            "--queue-limit" => {
-                config.queue_limit = value("a count").parse().unwrap_or_else(|_| {
-                    eprintln!("--queue-limit takes a positive integer\n{USAGE}");
-                    exit(2);
-                });
-            }
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return;
-            }
-            other => {
-                eprintln!("unknown argument {other:?}\n{USAGE}");
-                exit(2);
-            }
-        }
-    }
-
-    let server = match Server::bind(config.clone()) {
-        Ok(server) => server,
-        Err(e) => {
-            eprintln!("temu-serve: cannot bind {}: {e}", config.addr);
-            exit(1);
-        }
-    };
-    match server.local_addr() {
-        Ok(addr) => println!("temu-serve listening on {addr}"),
-        Err(e) => {
-            eprintln!("temu-serve: no local address: {e}");
-            exit(1);
-        }
-    }
-    match &config.store {
-        Some(path) => {
-            println!("cache store {}: {} entr(ies) preloaded", path.display(), server.cache_len());
-        }
-        None => println!("cache: in-memory only (pass --store to persist results)"),
-    }
-    match server.journal_path() {
-        Some(path) => println!(
-            "job journal {}: {} job(s) recovered and re-enqueued",
-            path.display(),
-            server.recovered_jobs()
-        ),
-        None => println!("job journal: off (in-memory server; pass --store or --journal)"),
-    }
-    println!("{} worker(s), queue limit {}", config.workers.max(1), config.queue_limit.max(1));
-    server.run();
-    println!("temu-serve: shut down");
+    temu_serve::cli::serve_main(&args);
 }

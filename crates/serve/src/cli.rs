@@ -1,0 +1,97 @@
+//! The `temu-serve` command-line entry point, as a library function.
+//!
+//! Living in the library (rather than only in `src/bin/temu-serve.rs`)
+//! lets other crates ship an identically-behaved binary under their own
+//! name — the fleet crate's `temu-member` bin is exactly this, so the
+//! fleet's integration tests always have a member binary via
+//! `CARGO_BIN_EXE_temu-member` (cargo only exposes that env var for bins
+//! of the crate under test).
+
+use crate::{ServeConfig, Server, ADDR_ENV};
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "usage: temu-serve [--addr HOST:PORT] [--store CACHE.jsonl] [--journal JOBS.jsonl] [--workers N] [--queue-limit N] [--member NAME]";
+
+/// Parses `args` (without the program name), binds, prints the banner
+/// lines scripts grep for (`temu-serve listening on ...`), and serves
+/// until a client sends `shutdown`.
+///
+/// Exits the process with status 2 on a usage error and 1 on a bind
+/// failure — this *is* the `main` of `temu-serve` and `temu-member`.
+pub fn serve_main(args: &[String]) {
+    let mut config = ServeConfig::default();
+    if let Ok(addr) = std::env::var(ADDR_ENV) {
+        config.addr = addr;
+    }
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{arg} takes {what}\n{USAGE}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("an address"),
+            "--store" => config.store = Some(PathBuf::from(value("a path"))),
+            "--journal" => config.journal = Some(PathBuf::from(value("a path"))),
+            "--member" => config.member = Some(value("a name")),
+            "--workers" => {
+                config.workers = value("a count").parse().unwrap_or_else(|_| {
+                    eprintln!("--workers takes a positive integer\n{USAGE}");
+                    exit(2);
+                });
+            }
+            "--queue-limit" => {
+                config.queue_limit = value("a count").parse().unwrap_or_else(|_| {
+                    eprintln!("--queue-limit takes a positive integer\n{USAGE}");
+                    exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+
+    let server = match Server::bind(config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("temu-serve: cannot bind {}: {e}", config.addr);
+            exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("temu-serve listening on {addr}"),
+        Err(e) => {
+            eprintln!("temu-serve: no local address: {e}");
+            exit(1);
+        }
+    }
+    if let Some(name) = &config.member {
+        println!("fleet member name: {name}");
+    }
+    match &config.store {
+        Some(path) => {
+            println!("cache store {}: {} entr(ies) preloaded", path.display(), server.cache_len());
+        }
+        None => println!("cache: in-memory only (pass --store to persist results)"),
+    }
+    match server.journal_path() {
+        Some(path) => println!(
+            "job journal {}: {} job(s) recovered and re-enqueued",
+            path.display(),
+            server.recovered_jobs()
+        ),
+        None => println!("job journal: off (in-memory server; pass --store or --journal)"),
+    }
+    println!("{} worker(s), queue limit {}", config.workers.max(1), config.queue_limit.max(1));
+    server.run();
+    println!("temu-serve: shut down");
+}

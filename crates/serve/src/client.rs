@@ -264,7 +264,13 @@ impl Client {
         // Drop runs the shutdown.
     }
 
-    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+    /// Writes one request frame (the fleet router relays frames between
+    /// its client side and member connections through these primitives).
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
         writeln!(self.writer, "{}", request.to_line())?;
         self.writer.flush()?;
         Ok(())
@@ -272,7 +278,12 @@ impl Client {
 
     /// Reads one frame; `Err(Closed)` on EOF, typed errors for deadline,
     /// oversized, or non-JSON frames.
-    fn recv(&mut self) -> Result<JsonValue, ClientError> {
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on EOF; deadline, oversized-frame, and
+    /// parse failures.
+    pub fn recv(&mut self) -> Result<JsonValue, ClientError> {
         match read_frame(&mut self.reader, MAX_FRAME_LEN)? {
             None => Err(ClientError::Closed),
             Some(line) => JsonValue::parse(line.trim()).map_err(ClientError::Protocol),
@@ -280,7 +291,11 @@ impl Client {
     }
 
     /// Lifts or restores the read deadline around event streaming.
-    fn set_read_deadline(&self, deadline: Option<Duration>) -> Result<(), ClientError> {
+    ///
+    /// # Errors
+    ///
+    /// Socket option failures.
+    pub fn set_read_deadline(&self, deadline: Option<Duration>) -> Result<(), ClientError> {
         self.reader.get_ref().set_read_timeout(deadline)?;
         Ok(())
     }
@@ -315,9 +330,25 @@ impl Client {
         &mut self,
         spec: &SweepSpec,
         watch: bool,
+        on_event: impl FnMut(&JsonValue),
+    ) -> Result<Submission, ClientError> {
+        self.submit_with(spec, watch, 0, on_event)
+    }
+
+    /// [`Client::submit`] with an explicit scheduling priority (higher
+    /// runs first; FIFO within a level; 0 is the default).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`].
+    pub fn submit_with(
+        &mut self,
+        spec: &SweepSpec,
+        watch: bool,
+        priority: i64,
         mut on_event: impl FnMut(&JsonValue),
     ) -> Result<Submission, ClientError> {
-        let ack = self.request(&Request::Submit { spec: Box::new(spec.clone()), watch })?;
+        let ack = self.request(&Request::Submit { spec: Box::new(spec.clone()), watch, priority })?;
         let job = ack
             .get("job")
             .and_then(JsonValue::as_u64)
@@ -434,9 +465,10 @@ pub fn submit_with_retry(
     policy: &RetryPolicy,
     spec: &SweepSpec,
     watch: bool,
+    priority: i64,
     mut on_event: impl FnMut(&JsonValue),
 ) -> Result<Submission, ClientError> {
-    request_with_retry(addr, policy, |client| client.submit(spec, watch, &mut on_event))
+    request_with_retry(addr, policy, |client| client.submit_with(spec, watch, priority, &mut on_event))
 }
 
 /// Runs one request against a fresh connection with end-to-end retry:

@@ -43,6 +43,10 @@ pub struct RecoveredJob {
     /// Whether a `start` record proves the job had reached a worker
     /// (false: it was still queued).
     pub was_running: bool,
+    /// The submission's scheduling priority (0 when the record predates
+    /// priorities) — replay preserves it so a restart re-enqueues the
+    /// queue in the same order a live server would have run it.
+    pub priority: i64,
 }
 
 /// The outcome of replaying a journal file.
@@ -96,9 +100,13 @@ impl Journal {
 
     /// Records a submission (the write-ahead half: this lands before the
     /// job is queued, so a crash after the append still recovers it).
-    pub fn record_submit(&self, id: u64, name: &str, spec: &SweepSpec) {
+    /// The default priority 0 is omitted, keeping records byte-identical
+    /// to pre-priority journals.
+    pub fn record_submit(&self, id: u64, name: &str, priority: i64, spec: &SweepSpec) {
+        let priority =
+            if priority == 0 { String::new() } else { format!("\"priority\": {priority}, ") };
         self.append(&format!(
-            "{{\"op\": \"submit\", \"job\": {id}, \"name\": \"{}\", \"spec\": {}}}",
+            "{{\"op\": \"submit\", \"job\": {id}, \"name\": \"{}\", {priority}\"spec\": {}}}",
             json_escape(name),
             spec.to_json(),
         ));
@@ -137,7 +145,7 @@ impl Journal {
 #[must_use]
 pub fn replay(text: &str) -> JournalReplay {
     let mut order: Vec<u64> = Vec::new();
-    let mut specs: HashMap<u64, (String, SweepSpec)> = HashMap::new();
+    let mut specs: HashMap<u64, (String, SweepSpec, i64)> = HashMap::new();
     let mut started: HashSet<u64> = HashSet::new();
     let mut terminal: HashSet<u64> = HashSet::new();
     let mut next_id: u64 = 1;
@@ -170,8 +178,8 @@ pub fn replay(text: &str) -> JournalReplay {
         .into_iter()
         .filter(|id| !terminal.contains(id))
         .filter_map(|id| {
-            let (name, spec) = specs.get(&id)?.clone();
-            Some(RecoveredJob { id, name, spec, was_running: started.contains(&id) })
+            let (name, spec, priority) = specs.get(&id)?.clone();
+            Some(RecoveredJob { id, name, spec, was_running: started.contains(&id), priority })
         })
         .collect();
     JournalReplay { pending, next_id, skipped }
@@ -182,12 +190,13 @@ struct Record {
     id: Option<u64>,
     name: Option<String>,
     spec: Option<SweepSpec>,
+    priority: i64,
 }
 
 fn apply(
     record: &Record,
     order: &mut Vec<u64>,
-    specs: &mut HashMap<u64, (String, SweepSpec)>,
+    specs: &mut HashMap<u64, (String, SweepSpec, i64)>,
     started: &mut HashSet<u64>,
     terminal: &mut HashSet<u64>,
 ) {
@@ -199,7 +208,7 @@ fn apply(
                 // overwrite the job.
                 if let std::collections::hash_map::Entry::Vacant(slot) = specs.entry(id) {
                     let name = record.name.clone().unwrap_or_else(|| spec.name.clone());
-                    slot.insert((name, spec.clone()));
+                    slot.insert((name, spec.clone(), record.priority));
                     order.push(id);
                 }
             }
@@ -232,6 +241,7 @@ fn decode_prefix(rest: &str) -> Option<(Record, usize)> {
         id: v.get("job").and_then(JsonValue::as_u64),
         name: v.get("name").and_then(JsonValue::as_str).map(String::from),
         spec,
+        priority: v.get("priority").and_then(JsonValue::as_i64).unwrap_or(0),
     };
     Some((record, end))
 }
@@ -336,14 +346,33 @@ mod tests {
         {
             let (journal, r) = Journal::open(&path).unwrap();
             assert_eq!(r, JournalReplay { next_id: 1, ..JournalReplay::default() });
-            journal.record_submit(1, "smoke", &spec);
+            journal.record_submit(1, "smoke", 0, &spec);
             journal.record_start(1);
-            journal.record_submit(2, "smoke", &spec);
+            journal.record_submit(2, "smoke", 7, &spec);
         }
         let (_journal, r) = Journal::open(&path).unwrap();
         assert_eq!(r.pending.len(), 2);
         assert_eq!(r.next_id, 3);
         assert!(r.pending[0].was_running && !r.pending[1].was_running);
+        assert_eq!(
+            (r.pending[0].priority, r.pending[1].priority),
+            (0, 7),
+            "replay preserves submission priorities"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn priority_survives_replay_and_defaults_for_old_records() {
+        let spec = SweepSpec::named("smoke").unwrap();
+        let text = format!(
+            "{}\n{{\"op\": \"submit\", \"job\": 2, \"name\": \"hot\", \"priority\": 5, \"spec\": {}}}\n",
+            submit_line(1),
+            spec.to_json(),
+        );
+        let r = replay(&text);
+        assert_eq!(r.pending.len(), 2);
+        assert_eq!(r.pending[0].priority, 0, "pre-priority records default to the batch tier");
+        assert_eq!(r.pending[1].priority, 5);
     }
 }

@@ -45,6 +45,7 @@
 //! and a [`fault`]-injection harness (`TEMU_FAULT`) drives the chaos
 //! tests that prove all of it.
 
+pub mod cli;
 pub mod client;
 pub mod fault;
 pub mod journal;
@@ -55,6 +56,7 @@ pub use client::{Client, ClientError, DoneSummary, RetryPolicy, Submission};
 pub use fault::FaultPlan;
 pub use journal::{Journal, JournalReplay, RecoveredJob};
 pub use protocol::{
-    read_frame, spec_from_document, ProtocolError, Request, ADDR_ENV, DEFAULT_ADDR, MAX_FRAME_LEN,
+    coded_error_line, error_line, read_frame, spec_from_document, ProtocolError, Request, ADDR_ENV,
+    DEFAULT_ADDR, MAX_FRAME_LEN,
 };
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -10,7 +10,7 @@
 //!
 //! | `cmd` | fields | response |
 //! |---|---|---|
-//! | `submit` | `sweep` ([`SweepSpec`] object), optional `watch` | `{"ok", "job", "total"}` (+ events) |
+//! | `submit` | `sweep` ([`SweepSpec`] object), optional `watch`, optional `priority` (default 0; higher runs first, FIFO within a level) | `{"ok", "job", "total"}` (+ events) |
 //! | `status` | `job` | job state and progress counters |
 //! | `result` | `job` | the finished job's [`SweepReport`](temu_framework::SweepReport) JSON |
 //! | `cancel` | `job` | ok for queued jobs; running/finished jobs refuse |
@@ -28,7 +28,9 @@
 //! failed to lower and `"cancelled": true` when it was cancelled).
 //!
 //! Responses to failed requests are `{"ok": false, "error": "..."}`; the
-//! connection stays usable.
+//! connection stays usable. Refusals a peer may want to branch on also
+//! carry a machine-readable `"code"` field (`frame_too_long`,
+//! `queue_full`) — see [`coded_error_line`].
 
 use std::error::Error;
 use std::fmt;
@@ -177,6 +179,10 @@ pub enum Request {
         spec: Box<SweepSpec>,
         /// Stream `point`/`done` events after the acknowledgement.
         watch: bool,
+        /// Scheduling priority: higher claims a worker first, FIFO within
+        /// a level. 0 (the default) is the normal batch tier; old servers
+        /// ignore the field and schedule plain FIFO.
+        priority: i64,
     },
     /// Report a job's state and progress counters.
     Status {
@@ -227,7 +233,8 @@ impl Request {
                     v.get("sweep").ok_or_else(|| String::from("\"submit\" needs a \"sweep\" spec object"))?;
                 let spec = SweepSpec::from_value(spec_value).map_err(|e| e.to_string())?;
                 let watch = v.get("watch").and_then(JsonValue::as_bool).unwrap_or(false);
-                Ok(Request::Submit { spec: Box::new(spec), watch })
+                let priority = v.get("priority").and_then(JsonValue::as_i64).unwrap_or(0);
+                Ok(Request::Submit { spec: Box::new(spec), watch, priority })
             }
             "status" => Ok(Request::Status { job: job()? }),
             "result" => Ok(Request::Result { job: job()? }),
@@ -243,8 +250,18 @@ impl Request {
     #[must_use]
     pub fn to_line(&self) -> String {
         match self {
-            Request::Submit { spec, watch } => {
-                format!("{{\"cmd\": \"submit\", \"watch\": {watch}, \"sweep\": {}}}", spec.to_json())
+            Request::Submit { spec, watch, priority } => {
+                // The default priority is omitted so the rendered line is
+                // byte-identical to what pre-priority clients sent.
+                let priority = if *priority == 0 {
+                    String::new()
+                } else {
+                    format!("\"priority\": {priority}, ")
+                };
+                format!(
+                    "{{\"cmd\": \"submit\", \"watch\": {watch}, {priority}\"sweep\": {}}}",
+                    spec.to_json()
+                )
             }
             Request::Status { job } => format!("{{\"cmd\": \"status\", \"job\": {job}}}"),
             Request::Result { job } => format!("{{\"cmd\": \"result\", \"job\": {job}}}"),
@@ -260,6 +277,19 @@ impl Request {
 #[must_use]
 pub fn error_line(message: &str) -> String {
     format!("{{\"ok\": false, \"error\": \"{}\"}}", json_escape(message))
+}
+
+/// Renders an error response line carrying a machine-readable `code`
+/// alongside the human message — for refusals a peer wants to branch on:
+/// the fleet router fails a `queue_full` submission over to the next
+/// member in rendezvous order instead of surfacing it to the client.
+#[must_use]
+pub fn coded_error_line(code: &str, message: &str) -> String {
+    format!(
+        "{{\"ok\": false, \"code\": \"{}\", \"error\": \"{}\"}}",
+        json_escape(code),
+        json_escape(message)
+    )
 }
 
 /// Interprets a spec file's JSON as a submittable [`SweepSpec`]: a
@@ -289,6 +319,12 @@ mod tests {
             Request::Submit {
                 spec: Box::new(SweepSpec::named("smoke").unwrap()),
                 watch: true,
+                priority: 0,
+            },
+            Request::Submit {
+                spec: Box::new(SweepSpec::named("smoke").unwrap()),
+                watch: false,
+                priority: 9,
             },
             Request::Status { job: 3 },
             Request::Result { job: 4 },
@@ -313,6 +349,23 @@ mod tests {
         assert!(Request::parse("{\"cmd\": \"submit\"}").unwrap_err().contains("sweep"));
         let bad_spec = "{\"cmd\": \"submit\", \"sweep\": {\"sweep\": \"x\", \"base\": {\"preset\": 7}}}";
         assert!(Request::parse(bad_spec).unwrap_err().contains("preset"));
+    }
+
+    #[test]
+    fn default_priority_renders_the_pre_priority_line() {
+        let req = Request::Submit {
+            spec: Box::new(SweepSpec::named("smoke").unwrap()),
+            watch: true,
+            priority: 0,
+        };
+        assert!(
+            !req.to_line().contains("priority"),
+            "priority 0 is omitted for old-server byte compatibility"
+        );
+        match Request::parse(&req.to_line()).unwrap() {
+            Request::Submit { priority, .. } => assert_eq!(priority, 0),
+            other => panic!("expected submit, got {other:?}"),
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //!   peer cannot pin a handler thread or buffer unbounded bytes.
 
 use crate::journal::Journal;
-use crate::protocol::{error_line, read_frame, ProtocolError, Request, MAX_FRAME_LEN};
+use crate::protocol::{coded_error_line, error_line, read_frame, ProtocolError, Request, MAX_FRAME_LEN};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -82,6 +82,9 @@ pub struct ServeConfig {
     /// its event stream is disconnected instead of pinning a handler
     /// thread forever.
     pub io_timeout: Option<Duration>,
+    /// Fleet member identity advertised in `stats` (the router labels its
+    /// per-member breakdown with it); `None` omits the field.
+    pub member: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +97,7 @@ impl Default for ServeConfig {
             history_limit: 256,
             journal: None,
             io_timeout: Some(Duration::from_secs(30)),
+            member: None,
         }
     }
 }
@@ -127,6 +131,8 @@ struct Job {
     name: String,
     spec: SweepSpec,
     state: JobState,
+    /// Scheduling priority: higher first, FIFO within a level (0 default).
+    priority: i64,
     total: usize,
     completed: usize,
     executed: usize,
@@ -141,11 +147,12 @@ struct Job {
     cancel: Arc<AtomicBool>,
 }
 
-fn new_job(name: String, spec: SweepSpec, total: usize) -> Job {
+fn new_job(name: String, spec: SweepSpec, total: usize, priority: i64) -> Job {
     Job {
         name,
         spec,
         state: JobState::Queued,
+        priority,
         total,
         completed: 0,
         executed: 0,
@@ -169,6 +176,29 @@ struct Jobs {
 }
 
 impl Jobs {
+    /// Claims the next runnable job id: highest priority first, FIFO
+    /// within a priority level (the queue itself is submission-ordered,
+    /// so the first entry at the max level is the oldest). Entries whose
+    /// job is no longer `Queued` (cancelled while waiting, or evicted)
+    /// are dropped along the way.
+    fn claim_next(&mut self) -> Option<u64> {
+        self.queue
+            .retain(|id| self.map.get(id).is_some_and(|j| j.state == JobState::Queued));
+        let pos = self
+            .queue
+            .iter()
+            .enumerate()
+            .max_by(|(ai, a), (bi, b)| {
+                let ap = self.map.get(a).map_or(i64::MIN, |j| j.priority);
+                let bp = self.map.get(b).map_or(i64::MIN, |j| j.priority);
+                // Strict priority order; on a tie the *earlier* index wins,
+                // so compare indices reversed.
+                ap.cmp(&bp).then(bi.cmp(ai))
+            })
+            .map(|(i, _)| i)?;
+        self.queue.remove(pos)
+    }
+
     /// Records a job's terminal transition and evicts the oldest finished
     /// jobs beyond the history limit.
     fn note_terminal(&mut self, id: u64, limit: usize) {
@@ -184,6 +214,7 @@ impl Jobs {
 struct Shared {
     cache: ResultCache,
     journal: Option<Journal>,
+    member: Option<String>,
     io_timeout: Option<Duration>,
     queue_limit: usize,
     history_limit: usize,
@@ -336,6 +367,7 @@ impl Server {
         let shared = Arc::new(Shared {
             cache,
             journal,
+            member: config.member.clone(),
             io_timeout: config.io_timeout,
             queue_limit: config.queue_limit.max(1),
             history_limit: config.history_limit.max(1),
@@ -375,7 +407,10 @@ impl Server {
                 }
             };
             let mut jobs = shared.lock_jobs();
-            jobs.map.insert(recovered.id, new_job(recovered.name, recovered.spec, total));
+            jobs.map.insert(
+                recovered.id,
+                new_job(recovered.name, recovered.spec, total, recovered.priority),
+            );
             jobs.queue.push_back(recovered.id);
             drop(jobs);
             shared.jobs_recovered.fetch_add(1, Ordering::Relaxed);
@@ -491,7 +526,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                if let Some(id) = jobs.queue.pop_front() {
+                if let Some(id) = jobs.claim_next() {
                     if let Some(job) = jobs.map.get_mut(&id) {
                         if job.state == JobState::Queued {
                             job.state = JobState::Running;
@@ -669,7 +704,9 @@ fn serve_connection(
             }
         };
         match request {
-            Request::Submit { spec, watch } => handle_submit(shared, &mut writer, *spec, watch)?,
+            Request::Submit { spec, watch, priority } => {
+                handle_submit(shared, &mut writer, *spec, watch, priority)?;
+            }
             Request::Status { job } => writeln!(writer, "{}", status_response(shared, job))?,
             Request::Result { job } => writeln!(writer, "{}", result_response(shared, job))?,
             Request::Cancel { job } => writeln!(writer, "{}", cancel_response(shared, job))?,
@@ -692,6 +729,7 @@ fn handle_submit(
     writer: &mut TcpStream,
     spec: SweepSpec,
     watch: bool,
+    priority: i64,
 ) -> std::io::Result<()> {
     // Validate by lowering once up front, so a bad spec is the
     // submitter's typed error, not a later queue failure.
@@ -706,21 +744,27 @@ fn handle_submit(
         let mut jobs = shared.lock_jobs();
         if jobs.queue.len() >= shared.queue_limit {
             drop(jobs);
+            // Coded refusal: the fleet router spills `queue_full` to the
+            // next member in rendezvous order instead of failing the
+            // submission.
             writeln!(
                 writer,
                 "{}",
-                error_line(&format!("queue full ({} job(s) queued)", shared.queue_limit))
+                coded_error_line(
+                    "queue_full",
+                    &format!("queue full ({} job(s) queued)", shared.queue_limit)
+                )
             )?;
             return Ok(());
         }
         let id = jobs.next_id;
         jobs.next_id += 1;
-        let mut job = new_job(spec.name.clone(), spec, total);
+        let mut job = new_job(spec.name.clone(), spec, total, priority);
         // Write-ahead: the submit record lands (under the jobs lock, so
         // journal order matches queue order) before the job is visible to
         // workers — a crash from here on recovers it.
         if let Some(journal) = &shared.journal {
-            journal.record_submit(id, &job.name, &job.spec);
+            journal.record_submit(id, &job.name, job.priority, &job.spec);
         }
         // Subscribe before the job can start: no event is ever missed.
         let rx = watch.then(|| {
@@ -791,9 +835,10 @@ fn status_response(shared: &Arc<Shared>, job_id: u64) -> String {
     match jobs.map.get(&job_id) {
         None => error_line(&format!("no such job {job_id}")),
         Some(job) => format!(
-            "{{\"ok\": true, \"job\": {job_id}, \"name\": \"{}\", \"state\": \"{}\", \"completed\": {}, \"total\": {}, \"executed\": {}, \"cache_hits\": {}, \"failed\": {}}}",
+            "{{\"ok\": true, \"job\": {job_id}, \"name\": \"{}\", \"state\": \"{}\", \"priority\": {}, \"completed\": {}, \"total\": {}, \"executed\": {}, \"cache_hits\": {}, \"failed\": {}}}",
             json_escape(&job.name),
             job.state.tag(),
+            job.priority,
             job.completed,
             job.total,
             job.executed,
@@ -865,8 +910,12 @@ fn stats_response(shared: &Arc<Shared>) -> String {
     let hits = shared.point_cache_hits.load(Ordering::Relaxed);
     let served = executed + hits;
     let hit_rate = if served == 0 { 0.0 } else { hits as f64 / served as f64 };
+    let member = match &shared.member {
+        Some(name) => format!("\"member\": \"{}\", ", json_escape(name)),
+        None => String::new(),
+    };
     format!(
-        "{{\"ok\": true, \"jobs_submitted\": {}, \"jobs_completed\": {}, \"jobs_failed\": {}, \"jobs_cancelled\": {}, \"jobs_recovered\": {}, \"queue_depth\": {queue_depth}, \"running\": {running}, \"workers\": {}, \"queue_limit\": {}, \"points_executed\": {executed}, \"point_cache_hits\": {hits}, \"points_failed\": {}, \"cache_hit_rate\": {hit_rate:.4}, \"cache_entries\": {}, \"store\": {}, \"journal\": {}}}",
+        "{{\"ok\": true, {member}\"jobs_submitted\": {}, \"jobs_completed\": {}, \"jobs_failed\": {}, \"jobs_cancelled\": {}, \"jobs_recovered\": {}, \"queue_depth\": {queue_depth}, \"running\": {running}, \"workers\": {}, \"queue_limit\": {}, \"points_executed\": {executed}, \"point_cache_hits\": {hits}, \"points_failed\": {}, \"cache_hit_rate\": {hit_rate:.4}, \"cache_entries\": {}, \"store\": {}, \"journal\": {}}}",
         shared.jobs_submitted.load(Ordering::Relaxed),
         shared.jobs_completed.load(Ordering::Relaxed),
         shared.jobs_failed.load(Ordering::Relaxed),
@@ -885,4 +934,37 @@ fn stats_response(shared: &Arc<Shared>) -> String {
             None => String::from("null"),
         },
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queued(priority: i64) -> Job {
+        let spec = SweepSpec::named("smoke").expect("smoke preset");
+        new_job(String::from("t"), spec, 1, priority)
+    }
+
+    #[test]
+    fn claim_order_is_priority_then_fifo_and_skips_non_queued() {
+        let mut jobs = Jobs {
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            terminal: VecDeque::new(),
+            next_id: 6,
+        };
+        for (id, priority) in [(1, 0), (2, 5), (3, 0), (4, 5), (5, -1)] {
+            jobs.map.insert(id, queued(priority));
+            jobs.queue.push_back(id);
+        }
+        // Job 4 was cancelled while queued: it must be skipped even though
+        // it ties job 2 for the highest priority.
+        jobs.map.get_mut(&4).expect("job 4").state = JobState::Cancelled;
+        let mut order = Vec::new();
+        while let Some(id) = jobs.claim_next() {
+            jobs.map.get_mut(&id).expect("claimed job").state = JobState::Running;
+            order.push(id);
+        }
+        assert_eq!(order, vec![2, 1, 3, 5], "priority desc, FIFO within a level");
+    }
 }

@@ -91,7 +91,7 @@ fn server_under_injected_faults_stays_terminal_and_converges_to_cached() {
     let mut attempts = 0u32;
     while attempts < 60 {
         attempts += 1;
-        let outcome = submit_with_retry(&addr, &policy, &spec, true, |_| {})
+        let outcome = submit_with_retry(&addr, &policy, &spec, true, 0, |_| {})
             .expect("submission survives transient chaos");
         let summary = outcome.done.expect("watched submissions end with a done summary");
         if summary.ok && summary.failed == 0 {
@@ -104,7 +104,7 @@ fn server_under_injected_faults_stays_terminal_and_converges_to_cached() {
     assert_eq!(done.executed + done.cache_hits, 4, "the whole grid was served");
 
     // One more submission is pure cache: immune to worker panics.
-    let outcome = submit_with_retry(&addr, &policy, &spec, true, |_| {})
+    let outcome = submit_with_retry(&addr, &policy, &spec, true, 0, |_| {})
         .expect("cached resubmission survives transient chaos");
     let cached = outcome.done.unwrap();
     assert!(cached.ok);

@@ -112,4 +112,56 @@ wait "$CHAOS_PID" || true
 CHAOS_PID=""
 echo "chaos smoke OK"
 
+echo "== fleet-smoke gate =="
+# The fleet gate, through the real bins: two temu-serve members sharing
+# one cache store (distinct journals — ids must not collide), a
+# temu-router in front, and an unmodified temu-client submitting the
+# smoke preset through the router. The identical resubmission must
+# rendezvous to the same member and be served 100% from its cache
+# (--require-cached exits 3 otherwise).
+FLEET_TMP=$(mktemp -d)
+FLEET_PIDS=""
+fleet_cleanup() {
+    for pid in $FLEET_PIDS; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$FLEET_TMP" "$CHAOS_TMP" "$SERVE_TMP"
+}
+trap fleet_cleanup EXIT
+
+wait_addr() { # logfile prefix -> prints the bound address
+    local found=""
+    for _ in $(seq 1 100); do
+        found=$(sed -n "s/^$2 listening on //p" "$1")
+        [ -n "$found" ] && break
+        sleep 0.1
+    done
+    if [ -z "$found" ]; then
+        echo "fleet smoke FAILED: no '$2 listening on' banner in $1" >&2
+        cat "$1" >&2
+        return 1
+    fi
+    echo "$found"
+}
+
+target/release/temu-serve --addr 127.0.0.1:0 --store "$FLEET_TMP/cache.jsonl" \
+    --journal "$FLEET_TMP/jobs-a.jsonl" --member a > "$FLEET_TMP/member-a.log" 2>&1 &
+FLEET_PIDS="$FLEET_PIDS $!"
+target/release/temu-serve --addr 127.0.0.1:0 --store "$FLEET_TMP/cache.jsonl" \
+    --journal "$FLEET_TMP/jobs-b.jsonl" --member b > "$FLEET_TMP/member-b.log" 2>&1 &
+FLEET_PIDS="$FLEET_PIDS $!"
+member_a=$(wait_addr "$FLEET_TMP/member-a.log" temu-serve)
+member_b=$(wait_addr "$FLEET_TMP/member-b.log" temu-serve)
+target/release/temu-router --addr 127.0.0.1:0 --member "$member_a" --member "$member_b" \
+    > "$FLEET_TMP/router.log" 2>&1 &
+FLEET_PIDS="$FLEET_PIDS $!"
+router=$(wait_addr "$FLEET_TMP/router.log" temu-router)
+target/release/temu-client --addr "$router" submit --preset smoke
+target/release/temu-client --addr "$router" submit --preset smoke --require-cached
+target/release/temu-client --addr "$router" stats
+target/release/temu-client --addr "$router" shutdown
+target/release/temu-client --addr "$member_a" shutdown
+target/release/temu-client --addr "$member_b" shutdown
+for pid in $FLEET_PIDS; do wait "$pid" || true; done
+FLEET_PIDS=""
+echo "fleet smoke OK"
+
 echo "All checks passed."

@@ -49,6 +49,7 @@
 
 pub use temu_cpu as cpu;
 pub use temu_des as des;
+pub use temu_fleet as fleet;
 pub use temu_fpga as fpga;
 pub use temu_framework as framework;
 pub use temu_interconnect as interconnect;
