@@ -5,18 +5,29 @@
 //! cargo run --release -p temu-bench --bin sweep -- --list
 //! cargo run --release -p temu-bench --bin sweep -- ladder --out ladder.json
 //! cargo run --release -p temu-bench --bin sweep -- grid100 --cache target/sweep_cache.jsonl
+//! cargo run --release -p temu-bench --bin sweep -- explore --batch
 //! cargo run --release -p temu-bench --bin sweep -- --smoke
 //! ```
 //!
 //! The named sweeps are the workspace's shared [`SweepSpec::named`]
 //! presets — the same grids `temu-client submit --preset` sends to a
 //! `temu-serve` server; this bin runs them in-process. Every run streams
-//! per-point progress; with `--cache <store.jsonl>` a re-run (same
-//! process or not) skips every already-solved point. `--smoke` runs the
-//! check.sh gate: the strict-convergence `smoke` preset (8 points,
-//! multigrid included) followed by an in-process re-run that must be 100%
-//! cache hits — any failed point, unconverged substep, or missed cache
-//! hit exits non-zero.
+//! per-point progress and reports the sweep's build-artifact cache
+//! (floorplans, meshes, multigrid hierarchies, workload programs shared
+//! across points); with `--cache <store.jsonl>` a re-run (same process or
+//! not) skips every already-solved point. `--batch` fuses points that
+//! share a thermal operator into lockstep groups solved by the many-RHS
+//! kernel (bitwise-identical results); `--no-batch` forces the per-point
+//! campaign path.
+//!
+//! `--smoke` runs the check.sh gate: the strict-convergence `smoke`
+//! preset (8 points, multigrid included) on one thread — asserting the
+//! artifact cache built the shared mesh exactly once — then an in-process
+//! re-run that must be 100% cache hits, then the same grid again through
+//! the batched lockstep path, which must match the campaign run
+//! peak-for-peak. Any failed point, unconverged substep, missed cache
+//! hit, artifact rebuild, or batched-vs-sequential mismatch exits
+//! non-zero.
 
 use temu_framework::{ResultCache, Sweep, SweepReport, SweepSpec, NAMED_SWEEPS};
 
@@ -52,14 +63,28 @@ fn summarize(report: &SweepReport) {
         report.wall.as_secs_f64(),
         report.threads
     );
+    let a = report.artifacts;
+    if a.hits() + a.misses() > 0 {
+        println!(
+            "  artifacts: floorplan {}/{}, mesh {}/{}, operator {}/{}, program {}/{} (hits/builds)",
+            a.floorplan_hits,
+            a.floorplan_misses,
+            a.mesh_hits,
+            a.mesh_misses,
+            a.operator_hits,
+            a.operator_misses,
+            a.program_hits,
+            a.program_misses,
+        );
+    }
 }
 
-/// The check.sh gate: the strict-convergence `smoke` preset (multigrid
-/// included) plus an in-process cached re-run that must skip every
-/// execution.
+/// The check.sh gate (see the module docs).
 fn smoke() -> i32 {
     let cache = ResultCache::in_memory();
-    let build = || build("smoke").expect("the smoke preset exists");
+    // One worker so the per-layer artifact counts are deterministic
+    // (racing campaign workers may each build the first miss).
+    let build = || build("smoke").expect("the smoke preset exists").threads(1);
     println!("sweep smoke: 8-point strict-convergence grid");
     let first = with_progress(build()).run_cached(&cache);
     summarize(&first);
@@ -74,6 +99,21 @@ fn smoke() -> i32 {
             return 1;
         }
     }
+    // Eight points, one floorplan geometry: the sweep's artifact cache
+    // must have built the mesh once and served the other seven points.
+    let a = first.artifacts;
+    if a.mesh_misses != 1 || a.mesh_hits != 7 {
+        eprintln!(
+            "sweep smoke FAILED: expected 1 mesh build + 7 cache hits, got {}/{}",
+            a.mesh_misses, a.mesh_hits
+        );
+        return 1;
+    }
+    if a.operator_hits == 0 {
+        eprintln!("sweep smoke FAILED: the multigrid points never shared their hierarchy");
+        return 1;
+    }
+
     println!("\nsweep smoke: identical re-run must be 100% cache hits");
     let rerun = with_progress(build()).run_cached(&cache);
     summarize(&rerun);
@@ -84,6 +124,37 @@ fn smoke() -> i32 {
         );
         return 1;
     }
+
+    println!("\nsweep smoke: batched lockstep run must match the campaign run");
+    let batched = with_progress(build().batch(true)).run_cached(&ResultCache::in_memory());
+    summarize(&batched);
+    if !batched.all_ok() {
+        eprintln!("sweep smoke FAILED: {} batched point(s) failed", batched.n_failed());
+        return 1;
+    }
+    for (a, b) in first.points.iter().zip(&batched.points) {
+        let (x, y) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        let same = x.windows == y.windows
+            && x.instructions == y.instructions
+            && x.peak_temp_k.map(f64::to_bits) == y.peak_temp_k.map(f64::to_bits)
+            && x.final_temp_k.map(f64::to_bits) == y.final_temp_k.map(f64::to_bits)
+            && x.unconverged_substeps == y.unconverged_substeps;
+        if a.key != b.key || !same {
+            eprintln!(
+                "sweep smoke FAILED: batched {} diverged from the sequential run ({:?} vs {:?})",
+                a.label, y.peak_temp_k, x.peak_temp_k
+            );
+            return 1;
+        }
+    }
+    if batched.artifacts.mesh_misses != 1 {
+        eprintln!(
+            "sweep smoke FAILED: the batched path built {} meshes",
+            batched.artifacts.mesh_misses
+        );
+        return 1;
+    }
+
     println!("\nsweep smoke OK");
     0
 }
@@ -94,7 +165,7 @@ fn main() {
         std::process::exit(smoke());
     }
     if args.iter().any(|a| a == "--list") || args.is_empty() {
-        println!("named sweeps (run with: sweep <name> [--out x.json] [--csv x.csv] [--cache store.jsonl] [--threads N]):");
+        println!("named sweeps (run with: sweep <name> [--out x.json] [--csv x.csv] [--cache store.jsonl] [--threads N] [--batch|--no-batch]):");
         for (name, what) in NAMED_SWEEPS {
             println!("  {name:<10} {what}");
         }
@@ -106,6 +177,7 @@ fn main() {
     let mut csv: Option<String> = None;
     let mut cache_path: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut batch = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -117,8 +189,10 @@ fn main() {
                     it.next().and_then(|v| v.parse().ok()).expect("--threads takes a positive integer"),
                 );
             }
+            "--batch" => batch = true,
+            "--no-batch" => batch = false,
             flag if flag.starts_with("--") => {
-                panic!("unknown flag {flag} (supported: --out, --csv, --cache, --threads, --smoke, --list)")
+                panic!("unknown flag {flag} (supported: --out, --csv, --cache, --threads, --batch, --no-batch, --smoke, --list)")
             }
             positional => name = Some(String::from(positional)),
         }
@@ -130,9 +204,13 @@ fn main() {
     if let Some(t) = threads {
         sweep = sweep.threads(t);
     }
-    sweep = with_progress(sweep);
+    sweep = with_progress(sweep.batch(batch));
 
-    println!("sweep {name}: {} point(s)", sweep.n_points());
+    println!(
+        "sweep {name}: {} point(s){}",
+        sweep.n_points(),
+        if batch { " [batched lockstep]" } else { "" }
+    );
     let report = match &cache_path {
         Some(path) => {
             let cache = ResultCache::with_store(path).expect("open cache store");

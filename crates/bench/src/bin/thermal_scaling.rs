@@ -71,9 +71,13 @@ fn main() {
             if c.parallel_active { "  [parallel]" } else { "" },
         );
     }
-    println!("\nMesh build times (was O(n_tiles²) before the interval-sweep mesher):");
+    println!("\nArtifact build times (what one sweep-layer cache hit saves per point):");
+    println!("{:<16} {:>7} {:>8} {:>14} {:>19}", "mesh", "tiles", "cells", "mesh_build_ms", "hierarchy_build_ms");
     for b in &report.builds {
-        println!("  {:<16} {:>7} tiles {:>8} cells  {:>9.3} ms", b.mesh, b.tiles, b.cells, b.wall_s * 1e3);
+        println!(
+            "{:<16} {:>7} {:>8} {:>14.3} {:>19.3}",
+            b.mesh, b.tiles, b.cells, b.mesh_build_ms, b.hierarchy_build_ms
+        );
     }
 
     std::fs::write(&out, report.to_json()).expect("write report");

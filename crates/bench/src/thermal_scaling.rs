@@ -58,7 +58,10 @@ pub struct CaseResult {
     pub max_temp_k: f64,
 }
 
-/// Meshing wall-time for one rung.
+/// Build-artifact wall-time for one rung: the two artifacts the sweep
+/// layer's [`temu_framework::ArtifactCache`] memoizes. These columns are
+/// what the cache saves per hit, so the committed bench makes the value of
+/// a mesh/operator cache hit visible at every mesh scale.
 #[derive(Clone, Debug)]
 pub struct MeshBuild {
     /// Mesh rung label.
@@ -67,8 +70,11 @@ pub struct MeshBuild {
     pub tiles: usize,
     /// Total cells.
     pub cells: usize,
-    /// Seconds `ThermalGrid::build` took.
-    pub wall_s: f64,
+    /// Milliseconds `ThermalGrid::build` took.
+    pub mesh_build_ms: f64,
+    /// Milliseconds `MgTopology::for_grid` (the multigrid hierarchy —
+    /// coarse grids, interpolation stencils, coarse operators) took.
+    pub hierarchy_build_ms: f64,
 }
 
 /// A full scaling run.
@@ -223,11 +229,15 @@ pub fn run_filtered(smoke: bool, budget_s: f64, only_mesh: Option<&str>) -> Scal
         }
         let t0 = Instant::now();
         let grid = ThermalGrid::build(&map.floorplan, &cfg).expect("meshes");
+        let mesh_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let _topo = temu_thermal::MgTopology::for_grid(&grid, &cfg);
         builds.push(MeshBuild {
             mesh,
             tiles: grid.n_tiles(),
             cells: grid.n_cells(),
-            wall_s: t0.elapsed().as_secs_f64(),
+            mesh_build_ms,
+            hierarchy_build_ms: t1.elapsed().as_secs_f64() * 1e3,
         });
         for integrator in integrators() {
             // The gs rows pin Gauss–Seidel so the multigrid comparison
@@ -298,11 +308,13 @@ impl ScalingReport {
         s.push_str("  \"mesh_builds\": [\n");
         for (i, b) in self.builds.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"mesh\": \"{}\", \"tiles\": {}, \"cells\": {}, \"wall_s\": {:.6}}}{}\n",
+                "    {{\"mesh\": \"{}\", \"tiles\": {}, \"cells\": {}, \
+                 \"mesh_build_ms\": {:.3}, \"hierarchy_build_ms\": {:.3}}}{}\n",
                 b.mesh,
                 b.tiles,
                 b.cells,
-                b.wall_s,
+                b.mesh_build_ms,
+                b.hierarchy_build_ms,
                 if i + 1 < self.builds.len() { "," } else { "" }
             ));
         }
@@ -382,7 +394,13 @@ mod tests {
                 unconverged: 60,
                 max_temp_k: 301.0,
             }],
-            builds: vec![MeshBuild { mesh: "paper660", tiles: 160, cells: 640, wall_s: 0.001 }],
+            builds: vec![MeshBuild {
+                mesh: "paper660",
+                tiles: 160,
+                cells: 640,
+                mesh_build_ms: 1.0,
+                hierarchy_build_ms: 2.5,
+            }],
         };
         let json = report.to_json();
         for needle in [
@@ -390,6 +408,8 @@ mod tests {
             "\"substeps_per_s\": 600.0",
             "\"speedup_vs_reference\": 1.000",
             "\"mesh_builds\"",
+            "\"mesh_build_ms\": 1.000",
+            "\"hierarchy_build_ms\": 2.500",
             "\"smoke\": true",
             "\"solver\": \"gs\"",
             "\"unconverged_substeps\": 60",

@@ -27,6 +27,7 @@
 //! when finite and as `null` otherwise, so the export is always valid
 //! JSON.
 
+use crate::artifacts::ArtifactCache;
 use crate::error::TemuError;
 use crate::export::{csv_f64, csv_field, csv_opt, json_escape, json_f64, json_num_or_null};
 use crate::scenario::{Scenario, ScenarioRun};
@@ -81,6 +82,7 @@ pub struct Campaign {
     scenarios: Vec<Scenario>,
     threads: Option<usize>,
     sink: Option<Arc<ResultSink>>,
+    artifacts: Option<Arc<ArtifactCache>>,
 }
 
 impl fmt::Debug for Campaign {
@@ -116,6 +118,16 @@ impl Campaign {
     /// available parallelism decide.
     pub fn threads(mut self, threads: usize) -> Campaign {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Builds every scenario through a shared layered [`ArtifactCache`]
+    /// ([`Scenario::build_with`]): scenarios that agree on floorplan
+    /// geometry, mesh or workload share those build artifacts instead of
+    /// rebuilding them per scenario. Results are unchanged — only build
+    /// cost is.
+    pub fn artifacts(mut self, artifacts: Arc<ArtifactCache>) -> Campaign {
+        self.artifacts = Some(artifacts);
         self
     }
 
@@ -157,7 +169,7 @@ impl Campaign {
             if i >= n_jobs {
                 break;
             }
-            let result = run_one(&self.scenarios[i]);
+            let result = run_one(&self.scenarios[i], self.artifacts.as_deref());
             if let Some(sink) = &self.sink {
                 // The lock is held across the sink call: invocations are
                 // serialized and `completed` increases monotonically even
@@ -207,11 +219,12 @@ impl Campaign {
 
 /// Runs one scenario, converting a panic into a typed error so sibling
 /// scenarios keep running.
-fn run_one(scenario: &Scenario) -> ScenarioResult {
+fn run_one(scenario: &Scenario, artifacts: Option<&ArtifactCache>) -> ScenarioResult {
     let name = scenario.label();
     let t0 = Instant::now();
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run()))
-        .unwrap_or_else(|payload| Err(TemuError::ScenarioPanicked(panic_message(&payload))));
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run_with(artifacts)))
+            .unwrap_or_else(|payload| Err(TemuError::ScenarioPanicked(panic_message(&payload))));
     ScenarioResult { name, wall: t0.elapsed(), outcome }
 }
 

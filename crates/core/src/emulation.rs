@@ -139,6 +139,24 @@ pub struct ThermalEmulation {
     /// Residual watermarks of *previous* calls (the model's own watermark
     /// is re-armed per call), folded into [`ThermalEmulation::totals`].
     past_worst_residual_k: f64,
+    /// Between [`ThermalEmulation::window_begin`] and
+    /// [`ThermalEmulation::window_finish`]: the platform half of the
+    /// window, waiting for the thermal step (possibly batched across
+    /// emulations) to land.
+    pending: Option<PendingWindow>,
+}
+
+/// The platform-side outcome of one sampling window, carried across the
+/// thermal step so lockstep drivers can batch the step between
+/// [`ThermalEmulation::window_begin`] and
+/// [`ThermalEmulation::window_finish`].
+#[derive(Clone, Debug)]
+struct PendingWindow {
+    stats: WindowStats,
+    hz: u64,
+    physical_window_s: f64,
+    link_freeze_s: f64,
+    total_power_w: f64,
 }
 
 impl ThermalEmulation {
@@ -152,6 +170,20 @@ impl ThermalEmulation {
     pub fn new(machine: Machine, map: FloorplanMap, cfg: EmulationConfig) -> Result<ThermalEmulation, TemuError> {
         map.check_cores(machine.num_cores())?;
         let model = ThermalModel::new(&map.floorplan, &cfg.grid)?;
+        ThermalEmulation::with_model(machine, map, model, cfg)
+    }
+
+    /// Wires a machine to a floorplan and a **pre-built** thermal model —
+    /// the artifact-cached build path ([`crate::Scenario::build_with`]),
+    /// where the model was constructed on a shared meshed grid instead of
+    /// re-meshing per emulation.
+    pub(crate) fn with_model(
+        machine: Machine,
+        map: FloorplanMap,
+        model: ThermalModel,
+        cfg: EmulationConfig,
+    ) -> Result<ThermalEmulation, TemuError> {
+        map.check_cores(machine.num_cores())?;
         let names = map.floorplan.components().iter().map(|c| c.name.clone()).collect();
         Ok(ThermalEmulation {
             machine,
@@ -170,6 +202,7 @@ impl ThermalEmulation {
             call_aggregate: WindowStats::default(),
             call_base: CallBase::default(),
             past_worst_residual_k: 0.0,
+            pending: None,
         })
     }
 
@@ -181,6 +214,16 @@ impl ThermalEmulation {
     /// Mutable machine access (program loading, shared-data setup).
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
+    }
+
+    /// Mutable model access for the lockstep driver's batched stepping.
+    pub(crate) fn model_mut(&mut self) -> &mut ThermalModel {
+        &mut self.model
+    }
+
+    /// Virtual seconds per sampling window.
+    pub(crate) fn window_seconds(&self) -> f64 {
+        self.cfg.sampling_window_s
     }
 
     /// The thermal model.
@@ -221,6 +264,21 @@ impl ThermalEmulation {
     /// `GridConfig::strict_convergence`, a thermal substep that fails to
     /// converge is [`TemuError::Thermal`].
     pub fn run_window(&mut self) -> Result<(), TemuError> {
+        self.window_begin()?;
+        self.model.try_step(self.cfg.sampling_window_s)?;
+        self.window_finish();
+        Ok(())
+    }
+
+    /// The platform half of one sampling window: run the machine, convert
+    /// sniffer statistics to power, ship them over the link and leave the
+    /// powers set on the thermal model — everything *up to* the thermal
+    /// step. A lockstep driver steps many emulations' models in one
+    /// batched call between this and [`ThermalEmulation::window_finish`];
+    /// [`ThermalEmulation::run_window`] is exactly the two halves around a
+    /// plain `try_step`.
+    pub(crate) fn window_begin(&mut self) -> Result<(), TemuError> {
+        debug_assert!(self.pending.is_none(), "window_begin without finishing the previous window");
         let window_s = self.cfg.sampling_window_s;
         let hz = self.machine.vpcm().virtual_hz();
         let cycles = (window_s * hz as f64).round() as u64;
@@ -260,9 +318,29 @@ impl ThermalEmulation {
             .vpcm_mut()
             .record_link_freeze((link_freeze_s * fpga_hz as f64).round() as u64);
 
-        // Thermal step and temperature feedback.
         self.model.set_powers(&powers);
-        self.model.try_step(window_s)?;
+        self.pending = Some(PendingWindow {
+            stats,
+            hz,
+            physical_window_s,
+            link_freeze_s,
+            total_power_w: powers.iter().sum(),
+        });
+        Ok(())
+    }
+
+    /// The feedback half of one sampling window, after the thermal model
+    /// stepped: temperatures back into the sensor registers, the DFS
+    /// policy, and all per-window bookkeeping.
+    pub(crate) fn window_finish(&mut self) {
+        let Some(pending) = self.pending.take() else {
+            debug_assert!(false, "window_finish without window_begin");
+            return;
+        };
+        let PendingWindow { stats, hz, physical_window_s, link_freeze_s, total_power_w } = pending;
+        let window_s = self.cfg.sampling_window_s;
+
+        // Temperature feedback.
         let temps = self.model.component_temps();
         let reply = TempPacket {
             seq: self.seq,
@@ -289,7 +367,6 @@ impl ThermalEmulation {
         self.virtual_seconds += window_s;
         self.virtual_cycles += stats.cycles();
         self.fpga_seconds += physical_window_s + link_freeze_s;
-        let total_power = powers.iter().sum();
         self.aggregate.merge(&stats);
         self.call_aggregate.merge(&stats);
         let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -298,10 +375,9 @@ impl ThermalEmulation {
             temps_k: temps,
             max_temp_k: hottest,
             virtual_hz: hz,
-            total_power_w: total_power,
+            total_power_w,
             fpga_seconds: self.fpga_seconds,
         });
-        Ok(())
     }
 
     /// Runs windows until every core halts or `max_windows` elapse.
@@ -359,7 +435,7 @@ impl ThermalEmulation {
     /// counter so [`ThermalEmulation::report`] can subtract it, resets the
     /// per-call aggregate, and re-arms the solver's residual watermark
     /// (banking the old one for [`ThermalEmulation::totals`]).
-    fn begin_call(&mut self) {
+    pub(crate) fn begin_call(&mut self) {
         self.call_aggregate = WindowStats::default();
         self.past_worst_residual_k = self.past_worst_residual_k.max(self.model.solver_stats().worst_residual_k);
         self.model.reset_residual_watermark();
@@ -373,7 +449,7 @@ impl ThermalEmulation {
         };
     }
 
-    fn report(&self, t0: Instant) -> EmulationReport {
+    pub(crate) fn report(&self, t0: Instant) -> EmulationReport {
         let base = &self.call_base;
         let link = *self.link.stats();
         EmulationReport {

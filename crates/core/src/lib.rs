@@ -89,29 +89,32 @@
 //! `WorkloadError`, `PowerError`, …); [`TemuError`] folds them into one
 //! workspace-wide hierarchy so whole experiments run behind a single `?`.
 
+mod artifacts;
 mod campaign;
 mod emulation;
 mod error;
 mod export;
+mod lockstep;
 mod scenario;
 mod spec;
 mod sweep;
 pub mod threaded;
 mod trace;
 
+pub use artifacts::{ArtifactCache, ArtifactStats};
 pub use campaign::{Campaign, CampaignProgress, CampaignReport, ResultSink, ScenarioResult};
 pub use emulation::{EmulationConfig, EmulationReport, ThermalEmulation};
 pub use error::TemuError;
 pub use emulation::EmulationTotals;
 pub use export::{json_escape, JsonValue};
-pub use scenario::{RunBudget, Scenario, ScenarioRun, Workload};
+pub use scenario::{LayeredKeys, RunBudget, Scenario, ScenarioRun, Workload};
 pub use spec::{
     AxisSpec, DfsSpec, MeshSpec, PlatformSpec, ScenarioSpec, SpecError, SweepSpec, WorkloadSpec,
     NAMED_SWEEPS,
 };
 pub use sweep::{
-    fnv1a64, CheckpointDecision, CheckpointHook, PointSummary, ResultCache, Sweep, SweepCheckpoint,
-    SweepPoint, SweepPointResult, SweepProgress, SweepReport, SweepSink,
+    fnv1a64, fnv1a64_fold, CheckpointDecision, CheckpointHook, PointSummary, ResultCache, Sweep,
+    SweepCheckpoint, SweepPoint, SweepPointResult, SweepProgress, SweepReport, SweepSink,
 };
 pub use temu_thermal::{ImplicitSolve, SolverStats};
 pub use trace::{ThermalTrace, TraceSample};

@@ -1,0 +1,204 @@
+//! Batched lockstep execution of grid points that share a thermal
+//! operator.
+//!
+//! A sweep whose points share floorplan geometry and solver configuration
+//! (a DFS-band study, a workload comparison on one die) builds k thermal
+//! models over **one** shared grid `Arc` (the sweep's
+//! [`ArtifactCache`](crate::ArtifactCache)). This driver advances such a
+//! group window-by-window in lockstep: every member runs the platform
+//! half of its window ([`ThermalEmulation::window_begin`]), then all k
+//! temperature fields advance through one
+//! `ThermalModel::try_step_batch` call — the fused many-RHS Gauss–Seidel
+//! kernel sweeps all k right-hand sides against the shared matrix in one
+//! cache-friendly pass — and finally each member finishes its window
+//! (sensor feedback, DFS policy, bookkeeping). The batched kernel is
+//! bitwise-identical to stepping each model alone, so lockstep execution
+//! changes wall-clock time, never results.
+//!
+//! Members leave the group as they reach their own budget (halt or window
+//! cap); the batch simply narrows. Groups are formed by
+//! `Scenario::lockstep_group_key` — equal keys guarantee one shared grid,
+//! one solver configuration and one sampling window, which is exactly
+//! what `try_step_batch` requires to fuse (it falls back to sequential
+//! stepping for configurations it cannot fuse, so grouping is a
+//! performance decision, never a correctness one).
+
+use crate::emulation::ThermalEmulation;
+use crate::error::TemuError;
+use crate::scenario::{RunBudget, Scenario, ScenarioRun};
+use std::time::{Duration, Instant};
+use temu_thermal::ThermalModel;
+
+/// One grid point's outcome from a lockstep group run.
+pub(crate) struct LockstepOutcome {
+    /// The caller-supplied slot (the point's index in the sweep queue).
+    pub slot: usize,
+    /// Wall time from group start to this point's completion.
+    pub wall: Duration,
+    /// The finished run, or the typed error that stopped the point.
+    pub outcome: Result<ScenarioRun, TemuError>,
+}
+
+struct Active {
+    slot: usize,
+    name: String,
+    emu: ThermalEmulation,
+    budget: RunBudget,
+    windows_done: u64,
+}
+
+impl Active {
+    fn done(&self) -> bool {
+        match self.budget {
+            RunBudget::Windows(n) => self.windows_done >= n,
+            RunBudget::ToHalt { max_windows } => {
+                self.emu.machine().all_halted() || self.windows_done >= max_windows
+            }
+        }
+    }
+
+    fn finish(self, t0: Instant) -> LockstepOutcome {
+        let report = self.emu.report(t0);
+        LockstepOutcome {
+            slot: self.slot,
+            wall: t0.elapsed(),
+            outcome: Ok(ScenarioRun { name: self.name, report, trace: self.emu.into_trace() }),
+        }
+    }
+}
+
+/// Runs one lockstep group of already-built emulations to their budgets.
+/// `members` are `(slot, scenario, emulation)` triples whose scenarios
+/// share a lockstep group key (same sampling window — asserted in debug
+/// builds).
+///
+/// Error containment mirrors the campaign path per *member* where
+/// attribution is possible: a platform fault in one member's window
+/// removes only that member. A batched thermal-step failure (strict-mode
+/// non-convergence) cannot be attributed mid-batch — every model advanced
+/// through the same fused substeps — so it fails every member still in
+/// the group with that error.
+pub(crate) fn run_group(members: Vec<(usize, Scenario, ThermalEmulation)>) -> Vec<LockstepOutcome> {
+    let t0 = Instant::now();
+    let mut out = Vec::with_capacity(members.len());
+    let window_s = members.first().map_or(0.0, |(_, _, emu)| emu.window_seconds());
+    let mut active: Vec<Active> = members
+        .into_iter()
+        .map(|(slot, scenario, mut emu)| {
+            debug_assert!(
+                (emu.window_seconds() - window_s).abs() < f64::EPSILON,
+                "lockstep group members share one sampling window"
+            );
+            emu.begin_call();
+            Active { slot, name: scenario.label(), emu, budget: scenario.budget(), windows_done: 0 }
+        })
+        .collect();
+
+    while !active.is_empty() {
+        // Platform half of the window, per member; faults remove only the
+        // faulting member.
+        let mut i = 0;
+        while i < active.len() {
+            match active[i].emu.window_begin() {
+                Ok(()) => i += 1,
+                Err(e) => {
+                    let a = active.swap_remove(i);
+                    out.push(LockstepOutcome { slot: a.slot, wall: t0.elapsed(), outcome: Err(e) });
+                }
+            }
+        }
+        if active.is_empty() {
+            break;
+        }
+
+        // One batched thermal step for every member still in the round.
+        let mut models: Vec<&mut ThermalModel> =
+            active.iter_mut().map(|a| a.emu.model_mut()).collect();
+        if let Err(e) = ThermalModel::try_step_batch(&mut models, window_s) {
+            // See the function docs: a batched failure is unattributable.
+            for a in active.drain(..) {
+                out.push(LockstepOutcome {
+                    slot: a.slot,
+                    wall: t0.elapsed(),
+                    outcome: Err(TemuError::Thermal(e)),
+                });
+            }
+            break;
+        }
+
+        // Feedback half, budget accounting, retirement.
+        let mut i = 0;
+        while i < active.len() {
+            active[i].emu.window_finish();
+            active[i].windows_done += 1;
+            if active[i].done() {
+                out.push(active.swap_remove(i).finish(t0));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::ArtifactCache;
+    use crate::scenario::Workload;
+    use temu_workloads::matrix::MatrixConfig;
+
+    fn point(iters: u32, windows: u64) -> Scenario {
+        Scenario::new()
+            .workload(Workload::Matrix(MatrixConfig { n: 8, iters, cores: 4 }))
+            .sampling_window_s(0.001)
+            .windows(windows)
+    }
+
+    #[test]
+    fn lockstep_group_matches_solo_runs_bitwise() {
+        let cache = ArtifactCache::new();
+        let scenarios = vec![point(10_000, 4), point(40_000, 6), point(25_000, 5)];
+        let members: Vec<(usize, Scenario, ThermalEmulation)> = scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.clone(), s.build_with(Some(&cache)).unwrap()))
+            .collect();
+        // The shared-geometry points really did share one mesh.
+        assert_eq!(cache.stats().mesh_misses, 1);
+        assert_eq!(cache.stats().mesh_hits, 2);
+
+        let mut results = run_group(members);
+        results.sort_by_key(|r| r.slot);
+        assert_eq!(results.len(), 3);
+        for (r, s) in results.iter().zip(&scenarios) {
+            let batched = r.outcome.as_ref().expect("lockstep point succeeds");
+            let solo = s.run().unwrap();
+            assert_eq!(batched.report.windows, solo.report.windows);
+            assert_eq!(batched.trace.samples.len(), solo.trace.samples.len());
+            for (x, y) in batched.trace.samples.iter().zip(solo.trace.samples.iter()) {
+                assert_eq!(x.virtual_hz, y.virtual_hz);
+                assert_eq!(
+                    x.max_temp_k.to_bits(),
+                    y.max_temp_k.to_bits(),
+                    "lockstep trace is bitwise-identical to the solo run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn members_retire_at_their_own_budgets() {
+        let cache = ArtifactCache::new();
+        let scenarios = vec![point(100_000, 2), point(100_000, 7)];
+        let members: Vec<(usize, Scenario, ThermalEmulation)> = scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.clone(), s.build_with(Some(&cache)).unwrap()))
+            .collect();
+        let mut results = run_group(members);
+        results.sort_by_key(|r| r.slot);
+        assert_eq!(results[0].outcome.as_ref().unwrap().report.windows, 2);
+        assert_eq!(results[1].outcome.as_ref().unwrap().report.windows, 7);
+    }
+}

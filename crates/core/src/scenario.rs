@@ -20,8 +20,10 @@
 //! # }
 //! ```
 
+use crate::artifacts::ArtifactCache;
 use crate::emulation::{EmulationConfig, EmulationReport, ThermalEmulation};
 use crate::error::TemuError;
+use crate::sweep::{fnv1a64, fnv1a64_fold};
 use crate::trace::ThermalTrace;
 use temu_fpga::{estimate, CostModel, Device, V2VP30};
 use temu_isa::Program;
@@ -30,7 +32,7 @@ use temu_mem::CacheConfig;
 use temu_platform::{DfsPolicy, IcChoice, Machine, PlatformConfig};
 use temu_power::floorplans::quad_core;
 use temu_power::{CoreKind, FloorplanMap, PowerModel};
-use temu_thermal::{GridConfig, ImplicitSolve, SweepMode};
+use temu_thermal::{GridConfig, ImplicitSolve, Integrator, SweepMode, ThermalGrid, ThermalModel};
 use temu_workloads::dithering::{self, DitherConfig};
 use temu_workloads::image::GreyImage;
 use temu_workloads::matrix::{self, MatrixConfig};
@@ -366,12 +368,87 @@ impl Scenario {
 
     /// The canonical configuration description behind
     /// [`Scenario::content_key`] (a deterministic `Debug` rendering of
-    /// every outcome-relevant field).
+    /// every outcome-relevant field). Concatenation of the four
+    /// [`Scenario::layered_keys`] segments, in order — the layered
+    /// decomposition and the one-shot key hash the same bytes.
     pub(crate) fn fingerprint_source(&self) -> String {
         format!(
-            "platform={:?};floorplan={:?};workload={:?};emu={:?};budget={:?};fit={:?}",
-            self.platform, self.floorplan, self.workload, self.emu, self.budget, self.fit_device
+            "{}{}{}{}",
+            self.fingerprint_floorplan_segment(),
+            self.fingerprint_mesh_segment(),
+            self.fingerprint_operator_segment(),
+            self.fingerprint_platform_segment()
         )
+    }
+
+    // The four fingerprint segments. Their concatenation must stay
+    // byte-identical to the historical one-shot
+    // `"platform={:?};floorplan={:?};workload={:?};emu={:?};budget={:?};fit={:?}"`
+    // rendering — on-disk result-cache keys depend on it.
+    fn fingerprint_floorplan_segment(&self) -> String {
+        format!("platform={:?};floorplan={:?};", self.platform, self.floorplan)
+    }
+
+    fn fingerprint_mesh_segment(&self) -> String {
+        format!("workload={:?};emu={:?};", self.workload, self.emu)
+    }
+
+    fn fingerprint_operator_segment(&self) -> String {
+        format!("budget={:?};", self.budget)
+    }
+
+    fn fingerprint_platform_segment(&self) -> String {
+        format!("fit={:?}", self.fit_device)
+    }
+
+    /// The scenario content key decomposed into chained per-segment FNV-1a
+    /// prefix states: `floorplan_key` hashes the platform + floorplan
+    /// segment, and each later key folds one more segment onto the
+    /// previous state, so [`LayeredKeys::platform_key`] is **exactly**
+    /// [`Scenario::content_key`]. Two scenarios sharing a prefix of equal
+    /// segments share the corresponding key prefix — which is what lets
+    /// sweeps and servers reason about partial configuration overlap
+    /// without a second key scheme drifting from the frozen one.
+    #[must_use]
+    pub fn layered_keys(&self) -> LayeredKeys {
+        let floorplan_key = fnv1a64(self.fingerprint_floorplan_segment().as_bytes());
+        let mesh_key = fnv1a64_fold(floorplan_key, self.fingerprint_mesh_segment().as_bytes());
+        let operator_key = fnv1a64_fold(mesh_key, self.fingerprint_operator_segment().as_bytes());
+        let platform_key = fnv1a64_fold(operator_key, self.fingerprint_platform_segment().as_bytes());
+        LayeredKeys { floorplan_key, mesh_key, operator_key, platform_key }
+    }
+
+    /// The semantic cache sub-keys of the scenario's build artifacts —
+    /// deliberately *narrower* than [`Scenario::layered_keys`] (which are
+    /// prefix states of the full fingerprint and therefore over-capture):
+    /// the mesh key covers only the platform, floorplan and
+    /// mesh-geometry knobs ([`GridConfig::mesh_fingerprint`]), so two
+    /// points differing in workload, budget or solver strategy still share
+    /// one meshed grid in an [`ArtifactCache`].
+    pub(crate) fn artifact_keys(&self) -> ArtifactKeys {
+        let floorplan = fnv1a64(self.fingerprint_floorplan_segment().as_bytes());
+        let mesh = fnv1a64_fold(floorplan, self.emu.grid.mesh_fingerprint().as_bytes());
+        let operator = fnv1a64_fold(mesh, self.emu.grid.operator_fingerprint().as_bytes());
+        let program = fnv1a64(format!("workload={:?};", self.workload).as_bytes());
+        ArtifactKeys { floorplan, mesh, operator, program }
+    }
+
+    /// Points with equal group keys can run in one lockstep batch: they
+    /// share the meshed grid (same mesh artifact key → same `Arc` out of
+    /// the sweep's [`ArtifactCache`]), the same full solver configuration
+    /// and the same sampling window, which is everything
+    /// `ThermalModel::try_step_batch` needs to fuse their substeps.
+    pub(crate) fn lockstep_group_key(&self) -> u64 {
+        let keys = self.artifact_keys();
+        fnv1a64_fold(
+            keys.mesh,
+            format!("grid={:?};window={:?};", self.emu.grid, self.emu.sampling_window_s).as_bytes(),
+        )
+    }
+
+    /// The run budget.
+    pub(crate) fn budget(&self) -> RunBudget {
+        self.budget
     }
 
     /// The workload.
@@ -389,6 +466,21 @@ impl Scenario {
     /// Any [`TemuError`]: configuration, fit, workload generation, or
     /// floorplan mismatch.
     pub fn build(&self) -> Result<ThermalEmulation, TemuError> {
+        self.build_with(None)
+    }
+
+    /// [`Scenario::build`] with an optional layered [`ArtifactCache`]: the
+    /// resolved floorplan, the meshed thermal grid, the multigrid
+    /// hierarchy topology and the generated program are each looked up
+    /// under their [`Scenario::artifact_keys`] sub-key and built only on
+    /// miss, so sibling sweep points that share geometry share one mesh
+    /// (behind an `Arc`) instead of re-meshing per point.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`Scenario::build`]; failed artifact builds are
+    /// never cached.
+    pub fn build_with(&self, artifacts: Option<&ArtifactCache>) -> Result<ThermalEmulation, TemuError> {
         self.platform.validate()?;
         if let Some(device) = self.fit_device {
             let report = estimate(&self.platform, &CostModel::default(), device, 1);
@@ -403,15 +495,29 @@ impl Scenario {
             }
             .into());
         }
-        let program = self.workload.program()?;
+        let Some(cache) = artifacts else {
+            let program = self.workload.program()?;
+            let mut machine = Machine::new(self.platform.clone())?;
+            machine.load_program_all(&program)?;
+            self.workload.load_inputs(&mut machine)?;
+            return ThermalEmulation::new(machine, self.resolved_floorplan()?, self.emu.clone());
+        };
+        let keys = self.artifact_keys();
+        let program = cache.program(keys.program, || self.workload.program().map_err(TemuError::from))?;
         let mut machine = Machine::new(self.platform.clone())?;
         machine.load_program_all(&program)?;
         self.workload.load_inputs(&mut machine)?;
-        let map = match &self.floorplan {
-            Some(map) => map.clone(),
-            None => self.derived_floorplan()?,
+        let map = cache.floorplan(keys.floorplan, || self.resolved_floorplan())?;
+        map.check_cores(machine.num_cores())?;
+        let grid = cache
+            .mesh(keys.mesh, || ThermalGrid::build(&map.floorplan, &self.emu.grid).map_err(TemuError::from))?;
+        let topo = if wants_multigrid(&self.emu.grid, grid.n_cells()) {
+            Some(cache.operator(keys.operator, &grid, &self.emu.grid)?)
+        } else {
+            None
         };
-        ThermalEmulation::new(machine, map, self.emu.clone())
+        let model = ThermalModel::with_artifacts(grid, topo, &self.emu.grid)?;
+        ThermalEmulation::with_model(machine, (*map).clone(), model, self.emu.clone())
     }
 
     /// Builds and runs the scenario to its budget.
@@ -421,12 +527,34 @@ impl Scenario {
     /// Any [`TemuError`] from [`Scenario::build`] or a platform fault
     /// during emulation.
     pub fn run(&self) -> Result<ScenarioRun, TemuError> {
-        let mut emu = self.build()?;
+        self.run_with(None)
+    }
+
+    /// [`Scenario::run`] building through an optional [`ArtifactCache`]
+    /// (see [`Scenario::build_with`]). The run itself is byte-identical to
+    /// an uncached run — artifacts only change *how often* the build
+    /// stages execute, never what they produce.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TemuError`] from [`Scenario::build_with`] or a platform fault
+    /// during emulation.
+    pub fn run_with(&self, artifacts: Option<&ArtifactCache>) -> Result<ScenarioRun, TemuError> {
+        let mut emu = self.build_with(artifacts)?;
         let report = match self.budget {
             RunBudget::ToHalt { max_windows } => emu.run_to_halt(max_windows)?,
             RunBudget::Windows(n) => emu.run_windows(n)?,
         };
         Ok(ScenarioRun { name: self.label(), report, trace: emu.into_trace() })
+    }
+
+    /// The explicit floorplan when one was set, the derived Fig. 4 layout
+    /// otherwise.
+    fn resolved_floorplan(&self) -> Result<FloorplanMap, TemuError> {
+        match &self.floorplan {
+            Some(map) => Ok(map.clone()),
+            None => self.derived_floorplan(),
+        }
     }
 
     /// The Fig. 4 floorplan matching the platform (ARM11 components; NoC
@@ -444,6 +572,54 @@ impl Scenario {
         };
         Ok(quad_core(CoreKind::Arm11, cores, switches))
     }
+}
+
+/// Whether a scenario built from `cfg` over a mesh of `n_cells` cells
+/// will run multigrid substeps — the same resolution
+/// `ThermalModel::uses_multigrid` performs, applied at build time so
+/// [`Scenario::build_with`] only constructs (and caches) the hierarchy
+/// topology for models that will actually use it.
+fn wants_multigrid(cfg: &GridConfig, n_cells: usize) -> bool {
+    if cfg.sweep == SweepMode::Reference || !matches!(cfg.integrator, Integrator::SemiImplicit { .. }) {
+        return false;
+    }
+    match cfg.implicit_solve {
+        ImplicitSolve::GaussSeidel => false,
+        ImplicitSolve::Multigrid => true,
+        _ => n_cells >= cfg.multigrid_threshold,
+    }
+}
+
+/// The scenario content key as four chained FNV-1a prefix states (see
+/// [`Scenario::layered_keys`]): each key extends the previous one by one
+/// fingerprint segment, and the last equals [`Scenario::content_key`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub struct LayeredKeys {
+    /// Prefix state over the platform + floorplan segment.
+    pub floorplan_key: u64,
+    /// `floorplan_key` folded with the workload + emulation segment.
+    pub mesh_key: u64,
+    /// `mesh_key` folded with the run-budget segment.
+    pub operator_key: u64,
+    /// `operator_key` folded with the fit-gate segment — byte-for-byte
+    /// the frozen [`Scenario::content_key`].
+    pub platform_key: u64,
+}
+
+/// The semantic sub-keys of a scenario's cacheable build artifacts (see
+/// [`Scenario::artifact_keys`]); each addresses one [`ArtifactCache`]
+/// layer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ArtifactKeys {
+    /// Resolved floorplan map: platform + floorplan configuration.
+    pub floorplan: u64,
+    /// Meshed thermal grid: `floorplan` + the mesh-geometry knobs.
+    pub mesh: u64,
+    /// Multigrid hierarchy topology: `mesh` + the operator knobs.
+    pub operator: u64,
+    /// Generated TE32 program: the workload alone.
+    pub program: u64,
 }
 
 /// The outcome of one scenario: the run summary plus the full temperature
@@ -514,5 +690,95 @@ mod tests {
         let run = Scenario::exploration_bus(2).sampling_window_s(0.002).run().unwrap();
         assert!(run.report.all_halted);
         assert!(run.trace.peak_temp().unwrap() > 300.0);
+    }
+
+    #[test]
+    fn layered_keys_compose_to_the_content_key() {
+        for s in [
+            Scenario::new(),
+            Scenario::paper_fig6(),
+            Scenario::exploration_noc(3).check_fit_v2vp30(),
+            Scenario::thermal_stress(500).windows(7),
+        ] {
+            let keys = s.layered_keys();
+            assert_eq!(keys.platform_key, s.content_key(), "final prefix state IS the frozen key");
+            // Each prefix state genuinely extends the previous one.
+            let distinct = [keys.floorplan_key, keys.mesh_key, keys.operator_key, keys.platform_key];
+            let mut dedup = distinct.to_vec();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 4, "all four prefix states differ: {distinct:?}");
+        }
+    }
+
+    #[test]
+    fn layered_key_prefixes_track_configuration_overlap() {
+        let a = Scenario::exploration_bus(2);
+        let b = Scenario::exploration_bus(2).windows(9); // same platform/workload, later budget
+        let c = Scenario::exploration_bus(3); // different platform from the first segment on
+        assert_eq!(a.layered_keys().mesh_key, b.layered_keys().mesh_key);
+        assert_ne!(a.layered_keys().operator_key, b.layered_keys().operator_key);
+        assert_ne!(a.layered_keys().floorplan_key, c.layered_keys().floorplan_key);
+    }
+
+    #[test]
+    fn artifact_keys_ignore_per_run_solver_knobs() {
+        let base = Scenario::exploration_bus(2);
+        let strict = Scenario::exploration_bus(2).strict_convergence(true);
+        let solver = Scenario::exploration_bus(2).implicit_solve(ImplicitSolve::Multigrid);
+        let workload = Scenario::exploration_bus(2).windows(3);
+        assert_eq!(base.artifact_keys().mesh, strict.artifact_keys().mesh);
+        assert_eq!(base.artifact_keys().mesh, solver.artifact_keys().mesh);
+        assert_eq!(base.artifact_keys().mesh, workload.artifact_keys().mesh);
+        // But content keys all differ — artifact keys are deliberately
+        // coarser than result keys.
+        assert_ne!(base.content_key(), strict.content_key());
+        // Mesh-geometry knobs do land in the mesh key.
+        let fine = GridConfig { hot_div: 5, ..GridConfig::default() };
+        assert_ne!(base.artifact_keys().mesh, base.clone().grid(fine).artifact_keys().mesh);
+    }
+
+    #[test]
+    fn cached_build_shares_one_mesh_across_siblings() {
+        let cache = ArtifactCache::new();
+        let a = Scenario::exploration_bus(2).build_with(Some(&cache)).unwrap();
+        let b = Scenario::exploration_bus(2).windows(5).build_with(Some(&cache)).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a.model().grid_arc(), &b.model().grid_arc()),
+            "sibling points share one meshed grid instance"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.mesh_misses, stats.mesh_hits), (1, 1));
+        assert_eq!((stats.floorplan_misses, stats.floorplan_hits), (1, 1));
+        assert_eq!((stats.program_misses, stats.program_hits), (1, 1));
+        assert_eq!(stats.operator_misses, 0, "paper-scale Gauss-Seidel points skip the hierarchy");
+    }
+
+    #[test]
+    fn cached_run_matches_uncached_run_exactly() {
+        let cache = ArtifactCache::new();
+        let scenario = Scenario::exploration_bus(2).sampling_window_s(0.002);
+        let cached = scenario.run_with(Some(&cache)).unwrap();
+        let plain = scenario.run().unwrap();
+        assert_eq!(cached.report.windows, plain.report.windows);
+        assert_eq!(cached.trace.samples.len(), plain.trace.samples.len());
+        for (x, y) in cached.trace.samples.iter().zip(plain.trace.samples.iter()) {
+            assert_eq!(x.max_temp_k.to_bits(), y.max_temp_k.to_bits(), "bitwise-identical trace");
+        }
+    }
+
+    #[test]
+    fn cached_multigrid_build_caches_the_hierarchy() {
+        let cache = ArtifactCache::new();
+        let build = || {
+            Scenario::exploration_bus(2)
+                .implicit_solve(ImplicitSolve::Multigrid)
+                .build_with(Some(&cache))
+                .unwrap()
+        };
+        let _a = build();
+        let _b = build();
+        let stats = cache.stats();
+        assert_eq!((stats.operator_misses, stats.operator_hits), (1, 1));
     }
 }

@@ -54,9 +54,11 @@
 //! in its slot of the report — never as a panic, and without aborting its
 //! sibling points.
 
+use crate::artifacts::{ArtifactCache, ArtifactStats};
 use crate::campaign::Campaign;
 use crate::error::TemuError;
 use crate::export::{csv_f64, csv_field, csv_opt, json_escape, json_f64, json_num_or_null, JsonValue};
+use crate::lockstep;
 use crate::scenario::{Scenario, ScenarioRun, Workload};
 use std::collections::HashMap;
 use std::fmt;
@@ -76,7 +78,17 @@ use temu_thermal::{default_workers, GridConfig, ImplicitSolve};
 /// scoring on top of them.
 #[must_use]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a64_fold(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues a 64-bit FNV-1a hash from a prior state. Because FNV-1a is a
+/// plain left-to-right fold, `fnv1a64_fold(fnv1a64(a), b) == fnv1a64(a ++
+/// b)` — which is what lets [`Scenario::layered_keys`] decompose the
+/// scenario content key into chained per-segment prefix states without
+/// changing the final value.
+#[must_use]
+pub fn fnv1a64_fold(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -611,6 +623,8 @@ pub struct Sweep {
     threads: Option<usize>,
     sink: Option<Arc<SweepSink>>,
     checkpoint: Option<Arc<CheckpointHook>>,
+    batch: bool,
+    artifacts: Option<Arc<ArtifactCache>>,
 }
 
 impl fmt::Debug for Sweep {
@@ -628,7 +642,16 @@ impl Sweep {
     /// A sweep of `base` with no axes yet (one grid point: the base
     /// itself).
     pub fn new(name: impl Into<String>, base: Scenario) -> Sweep {
-        Sweep { name: name.into(), base, axes: Vec::new(), threads: None, sink: None, checkpoint: None }
+        Sweep {
+            name: name.into(),
+            base,
+            axes: Vec::new(),
+            threads: None,
+            sink: None,
+            checkpoint: None,
+            batch: false,
+            artifacts: None,
+        }
     }
 
     /// The sweep's name (prefixed onto every point's scenario name).
@@ -753,6 +776,28 @@ impl Sweep {
         self
     }
 
+    /// Enables batched lockstep execution: executed points are built
+    /// through the sweep's [`ArtifactCache`], grouped by shared thermal
+    /// operator (same mesh, solver configuration and sampling window),
+    /// and each group's thermal substeps run through the fused many-RHS
+    /// kernel — k temperature fields swept against one shared matrix per
+    /// pass — on the calling thread. Results are bitwise-identical to the
+    /// default campaign path; only wall-clock time changes. Off by
+    /// default.
+    pub fn batch(mut self, batch: bool) -> Sweep {
+        self.batch = batch;
+        self
+    }
+
+    /// Shares a build-artifact cache with this sweep (e.g. a process-wide
+    /// cache serving many sweeps). Without this call every run uses its
+    /// own fresh [`ArtifactCache`] — artifact reuse *within* a sweep is
+    /// always on; this widens it *across* sweeps.
+    pub fn artifacts(mut self, artifacts: Arc<ArtifactCache>) -> Sweep {
+        self.artifacts = Some(artifacts);
+        self
+    }
+
     /// Installs a streaming per-point sink: cache hits and malformed
     /// points are delivered first, then executed points in completion
     /// order. Invocations are serialized, with
@@ -827,6 +872,11 @@ impl Sweep {
 
     fn run_with(&self, cache: Option<&ResultCache>) -> SweepReport {
         let t0 = Instant::now();
+        // Build-artifact reuse is always on within a sweep; an injected
+        // cache ([`Sweep::artifacts`]) widens it across sweeps, and the
+        // report's stats are the delta this run contributed.
+        let artifacts = self.artifacts.clone().unwrap_or_else(|| Arc::new(ArtifactCache::new()));
+        let artifact_base = artifacts.stats();
         let expanded = self.expand();
         let total = expanded.len();
         // Finished points in arbitrary order; sorted back into grid order
@@ -883,7 +933,100 @@ impl Sweep {
         let mut executed = 0usize;
         let mut cancelled = false;
         let mut threads = 1;
-        if n_queued > 0 {
+        if n_queued > 0 && self.batch {
+            // Batched lockstep path: build every fresh point through the
+            // shared artifact cache, group points that share a thermal
+            // operator (mesh + solver configuration + sampling window),
+            // and advance each group window-by-window with the fused
+            // many-RHS kernel on this thread. Bitwise-identical results to
+            // the campaign path.
+            let mut groups: Vec<Vec<(usize, Scenario, crate::ThermalEmulation)>> = Vec::new();
+            let mut group_keys: Vec<u64> = Vec::new();
+            for (slot, scenario) in queue.into_iter().enumerate() {
+                match scenario.build_with(Some(&artifacts)) {
+                    Ok(emu) => {
+                        let gk = scenario.lockstep_group_key();
+                        match group_keys.iter().position(|&k| k == gk) {
+                            Some(g) => groups[g].push((slot, scenario, emu)),
+                            None => {
+                                group_keys.push(gk);
+                                groups.push(vec![(slot, scenario, emu)]);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        let (point, label, key) = &queued[slot];
+                        executed += 1;
+                        completed += 1;
+                        self.emit(label, *point, completed, total, false, Err(&e));
+                        filled.push((
+                            *point,
+                            SweepPointResult {
+                                label: label.clone(),
+                                key: Some(*key),
+                                cache_hit: false,
+                                outcome: Err(e),
+                            },
+                        ));
+                    }
+                }
+            }
+            let mut remaining: std::collections::VecDeque<_> = groups.into();
+            while let Some(group) = remaining.pop_front() {
+                if let Some(hook) = &self.checkpoint {
+                    let decision = hook(&SweepCheckpoint {
+                        completed,
+                        executed,
+                        remaining: n_queued - executed,
+                        total,
+                    });
+                    if decision == CheckpointDecision::Cancel {
+                        cancelled = true;
+                        for (slot, _, _) in group.into_iter().chain(remaining.into_iter().flatten()) {
+                            let (point, label, key) = &queued[slot];
+                            filled.push((
+                                *point,
+                                SweepPointResult {
+                                    label: label.clone(),
+                                    key: Some(*key),
+                                    cache_hit: false,
+                                    outcome: Err(TemuError::Cancelled),
+                                },
+                            ));
+                        }
+                        break;
+                    }
+                }
+                for r in lockstep::run_group(group) {
+                    let (point, label, key) = &queued[r.slot];
+                    executed += 1;
+                    completed += 1;
+                    let outcome = match r.outcome {
+                        Ok(run) => {
+                            let summary = PointSummary::from_run(&run, r.wall);
+                            if let Some(c) = cache {
+                                c.insert(*key, summary.clone());
+                            }
+                            self.emit(label, *point, completed, total, false, Ok(&summary));
+                            Ok(summary)
+                        }
+                        Err(e) => {
+                            self.emit(label, *point, completed, total, false, Err(&e));
+                            Err(e)
+                        }
+                    };
+                    filled.push((
+                        *point,
+                        SweepPointResult {
+                            label: label.clone(),
+                            key: Some(*key),
+                            cache_hit: false,
+                            outcome,
+                        },
+                    ));
+                }
+            }
+        } else if n_queued > 0 {
             // Stream executed points through the campaign's result sink:
             // map campaign slots back to grid points, memoize summaries as
             // they land, and forward progress to the sweep's sink.
@@ -922,7 +1065,8 @@ impl Sweep {
                 let offset = executed;
                 let take = batch_size.min(n_queued - offset);
                 let scenarios: Vec<Scenario> = queue.drain(..take).collect();
-                let mut campaign = Campaign::new().scenarios(scenarios);
+                let mut campaign =
+                    Campaign::new().scenarios(scenarios).artifacts(Arc::clone(&artifacts));
                 if let Some(t) = self.threads {
                     campaign = campaign.threads(t);
                 }
@@ -1045,6 +1189,7 @@ impl Sweep {
             executed,
             cache_hits,
             cancelled,
+            artifacts: artifacts.stats().delta_since(&artifact_base),
             points,
         }
     }
@@ -1118,6 +1263,10 @@ pub struct SweepReport {
     /// Whether a checkpoint hook cancelled the sweep before every point
     /// ran (the never-started points carry [`TemuError::Cancelled`]).
     pub cancelled: bool,
+    /// Build-artifact reuse this run contributed (per-layer hit/miss
+    /// deltas of the sweep's [`ArtifactCache`]): `mesh_misses` counts
+    /// actual meshings, so a same-geometry sweep shows exactly one.
+    pub artifacts: ArtifactStats,
     /// One result per grid point, in expansion order.
     pub points: Vec<SweepPointResult>,
 }
@@ -1158,6 +1307,18 @@ impl SweepReport {
         out.push_str(&format!("  \"executed\": {},\n", self.executed));
         out.push_str(&format!("  \"cache_hits\": {},\n", self.cache_hits));
         out.push_str(&format!("  \"cancelled\": {},\n", self.cancelled));
+        let a = &self.artifacts;
+        out.push_str(&format!(
+            "  \"artifacts\": {{\"floorplan_hits\": {}, \"floorplan_misses\": {}, \"mesh_hits\": {}, \"mesh_misses\": {}, \"operator_hits\": {}, \"operator_misses\": {}, \"program_hits\": {}, \"program_misses\": {}}},\n",
+            a.floorplan_hits,
+            a.floorplan_misses,
+            a.mesh_hits,
+            a.mesh_misses,
+            a.operator_hits,
+            a.operator_misses,
+            a.program_hits,
+            a.program_misses
+        ));
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             out.push_str("    {");

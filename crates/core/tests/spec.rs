@@ -231,3 +231,27 @@ fn spec_content_keys_match_the_equivalent_builder_chain() {
         assert_eq!(a.key, b.key, "wire-described grids share the builder's cache keys");
     }
 }
+
+#[test]
+fn layered_keys_compose_to_the_content_key_for_every_named_preset() {
+    // The staged fingerprint (floorplan → mesh → operator → platform) must
+    // fold to the exact legacy content key for every point of every wire
+    // preset — on-disk result caches and fleet shard routing both hash
+    // this key, so the layered decomposition cannot move it by one bit.
+    for (name, _) in temu_framework::NAMED_SWEEPS {
+        let spec = SweepSpec::named(name).expect("named preset");
+        let points = spec.lower().expect("preset lowers").expand();
+        assert!(!points.is_empty(), "{name}: presets expand to at least one point");
+        for p in &points {
+            let scenario = p.scenario.as_ref().expect("preset points are valid");
+            let keys = scenario.layered_keys();
+            assert_eq!(
+                keys.platform_key,
+                scenario.content_key(),
+                "{name}/{}: layered keys must compose to the legacy content key",
+                p.label
+            );
+            assert_eq!(p.key, Some(keys.platform_key));
+        }
+    }
+}

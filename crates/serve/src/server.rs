@@ -50,7 +50,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use temu_framework::{
-    json_escape, CheckpointDecision, ResultCache, SweepProgress, SweepSpec,
+    json_escape, ArtifactCache, CheckpointDecision, ResultCache, SweepProgress, SweepSpec,
 };
 
 /// Server configuration (see the module docs).
@@ -213,6 +213,13 @@ impl Jobs {
 
 struct Shared {
     cache: ResultCache,
+    /// Process-wide build-artifact cache: every job's sweep threads its
+    /// scenario builds through this, so floorplans, meshes and multigrid
+    /// hierarchies survive across jobs the way point *results* survive in
+    /// `cache`. Unbounded by design — a server's working set of distinct
+    /// geometries is small (the artifacts are keyed by configuration, not
+    /// by job).
+    artifacts: Arc<ArtifactCache>,
     journal: Option<Journal>,
     member: Option<String>,
     io_timeout: Option<Duration>,
@@ -366,6 +373,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let shared = Arc::new(Shared {
             cache,
+            artifacts: Arc::new(ArtifactCache::new()),
             journal,
             member: config.member.clone(),
             io_timeout: config.io_timeout,
@@ -575,6 +583,7 @@ fn run_job(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cancel: &Arc<AtomicB
     let checkpoint_shared = Arc::clone(shared);
     let checkpoint_cancel = Arc::clone(cancel);
     let report = sweep
+        .artifacts(Arc::clone(&shared.artifacts))
         .on_progress(move |p| {
             {
                 let mut jobs = progress_shared.lock_jobs();
@@ -914,8 +923,24 @@ fn stats_response(shared: &Arc<Shared>) -> String {
         Some(name) => format!("\"member\": \"{}\", ", json_escape(name)),
         None => String::new(),
     };
+    // The build-artifact layer: how much scenario construction the
+    // process-wide cache absorbed, per layer, since the server started.
+    let arts = shared.artifacts.stats();
+    let art_served = arts.hits() + arts.misses();
+    let art_rate = if art_served == 0 { 0.0 } else { arts.hits() as f64 / art_served as f64 };
+    let artifacts = format!(
+        "\"artifact_hit_rate\": {art_rate:.4}, \"artifact_floorplan_hits\": {}, \"artifact_floorplan_misses\": {}, \"artifact_mesh_hits\": {}, \"artifact_mesh_misses\": {}, \"artifact_operator_hits\": {}, \"artifact_operator_misses\": {}, \"artifact_program_hits\": {}, \"artifact_program_misses\": {}",
+        arts.floorplan_hits,
+        arts.floorplan_misses,
+        arts.mesh_hits,
+        arts.mesh_misses,
+        arts.operator_hits,
+        arts.operator_misses,
+        arts.program_hits,
+        arts.program_misses,
+    );
     format!(
-        "{{\"ok\": true, {member}\"jobs_submitted\": {}, \"jobs_completed\": {}, \"jobs_failed\": {}, \"jobs_cancelled\": {}, \"jobs_recovered\": {}, \"queue_depth\": {queue_depth}, \"running\": {running}, \"workers\": {}, \"queue_limit\": {}, \"points_executed\": {executed}, \"point_cache_hits\": {hits}, \"points_failed\": {}, \"cache_hit_rate\": {hit_rate:.4}, \"cache_entries\": {}, \"store\": {}, \"journal\": {}}}",
+        "{{\"ok\": true, {member}\"jobs_submitted\": {}, \"jobs_completed\": {}, \"jobs_failed\": {}, \"jobs_cancelled\": {}, \"jobs_recovered\": {}, \"queue_depth\": {queue_depth}, \"running\": {running}, \"workers\": {}, \"queue_limit\": {}, \"points_executed\": {executed}, \"point_cache_hits\": {hits}, \"points_failed\": {}, \"cache_hit_rate\": {hit_rate:.4}, {artifacts}, \"cache_entries\": {}, \"store\": {}, \"journal\": {}}}",
         shared.jobs_submitted.load(Ordering::Relaxed),
         shared.jobs_completed.load(Ordering::Relaxed),
         shared.jobs_failed.load(Ordering::Relaxed),

@@ -127,6 +127,18 @@ fn end_to_end_submit_stream_result_and_cached_resubmit() {
     assert_eq!(stats.get("cache_entries").and_then(JsonValue::as_u64), Some(4));
     assert!(stats.get("cache_hit_rate").and_then(JsonValue::as_f64).unwrap() > 0.49);
 
+    // The process-wide artifact cache absorbed the builds: only the first
+    // job built anything (the resubmission was all result-cache hits), its
+    // four points looked up exactly one shared mesh each, and at most the
+    // racing campaign workers built it redundantly — never all four.
+    let mesh_hits = stats.get("artifact_mesh_hits").and_then(JsonValue::as_u64).unwrap();
+    let mesh_misses = stats.get("artifact_mesh_misses").and_then(JsonValue::as_u64).unwrap();
+    assert_eq!(mesh_hits + mesh_misses, 4, "one mesh lookup per executed point");
+    assert!(mesh_misses >= 1);
+    let fp_hits = stats.get("artifact_floorplan_hits").and_then(JsonValue::as_u64).unwrap();
+    let fp_misses = stats.get("artifact_floorplan_misses").and_then(JsonValue::as_u64).unwrap();
+    assert_eq!(fp_hits + fp_misses, 4);
+
     // A finished job can be statused but not cancelled.
     let status = client.status(outcome.job).unwrap();
     assert_eq!(status.get("state").and_then(JsonValue::as_str), Some("done"));

@@ -132,6 +132,12 @@ impl CellCsr {
     pub fn degree(&self, cell: usize) -> usize {
         (self.offsets[cell + 1] - self.offsets[cell]) as usize
     }
+
+    /// Total adjacency entries (`2 × n_edges`) — the length of the
+    /// solver's per-entry conductance arrays.
+    pub fn n_entries(&self) -> usize {
+        self.nbr.len()
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,40 @@ impl Default for GridConfig {
 }
 
 impl GridConfig {
+    /// Fingerprint of every field that shapes the meshed [`ThermalGrid`]
+    /// geometry (tiling, layers, capacities, edge topology, convection
+    /// paths). Two configs with equal mesh fingerprints produce identical
+    /// grids for the same floorplan, whatever their solver knobs say — the
+    /// mesh layer of the artifact cache keys on this, so a sweep that only
+    /// varies integrator/sweep/threshold settings shares one mesh.
+    ///
+    /// Listed field by field (not `{:?}` of the whole struct) so adding a
+    /// solver-only knob to [`GridConfig`] cannot silently fragment the
+    /// cache, and adding a geometry knob forces a conscious choice here.
+    #[must_use]
+    pub fn mesh_fingerprint(&self) -> String {
+        format!(
+            "si={};cu={};div={}/{};pitch={:?};pkg={:?};props={:?};",
+            self.si_layers,
+            self.cu_layers,
+            self.default_div,
+            self.hot_div,
+            self.filler_pitch_um,
+            self.package_to_air,
+            self.props,
+        )
+    }
+
+    /// Fingerprint of the fields that additionally shape the assembled
+    /// thermal *operator* on a given mesh: the conductances (and with them
+    /// the multigrid hierarchy, whose aggregation weights are the
+    /// ambient-temperature conductances). Per-substep quantities (the
+    /// `C/h` diagonal) are per-run state and deliberately excluded.
+    #[must_use]
+    pub fn operator_fingerprint(&self) -> String {
+        format!("amb={:?};k_si={:?};", self.ambient_k, self.silicon_k_override)
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

@@ -96,6 +96,7 @@ mod solver;
 pub use error::ThermalError;
 pub use floorplan::{Component, ComponentId, Floorplan};
 pub use grid::{GridConfig, ImplicitSolve, Integrator, SweepMode, ThermalGrid};
+pub use mg::MgTopology;
 pub use pool::{default_workers, Pool as WorkerPool};
 pub use props::{
     silicon_conductivity, ThermalProps, COPPER_CONDUCTIVITY, COPPER_SPECIFIC_HEAT_PER_UM3,

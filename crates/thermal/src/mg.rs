@@ -42,7 +42,9 @@
 //! The **fine** level stays in `solver.rs` so its smoothing reuses the
 //! colored-sweep worker pool; this module owns everything below it.
 
-use crate::grid::ThermalGrid;
+use crate::grid::{GridConfig, ThermalGrid};
+use crate::props::{silicon_conductivity, COPPER_CONDUCTIVITY};
+use std::sync::Arc;
 
 /// Sentinel in `edge_map`: the finer edge lies inside one aggregate and
 /// contributes to no coarse off-diagonal.
@@ -87,9 +89,11 @@ struct Graph {
     w: Vec<f64>,
 }
 
-/// One coarse level of the hierarchy.
-#[derive(Clone, Debug)]
-pub(crate) struct MgLevel {
+/// The immutable topology of one coarse level: aggregation maps, CSR
+/// adjacency, and the (static) aggregated capacities. Shared untouched
+/// between every [`Multigrid`] instantiated from the same [`MgTopology`].
+#[derive(Debug)]
+pub(crate) struct LevelTopology {
     /// Cells at this level.
     n: usize,
     /// Finer-level cell → this level's aggregate.
@@ -102,31 +106,13 @@ pub(crate) struct MgLevel {
     nbr: Vec<u32>,
     entry_edge: Vec<u32>,
     /// Σ of the finer capacities per aggregate, J/K (static).
-    capacity: Vec<f64>,
-    /// Per-edge conductance, refreshed from the finer level.
-    g_edge: Vec<f64>,
-    /// Per-CSR-entry copy of `g_edge`.
-    g_entry: Vec<f64>,
-    /// Per-aggregate convection conductance, refreshed from the finer level.
-    g_conv: Vec<f64>,
-    /// `C/h + Σg + g_conv` per cell (valid for the hierarchy's `diag_h`).
-    diag: Vec<f64>,
-    /// Reciprocal of `diag`.
-    inv_diag: Vec<f64>,
-    /// This level's solution (the re-scaled cycle output).
-    x: Vec<f64>,
-    /// Right-hand side (the restricted residual from the finer level).
-    b: Vec<f64>,
-    /// Preconditioner output (one cycle applied to `b`).
-    z: Vec<f64>,
-    /// Cycle-internal residual scratch.
-    r: Vec<f64>,
-    /// `A·z` scratch for the line search.
-    az: Vec<f64>,
+    pub(crate) capacity: Vec<f64>,
+    /// Number of coarse edges at this level (sizes `LevelState::g_edge`).
+    n_edges: usize,
 }
 
-impl MgLevel {
-    fn new(agg_of: Vec<u32>, edge_map: Vec<u32>, graph: &Graph, capacity: Vec<f64>) -> MgLevel {
+impl LevelTopology {
+    fn new(agg_of: Vec<u32>, edge_map: Vec<u32>, graph: &Graph, capacity: Vec<f64>) -> LevelTopology {
         let n = graph.n;
         let mut counts = vec![0u32; n + 1];
         for &(a, b) in &graph.edges {
@@ -149,17 +135,42 @@ impl MgLevel {
             entry_edge[cursor[b] as usize] = ei as u32;
             cursor[b] += 1;
         }
-        let n_entries = nbr.len();
-        MgLevel {
-            n,
-            agg_of,
-            edge_map,
-            offsets,
-            nbr,
-            entry_edge,
-            capacity,
-            g_edge: vec![0.0; graph.edges.len()],
-            g_entry: vec![0.0; n_entries],
+        LevelTopology { n, agg_of, edge_map, offsets, nbr, entry_edge, capacity, n_edges: graph.edges.len() }
+    }
+}
+
+/// Per-run numeric state of one coarse level: refreshed conductances, the
+/// per-`h` diagonals, and the cycle's iterate/scratch vectors.
+#[derive(Clone, Debug)]
+pub(crate) struct LevelState {
+    /// Per-edge conductance, refreshed from the finer level.
+    g_edge: Vec<f64>,
+    /// Per-CSR-entry copy of `g_edge`.
+    g_entry: Vec<f64>,
+    /// Per-aggregate convection conductance, refreshed from the finer level.
+    pub(crate) g_conv: Vec<f64>,
+    /// `C/h + Σg + g_conv` per cell (valid for the hierarchy's `diag_h`).
+    diag: Vec<f64>,
+    /// Reciprocal of `diag`.
+    inv_diag: Vec<f64>,
+    /// This level's solution (the re-scaled cycle output).
+    x: Vec<f64>,
+    /// Right-hand side (the restricted residual from the finer level).
+    b: Vec<f64>,
+    /// Preconditioner output (one cycle applied to `b`).
+    z: Vec<f64>,
+    /// Cycle-internal residual scratch.
+    r: Vec<f64>,
+    /// `A·z` scratch for the line search.
+    az: Vec<f64>,
+}
+
+impl LevelState {
+    fn new(topo: &LevelTopology) -> LevelState {
+        let n = topo.n;
+        LevelState {
+            g_edge: vec![0.0; topo.n_edges],
+            g_entry: vec![0.0; topo.nbr.len()],
             g_conv: vec![0.0; n],
             diag: vec![0.0; n],
             inv_diag: vec![0.0; n],
@@ -172,12 +183,12 @@ impl MgLevel {
     }
 
     /// `sweeps` natural-order Gauss–Seidel sweeps on `A z = b`.
-    fn smooth_z(&mut self, sweeps: usize) {
+    fn smooth_z(&mut self, t: &LevelTopology, sweeps: usize) {
         for _ in 0..sweeps {
-            for i in 0..self.n {
+            for i in 0..t.n {
                 let mut num = self.b[i];
-                for k in self.offsets[i] as usize..self.offsets[i + 1] as usize {
-                    num += self.g_entry[k] * self.z[self.nbr[k] as usize];
+                for k in t.offsets[i] as usize..t.offsets[i + 1] as usize {
+                    num += self.g_entry[k] * self.z[t.nbr[k] as usize];
                 }
                 self.z[i] = num * self.inv_diag[i];
             }
@@ -189,12 +200,12 @@ impl MgLevel {
     /// a symmetric operator (restriction is the transpose of
     /// prolongation, the coarsest solve is exact), which is what lets the
     /// outer conjugate-gradient acceleration work at full strength.
-    fn smooth_z_rev(&mut self, sweeps: usize) {
+    fn smooth_z_rev(&mut self, t: &LevelTopology, sweeps: usize) {
         for _ in 0..sweeps {
-            for i in (0..self.n).rev() {
+            for i in (0..t.n).rev() {
                 let mut num = self.b[i];
-                for k in self.offsets[i] as usize..self.offsets[i + 1] as usize {
-                    num += self.g_entry[k] * self.z[self.nbr[k] as usize];
+                for k in t.offsets[i] as usize..t.offsets[i + 1] as usize {
+                    num += self.g_entry[k] * self.z[t.nbr[k] as usize];
                 }
                 self.z[i] = num * self.inv_diag[i];
             }
@@ -202,24 +213,24 @@ impl MgLevel {
     }
 
     /// `r = b - A z` (the cycle-internal residual).
-    fn residual_z(&mut self) {
-        for i in 0..self.n {
+    fn residual_z(&mut self, t: &LevelTopology) {
+        for i in 0..t.n {
             let mut r = self.b[i] - self.diag[i] * self.z[i];
-            for k in self.offsets[i] as usize..self.offsets[i + 1] as usize {
-                r += self.g_entry[k] * self.z[self.nbr[k] as usize];
+            for k in t.offsets[i] as usize..t.offsets[i + 1] as usize {
+                r += self.g_entry[k] * self.z[t.nbr[k] as usize];
             }
             self.r[i] = r;
         }
     }
 
     /// `az = A z`, returning `(z·az, z·b)` for the line search in one pass.
-    fn apply_z(&mut self) -> (f64, f64) {
+    fn apply_z(&mut self, t: &LevelTopology) -> (f64, f64) {
         let mut z_az = 0.0;
         let mut z_b = 0.0;
-        for i in 0..self.n {
+        for i in 0..t.n {
             let mut s = self.diag[i] * self.z[i];
-            for k in self.offsets[i] as usize..self.offsets[i + 1] as usize {
-                s -= self.g_entry[k] * self.z[self.nbr[k] as usize];
+            for k in t.offsets[i] as usize..t.offsets[i + 1] as usize {
+                s -= self.g_entry[k] * self.z[t.nbr[k] as usize];
             }
             self.az[i] = s;
             z_az += self.z[i] * s;
@@ -229,28 +240,24 @@ impl MgLevel {
     }
 }
 
-/// The coarse-level hierarchy plus the coarsest-level dense factorization.
-#[derive(Clone, Debug)]
-pub(crate) struct Multigrid {
+/// The shareable coarse-hierarchy artifact: every level's aggregation maps,
+/// CSR adjacency, and aggregated capacities — everything about the
+/// hierarchy that does not change as temperatures move. Build it once per
+/// (mesh, operator) pair and hand an `Arc` of it to each
+/// [`crate::ThermalModel`] via `ThermalModel::with_artifacts`; each model
+/// then allocates only its own per-run [`LevelState`]s.
+#[derive(Debug)]
+pub struct MgTopology {
     /// Coarse levels, finest first. `levels[0].agg_of` maps **fine grid**
     /// cells; `levels[l].agg_of` maps `levels[l-1]` cells for `l > 0`.
-    levels: Vec<MgLevel>,
-    /// Lower-triangular Cholesky factor of the coarsest operator,
-    /// row-major `n×n` (valid for `diag_h`).
-    chol: Vec<f64>,
-    /// Set when the fine conductances were refreshed after the last
-    /// [`Multigrid::refresh_g`].
-    pub(crate) stale_g: bool,
-    /// Substep length the level diagonals (and `chol`) were built for
-    /// (NaN = never).
-    diag_h: f64,
+    pub(crate) levels: Vec<LevelTopology>,
 }
 
-impl Multigrid {
+impl MgTopology {
     /// Builds the hierarchy topology from the grid's edges, using the
-    /// current conductances as matching strengths. The weights only steer
+    /// given conductances as matching strengths. The weights only steer
     /// aggregation quality; correctness never depends on them.
-    pub(crate) fn build(grid: &ThermalGrid, g_edge: &[f64]) -> Multigrid {
+    pub(crate) fn build(grid: &ThermalGrid, g_edge: &[f64]) -> MgTopology {
         let mut graph = Graph {
             n: grid.n_cells(),
             edges: grid.edges.iter().map(|e| (e.a as u32, e.b as u32)).collect(),
@@ -265,49 +272,121 @@ impl Multigrid {
                 cap_c[a as usize] += capacity[i];
             }
             capacity = cap_c.clone();
-            levels.push(MgLevel::new(agg_of, edge_map, &coarse, cap_c));
+            levels.push(LevelTopology::new(agg_of, edge_map, &coarse, cap_c));
             graph = coarse;
         }
-        Multigrid { levels, chol: Vec::new(), stale_g: true, diag_h: f64::NAN }
+        MgTopology { levels }
+    }
+
+    /// Builds the hierarchy a fresh model at ambient temperature would
+    /// build lazily on its first multigrid substep: the matching strengths
+    /// are the edge conductances evaluated at a uniform `cfg.ambient_k`
+    /// field (a model's temperatures before its first substep), so a
+    /// shared topology is identical to the per-model lazy build.
+    #[must_use]
+    pub fn for_grid(grid: &ThermalGrid, cfg: &GridConfig) -> MgTopology {
+        let k_at_ambient = |cell: usize| {
+            if grid.is_silicon(cell) {
+                cfg.silicon_k_override.unwrap_or_else(|| silicon_conductivity(cfg.ambient_k))
+            } else {
+                COPPER_CONDUCTIVITY
+            }
+        };
+        let g_edge: Vec<f64> = grid
+            .edges
+            .iter()
+            .map(|e| 1.0 / (e.g_a / k_at_ambient(e.a) + e.g_b / k_at_ambient(e.b)))
+            .collect();
+        MgTopology::build(grid, &g_edge)
     }
 
     /// Whether the hierarchy is unusable — no coarse level at all (mesh
     /// too small to coarsen), or coarsening stalled while the coarsest
     /// level is still too large to factor densely. The solver falls back
     /// to plain Gauss–Seidel in either case.
-    pub(crate) fn is_degenerate(&self) -> bool {
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
         match self.levels.last() {
             None => true,
             Some(coarsest) => coarsest.n > DENSE_MAX,
         }
     }
 
+    /// Number of coarse levels (excluding the fine grid).
+    #[must_use]
+    pub fn n_coarse_levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// The coarse-level hierarchy plus the coarsest-level dense factorization:
+/// an `Arc`-shared [`MgTopology`] and this solver instance's own per-level
+/// numeric state.
+#[derive(Clone, Debug)]
+pub(crate) struct Multigrid {
+    /// The shared immutable topology (aggregation maps, adjacency,
+    /// capacities).
+    topo: Arc<MgTopology>,
+    /// Per-run numeric state, one entry per `topo.levels` entry.
+    states: Vec<LevelState>,
+    /// Lower-triangular Cholesky factor of the coarsest operator,
+    /// row-major `n×n` (valid for `diag_h`).
+    chol: Vec<f64>,
+    /// Set when the fine conductances were refreshed after the last
+    /// [`Multigrid::refresh_g`].
+    pub(crate) stale_g: bool,
+    /// Substep length the level diagonals (and `chol`) were built for
+    /// (NaN = never).
+    diag_h: f64,
+}
+
+impl Multigrid {
+    /// Builds the hierarchy topology from the grid's edges (using the
+    /// current conductances as matching strengths) and wraps it in a
+    /// solver instance.
+    pub(crate) fn build(grid: &ThermalGrid, g_edge: &[f64]) -> Multigrid {
+        Multigrid::from_topology(Arc::new(MgTopology::build(grid, g_edge)))
+    }
+
+    /// Instantiates a solver on a shared topology: allocates this
+    /// instance's per-level numeric state, everything else is the `Arc`.
+    pub(crate) fn from_topology(topo: Arc<MgTopology>) -> Multigrid {
+        let states = topo.levels.iter().map(LevelState::new).collect();
+        Multigrid { topo, states, chol: Vec::new(), stale_g: true, diag_h: f64::NAN }
+    }
+
+    /// See [`MgTopology::is_degenerate`].
+    pub(crate) fn is_degenerate(&self) -> bool {
+        self.topo.is_degenerate()
+    }
+
     /// Number of levels including the fine grid.
     pub(crate) fn n_levels(&self) -> usize {
-        self.levels.len() + 1
+        self.topo.levels.len() + 1
     }
 
     /// Propagates refreshed fine-grid conductances down the hierarchy
     /// (scatter-add per level) and invalidates the per-`h` diagonals.
     pub(crate) fn refresh_g(&mut self, fine_g_edge: &[f64], fine_g_conv: &[f64]) {
-        for l in 0..self.levels.len() {
-            let (done, rest) = self.levels.split_at_mut(l);
+        for l in 0..self.states.len() {
+            let topo = &self.topo.levels[l];
+            let (done, rest) = self.states.split_at_mut(l);
             let (src_g, src_conv): (&[f64], &[f64]) = match done.last() {
                 None => (fine_g_edge, fine_g_conv),
                 Some(prev) => (&prev.g_edge, &prev.g_conv),
             };
             let lev = &mut rest[0];
             lev.g_edge.fill(0.0);
-            for (e, &m) in lev.edge_map.iter().enumerate() {
+            for (e, &m) in topo.edge_map.iter().enumerate() {
                 if m != INTERNAL {
                     lev.g_edge[m as usize] += src_g[e];
                 }
             }
             for (k, g) in lev.g_entry.iter_mut().enumerate() {
-                *g = lev.g_edge[lev.entry_edge[k] as usize];
+                *g = lev.g_edge[topo.entry_edge[k] as usize];
             }
             lev.g_conv.fill(0.0);
-            for (i, &a) in lev.agg_of.iter().enumerate() {
+            for (i, &a) in topo.agg_of.iter().enumerate() {
                 lev.g_conv[a as usize] += src_conv[i];
             }
         }
@@ -324,24 +403,24 @@ impl Multigrid {
     /// Builds every level's `C/h`-augmented diagonal and factors the
     /// coarsest operator.
     pub(crate) fn build_diag(&mut self, h: f64) {
-        for lev in &mut self.levels {
-            for i in 0..lev.n {
+        for (topo, lev) in self.topo.levels.iter().zip(&mut self.states) {
+            for i in 0..topo.n {
                 let g_sum: f64 =
-                    lev.g_entry[lev.offsets[i] as usize..lev.offsets[i + 1] as usize].iter().sum();
-                let d = lev.capacity[i] / h + g_sum + lev.g_conv[i];
+                    lev.g_entry[topo.offsets[i] as usize..topo.offsets[i + 1] as usize].iter().sum();
+                let d = topo.capacity[i] / h + g_sum + lev.g_conv[i];
                 lev.diag[i] = d;
                 lev.inv_diag[i] = 1.0 / d;
             }
         }
-        if let Some(c) = self.levels.last() {
+        if let (Some(ct), Some(c)) = (self.topo.levels.last(), self.states.last()) {
             // Dense SPD assembly of the coarsest operator: diagonal plus
             // `-g` off-diagonals.
-            let n = c.n;
+            let n = ct.n;
             let mut a = vec![0.0; n * n];
             for i in 0..n {
                 a[i * n + i] = c.diag[i];
-                for k in c.offsets[i] as usize..c.offsets[i + 1] as usize {
-                    a[i * n + c.nbr[k] as usize] = -c.g_entry[k];
+                for k in ct.offsets[i] as usize..ct.offsets[i + 1] as usize {
+                    a[i * n + ct.nbr[k] as usize] = -c.g_entry[k];
                 }
             }
             cholesky_in_place(&mut a, n);
@@ -355,15 +434,16 @@ impl Multigrid {
     /// *assigns* the prolonged correction to `z` (the fine preconditioner
     /// starts from a zero guess, so no separate clear of `z` is needed).
     pub(crate) fn coarse_correction(&mut self, r: &[f64], z: &mut [f64]) {
-        let l0 = &mut self.levels[0];
+        let t0 = &self.topo.levels[0];
+        let l0 = &mut self.states[0];
         l0.b.fill(0.0);
         for (i, &ri) in r.iter().enumerate() {
-            l0.b[l0.agg_of[i] as usize] += ri;
+            l0.b[t0.agg_of[i] as usize] += ri;
         }
-        k_solve(&mut self.levels, &self.chol);
-        let l0 = &self.levels[0];
+        k_solve(&self.topo.levels, &mut self.states, &self.chol);
+        let l0 = &self.states[0];
         for (i, t) in z.iter_mut().enumerate() {
-            *t = l0.x[l0.agg_of[i] as usize];
+            *t = l0.x[t0.agg_of[i] as usize];
         }
     }
 }
@@ -374,45 +454,48 @@ impl Multigrid {
 /// re-scaling is what makes piecewise-constant aggregation competitive —
 /// it stretches the systematically-undersized correction that a stationary
 /// cycle would need many passes to accumulate.
-fn k_solve(levels: &mut [MgLevel], chol: &[f64]) {
-    if levels.len() == 1 {
-        let c = &mut levels[0];
-        cholesky_solve(chol, c.n, &c.b, &mut c.x);
+fn k_solve(topo: &[LevelTopology], states: &mut [LevelState], chol: &[f64]) {
+    if states.len() == 1 {
+        let c = &mut states[0];
+        cholesky_solve(chol, topo[0].n, &c.b, &mut c.x);
         return;
     }
-    precond(levels, chol);
-    let cur = &mut levels[0];
-    let (z_az, z_b) = cur.apply_z();
+    precond(topo, states, chol);
+    let t = &topo[0];
+    let cur = &mut states[0];
+    let (z_az, z_b) = cur.apply_z(t);
     if z_az <= 0.0 {
         // Numerically degenerate (the correction vanished): take it as-is.
         cur.x.copy_from_slice(&cur.z);
         return;
     }
     let alpha = z_b / z_az;
-    for i in 0..cur.n {
+    for i in 0..t.n {
         cur.x[i] = alpha * cur.z[i];
     }
 }
 
 /// One preconditioner application at `levels[0]`: `z ≈ A⁻¹ b` by
 /// pre-smoothing, a recursive K-cycle correction, and post-smoothing.
-fn precond(levels: &mut [MgLevel], chol: &[f64]) {
-    let (cur, rest) = levels.split_at_mut(1);
+fn precond(topo: &[LevelTopology], states: &mut [LevelState], chol: &[f64]) {
+    let t = &topo[0];
+    let (cur, rest) = states.split_at_mut(1);
     let cur = &mut cur[0];
     cur.z.fill(0.0);
-    cur.smooth_z(PRE_SWEEPS);
-    cur.residual_z();
+    cur.smooth_z(t, PRE_SWEEPS);
+    cur.residual_z(t);
+    let next_topo = &topo[1];
     let next = &mut rest[0];
     next.b.fill(0.0);
     for (i, &ri) in cur.r.iter().enumerate() {
-        next.b[next.agg_of[i] as usize] += ri;
+        next.b[next_topo.agg_of[i] as usize] += ri;
     }
-    k_solve(rest, chol);
+    k_solve(&topo[1..], rest, chol);
     let next = &rest[0];
     for (i, z) in cur.z.iter_mut().enumerate() {
-        *z += next.x[next.agg_of[i] as usize];
+        *z += next.x[next_topo.agg_of[i] as usize];
     }
-    cur.smooth_z_rev(POST_SWEEPS);
+    cur.smooth_z_rev(t, POST_SWEEPS);
 }
 
 /// In-place dense Cholesky of the SPD matrix `a` (row-major `n×n`); the
@@ -638,16 +721,51 @@ mod tests {
         mg.refresh_g(&g_edge, &g_conv);
         let fine_cap: f64 = grid.capacity.iter().sum();
         let fine_conv: f64 = g_conv.iter().sum();
-        for lev in &mg.levels {
-            let cap: f64 = lev.capacity.iter().sum();
+        for (topo, lev) in mg.topo.levels.iter().zip(&mg.states) {
+            let cap: f64 = topo.capacity.iter().sum();
             let conv: f64 = lev.g_conv.iter().sum();
             assert!((cap - fine_cap).abs() / fine_cap < 1e-12, "capacity conserved per level");
             assert!((conv - fine_conv).abs() / fine_conv < 1e-12, "convection conserved per level");
         }
         // Coarsest level small enough for the dense solve.
-        assert!(mg.levels.last().unwrap().n <= COARSEST_MAX);
+        assert!(mg.topo.levels.last().unwrap().n <= COARSEST_MAX);
         mg.build_diag(5e-4);
         assert!(mg.diag_ready(5e-4));
         assert!(!mg.chol.is_empty());
+    }
+
+    #[test]
+    fn shared_topology_instances_are_independent_but_identical() {
+        // Two solver instances on one Arc'd topology: same hierarchy shape,
+        // separate numeric state; for_grid matches the lazy in-model build.
+        let mut fp = Floorplan::new("shared", 4000.0, 4000.0);
+        fp.add_component("hot", 500.0, 500.0, 2000.0, 2000.0, true);
+        let cfg = GridConfig { hot_div: 10, default_div: 4, ..GridConfig::default() };
+        let grid = ThermalGrid::build(&fp, &cfg).unwrap();
+        let topo = Arc::new(MgTopology::for_grid(&grid, &cfg));
+        assert!(!topo.is_degenerate());
+        let mut a = Multigrid::from_topology(topo.clone());
+        let b = Multigrid::from_topology(topo.clone());
+        assert_eq!(a.n_levels(), b.n_levels());
+        // Refreshing one instance leaves the other untouched.
+        let g_edge = vec![2.0; grid.edges.len()];
+        let g_conv = vec![0.0; grid.n_cells()];
+        a.refresh_g(&g_edge, &g_conv);
+        assert!(!a.stale_g);
+        assert!(b.stale_g, "sibling instance state is independent");
+        assert!(b.states[0].g_edge.iter().all(|&g| g == 0.0));
+        // The ambient-weight builder reproduces what Multigrid::build would
+        // do from the model's first refreshed conductances.
+        let k = |cell: usize| {
+            if grid.is_silicon(cell) { silicon_conductivity(cfg.ambient_k) } else { COPPER_CONDUCTIVITY }
+        };
+        let lazy_g: Vec<f64> =
+            grid.edges.iter().map(|e| 1.0 / (e.g_a / k(e.a) + e.g_b / k(e.b))).collect();
+        let lazy = Multigrid::build(&grid, &lazy_g);
+        assert_eq!(lazy.n_levels(), a.n_levels());
+        for (lt, st) in lazy.topo.levels.iter().zip(&topo.levels) {
+            assert_eq!(lt.n, st.n);
+            assert_eq!(lt.agg_of, st.agg_of, "identical aggregation under identical weights");
+        }
     }
 }

@@ -42,10 +42,11 @@ use crate::csr::{CellCsr, NO_CONV};
 use crate::error::ThermalError;
 use crate::floorplan::{ComponentId, Floorplan};
 use crate::grid::{GridConfig, ImplicitSolve, Integrator, SweepMode, ThermalGrid};
-use crate::mg::Multigrid;
+use crate::mg::{MgTopology, Multigrid};
 use crate::pool::{self, SpinBarrier, UnsafeSlice};
 use crate::props::{silicon_conductivity, COPPER_CONDUCTIVITY};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Substeps between non-linear coefficient refreshes on the optimized
 /// explicit path (the reference path matches the seed's fixed cadence; the
@@ -179,7 +180,19 @@ impl SolverStats {
 /// interacts only with its neighbours, §5.2).
 #[derive(Clone, Debug)]
 pub struct ThermalModel {
-    grid: ThermalGrid,
+    /// The meshed cell network — immutable, shareable between models via
+    /// [`ThermalModel::with_artifacts`].
+    grid: Arc<ThermalGrid>,
+    /// This model's own solver configuration. A shared `grid` carries the
+    /// config of whoever built it, which may differ from this model's in
+    /// the per-run knobs (integrator, sweep mode, strictness) — every
+    /// config read in the solver goes through this field, never
+    /// `grid.cfg`.
+    cfg: GridConfig,
+    /// Shared multigrid hierarchy topology, when the model was built from
+    /// artifacts; the lazily-built [`Multigrid`] instantiates on it
+    /// instead of re-coarsening the mesh.
+    mg_topo: Option<Arc<MgTopology>>,
     temps: Vec<f64>,
     comp_power: Vec<f64>,
     cell_power: Vec<f64>,
@@ -269,9 +282,34 @@ impl ThermalModel {
     ///
     /// Returns [`ThermalError`] if the grid configuration is invalid.
     pub fn new(fp: &Floorplan, cfg: &GridConfig) -> Result<ThermalModel, ThermalError> {
-        let grid = ThermalGrid::build(fp, cfg)?;
+        let grid = Arc::new(ThermalGrid::build(fp, cfg)?);
+        ThermalModel::with_artifacts(grid, None, cfg)
+    }
+
+    /// Builds a model on pre-built shared artifacts: the meshed grid and
+    /// (optionally) the multigrid hierarchy topology, both behind `Arc`s
+    /// so k models of one sweep share one mesh and one hierarchy instead
+    /// of rebuilding them k times. `cfg` is *this model's* solver
+    /// configuration; it must be mesh-compatible with the config the grid
+    /// was built from (same [`GridConfig::mesh_fingerprint`]) but may
+    /// differ in every per-run knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError`] if `cfg` is invalid.
+    pub fn with_artifacts(
+        grid: Arc<ThermalGrid>,
+        mg_topo: Option<Arc<MgTopology>>,
+        cfg: &GridConfig,
+    ) -> Result<ThermalModel, ThermalError> {
+        cfg.validate()?;
+        debug_assert_eq!(
+            grid.cfg.mesh_fingerprint(),
+            cfg.mesh_fingerprint(),
+            "shared grid geometry must match the model's config"
+        );
         let n = grid.n_cells();
-        let n_entries = grid.csr.nbr.len();
+        let n_entries = grid.csr.n_entries();
         Ok(ThermalModel {
             temps: vec![cfg.ambient_k; n],
             comp_power: vec![0.0; grid.comp_cells.len()],
@@ -312,6 +350,8 @@ impl ThermalModel {
             time: 0.0,
             energy_in: 0.0,
             energy_out: 0.0,
+            cfg: *cfg,
+            mg_topo,
             grid,
         })
     }
@@ -319,6 +359,18 @@ impl ThermalModel {
     /// The underlying grid.
     pub fn grid(&self) -> &ThermalGrid {
         &self.grid
+    }
+
+    /// The underlying grid as a shareable artifact (hand it to
+    /// [`ThermalModel::with_artifacts`] to build sibling models without
+    /// re-meshing).
+    pub fn grid_arc(&self) -> Arc<ThermalGrid> {
+        self.grid.clone()
+    }
+
+    /// This model's solver configuration.
+    pub fn config(&self) -> &GridConfig {
+        &self.cfg
     }
 
     /// Simulated seconds elapsed.
@@ -331,18 +383,18 @@ impl ThermalModel {
     /// a single-worker pool would add dispatch overhead for nothing, so
     /// `Auto` only engages when there is real parallelism to buy).
     pub fn uses_parallel_sweeps(&self) -> bool {
-        match self.grid.cfg.sweep {
+        match self.cfg.sweep {
             SweepMode::Reference | SweepMode::Serial => false,
             SweepMode::Parallel => true,
             SweepMode::Auto => {
-                self.temps.len() >= self.grid.cfg.parallel_threshold
+                self.temps.len() >= self.cfg.parallel_threshold
                     && pool::global().n_workers() > 1
             }
         }
     }
 
     fn reference_mode(&self) -> bool {
-        self.grid.cfg.sweep == SweepMode::Reference
+        self.cfg.sweep == SweepMode::Reference
     }
 
     /// Whether the semi-implicit substeps run multigrid W-cycles (resolves
@@ -350,13 +402,13 @@ impl ThermalModel {
     /// explicit integrator and for the seed-faithful
     /// [`SweepMode::Reference`] path.
     pub fn uses_multigrid(&self) -> bool {
-        if self.reference_mode() || !matches!(self.grid.cfg.integrator, Integrator::SemiImplicit { .. }) {
+        if self.reference_mode() || !matches!(self.cfg.integrator, Integrator::SemiImplicit { .. }) {
             return false;
         }
-        match self.grid.cfg.implicit_solve {
+        match self.cfg.implicit_solve {
             ImplicitSolve::GaussSeidel => false,
             ImplicitSolve::Multigrid => true,
-            ImplicitSolve::Auto => self.temps.len() >= self.grid.cfg.multigrid_threshold,
+            ImplicitSolve::Auto => self.temps.len() >= self.cfg.multigrid_threshold,
         }
     }
 
@@ -471,13 +523,13 @@ impl ThermalModel {
 
     /// Heat currently stored relative to ambient, J (`Σ C_i (T_i - T_amb)`).
     pub fn stored_energy(&self) -> f64 {
-        let amb = self.grid.cfg.ambient_k;
+        let amb = self.cfg.ambient_k;
         self.temps.iter().zip(&self.grid.capacity).map(|(&t, &c)| c * (t - amb)).sum()
     }
 
     fn conductivity(&self, cell: usize, temp: f64) -> f64 {
         if self.grid.is_silicon(cell) {
-            match self.grid.cfg.silicon_k_override {
+            match self.cfg.silicon_k_override {
                 Some(k) => k,
                 None => silicon_conductivity(temp),
             }
@@ -488,7 +540,7 @@ impl ThermalModel {
 
     /// Recomputes per-cell conductivities at the current temperatures.
     fn refresh_conductivities(&mut self) {
-        if self.uses_parallel_sweeps() && self.grid.cfg.silicon_k_override.is_none() {
+        if self.uses_parallel_sweeps() && self.cfg.silicon_k_override.is_none() {
             // The powf per silicon cell is the single most expensive part of
             // a refresh — fan it out.
             let n = self.temps.len();
@@ -665,7 +717,7 @@ impl ThermalModel {
         if seconds == 0.0 {
             return Ok(());
         }
-        match self.grid.cfg.integrator {
+        match self.cfg.integrator {
             Integrator::Explicit => {
                 let dt_max = self.stable_dt();
                 let n_sub = (seconds / dt_max).ceil().max(1.0) as u64;
@@ -718,12 +770,169 @@ impl ThermalModel {
     /// In strict mode, converts a just-recorded unconverged substep into
     /// the typed error.
     fn check_strict(&self) -> Result<(), ThermalError> {
-        if self.grid.cfg.strict_convergence && self.last_substep_unconverged {
+        if self.cfg.strict_convergence && self.last_substep_unconverged {
             return Err(ThermalError::NotConverged {
                 time_s: self.time,
                 residual_k: self.last_delta,
                 sweeps: self.last_sweeps,
             });
+        }
+        Ok(())
+    }
+
+    /// Advances `k` models by `seconds` in lockstep, solving their
+    /// implicit substeps as one batched many-RHS sweep: the k temperature
+    /// iterates are packed in SoA layout (`soa[cell * k + model]`) and one
+    /// pass over the shared CSR adjacency updates all k vectors per cell.
+    /// The per-model arithmetic — warm start, SOR tuning, refresh policy,
+    /// convergence test — is *exactly* the serial path's, in the same
+    /// order, so the result is bitwise identical to calling
+    /// [`ThermalModel::try_step`] on each model in turn; what batching
+    /// buys is one traversal of the adjacency indices (and hot cache
+    /// lines) servicing k scenarios instead of one.
+    ///
+    /// The fused kernel engages when every model shares the same grid
+    /// `Arc` and integrator and runs the serial Gauss–Seidel path; any
+    /// other mix (reference mode, parallel sweeps, multigrid, explicit
+    /// integration) falls back to sequential stepping — still correct,
+    /// just unbatched.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::NotConverged`] in strict mode, from the first model
+    /// whose substep fails; integration stops there for every model, as
+    /// [`ThermalModel::try_step`] stops at the offending substep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    pub fn try_step_batch(
+        models: &mut [&mut ThermalModel],
+        seconds: f64,
+    ) -> Result<(), ThermalError> {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "step duration must be finite and non-negative");
+        if models.is_empty() || seconds == 0.0 {
+            return Ok(());
+        }
+        let fusable = {
+            let (first, rest) = models.split_first().expect("non-empty");
+            let serial_gs = |m: &ThermalModel| {
+                matches!(m.cfg.integrator, Integrator::SemiImplicit { .. })
+                    && !m.reference_mode()
+                    && !m.uses_parallel_sweeps()
+                    && !m.uses_multigrid()
+            };
+            models.len() >= 2
+                && serial_gs(first)
+                && rest.iter().all(|m| {
+                    Arc::ptr_eq(&m.grid, &first.grid)
+                        && m.cfg.integrator == first.cfg.integrator
+                        && serial_gs(m)
+                })
+        };
+        if !fusable {
+            for m in models.iter_mut() {
+                m.try_step(seconds)?;
+            }
+            return Ok(());
+        }
+        // Cap the fusion width: every model carries its own conductance/
+        // capacitance arrays (the operator is quasi-nonlinear), so a fused
+        // sweep's working set grows by ~n·10 doubles per model. Past a few
+        // models that spills the cache level the serial path solves in,
+        // and the fused pass gets slower, not faster. Chunks still
+        // amortize the shared CSR index traversal; results are unchanged
+        // (the models are mutually independent).
+        const FUSE_WIDTH: usize = 8;
+        if models.len() > FUSE_WIDTH {
+            for chunk in models.chunks_mut(FUSE_WIDTH) {
+                Self::try_step_batch(chunk, seconds)?;
+            }
+            return Ok(());
+        }
+        let Integrator::SemiImplicit { dt } = models[0].cfg.integrator else { unreachable!() };
+        let n_sub = (seconds / dt).ceil().max(1.0) as u64;
+        let h = seconds / n_sub as f64;
+        let grid = models[0].grid.clone();
+        let csr = &grid.csr;
+        let n = grid.n_cells();
+        let k = models.len();
+        let mut tuners: Vec<SorTuner> = Vec::with_capacity(k);
+        let mut omega = vec![1.0f64; k];
+        let mut settled = vec![false; k];
+        let mut sweeps_used = vec![MAX_SWEEPS; k];
+        let mut final_delta = vec![f64::INFINITY; k];
+        let mut converged = vec![false; k];
+        let mut max_delta = vec![0.0f64; k];
+        for _ in 0..n_sub {
+            for m in models.iter_mut() {
+                if m.since_refresh >= REFRESH_MAX_INTERVAL || m.drift_since_refresh() > REFRESH_DRIFT_K {
+                    m.refresh_all();
+                }
+                m.implicit_substep_begin(h);
+            }
+            // Fused sweeps: each model runs its own SorTuner/ω and stops
+            // sweeping the moment its own update drops below tolerance,
+            // exactly as `solve_serial` would. The models update their own
+            // work vectors in place, in the same cell order as the serial
+            // path, so every iterate is bit-for-bit the serial one; the
+            // fusion wins by loading each cell's CSR row bounds and
+            // neighbor indices once for all k models, and by interleaving
+            // k independent Gauss–Seidel recurrences (the serial sweep is
+            // latency-bound on its own dependency chain).
+            tuners.clear();
+            tuners.resize_with(k, SorTuner::new);
+            omega.fill(1.0);
+            settled.fill(false);
+            sweeps_used.fill(MAX_SWEEPS);
+            final_delta.fill(f64::INFINITY);
+            converged.fill(false);
+            for sweep in 0..MAX_SWEEPS {
+                if settled.iter().all(|&s| s) {
+                    break;
+                }
+                max_delta.fill(0.0);
+                for i in 0..n {
+                    let (lo, hi) = (csr.offsets[i] as usize, csr.offsets[i + 1] as usize);
+                    let nbrs = &csr.nbr[lo..hi];
+                    for (j, m) in models.iter_mut().enumerate() {
+                        if settled[j] {
+                            continue;
+                        }
+                        let mut num =
+                            m.c_over_h[i] * m.temps[i] + m.cell_power[i] + m.g_conv[i] * m.cfg.ambient_k;
+                        for (&g, &nb) in m.g_entry[lo..hi].iter().zip(nbrs) {
+                            num += g * m.work[nb as usize];
+                        }
+                        let old = m.work[i];
+                        let new = old + omega[j] * (num * m.inv_diag[i] - old);
+                        max_delta[j] = max_delta[j].max((new - old).abs());
+                        m.work[i] = new;
+                    }
+                }
+                for j in 0..k {
+                    if settled[j] {
+                        continue;
+                    }
+                    final_delta[j] = max_delta[j];
+                    if max_delta[j] < SWEEP_TOL {
+                        settled[j] = true;
+                        sweeps_used[j] = sweep + 1;
+                        converged[j] = true;
+                    } else {
+                        omega[j] = tuners[j].observe(sweep, max_delta[j]);
+                    }
+                }
+            }
+            for (j, m) in models.iter_mut().enumerate() {
+                let amb = m.cfg.ambient_k;
+                m.record_implicit(sweeps_used[j], 0, final_delta[j], converged[j]);
+                m.implicit_substep_finish(h, amb);
+                m.since_refresh += 1;
+            }
+            for m in models.iter() {
+                m.check_strict()?;
+            }
         }
         Ok(())
     }
@@ -735,7 +944,7 @@ impl ThermalModel {
     /// in any order.
     fn implicit_substep_csr(&mut self, h: f64) {
         self.implicit_substep_begin(h);
-        let amb = self.grid.cfg.ambient_k;
+        let amb = self.cfg.ambient_k;
         let (sweeps, delta, converged) = if self.uses_parallel_sweeps() {
             self.solve_colored_parallel(amb)
         } else {
@@ -754,9 +963,14 @@ impl ThermalModel {
     fn implicit_substep_mg(&mut self, h: f64) {
         // The hierarchy topology is built once, from the first refreshed
         // conductances (the matching strengths); `refresh_all` has run by
-        // the time any substep executes.
+        // the time any substep executes. A model built on a shared
+        // topology artifact instantiates on it instead — identical, since
+        // the artifact was built at the same ambient-uniform conductances.
         if self.mg.is_none() {
-            self.mg = Some(Multigrid::build(&self.grid, &self.g_edge));
+            self.mg = Some(match &self.mg_topo {
+                Some(topo) => Multigrid::from_topology(topo.clone()),
+                None => Multigrid::build(&self.grid, &self.g_edge),
+            });
         }
         if self.mg.as_ref().expect("just built").is_degenerate() {
             self.implicit_substep_csr(h);
@@ -772,7 +986,7 @@ impl ThermalModel {
                 mg.build_diag(h);
             }
         }
-        let amb = self.grid.cfg.ambient_k;
+        let amb = self.cfg.ambient_k;
         // Precompute the right-hand side once: the smoother re-reads it
         // every sweep and the residual pass every cycle.
         for i in 0..self.rhs.len() {
@@ -1034,7 +1248,7 @@ impl ThermalModel {
     /// ends, which keeps the update conflict-free and the conservation
     /// exact — `g·(T_i−T_j)` and `g·(T_j−T_i)` are exact negations).
     fn substep_csr(&mut self, dt: f64) {
-        let amb = self.grid.cfg.ambient_k;
+        let amb = self.cfg.ambient_k;
         let n = self.temps.len();
         let out = if self.uses_parallel_sweeps() {
             let pool = pool::global();
@@ -1104,7 +1318,7 @@ impl ThermalModel {
     /// natural-order serial sweeps, per-edge divisions) — the golden
     /// baseline.
     fn implicit_substep_reference(&mut self, h: f64) {
-        let amb = self.grid.cfg.ambient_k;
+        let amb = self.cfg.ambient_k;
         for i in 0..self.temps.len() {
             self.k_cell[i] = self.conductivity(i, self.temps[i]);
         }
@@ -1161,7 +1375,7 @@ impl ThermalModel {
 
     /// Seed-faithful forward-Euler substep (edge-wise divisions).
     fn substep_reference(&mut self, dt: f64) {
-        let amb = self.grid.cfg.ambient_k;
+        let amb = self.cfg.ambient_k;
         self.flow.copy_from_slice(&self.cell_power);
         for e in &self.grid.edges {
             let r = e.g_a / self.k_cell[e.a] + e.g_b / self.k_cell[e.b];
@@ -1730,5 +1944,131 @@ mod tests {
         let b = m.stable_dt();
         assert!(a > 0.0 && a.is_finite());
         assert!((a - b).abs() < 1e-18, "same state, same dt");
+    }
+
+    #[test]
+    fn with_artifacts_shares_one_mesh_and_matches_fresh_build() {
+        let mut fp = Floorplan::new("art", 4000.0, 2000.0);
+        let l = fp.add_component("left", 0.0, 0.0, 1000.0, 2000.0, true);
+        let cfg = GridConfig::default();
+        let fresh = ThermalModel::new(&fp, &cfg).unwrap();
+        let grid = fresh.grid_arc();
+        let mut a = ThermalModel::with_artifacts(grid.clone(), None, &cfg).unwrap();
+        let mut b = ThermalModel::with_artifacts(grid.clone(), None, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a.grid, &b.grid), "one mesh, two models");
+        // A model on a shared mesh follows the exact fresh-build trajectory.
+        let mut fresh = fresh;
+        fresh.set_component_power(l, 2.0);
+        a.set_component_power(l, 2.0);
+        b.set_component_power(l, 0.5);
+        for _ in 0..5 {
+            fresh.step(0.01);
+            a.step(0.01);
+            b.step(0.01);
+        }
+        assert_eq!(fresh.temps(), a.temps(), "shared mesh changes nothing");
+        assert!(b.max_temp() < a.max_temp(), "sibling state stays independent");
+    }
+
+    #[test]
+    fn shared_mg_topology_matches_lazy_build() {
+        // A model handed the topology artifact must integrate bit-for-bit
+        // like one that lazily coarsens its own hierarchy.
+        let mut fp = Floorplan::new("mgshare", 4000.0, 4000.0);
+        let c = fp.add_component("hot", 500.0, 500.0, 2000.0, 2000.0, true);
+        let cfg = GridConfig {
+            hot_div: 12,
+            implicit_solve: ImplicitSolve::Multigrid,
+            ..GridConfig::default()
+        };
+        let mut lazy = ThermalModel::new(&fp, &cfg).unwrap();
+        let topo = Arc::new(MgTopology::for_grid(lazy.grid(), &cfg));
+        let mut shared =
+            ThermalModel::with_artifacts(lazy.grid_arc(), Some(topo), &cfg).unwrap();
+        lazy.set_component_power(c, 3.0);
+        shared.set_component_power(c, 3.0);
+        for _ in 0..5 {
+            lazy.step(0.01);
+            shared.step(0.01);
+        }
+        assert!(lazy.uses_multigrid() && lazy.multigrid_levels().unwrap() >= 2);
+        assert_eq!(lazy.multigrid_levels(), shared.multigrid_levels());
+        assert_eq!(lazy.temps(), shared.temps(), "identical trajectories");
+    }
+
+    #[test]
+    fn batched_step_is_bitwise_equal_to_sequential() {
+        // The fused many-RHS kernel must reproduce the serial per-model
+        // path exactly — same sweeps, same ω schedule, same floats.
+        let mut fp = Floorplan::new("batch", 4000.0, 2000.0);
+        let l = fp.add_component("left", 0.0, 0.0, 1000.0, 2000.0, true);
+        let r = fp.add_component("right", 3000.0, 0.0, 1000.0, 2000.0, true);
+        let cfg = GridConfig { hot_div: 4, ..GridConfig::default() };
+        let seed = ThermalModel::new(&fp, &cfg).unwrap();
+        let grid = seed.grid_arc();
+        let powers = [(2.0, 0.5), (0.3, 1.7), (1.0, 1.0), (0.0, 4.0)];
+        let mut batched: Vec<ThermalModel> = powers
+            .iter()
+            .map(|&(pl, pr)| {
+                let mut m = ThermalModel::with_artifacts(grid.clone(), None, &cfg).unwrap();
+                m.set_component_power(l, pl);
+                m.set_component_power(r, pr);
+                m
+            })
+            .collect();
+        let mut sequential: Vec<ThermalModel> = batched.clone();
+        for _ in 0..8 {
+            let mut refs: Vec<&mut ThermalModel> = batched.iter_mut().collect();
+            ThermalModel::try_step_batch(&mut refs, 0.01).unwrap();
+            for m in &mut sequential {
+                m.try_step(0.01).unwrap();
+            }
+        }
+        for (bm, sm) in batched.iter().zip(&sequential) {
+            assert_eq!(bm.temps(), sm.temps(), "bitwise-equal trajectories");
+            assert_eq!(bm.solver_stats(), sm.solver_stats(), "identical solver effort");
+            assert!(bm.time() > 0.0);
+        }
+        // And the batch really heated the scenarios differently.
+        assert!(batched[3].component_temp(r) > batched[0].component_temp(r));
+    }
+
+    #[test]
+    fn batched_step_falls_back_for_unfusable_mixes() {
+        // Different grids → sequential fallback, still correct.
+        let cfg = GridConfig::default();
+        let mut a = uniform(2.0, &cfg);
+        let mut b = uniform(2.0, &cfg);
+        let mut golden = uniform(2.0, &cfg);
+        {
+            let mut refs: Vec<&mut ThermalModel> = vec![&mut a, &mut b];
+            ThermalModel::try_step_batch(&mut refs, 0.02).unwrap();
+        }
+        golden.try_step(0.02).unwrap();
+        assert_eq!(a.temps(), golden.temps());
+        assert_eq!(b.temps(), golden.temps());
+    }
+
+    #[test]
+    fn batched_step_runs_clean_under_strict_convergence() {
+        // The batched kernel goes through the same check_strict gate as
+        // the serial path: a healthy strict-mode batch steps cleanly and
+        // records zero unconverged substeps.
+        let cfg = GridConfig { strict_convergence: true, ..GridConfig::default() };
+        let base = uniform(2.0, &cfg);
+        let grid = base.grid_arc();
+        let mut ms: Vec<ThermalModel> = (0..3)
+            .map(|i| {
+                let mut m = ThermalModel::with_artifacts(grid.clone(), None, &cfg).unwrap();
+                m.set_component_power(0, 1.0 + i as f64);
+                m
+            })
+            .collect();
+        let mut refs: Vec<&mut ThermalModel> = ms.iter_mut().collect();
+        ThermalModel::try_step_batch(&mut refs, 0.05).unwrap();
+        for m in &ms {
+            assert_eq!(m.solver_stats().unconverged_substeps, 0);
+            assert!(m.solver_stats().substeps > 0);
+        }
     }
 }

@@ -22,10 +22,14 @@ echo "== bench-smoke gate =="
 # BENCH_thermal.json.
 cargo run --release -p temu-bench --bin thermal_scaling -- --smoke --out target/bench_smoke.json
 
-echo "== sweep-smoke gate =="
+echo "== sweep-smoke + batch-smoke gate =="
 # The design-space sweep gate: an 8-point strict-convergence mini sweep
-# (multigrid included) must run clean, and its identical in-process re-run
-# must be 100% cache hits with zero scenario executions.
+# (multigrid included) must run clean with the shared mesh built exactly
+# once (7 artifact-cache hits — zero hits fails), its identical
+# in-process re-run must be 100% result-cache hits with zero scenario
+# executions, and the same grid through the batched many-RHS lockstep
+# path must reproduce the campaign run bitwise (peak/final temperatures
+# compared by bit pattern).
 cargo run --release -p temu-bench --bin sweep -- --smoke
 
 echo "== serve-smoke gate =="
