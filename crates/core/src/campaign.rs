@@ -41,6 +41,13 @@ use temu_thermal::{default_workers, WorkerPool};
 /// completion order (see [`Campaign::on_result`]).
 pub type ResultSink = dyn Fn(&CampaignProgress<'_>) + Send + Sync;
 
+/// A custom point executor installed by [`Campaign::runner`]: replaces the
+/// default [`Scenario::run_with`] call so the sweep layer can route a
+/// point through checkpoint resume or within-point window observation
+/// without the campaign knowing either exists.
+pub(crate) type PointRunner =
+    dyn Fn(&Scenario, Option<&ArtifactCache>) -> Result<ScenarioRun, TemuError> + Send + Sync;
+
 /// One finished scenario, delivered to a [`Campaign::on_result`] sink while
 /// the rest of the batch is still running.
 #[derive(Debug)]
@@ -83,6 +90,7 @@ pub struct Campaign {
     threads: Option<usize>,
     sink: Option<Arc<ResultSink>>,
     artifacts: Option<Arc<ArtifactCache>>,
+    runner: Option<Arc<PointRunner>>,
 }
 
 impl fmt::Debug for Campaign {
@@ -131,6 +139,15 @@ impl Campaign {
         self
     }
 
+    /// Replaces the default per-scenario executor
+    /// ([`Scenario::run_with`]) — the sweep layer's hook for checkpoint
+    /// resume and within-point window observation. Panic containment and
+    /// result ordering are unchanged.
+    pub(crate) fn runner(mut self, runner: Arc<PointRunner>) -> Campaign {
+        self.runner = Some(runner);
+        self
+    }
+
     /// Installs a streaming result sink: `sink` is called once per
     /// scenario as it finishes — in **completion order**, from whichever
     /// worker thread ran it — so long batches can report progress (or
@@ -169,7 +186,7 @@ impl Campaign {
             if i >= n_jobs {
                 break;
             }
-            let result = run_one(&self.scenarios[i], self.artifacts.as_deref());
+            let result = run_one(&self.scenarios[i], self.artifacts.as_deref(), self.runner.as_deref());
             if let Some(sink) = &self.sink {
                 // The lock is held across the sink call: invocations are
                 // serialized and `completed` increases monotonically even
@@ -219,12 +236,18 @@ impl Campaign {
 
 /// Runs one scenario, converting a panic into a typed error so sibling
 /// scenarios keep running.
-fn run_one(scenario: &Scenario, artifacts: Option<&ArtifactCache>) -> ScenarioResult {
+fn run_one(
+    scenario: &Scenario,
+    artifacts: Option<&ArtifactCache>,
+    runner: Option<&PointRunner>,
+) -> ScenarioResult {
     let name = scenario.label();
     let t0 = Instant::now();
-    let outcome =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run_with(artifacts)))
-            .unwrap_or_else(|payload| Err(TemuError::ScenarioPanicked(panic_message(&payload))));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match runner {
+        Some(run) => run(scenario, artifacts),
+        None => scenario.run_with(artifacts),
+    }))
+    .unwrap_or_else(|payload| Err(TemuError::ScenarioPanicked(panic_message(&payload))));
     ScenarioResult { name, wall: t0.elapsed(), outcome }
 }
 

@@ -1,12 +1,30 @@
 //! The sequential co-emulation loop (Fig. 5).
 
 use crate::error::TemuError;
+use crate::scenario::RunBudget;
 use crate::trace::{ThermalTrace, TraceSample};
 use std::time::{Duration, Instant};
 use temu_link::{EthernetConfig, EthernetLink, LinkStats, StatsPacket, TempPacket};
 use temu_platform::{DfsPolicy, Machine, WindowStats, EVENT_BYTES};
 use temu_power::{FloorplanMap, PowerModel};
+use temu_state::{StateError, StateReader, StateWriter};
 use temu_thermal::{GridConfig, SolverStats, ThermalModel};
+
+/// Envelope magic of [`EmulationState::to_bytes`].
+pub const STATE_MAGIC: [u8; 4] = *b"EMUS";
+/// Highest [`EmulationState`] stream version this build reads and writes.
+pub const STATE_VERSION: u32 = 1;
+/// Inner envelope of the platform section (machine + statistics link)
+/// embedded in an [`EmulationState`].
+const PLATFORM_MAGIC: [u8; 4] = *b"TPLT";
+const PLATFORM_VERSION: u32 = 1;
+
+/// A mid-run window observer: `(every, hook)` — the hook sees the
+/// emulation at a checkpointable window boundary after every `every`-th
+/// window of the logical run (see
+/// [`ThermalEmulation::run_budget_observed`]).
+pub(crate) type WindowObserver<'a> =
+    Option<(u64, &'a mut dyn FnMut(&ThermalEmulation) -> Result<(), TemuError>)>;
 
 /// Configuration of the co-emulation loop.
 #[derive(Clone, Debug)]
@@ -139,6 +157,11 @@ pub struct ThermalEmulation {
     /// Residual watermarks of *previous* calls (the model's own watermark
     /// is re-armed per call), folded into [`ThermalEmulation::totals`].
     past_worst_residual_k: f64,
+    /// Content key of the [`crate::Scenario`] that built this emulation
+    /// (0 for hand-wired emulations), embedded in every checkpoint so
+    /// [`crate::Scenario::resume_from`] can refuse state from a different
+    /// experiment.
+    scenario_key: u64,
     /// Between [`ThermalEmulation::window_begin`] and
     /// [`ThermalEmulation::window_finish`]: the platform half of the
     /// window, waiting for the thermal step (possibly batched across
@@ -202,8 +225,15 @@ impl ThermalEmulation {
             call_aggregate: WindowStats::default(),
             call_base: CallBase::default(),
             past_worst_residual_k: 0.0,
+            scenario_key: 0,
             pending: None,
         })
+    }
+
+    /// Binds the emulation to the content key of the scenario that built
+    /// it (embedded in checkpoints for resume validation).
+    pub(crate) fn set_scenario_key(&mut self, key: u64) {
+        self.scenario_key = key;
     }
 
     /// The emulated machine.
@@ -266,8 +296,7 @@ impl ThermalEmulation {
     pub fn run_window(&mut self) -> Result<(), TemuError> {
         self.window_begin()?;
         self.model.try_step(self.cfg.sampling_window_s)?;
-        self.window_finish();
-        Ok(())
+        self.window_finish()
     }
 
     /// The platform half of one sampling window: run the machine, convert
@@ -277,8 +306,17 @@ impl ThermalEmulation {
     /// batched call between this and [`ThermalEmulation::window_finish`];
     /// [`ThermalEmulation::run_window`] is exactly the two halves around a
     /// plain `try_step`.
+    ///
+    /// # Errors
+    ///
+    /// [`TemuError::WindowPending`] if the previous window never saw its
+    /// [`ThermalEmulation::window_finish`] — enforced in release builds
+    /// too, because a begin/begin sequence silently drops a half-run
+    /// window from every aggregate.
     pub(crate) fn window_begin(&mut self) -> Result<(), TemuError> {
-        debug_assert!(self.pending.is_none(), "window_begin without finishing the previous window");
+        if self.pending.is_some() {
+            return Err(TemuError::WindowPending);
+        }
         let window_s = self.cfg.sampling_window_s;
         let hz = self.machine.vpcm().virtual_hz();
         let cycles = (window_s * hz as f64).round() as u64;
@@ -332,10 +370,15 @@ impl ThermalEmulation {
     /// The feedback half of one sampling window, after the thermal model
     /// stepped: temperatures back into the sensor registers, the DFS
     /// policy, and all per-window bookkeeping.
-    pub(crate) fn window_finish(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`TemuError::WindowNotBegun`] if no window is pending — enforced in
+    /// release builds too, because an unpaired finish would feed stale
+    /// temperatures into the sensors and double-count the window.
+    pub(crate) fn window_finish(&mut self) -> Result<(), TemuError> {
         let Some(pending) = self.pending.take() else {
-            debug_assert!(false, "window_finish without window_begin");
-            return;
+            return Err(TemuError::WindowNotBegun);
         };
         let PendingWindow { stats, hz, physical_window_s, link_freeze_s, total_power_w } = pending;
         let window_s = self.cfg.sampling_window_s;
@@ -378,6 +421,7 @@ impl ThermalEmulation {
             total_power_w,
             fpga_seconds: self.fpga_seconds,
         });
+        Ok(())
     }
 
     /// Runs windows until every core halts or `max_windows` elapse.
@@ -412,6 +456,154 @@ impl ThermalEmulation {
             self.run_window()?;
         }
         Ok(self.report(t0))
+    }
+
+    /// Runs a [`RunBudget`] with optional mid-run observation — the
+    /// execution spine behind [`crate::Scenario::run`], the sweep's
+    /// within-point window checkpoints, and checkpoint resume.
+    ///
+    /// `resumed` marks a call that continues a run restored by
+    /// [`ThermalEmulation::restore_state`]: the per-call baseline captured
+    /// by the *original* call (carried through the checkpoint) is kept
+    /// instead of re-arming it, so the returned report covers the whole
+    /// logical run — identical to an uninterrupted one except for wall
+    /// time. The budget is counted against that same baseline, so a
+    /// resumed `Windows(n)` call executes only the windows the original
+    /// call had left.
+    ///
+    /// `observer` is `(every, hook)`: after every `every`-th window of the
+    /// logical run the hook sees the emulation at a window boundary
+    /// (checkpointable); it never fires on the final window or after the
+    /// workload halts, where a checkpoint could buy nothing. A hook error
+    /// aborts the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform faults, (strict mode) thermal non-convergence,
+    /// and observer errors.
+    pub(crate) fn run_budget_observed(
+        &mut self,
+        budget: RunBudget,
+        resumed: bool,
+        mut observer: WindowObserver<'_>,
+    ) -> Result<EmulationReport, TemuError> {
+        let t0 = Instant::now();
+        if !resumed {
+            self.begin_call();
+        }
+        let (cap, to_halt) = match budget {
+            RunBudget::ToHalt { max_windows } => (max_windows, true),
+            RunBudget::Windows(n) => (n, false),
+        };
+        let mut executed = self.windows - self.call_base.windows;
+        while executed < cap {
+            if to_halt && executed > 0 && self.machine.all_halted() {
+                break;
+            }
+            self.run_window()?;
+            executed += 1;
+            if let Some((every, hook)) = observer.as_mut() {
+                if *every > 0
+                    && executed.is_multiple_of(*every)
+                    && executed < cap
+                    && !(to_halt && self.machine.all_halted())
+                {
+                    hook(self)?;
+                }
+            }
+        }
+        Ok(self.report(t0))
+    }
+
+    /// Captures the complete run state at a window boundary as a
+    /// serializable [`EmulationState`] — machine (cores, caches, memories,
+    /// interconnect, sniffers, VPCM), thermal model (temperature field,
+    /// warm-start history, convergence accounting), statistics link, DFS
+    /// ladder position, trace and every cumulative counter. Restoring it
+    /// into a freshly built identical emulation
+    /// ([`crate::Scenario::resume_from`]) continues the run
+    /// bitwise-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`TemuError::WindowPending`] if called between
+    /// [`ThermalEmulation::window_begin`] and
+    /// [`ThermalEmulation::window_finish`] — mid-window state (the
+    /// platform half's in-flight statistics) is deliberately not
+    /// serializable; checkpoints live at window boundaries only.
+    pub fn checkpoint(&self) -> Result<EmulationState, TemuError> {
+        if self.pending.is_some() {
+            return Err(TemuError::WindowPending);
+        }
+        let mut w = StateWriter::new(PLATFORM_MAGIC, PLATFORM_VERSION);
+        self.machine.save_state(&mut w);
+        self.link.save_state(&mut w);
+        Ok(EmulationState {
+            scenario_key: self.scenario_key,
+            seq: self.seq,
+            windows: self.windows,
+            virtual_seconds: self.virtual_seconds,
+            virtual_cycles: self.virtual_cycles,
+            fpga_seconds: self.fpga_seconds,
+            aggregate: self.aggregate.clone(),
+            call_aggregate: self.call_aggregate.clone(),
+            call_base: self.call_base.clone(),
+            past_worst_residual_k: self.past_worst_residual_k,
+            trace: self.trace.clone(),
+            dfs_level: self.policy.as_ref().map(DfsPolicy::level),
+            platform: w.into_bytes(),
+            model: self.model.snapshot(),
+        })
+    }
+
+    /// Installs a checkpoint into this (freshly built, identically
+    /// configured) emulation. The caller — [`crate::Scenario::resume_from`]
+    /// — is responsible for the configuration match; this method validates
+    /// only structural shape (core count, cache presence, mesh geometry,
+    /// DFS ladder depth). On error the emulation may be partially
+    /// overwritten and must not be reused.
+    ///
+    /// # Errors
+    ///
+    /// [`TemuError::State`] if the embedded platform or thermal streams
+    /// are corrupt or shaped for a different configuration.
+    pub(crate) fn restore_state(&mut self, state: &EmulationState) -> Result<(), TemuError> {
+        let (mut r, _) = StateReader::new(&state.platform, PLATFORM_MAGIC, PLATFORM_VERSION)?;
+        self.machine.load_state(&mut r)?;
+        self.link.load_state(&mut r)?;
+        r.finish()?;
+        self.model.restore(&state.model)?;
+        match (state.dfs_level, self.policy.as_mut()) {
+            (Some(level), Some(policy)) => {
+                if !policy.restore_level(level) {
+                    return Err(StateError::BadValue {
+                        what: "DFS ladder level",
+                        value: level as u64,
+                    }
+                    .into());
+                }
+            }
+            (None, None) => {}
+            (dfs_level, _) => {
+                return Err(StateError::BadValue {
+                    what: "DFS policy presence",
+                    value: u64::from(dfs_level.is_some()),
+                }
+                .into());
+            }
+        }
+        self.seq = state.seq;
+        self.windows = state.windows;
+        self.virtual_seconds = state.virtual_seconds;
+        self.virtual_cycles = state.virtual_cycles;
+        self.fpga_seconds = state.fpga_seconds;
+        self.aggregate = state.aggregate.clone();
+        self.call_aggregate = state.call_aggregate.clone();
+        self.call_base = state.call_base.clone();
+        self.past_worst_residual_k = state.past_worst_residual_k;
+        self.trace = state.trace.clone();
+        self.pending = None;
+        Ok(())
     }
 
     /// Lifetime totals across every `run_*` call (and any direct
@@ -469,6 +661,207 @@ impl ThermalEmulation {
             solver: self.model.solver_stats().delta_since(&base.solver),
         }
     }
+}
+
+/// The complete run state of a [`ThermalEmulation`] at a sampling-window
+/// boundary, detached from the emulation and serializable
+/// ([`EmulationState::to_bytes`] / [`EmulationState::from_bytes`]).
+///
+/// A checkpoint holds everything the next window's execution depends on:
+///
+/// * the **platform** — every core's registers and in-flight memory
+///   operation, caches, private and shared memories, interconnect
+///   arbitration, sniffer counters and event backlog, VPCM clock state;
+/// * the **thermal model** — temperature field, lazily refreshed
+///   coefficient anchors, second-order warm-start history, SOR/convergence
+///   accounting ([`ThermalModel::snapshot`]);
+/// * the **statistics link** counters, the **DFS ladder** position, the
+///   recorded temperature **trace**, and every cumulative counter and
+///   per-call baseline of the emulation.
+///
+/// # Invariants
+///
+/// * A state restored into an emulation built from the **same scenario
+///   configuration** continues the run **bitwise-identically**: every
+///   subsequent window executes the same cycles and produces the same
+///   temperature bits as the uninterrupted run, and the final report and
+///   trace are equal (wall-clock time excepted).
+/// * `scenario_key` names the [`crate::Scenario`] (by
+///   [`crate::Scenario::content_key`]) the state belongs to;
+///   [`crate::Scenario::resume_from`] refuses a key mismatch, so a
+///   checkpoint can never silently continue a different experiment.
+/// * Checkpoints exist only at window boundaries — never between
+///   [`ThermalEmulation::window_begin`] and
+///   [`ThermalEmulation::window_finish`].
+/// * The byte stream is versioned (`EMUS`, version 1) and fails closed:
+///   corrupt, truncated, or differently-shaped streams return
+///   [`TemuError::State`] instead of partially applying.
+#[derive(Clone, Debug)]
+pub struct EmulationState {
+    scenario_key: u64,
+    seq: u32,
+    windows: u64,
+    virtual_seconds: f64,
+    virtual_cycles: u64,
+    fpga_seconds: f64,
+    aggregate: WindowStats,
+    call_aggregate: WindowStats,
+    call_base: CallBase,
+    past_worst_residual_k: f64,
+    trace: ThermalTrace,
+    dfs_level: Option<usize>,
+    /// Machine + statistics-link sections under the `TPLT` envelope.
+    platform: Vec<u8>,
+    /// [`ThermalModel::snapshot`] stream (its own `TSNP` envelope).
+    model: Vec<u8>,
+}
+
+impl EmulationState {
+    /// Content key of the scenario this state was checkpointed under
+    /// (0 for hand-wired emulations).
+    pub fn scenario_key(&self) -> u64 {
+        self.scenario_key
+    }
+
+    /// Sampling windows the run had executed when this state was taken.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Serializes the state into a self-describing versioned byte stream.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new(STATE_MAGIC, STATE_VERSION);
+        w.u64(self.scenario_key);
+        w.u32(self.seq);
+        w.u64(self.windows);
+        w.f64(self.virtual_seconds);
+        w.u64(self.virtual_cycles);
+        w.f64(self.fpga_seconds);
+        self.aggregate.save_state(&mut w);
+        self.call_aggregate.save_state(&mut w);
+        w.u64(self.call_base.windows);
+        w.f64(self.call_base.virtual_seconds);
+        w.u64(self.call_base.virtual_cycles);
+        w.f64(self.call_base.fpga_seconds);
+        self.call_base.link.save_state(&mut w);
+        save_solver_stats(&self.call_base.solver, &mut w);
+        w.f64(self.past_worst_residual_k);
+        w.usize(self.trace.component_names.len());
+        for name in &self.trace.component_names {
+            w.bytes(name.as_bytes());
+        }
+        w.usize(self.trace.samples.len());
+        for s in &self.trace.samples {
+            w.f64(s.t_virtual_s);
+            w.f64_slice(&s.temps_k);
+            w.f64(s.max_temp_k);
+            w.u64(s.virtual_hz);
+            w.f64(s.total_power_w);
+            w.f64(s.fpga_seconds);
+        }
+        w.bool(self.dfs_level.is_some());
+        if let Some(level) = self.dfs_level {
+            w.usize(level);
+        }
+        w.bytes(&self.platform);
+        w.bytes(&self.model);
+        w.into_bytes()
+    }
+
+    /// Decodes a stream written by [`EmulationState::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`TemuError::State`] on a corrupt, truncated, or
+    /// unsupported-version stream. The embedded platform and thermal
+    /// sections are validated later, on restore.
+    pub fn from_bytes(buf: &[u8]) -> Result<EmulationState, TemuError> {
+        let (mut r, _) = StateReader::new(buf, STATE_MAGIC, STATE_VERSION)?;
+        let scenario_key = r.u64()?;
+        let seq = r.u32()?;
+        let windows = r.u64()?;
+        let virtual_seconds = r.f64()?;
+        let virtual_cycles = r.u64()?;
+        let fpga_seconds = r.f64()?;
+        let mut aggregate = WindowStats::default();
+        aggregate.load_state(&mut r)?;
+        let mut call_aggregate = WindowStats::default();
+        call_aggregate.load_state(&mut r)?;
+        let mut call_base = CallBase {
+            windows: r.u64()?,
+            virtual_seconds: r.f64()?,
+            virtual_cycles: r.u64()?,
+            fpga_seconds: r.f64()?,
+            ..CallBase::default()
+        };
+        call_base.link.load_state(&mut r)?;
+        call_base.solver = load_solver_stats(&mut r)?;
+        let past_worst_residual_k = r.f64()?;
+        let n_names = r.usize()?;
+        let mut component_names = Vec::new();
+        for _ in 0..n_names {
+            let raw = r.bytes()?;
+            component_names.push(String::from_utf8(raw).map_err(|_| StateError::BadValue {
+                what: "component name (not UTF-8)",
+                value: 0,
+            })?);
+        }
+        let n_samples = r.usize()?;
+        let mut samples = Vec::new();
+        for _ in 0..n_samples {
+            samples.push(TraceSample {
+                t_virtual_s: r.f64()?,
+                temps_k: r.f64_vec()?,
+                max_temp_k: r.f64()?,
+                virtual_hz: r.u64()?,
+                total_power_w: r.f64()?,
+                fpga_seconds: r.f64()?,
+            });
+        }
+        let dfs_level = if r.bool()? { Some(r.usize()?) } else { None };
+        let platform = r.bytes()?;
+        let model = r.bytes()?;
+        r.finish()?;
+        let mut trace = ThermalTrace::new(component_names);
+        trace.samples = samples;
+        Ok(EmulationState {
+            scenario_key,
+            seq,
+            windows,
+            virtual_seconds,
+            virtual_cycles,
+            fpga_seconds,
+            aggregate,
+            call_aggregate,
+            call_base,
+            past_worst_residual_k,
+            trace,
+            dfs_level,
+            platform,
+            model,
+        })
+    }
+}
+
+/// [`SolverStats`] is `#[non_exhaustive]`, so it is serialized here next
+/// to its only cross-crate consumer instead of in `temu-thermal`.
+fn save_solver_stats(s: &SolverStats, w: &mut StateWriter) {
+    w.u64(s.substeps);
+    w.u64(s.unconverged_substeps);
+    w.f64(s.worst_residual_k);
+    w.u64(s.total_sweeps);
+    w.u64(s.total_cycles);
+}
+
+fn load_solver_stats(r: &mut StateReader<'_>) -> Result<SolverStats, StateError> {
+    let mut s = SolverStats::default();
+    s.substeps = r.u64()?;
+    s.unconverged_substeps = r.u64()?;
+    s.worst_residual_k = r.f64()?;
+    s.total_sweeps = r.u64()?;
+    s.total_cycles = r.u64()?;
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -620,5 +1013,74 @@ mod tests {
         let _ = emu.run_windows(4).unwrap();
         assert!(emu.link().stats().frames >= 4, "at least one frame per window");
         assert_eq!(emu.link().stats().freeze_seconds, 0.0, "count-logging never congests");
+    }
+
+    #[test]
+    fn window_protocol_violations_are_typed_errors() {
+        let mut emu = emulation(None, 10_000);
+        assert!(matches!(emu.window_finish(), Err(TemuError::WindowNotBegun)));
+        emu.window_begin().unwrap();
+        assert!(matches!(emu.window_begin(), Err(TemuError::WindowPending)));
+        assert!(matches!(emu.checkpoint(), Err(TemuError::WindowPending)));
+        emu.model_mut().try_step(0.001).unwrap();
+        emu.window_finish().unwrap();
+        // The recovered emulation keeps running normally.
+        let report = emu.run_windows(2).unwrap();
+        assert_eq!(report.windows, 2);
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bitwise_identically() {
+        // An aggressive DFS band so the ladder moves before the split
+        // point — the checkpoint must carry the mid-ladder position.
+        let policy = || Some(DfsPolicy::new(300.6, 300.3, 500_000_000, 100_000_000).unwrap());
+        let mut uninterrupted = emulation(policy(), 100_000);
+        let full = uninterrupted.run_windows(20).unwrap();
+
+        let mut first_half = emulation(policy(), 100_000);
+        let _ = first_half.run_budget_observed(RunBudget::Windows(12), false, None).unwrap();
+        let state = first_half.checkpoint().unwrap();
+        assert_eq!(state.scenario_key(), 0, "hand-wired emulations carry the null key");
+        assert_eq!(state.windows(), 12);
+        // Round-trip through the serialized form.
+        let state = EmulationState::from_bytes(&state.to_bytes()).unwrap();
+
+        let mut resumed = emulation(policy(), 100_000);
+        resumed.restore_state(&state).unwrap();
+        let report = resumed.run_budget_observed(RunBudget::Windows(20), true, None).unwrap();
+
+        // The resumed report covers the whole logical run.
+        assert_eq!(report.windows, full.windows);
+        assert_eq!(report.virtual_cycles, full.virtual_cycles);
+        assert_eq!(report.virtual_seconds.to_bits(), full.virtual_seconds.to_bits());
+        assert_eq!(report.fpga_seconds.to_bits(), full.fpga_seconds.to_bits());
+        assert_eq!(report.aggregate, full.aggregate);
+        assert_eq!(report.link, full.link);
+        assert_eq!(report.solver, full.solver);
+        // And the trace is bitwise-identical, DFS ladder moves included.
+        let (a, b) = (uninterrupted.trace(), resumed.trace());
+        assert_eq!(a.samples.len(), b.samples.len());
+        let mut throttled = false;
+        for (x, y) in a.samples.iter().zip(b.samples.iter()) {
+            assert_eq!(x.virtual_hz, y.virtual_hz);
+            throttled |= x.virtual_hz < 500_000_000;
+            assert_eq!(x.max_temp_k.to_bits(), y.max_temp_k.to_bits());
+            for (tx, ty) in x.temps_k.iter().zip(&y.temps_k) {
+                assert_eq!(tx.to_bits(), ty.to_bits());
+            }
+        }
+        assert!(throttled, "the DFS ladder actually moved across the split");
+    }
+
+    #[test]
+    fn corrupt_state_stream_is_rejected() {
+        let mut emu = emulation(None, 10_000);
+        let _ = emu.run_windows(3).unwrap();
+        let bytes = emu.checkpoint().unwrap().to_bytes();
+        let truncated = &bytes[..bytes.len() - 4];
+        assert!(matches!(EmulationState::from_bytes(truncated), Err(TemuError::State(_))));
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(EmulationState::from_bytes(&wrong_magic), Err(TemuError::State(_))));
     }
 }

@@ -15,6 +15,7 @@ use temu_interconnect::IcError;
 use temu_mem::{MemConfigError, MemError};
 use temu_platform::PlatformError;
 use temu_power::PowerError;
+use temu_state::StateError;
 use temu_thermal::ThermalError;
 use temu_workloads::WorkloadError;
 
@@ -49,9 +50,37 @@ pub enum TemuError {
     /// (see [`crate::Sweep::on_checkpoint`]); already-completed points
     /// keep their results.
     Cancelled,
+    /// The sweep was cancelled *inside* this point at a window-checkpoint
+    /// boundary (see [`crate::Sweep::on_window_checkpoint`]); the payload
+    /// records how far the point got, and the hook saw (and could
+    /// persist) the [`crate::EmulationState`] of that boundary.
+    CancelledMidPoint {
+        /// Sampling windows the point had executed when it was stopped.
+        windows: u64,
+    },
     /// A wire-format experiment spec ([`crate::ScenarioSpec`] /
     /// [`crate::SweepSpec`]) failed to parse or lower onto the builders.
     Spec(crate::SpecError),
+    /// The sampling-window protocol was violated: `window_begin` (or a
+    /// checkpoint) while the previous window still awaited its
+    /// `window_finish` — the platform half ran but the thermal step and
+    /// feedback half did not.
+    WindowPending,
+    /// The sampling-window protocol was violated: `window_finish` with no
+    /// window begun.
+    WindowNotBegun,
+    /// A checkpoint byte stream failed to decode, or decoded state did not
+    /// fit the emulation it was restored into.
+    State(StateError),
+    /// A checkpoint was taken under a different scenario configuration
+    /// than the one trying to resume from it (content keys differ), so
+    /// restoring it would continue the *wrong* experiment.
+    CheckpointMismatch {
+        /// Content key of the scenario attempting the resume.
+        expected: u64,
+        /// Scenario content key embedded in the checkpoint.
+        found: u64,
+    },
 }
 
 impl fmt::Display for TemuError {
@@ -75,7 +104,21 @@ impl fmt::Display for TemuError {
             ),
             TemuError::ScenarioPanicked(msg) => write!(f, "scenario panicked: {msg}"),
             TemuError::Cancelled => write!(f, "cancelled before execution"),
+            TemuError::CancelledMidPoint { windows } => {
+                write!(f, "cancelled mid-point after {windows} windows")
+            }
             TemuError::Spec(e) => write!(f, "spec: {e}"),
+            TemuError::WindowPending => {
+                write!(f, "window protocol: a sampling window is still awaiting its thermal step")
+            }
+            TemuError::WindowNotBegun => {
+                write!(f, "window protocol: window_finish without a begun window")
+            }
+            TemuError::State(e) => write!(f, "checkpoint state: {e}"),
+            TemuError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different scenario: content key {found:#018x}, expected {expected:#018x}"
+            ),
         }
     }
 }
@@ -92,6 +135,7 @@ impl Error for TemuError {
             TemuError::SharedData(e) => Some(e),
             TemuError::Cpu(e) => Some(e),
             TemuError::Spec(e) => Some(e),
+            TemuError::State(e) => Some(e),
             _ => None,
         }
     }
@@ -148,5 +192,11 @@ impl From<MemError> for TemuError {
 impl From<CpuError> for TemuError {
     fn from(e: CpuError) -> TemuError {
         TemuError::Cpu(e)
+    }
+}
+
+impl From<StateError> for TemuError {
+    fn from(e: StateError) -> TemuError {
+        TemuError::State(e)
     }
 }

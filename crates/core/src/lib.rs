@@ -103,7 +103,7 @@ mod trace;
 
 pub use artifacts::{ArtifactCache, ArtifactStats};
 pub use campaign::{Campaign, CampaignProgress, CampaignReport, ResultSink, ScenarioResult};
-pub use emulation::{EmulationConfig, EmulationReport, ThermalEmulation};
+pub use emulation::{EmulationConfig, EmulationReport, EmulationState, ThermalEmulation};
 pub use error::TemuError;
 pub use emulation::EmulationTotals;
 pub use export::{json_escape, JsonValue};
@@ -115,6 +115,7 @@ pub use spec::{
 pub use sweep::{
     fnv1a64, fnv1a64_fold, CheckpointDecision, CheckpointHook, PointSummary, ResultCache, Sweep,
     SweepCheckpoint, SweepPoint, SweepPointResult, SweepProgress, SweepReport, SweepSink,
+    WindowCheckpoint, WindowCheckpointHook,
 };
 pub use temu_thermal::{ImplicitSolve, SolverStats};
 pub use trace::{ThermalTrace, TraceSample};

@@ -129,7 +129,14 @@ pub(crate) fn run_group(members: Vec<(usize, Scenario, ThermalEmulation)>) -> Ve
         // Feedback half, budget accounting, retirement.
         let mut i = 0;
         while i < active.len() {
-            active[i].emu.window_finish();
+            if let Err(e) = active[i].emu.window_finish() {
+                // Unreachable after a successful window_begin, but the
+                // typed protocol error deserves the same per-member
+                // containment as a platform fault.
+                let a = active.swap_remove(i);
+                out.push(LockstepOutcome { slot: a.slot, wall: t0.elapsed(), outcome: Err(e) });
+                continue;
+            }
             active[i].windows_done += 1;
             if active[i].done() {
                 out.push(active.swap_remove(i).finish(t0));
@@ -190,7 +197,7 @@ mod tests {
     #[test]
     fn members_retire_at_their_own_budgets() {
         let cache = ArtifactCache::new();
-        let scenarios = vec![point(100_000, 2), point(100_000, 7)];
+        let scenarios = [point(100_000, 2), point(100_000, 7)];
         let members: Vec<(usize, Scenario, ThermalEmulation)> = scenarios
             .iter()
             .enumerate()

@@ -21,7 +21,7 @@
 //! ```
 
 use crate::artifacts::ArtifactCache;
-use crate::emulation::{EmulationConfig, EmulationReport, ThermalEmulation};
+use crate::emulation::{EmulationConfig, EmulationReport, EmulationState, ThermalEmulation};
 use crate::error::TemuError;
 use crate::sweep::{fnv1a64, fnv1a64_fold};
 use crate::trace::ThermalTrace;
@@ -481,6 +481,14 @@ impl Scenario {
     /// The same errors as [`Scenario::build`]; failed artifact builds are
     /// never cached.
     pub fn build_with(&self, artifacts: Option<&ArtifactCache>) -> Result<ThermalEmulation, TemuError> {
+        let mut emu = self.build_inner(artifacts)?;
+        // Bind the emulation to this configuration so its checkpoints can
+        // only ever resume under the same scenario.
+        emu.set_scenario_key(self.content_key());
+        Ok(emu)
+    }
+
+    fn build_inner(&self, artifacts: Option<&ArtifactCache>) -> Result<ThermalEmulation, TemuError> {
         self.platform.validate()?;
         if let Some(device) = self.fit_device {
             let report = estimate(&self.platform, &CostModel::default(), device, 1);
@@ -545,6 +553,90 @@ impl Scenario {
             RunBudget::ToHalt { max_windows } => emu.run_to_halt(max_windows)?,
             RunBudget::Windows(n) => emu.run_windows(n)?,
         };
+        Ok(ScenarioRun { name: self.label(), report, trace: emu.into_trace() })
+    }
+
+    /// Rebuilds the emulation and installs a window-granular checkpoint
+    /// taken by [`ThermalEmulation::checkpoint`] under this same scenario,
+    /// so the run continues from that window bitwise-identically. The
+    /// returned emulation is mid-run: finish it with
+    /// [`Scenario::resume_run`] (or [`Scenario::resume_run_with`]) to get
+    /// a report covering the *whole* logical run — calling `run_windows` /
+    /// `run_to_halt` directly would re-base the per-call report onto the
+    /// resume point instead.
+    ///
+    /// # Errors
+    ///
+    /// [`TemuError::CheckpointMismatch`] when the state was checkpointed
+    /// under a different scenario configuration
+    /// ([`Scenario::content_key`] differs); [`TemuError::State`] when the
+    /// embedded platform or thermal streams are corrupt; any build error.
+    pub fn resume_from(&self, state: &EmulationState) -> Result<ThermalEmulation, TemuError> {
+        self.resume_from_with(state, None)
+    }
+
+    /// [`Scenario::resume_from`] building through an optional
+    /// [`ArtifactCache`] (see [`Scenario::build_with`]).
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`Scenario::resume_from`].
+    pub fn resume_from_with(
+        &self,
+        state: &EmulationState,
+        artifacts: Option<&ArtifactCache>,
+    ) -> Result<ThermalEmulation, TemuError> {
+        let expected = self.content_key();
+        if state.scenario_key() != expected {
+            return Err(TemuError::CheckpointMismatch { expected, found: state.scenario_key() });
+        }
+        let mut emu = self.build_with(artifacts)?;
+        emu.restore_state(state)?;
+        Ok(emu)
+    }
+
+    /// Resumes from a checkpoint and runs the rest of the scenario's
+    /// budget. The result is bitwise-identical to an uninterrupted
+    /// [`Scenario::run`] — same report counters, same trace — except for
+    /// host wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// Any error of [`Scenario::resume_from`], plus platform faults and
+    /// (strict mode) thermal non-convergence while running.
+    pub fn resume_run(&self, state: &EmulationState) -> Result<ScenarioRun, TemuError> {
+        self.run_observed(None, Some(state), None)
+    }
+
+    /// [`Scenario::resume_run`] building through an optional
+    /// [`ArtifactCache`].
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`Scenario::resume_run`].
+    pub fn resume_run_with(
+        &self,
+        state: &EmulationState,
+        artifacts: Option<&ArtifactCache>,
+    ) -> Result<ScenarioRun, TemuError> {
+        self.run_observed(artifacts, Some(state), None)
+    }
+
+    /// The execution spine shared by fresh runs, resumed runs and the
+    /// sweep's within-point window checkpoints: builds (or resumes) the
+    /// emulation and runs it to the scenario budget, invoking `observer`
+    /// every `observer.0` windows at a checkpointable boundary.
+    pub(crate) fn run_observed(
+        &self,
+        artifacts: Option<&ArtifactCache>,
+        resume: Option<&EmulationState>,
+        observer: crate::emulation::WindowObserver<'_>,
+    ) -> Result<ScenarioRun, TemuError> {
+        let (mut emu, resumed) = match resume {
+            Some(state) => (self.resume_from_with(state, artifacts)?, true),
+            None => (self.build_with(artifacts)?, false),
+        };
+        let report = emu.run_budget_observed(self.budget, resumed, observer)?;
         Ok(ScenarioRun { name: self.label(), report, trace: emu.into_trace() })
     }
 
@@ -765,6 +857,45 @@ mod tests {
         for (x, y) in cached.trace.samples.iter().zip(plain.trace.samples.iter()) {
             assert_eq!(x.max_temp_k.to_bits(), y.max_temp_k.to_bits(), "bitwise-identical trace");
         }
+    }
+
+    #[test]
+    fn resume_run_matches_uninterrupted_run_bitwise() {
+        let scenario = Scenario::exploration_bus(2).sampling_window_s(0.002).windows(8);
+        let full = scenario.run().unwrap();
+
+        let mut emu = scenario.build().unwrap();
+        let _ = emu.run_budget_observed(RunBudget::Windows(3), false, None).unwrap();
+        let state = emu.checkpoint().unwrap();
+        assert_eq!(state.scenario_key(), scenario.content_key());
+        let state = EmulationState::from_bytes(&state.to_bytes()).unwrap();
+
+        let resumed = scenario.resume_run(&state).unwrap();
+        assert_eq!(resumed.report.windows, full.report.windows);
+        assert_eq!(resumed.report.virtual_cycles, full.report.virtual_cycles);
+        assert_eq!(resumed.report.aggregate, full.report.aggregate);
+        assert_eq!(resumed.trace.samples.len(), full.trace.samples.len());
+        for (x, y) in resumed.trace.samples.iter().zip(full.trace.samples.iter()) {
+            assert_eq!(x.virtual_hz, y.virtual_hz);
+            assert_eq!(x.max_temp_k.to_bits(), y.max_temp_k.to_bits(), "bitwise-identical trace");
+            for (tx, ty) in x.temps_k.iter().zip(&y.temps_k) {
+                assert_eq!(tx.to_bits(), ty.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn resume_refuses_a_checkpoint_from_a_different_scenario() {
+        let scenario = Scenario::exploration_bus(2).sampling_window_s(0.002).windows(6);
+        let mut emu = scenario.build().unwrap();
+        let _ = emu.run_budget_observed(RunBudget::Windows(2), false, None).unwrap();
+        let state = emu.checkpoint().unwrap();
+        // Any configuration difference changes the content key.
+        let other = scenario.clone().strict_convergence(true);
+        let e = other.resume_run(&state).unwrap_err();
+        assert!(matches!(e, TemuError::CheckpointMismatch { .. }), "{e:?}");
+        // The matching scenario accepts the same state.
+        assert!(scenario.resume_run(&state).is_ok());
     }
 
     #[test]

@@ -55,11 +55,12 @@
 //! sibling points.
 
 use crate::artifacts::{ArtifactCache, ArtifactStats};
-use crate::campaign::Campaign;
+use crate::campaign::{Campaign, PointRunner};
+use crate::emulation::EmulationState;
 use crate::error::TemuError;
 use crate::export::{csv_f64, csv_field, csv_opt, json_escape, json_f64, json_num_or_null, JsonValue};
 use crate::lockstep;
-use crate::scenario::{Scenario, ScenarioRun, Workload};
+use crate::scenario::{RunBudget, Scenario, ScenarioRun, Workload};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::OpenOptions;
@@ -593,6 +594,35 @@ pub struct SweepCheckpoint {
 /// A between-grid-point callback (see [`Sweep::on_checkpoint`]).
 pub type CheckpointHook = dyn Fn(&SweepCheckpoint) -> CheckpointDecision + Send + Sync;
 
+/// A point's position at a *window* checkpoint — a boundary **inside** a
+/// running grid point, delivered every N windows to a
+/// [`Sweep::on_window_checkpoint`] hook together with the serializable
+/// [`EmulationState`] of that boundary.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct WindowCheckpoint<'a> {
+    /// Grid-point index (the point's slot in [`SweepReport::points`]).
+    pub index: usize,
+    /// The point's `axis=value/…` label.
+    pub label: &'a str,
+    /// The point's scenario content key (the cache/journal key).
+    pub key: u64,
+    /// Sampling windows the point has executed so far.
+    pub windows: u64,
+    /// The point's window budget (`max_windows` for a to-halt run, which
+    /// may halt earlier).
+    pub total_windows: u64,
+    /// The run state at this window boundary; persist
+    /// [`EmulationState::to_bytes`] to make the point resumable from here
+    /// (see [`Sweep::resume_point`]).
+    pub state: &'a EmulationState,
+}
+
+/// A within-point window-checkpoint callback (see
+/// [`Sweep::on_window_checkpoint`]). Runs on the campaign worker thread
+/// executing the point.
+pub type WindowCheckpointHook = dyn Fn(&WindowCheckpoint<'_>) -> CheckpointDecision + Send + Sync;
+
 /// One finished (or cache-served) sweep point, delivered to a
 /// [`Sweep::on_progress`] sink while the rest of the grid is still
 /// running.
@@ -623,6 +653,8 @@ pub struct Sweep {
     threads: Option<usize>,
     sink: Option<Arc<SweepSink>>,
     checkpoint: Option<Arc<CheckpointHook>>,
+    window_checkpoint: Option<(u64, Arc<WindowCheckpointHook>)>,
+    resume: HashMap<u64, EmulationState>,
     batch: bool,
     artifacts: Option<Arc<ArtifactCache>>,
 }
@@ -649,6 +681,8 @@ impl Sweep {
             threads: None,
             sink: None,
             checkpoint: None,
+            window_checkpoint: None,
+            resume: HashMap::new(),
             batch: false,
             artifacts: None,
         }
@@ -824,6 +858,44 @@ impl Sweep {
         hook: impl Fn(&SweepCheckpoint) -> CheckpointDecision + Send + Sync + 'static,
     ) -> Sweep {
         self.checkpoint = Some(Arc::new(hook));
+        self
+    }
+
+    /// Installs a *within-point* window-checkpoint hook, called on the
+    /// worker thread executing a point every `every` sampling windows with
+    /// that boundary's serializable [`EmulationState`] — persist its
+    /// [`EmulationState::to_bytes`] and a killed sweep resumes the point
+    /// mid-run via [`Sweep::resume_point`]. Returning
+    /// [`CheckpointDecision::Cancel`] stops *that point* at the boundary:
+    /// it lands in the report as [`TemuError::CancelledMidPoint`] carrying
+    /// how many windows it had executed (the hook saw — and could persist
+    /// — the state of exactly that boundary). Other points keep running;
+    /// compose with [`Sweep::on_checkpoint`] to also stop the grid.
+    ///
+    /// Off by default, and when off the execution path is unchanged — no
+    /// state is captured, so there is no overhead. `every = 0` disables
+    /// the hook. Ignored (with resume) under [`Sweep::batch`]: lockstep
+    /// groups interleave many points' windows, so a mid-point boundary is
+    /// not a consistent cut there; results are identical, resumed points
+    /// simply re-run from scratch.
+    pub fn on_window_checkpoint(
+        mut self,
+        every: u64,
+        hook: impl Fn(&WindowCheckpoint<'_>) -> CheckpointDecision + Send + Sync + 'static,
+    ) -> Sweep {
+        self.window_checkpoint = Some((every, Arc::new(hook)));
+        self
+    }
+
+    /// Seeds the sweep with a mid-run checkpoint: the grid point whose
+    /// scenario content key matches `state` (captured by an
+    /// [`Sweep::on_window_checkpoint`] hook of an earlier, interrupted
+    /// run) resumes from that window boundary instead of starting over,
+    /// and its report is bitwise-identical to an uninterrupted run. Points
+    /// with no seeded state build fresh as usual; a state whose key
+    /// matches no grid point is ignored.
+    pub fn resume_point(mut self, state: EmulationState) -> Sweep {
+        self.resume.insert(state.scenario_key(), state);
         self
     }
 
@@ -1038,6 +1110,60 @@ impl Sweep {
             let stash: Arc<Vec<Mutex<Option<PointSummary>>>> =
                 Arc::new((0..n_queued).map(|_| Mutex::new(None)).collect());
 
+            // Window-granular checkpointing and mid-run resume replace the
+            // campaign's default point executor. When neither is
+            // configured no runner is installed and points execute exactly
+            // as before — the feature costs nothing disabled.
+            let window_hook = self
+                .window_checkpoint
+                .as_ref()
+                .filter(|(every, _)| *every > 0)
+                .map(|(every, hook)| (*every, Arc::clone(hook)));
+            let runner: Option<Arc<PointRunner>> =
+                if window_hook.is_some() || !self.resume.is_empty() {
+                    let by_key: HashMap<u64, (usize, String)> = meta
+                        .iter()
+                        .map(|(point, label, key)| (*key, (*point, label.clone())))
+                        .collect();
+                    let resume = self.resume.clone();
+                    Some(Arc::new(move |scenario: &Scenario, artifacts: Option<&ArtifactCache>| {
+                        let key = scenario.content_key();
+                        let seed = resume.get(&key);
+                        let Some((every, hook)) = &window_hook else {
+                            return match seed {
+                                Some(state) => scenario.resume_run_with(state, artifacts),
+                                None => scenario.run_with(artifacts),
+                            };
+                        };
+                        let (index, label) = by_key
+                            .get(&key)
+                            .map_or((usize::MAX, ""), |(point, label)| (*point, label.as_str()));
+                        let total_windows = match scenario.budget() {
+                            RunBudget::Windows(n) => n,
+                            RunBudget::ToHalt { max_windows } => max_windows,
+                        };
+                        let mut observer = |emu: &crate::ThermalEmulation| {
+                            let state = emu.checkpoint()?;
+                            let windows = state.windows();
+                            let decision = hook(&WindowCheckpoint {
+                                index,
+                                label,
+                                key,
+                                windows,
+                                total_windows,
+                                state: &state,
+                            });
+                            if decision == CheckpointDecision::Cancel {
+                                return Err(TemuError::CancelledMidPoint { windows });
+                            }
+                            Ok(())
+                        };
+                        scenario.run_observed(artifacts, seed, Some((*every, &mut observer)))
+                    }))
+                } else {
+                    None
+                };
+
             // Without a checkpoint hook, everything runs as one campaign.
             // With one, execution proceeds in batches of the campaign
             // width and the hook runs between batches on this thread, so
@@ -1069,6 +1195,9 @@ impl Sweep {
                     Campaign::new().scenarios(scenarios).artifacts(Arc::clone(&artifacts));
                 if let Some(t) = self.threads {
                     campaign = campaign.threads(t);
+                }
+                if let Some(runner) = &runner {
+                    campaign = campaign.runner(Arc::clone(runner));
                 }
                 {
                     let meta = Arc::clone(&meta);

@@ -492,3 +492,139 @@ fn fully_cached_sweep_never_checkpoints() {
     assert!(!rerun.cancelled, "nothing to execute, nothing to cancel");
     assert_eq!(calls.load(Ordering::Relaxed), 0, "the hook only runs when points execute");
 }
+
+/// Every [`PointSummary`] field except wall time, compared bitwise — the
+/// checkpoint/resume invariant (wall clock is the one thing a restart
+/// legitimately changes).
+fn assert_summary_bitwise_eq(x: &temu_framework::PointSummary, y: &temu_framework::PointSummary) {
+    assert_eq!(x.windows, y.windows);
+    assert_eq!(x.virtual_s.to_bits(), y.virtual_s.to_bits());
+    assert_eq!(x.fpga_s.to_bits(), y.fpga_s.to_bits());
+    assert_eq!(x.all_halted, y.all_halted);
+    assert_eq!(x.instructions, y.instructions);
+    assert_eq!(x.peak_temp_k.map(f64::to_bits), y.peak_temp_k.map(f64::to_bits));
+    assert_eq!(x.final_temp_k.map(f64::to_bits), y.final_temp_k.map(f64::to_bits));
+    assert_eq!(x.throttled_fraction.to_bits(), y.throttled_fraction.to_bits());
+    assert_eq!(x.time_at_hz.len(), y.time_at_hz.len());
+    for ((ha, ta), (hb, tb)) in x.time_at_hz.iter().zip(&y.time_at_hz) {
+        assert_eq!(ha, hb);
+        assert_eq!(ta.to_bits(), tb.to_bits());
+    }
+    assert_eq!(x.unconverged_substeps, y.unconverged_substeps);
+    assert_eq!(x.worst_residual_k.to_bits(), y.worst_residual_k.to_bits());
+}
+
+#[test]
+fn window_checkpoint_hook_sees_boundaries_and_cancels_mid_point() {
+    use temu_framework::CheckpointDecision;
+
+    // Two 6-window points, hook every 2 windows: boundaries at 2 and 4
+    // (never the final window). Cancel the second point at window 4.
+    let build = || {
+        Sweep::new("winck", tiny())
+            .workloads(vec![tiny_matrix(1), tiny_matrix(2)])
+            .windows(&[6])
+            .threads(1)
+    };
+    let target = build().expand()[1].key.unwrap();
+    let seen = Arc::new(Mutex::new(Vec::<(usize, u64, u64, u64, u64)>::new()));
+    let log = Arc::clone(&seen);
+    let report = build()
+        .on_window_checkpoint(2, move |cp| {
+            log.lock().unwrap().push((
+                cp.index,
+                cp.key,
+                cp.windows,
+                cp.total_windows,
+                cp.state.scenario_key(),
+            ));
+            if cp.key == target && cp.windows >= 4 {
+                CheckpointDecision::Cancel
+            } else {
+                CheckpointDecision::Continue
+            }
+        })
+        .run();
+
+    assert!(!report.cancelled, "a mid-point cancel stops one point, not the sweep");
+    assert!(report.points[0].is_ok(), "{:?}", report.points[0].outcome);
+    match &report.points[1].outcome {
+        Err(TemuError::CancelledMidPoint { windows }) => {
+            assert_eq!(*windows, 4, "the error reports how far the point got");
+        }
+        other => panic!("expected CancelledMidPoint, got {other:?}"),
+    }
+
+    let seen = seen.lock().unwrap();
+    // Point 0 checkpoints at 2 and 4; point 1 at 2, then 4 where it dies.
+    assert_eq!(seen.len(), 4, "{seen:?}");
+    for (index, key, windows, total, state_key) in seen.iter() {
+        assert!(*windows == 2 || *windows == 4, "boundaries every 2, never the final window");
+        assert_eq!(*total, 6);
+        assert_eq!(key, state_key, "the delivered state is bound to the point's scenario");
+        assert!(*index < 2);
+    }
+}
+
+#[test]
+fn seeded_resume_continues_a_sweep_point_bitwise() {
+    use temu_framework::{CheckpointDecision, EmulationState};
+
+    let build = || {
+        Sweep::new("resume", tiny())
+            .workloads(vec![tiny_matrix(1), tiny_matrix(2)])
+            .windows(&[6])
+            .threads(1)
+    };
+    let uninterrupted = build().run();
+    assert!(uninterrupted.all_ok(), "{}", uninterrupted.to_json());
+
+    // Interrupt point 1 at window 4, persisting the boundary's state via
+    // the serialized byte stream — exactly what a journal would store.
+    let target = build().expand()[1].key.unwrap();
+    let saved = Arc::new(Mutex::new(Vec::<u8>::new()));
+    let sink = Arc::clone(&saved);
+    let interrupted = build()
+        .on_window_checkpoint(2, move |cp| {
+            if cp.key == target && cp.windows == 4 {
+                *sink.lock().unwrap() = cp.state.to_bytes();
+                CheckpointDecision::Cancel
+            } else {
+                CheckpointDecision::Continue
+            }
+        })
+        .run();
+    assert!(matches!(
+        interrupted.points[1].outcome,
+        Err(TemuError::CancelledMidPoint { windows: 4 })
+    ));
+
+    // Resume: the seeded point continues from window 4 instead of
+    // restarting, and its summary is bitwise-identical to the
+    // uninterrupted run (wall clock excepted).
+    let bytes = saved.lock().unwrap().clone();
+    assert!(!bytes.is_empty(), "the hook persisted the checkpoint");
+    let state = EmulationState::from_bytes(&bytes).unwrap();
+    assert_eq!(state.scenario_key(), target);
+    assert_eq!(state.windows(), 4);
+    let resumed = build().resume_point(state).run();
+    assert!(resumed.all_ok(), "{}", resumed.to_json());
+    for (a, b) in uninterrupted.points.iter().zip(&resumed.points) {
+        assert_eq!(a.key, b.key);
+        assert_summary_bitwise_eq(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+    }
+}
+
+#[test]
+fn disabled_window_checkpointing_never_captures_state() {
+    // `every = 0` (the serve CLI's off position) must not install the
+    // custom runner at all — the default execution path runs untouched.
+    let report = Sweep::new("off", tiny())
+        .workloads(vec![tiny_matrix(1), tiny_matrix(2)])
+        .windows(&[4])
+        .threads(1)
+        .on_window_checkpoint(0, |_| panic!("hook must never fire when disabled"))
+        .run();
+    assert!(report.all_ok(), "{}", report.to_json());
+    assert_eq!(report.executed, 2);
+}

@@ -16,6 +16,7 @@ use std::error::Error;
 use std::fmt;
 use temu_isa::{DecodeError, Instr, Reg, Width};
 use temu_mem::MemError;
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// Core timing configuration (execute-phase extras).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -305,6 +306,104 @@ impl Cpu {
             return Ok(StepOutcome::Halted);
         }
         Ok(StepOutcome::Executed)
+    }
+}
+
+impl Cpu {
+    /// Serializes the full architectural and micro-architectural state:
+    /// registers, PC, local clock, halt flag, a parked data access (a core
+    /// *can* sit between the fetch and data phases of a memory instruction at
+    /// a window boundary) and statistics.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for i in 0..32 {
+            w.u32(self.regs.read(Reg::new(i)));
+        }
+        w.u32(self.pc);
+        w.u64(self.time);
+        w.bool(self.halted);
+        match self.pending {
+            None => w.u8(0),
+            Some((DataOp::Load { rd, addr, width, signed }, pc)) => {
+                w.u8(1);
+                w.u8(rd.index());
+                w.u32(addr);
+                w.u8(width.bytes() as u8);
+                w.bool(signed);
+                w.u32(pc);
+            }
+            Some((DataOp::Store { addr, width, value }, pc)) => {
+                w.u8(2);
+                w.u32(addr);
+                w.u8(width.bytes() as u8);
+                w.u32(value);
+                w.u32(pc);
+            }
+            Some((DataOp::Tas { rd, addr }, pc)) => {
+                w.u8(3);
+                w.u8(rd.index());
+                w.u32(addr);
+                w.u32(pc);
+            }
+        }
+        self.stats.save_state(w);
+    }
+
+    /// Restores state saved by [`Cpu::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] on a corrupt stream (bad register index,
+    /// width or pending-op discriminant).
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let mut regs = RegFile::new();
+        for i in 0..32 {
+            regs.write(Reg::new(i), r.u32()?);
+        }
+        self.regs = regs;
+        self.pc = r.u32()?;
+        self.time = r.u64()?;
+        self.halted = r.bool()?;
+        self.pending = match r.u8()? {
+            0 => None,
+            1 => {
+                let rd = load_reg(r)?;
+                let addr = r.u32()?;
+                let width = load_width(r)?;
+                let signed = r.bool()?;
+                let pc = r.u32()?;
+                Some((DataOp::Load { rd, addr, width, signed }, pc))
+            }
+            2 => {
+                let addr = r.u32()?;
+                let width = load_width(r)?;
+                let value = r.u32()?;
+                let pc = r.u32()?;
+                Some((DataOp::Store { addr, width, value }, pc))
+            }
+            3 => {
+                let rd = load_reg(r)?;
+                let addr = r.u32()?;
+                let pc = r.u32()?;
+                Some((DataOp::Tas { rd, addr }, pc))
+            }
+            d => return Err(StateError::BadValue { what: "pending data-op kind", value: u64::from(d) }),
+        };
+        self.stats.load_state(r)?;
+        Ok(())
+    }
+}
+
+fn load_reg(r: &mut StateReader<'_>) -> Result<Reg, StateError> {
+    let i = r.u8()?;
+    Reg::try_new(i).ok_or(StateError::BadValue { what: "register index", value: u64::from(i) })
+}
+
+fn load_width(r: &mut StateReader<'_>) -> Result<Width, StateError> {
+    match r.u8()? {
+        1 => Ok(Width::Byte),
+        2 => Ok(Width::Half),
+        4 => Ok(Width::Word),
+        b => Err(StateError::BadValue { what: "access width", value: u64::from(b) }),
     }
 }
 

@@ -1,5 +1,7 @@
 //! Per-core statistics (the processor-level sniffer counters of §4.1).
 
+use temu_state::{StateError, StateReader, StateWriter};
+
 /// Counters a processor-level count-logging sniffer exports: the time the
 /// core spent in active/stalled/idle mode plus instruction-mix counts.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -53,6 +55,39 @@ impl CoreStats {
         self.taken_branches += o.taken_branches;
         self.muls += o.muls;
         self.divs += o.divs;
+    }
+
+    /// Serializes the counters into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.instructions);
+        w.u64(self.active_cycles);
+        w.u64(self.stall_cycles);
+        w.u64(self.idle_cycles);
+        w.u64(self.loads);
+        w.u64(self.stores);
+        w.u64(self.branches);
+        w.u64(self.taken_branches);
+        w.u64(self.muls);
+        w.u64(self.divs);
+    }
+
+    /// Restores the counters from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a corrupt stream.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.instructions = r.u64()?;
+        self.active_cycles = r.u64()?;
+        self.stall_cycles = r.u64()?;
+        self.idle_cycles = r.u64()?;
+        self.loads = r.u64()?;
+        self.stores = r.u64()?;
+        self.branches = r.u64()?;
+        self.taken_branches = r.u64()?;
+        self.muls = r.u64()?;
+        self.divs = r.u64()?;
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@
 
 use crate::req::{Grant, IcStats, Request};
 use crate::{addr_transitions, data_transitions, IcError, Interconnect};
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// Arbitration policy of the custom bus.
 ///
@@ -172,6 +173,32 @@ impl Bus {
             }
             candidate += frame;
         }
+    }
+
+    /// Serializes the arbitration and occupancy state.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.busy_until);
+        w.usize(if self.last_granted == usize::MAX { self.cfg.initiators } else { self.last_granted });
+        w.u32(self.last_addr);
+        self.stats.save_state(w);
+    }
+
+    /// Restores state saved by [`Bus::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::BadValue`] on an out-of-range granted index.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.busy_until = r.u64()?;
+        let granted = r.usize()?;
+        // `initiators` encodes the never-granted sentinel (usize::MAX).
+        if granted > self.cfg.initiators {
+            return Err(StateError::BadValue { what: "last granted initiator", value: granted as u64 });
+        }
+        self.last_granted = if granted == self.cfg.initiators { usize::MAX } else { granted };
+        self.last_addr = r.u32()?;
+        self.stats.load_state(r)?;
+        Ok(())
     }
 }
 

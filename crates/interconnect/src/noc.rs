@@ -20,6 +20,7 @@
 
 use crate::req::{Grant, IcStats, Request};
 use crate::{addr_transitions, data_transitions, IcError, Interconnect};
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// NoC topology.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -295,6 +296,31 @@ impl Noc {
         }
         self.stats.transitions += data_transitions(flits);
         t
+    }
+
+    /// Serializes the per-link occupancy state (routes are recomputed from
+    /// the configuration on rebuild, so only mutable state is recorded).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64_slice(&self.link_busy);
+        w.u32(self.last_addr);
+        self.stats.save_state(w);
+    }
+
+    /// Restores state saved by [`Noc::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::BadLength`] if the recorded topology size
+    /// differs from this NoC's.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let busy = r.u64_vec()?;
+        if busy.len() != self.link_busy.len() {
+            return Err(StateError::BadLength { found: busy.len() as u64, max: self.link_busy.len() as u64 });
+        }
+        self.link_busy = busy;
+        self.last_addr = r.u32()?;
+        self.stats.load_state(r)?;
+        Ok(())
     }
 }
 

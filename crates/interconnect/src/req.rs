@@ -1,5 +1,7 @@
 //! Transaction requests, grants and interconnect statistics.
 
+use temu_state::{StateError, StateReader, StateWriter};
+
 /// One memory transaction as seen by the interconnect.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Request {
@@ -78,6 +80,29 @@ impl IcStats {
         self.transitions += other.transitions;
         self.contention_cycles += other.contention_cycles;
         self.busy_cycles += other.busy_cycles;
+    }
+
+    /// Serializes the counters into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.transactions);
+        w.u64(self.words);
+        w.u64(self.transitions);
+        w.u64(self.contention_cycles);
+        w.u64(self.busy_cycles);
+    }
+
+    /// Restores the counters from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a corrupt stream.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.transactions = r.u64()?;
+        self.words = r.u64()?;
+        self.transitions = r.u64()?;
+        self.contention_cycles = r.u64()?;
+        self.busy_cycles = r.u64()?;
+        Ok(())
     }
 }
 

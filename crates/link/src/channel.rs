@@ -8,6 +8,7 @@
 
 use crate::frame::{MacFrame, MAX_PAYLOAD};
 use bytes::Bytes;
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// Link parameters.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -36,6 +37,30 @@ pub struct LinkStats {
     pub busy_seconds: f64,
     /// Seconds of VPCM freeze caused by congestion.
     pub freeze_seconds: f64,
+}
+
+impl LinkStats {
+    /// Serializes the counters into a checkpoint stream (floats by bit
+    /// pattern, so a restored run continues on the identical trajectory).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.frames);
+        w.u64(self.wire_bytes);
+        w.f64(self.busy_seconds);
+        w.f64(self.freeze_seconds);
+    }
+
+    /// Restores the counters from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a corrupt stream.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.frames = r.u64()?;
+        self.wire_bytes = r.u64()?;
+        self.busy_seconds = r.f64()?;
+        self.freeze_seconds = r.f64()?;
+        Ok(())
+    }
 }
 
 /// The modeled Ethernet link between the FPGA and the host PC.
@@ -86,6 +111,20 @@ impl EthernetLink {
     pub fn tx_seconds(&self, frames: &[MacFrame]) -> f64 {
         let bytes: usize = frames.iter().map(MacFrame::wire_bytes).sum();
         bytes as f64 * 8.0 / self.cfg.bandwidth_bps as f64 + self.cfg.latency_s
+    }
+
+    /// Serializes the cumulative statistics (the link's only mutable state).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.stats.save_state(w);
+    }
+
+    /// Restores statistics saved by [`EthernetLink::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a corrupt stream.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.stats.load_state(r)
     }
 
     /// Transmits `frames` within a sampling window of `window_seconds` of

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 use temu_isa::Width;
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// Error for out-of-range, misaligned or unmapped functional accesses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -114,6 +115,27 @@ impl MemArray {
     /// Panics if the region is out of range.
     pub fn slice(&self, addr: u32, len: u32) -> &[u8] {
         &self.data[addr as usize..(addr + len) as usize]
+    }
+
+    /// Serializes the image into a checkpoint stream (zero-run RLE: an idle
+    /// memory costs almost nothing on the wire).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.bytes_rle(&self.data);
+    }
+
+    /// Restores the image from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::BadLength`] if the recorded image size differs
+    /// from this device's size (the checkpoint belongs to another platform).
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let data = r.bytes_rle()?;
+        if data.len() != self.data.len() {
+            return Err(StateError::BadLength { found: data.len() as u64, max: self.data.len() as u64 });
+        }
+        self.data = data;
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 
 use crate::error::MemConfigError;
 use crate::stats::{AccessKind, CacheStats};
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// Write-handling policy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -244,6 +245,41 @@ impl Cache {
         for l in &mut self.lines {
             *l = Line::default();
         }
+    }
+
+    /// Serializes tags, LRU state, the access tick and statistics.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.lines.len());
+        for l in &self.lines {
+            w.u32(l.tag);
+            w.bool(l.valid);
+            w.bool(l.dirty);
+            w.u64(l.lru);
+        }
+        w.u64(self.tick);
+        self.stats.save_state(w);
+    }
+
+    /// Restores tags, LRU state, the access tick and statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::BadLength`] if the recorded geometry differs
+    /// from this cache's, or a decode error on a corrupt stream.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let n = r.usize()?;
+        if n != self.lines.len() {
+            return Err(StateError::BadLength { found: n as u64, max: self.lines.len() as u64 });
+        }
+        for l in &mut self.lines {
+            l.tag = r.u32()?;
+            l.valid = r.bool()?;
+            l.dirty = r.bool()?;
+            l.lru = r.u64()?;
+        }
+        self.tick = r.u64()?;
+        self.stats.load_state(r)?;
+        Ok(())
     }
 }
 

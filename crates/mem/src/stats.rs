@@ -3,6 +3,8 @@
 //! These are the raw counters the paper's count-logging HW sniffers extract
 //! ("the number and type of accesses to each memory in the system", §4.1).
 
+use temu_state::{StateError, StateReader, StateWriter};
+
 /// Kind of access as seen by a cache or memory device.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AccessKind {
@@ -56,6 +58,31 @@ impl CacheStats {
         self.writebacks += other.writebacks;
         self.write_throughs += other.write_throughs;
     }
+
+    /// Serializes the counters into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.writebacks);
+        w.u64(self.write_throughs);
+    }
+
+    /// Restores the counters from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a corrupt stream.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        self.reads = r.u64()?;
+        self.writes = r.u64()?;
+        self.writebacks = r.u64()?;
+        self.write_throughs = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Access counters for one memory device.
@@ -84,6 +111,27 @@ impl MemStats {
         self.writes += other.writes;
         self.words += other.words;
         self.freeze_cycles += other.freeze_cycles;
+    }
+
+    /// Serializes the counters into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.words);
+        w.u64(self.freeze_cycles);
+    }
+
+    /// Restores the counters from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a corrupt stream.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.reads = r.u64()?;
+        self.writes = r.u64()?;
+        self.words = r.u64()?;
+        self.freeze_cycles = r.u64()?;
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use temu_cpu::{Cpu, CpuError};
 use temu_isa::{Program, Reg};
 use temu_mem::MemArray;
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// Outcome of a [`Machine::run_to_halt`] call.
 #[derive(Clone, Debug)]
@@ -256,6 +257,43 @@ impl Machine {
         })
     }
 
+    /// Serializes the whole machine's mutable state — every core (registers,
+    /// pipeline, pending data access), the memory system, the VPCM and the
+    /// window cursor. The configuration is *not* recorded: a restore target
+    /// is rebuilt from the same [`PlatformConfig`] first.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.cores.len());
+        for c in &self.cores {
+            c.save_state(w);
+        }
+        self.uncore.save_state(w);
+        self.vpcm.save_state(w);
+        w.u64(self.window_start);
+    }
+
+    /// Restores state saved by [`Machine::save_state`] into a machine built
+    /// from the *same* configuration. After a successful restore the machine
+    /// continues bitwise-identically to the one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] if the recorded shape disagrees with this
+    /// machine's configuration or the stream is corrupt. The machine may be
+    /// partially overwritten on error and must not be reused.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let ncores = r.usize()?;
+        if ncores != self.cores.len() {
+            return Err(StateError::BadLength { found: ncores as u64, max: self.cores.len() as u64 });
+        }
+        for c in &mut self.cores {
+            c.load_state(r)?;
+        }
+        self.uncore.load_state(r)?;
+        self.vpcm.load_state(r)?;
+        self.window_start = r.u64()?;
+        Ok(())
+    }
+
     fn collect_stats(&mut self, start: u64, end: u64) -> WindowStats {
         let cores = self.cores.iter_mut().map(Cpu::take_stats).collect();
         let (icaches, dcaches) = self.uncore.collect_cache_stats();
@@ -413,6 +451,59 @@ mod tests {
         let m = machine(1, "halt\n");
         let sp = m.core(0).regs().read(Reg::SP);
         assert_eq!(sp, m.config().private_mem.size - 16);
+    }
+
+    #[test]
+    fn save_restore_continues_bitwise_identically() {
+        let src = "
+            .equ SHARED, 0x10000000
+            start: li r1, SHARED
+                   li r2, 300
+            loop:  lw r3, 0(r1)
+                   addi r3, r3, 1
+                   sw r3, 0(r1)
+                   addi r2, r2, -1
+                   bnez r2, loop
+                   halt
+        ";
+        let mut a = machine(4, src);
+        let mut b = machine(4, src);
+        a.run_window(400).unwrap();
+        b.run_window(400).unwrap();
+
+        // Snapshot `a` mid-run and restore it into a fresh machine.
+        let mut w = temu_state::StateWriter::new(*b"MACH", 1);
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut c = machine(4, src);
+        let (mut r, _) = temu_state::StateReader::new(&bytes, *b"MACH", 1).unwrap();
+        c.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // The restored machine and the uninterrupted one must stay in
+        // lockstep for the rest of the run.
+        let wb = b.run_window(400).unwrap();
+        let wc = c.run_window(400).unwrap();
+        assert_eq!(wb, wc);
+        assert_eq!(b.time(), c.time());
+        let vb = b.shared().read(0, temu_isa::Width::Word).unwrap();
+        let vc = c.shared().read(0, temu_isa::Width::Word).unwrap();
+        assert_eq!(vb, vc);
+        for i in 0..4 {
+            assert_eq!(b.core(i).regs().read(Reg::new(1)), c.core(i).regs().read(Reg::new(1)));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shape() {
+        let mut a = machine(2, "halt\n");
+        let mut w = temu_state::StateWriter::new(*b"MACH", 1);
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut wrong = machine(4, "halt\n");
+        let (mut r, _) = temu_state::StateReader::new(&bytes, *b"MACH", 1).unwrap();
+        assert!(wrong.load_state(&mut r).is_err());
+        let _ = &mut a;
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! carries the conveniences any multi-core runtime needs: core id, core
 //! count, a per-core debug console and the current DFS frequency.
 
+use temu_state::{StateError, StateReader, StateWriter};
+
 /// Offset of the read-only core-id register.
 pub const MMIO_CORE_ID: u32 = 0x00;
 /// Offset of the write-only console register (one byte per store).
@@ -104,6 +106,44 @@ impl Mmio {
             MMIO_SNIFFER_CTRL => self.sniffers_enabled = value & 1 != 0,
             _ => {}
         }
+    }
+
+    /// Serializes the register state (consoles, sensors, control bits).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.consoles.len());
+        for c in &self.consoles {
+            w.bytes(c);
+        }
+        w.u32_slice(&self.sensors_centi_k);
+        w.bool(self.sniffers_enabled);
+        w.u32(self.freq_mhz);
+    }
+
+    /// Restores state saved by [`Mmio::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::BadLength`] if the recorded core or sensor
+    /// count differs from this window's.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let ncons = r.usize()?;
+        if ncons != self.consoles.len() {
+            return Err(StateError::BadLength { found: ncons as u64, max: self.consoles.len() as u64 });
+        }
+        for c in &mut self.consoles {
+            *c = r.bytes()?;
+        }
+        let sensors = r.u32_vec()?;
+        if sensors.len() != self.sensors_centi_k.len() {
+            return Err(StateError::BadLength {
+                found: sensors.len() as u64,
+                max: self.sensors_centi_k.len() as u64,
+            });
+        }
+        self.sensors_centi_k = sensors;
+        self.sniffers_enabled = r.bool()?;
+        self.freq_mhz = r.u32()?;
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@
 //!   virtual clock (congestion backpressure).
 
 use std::collections::VecDeque;
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// Statistics-extraction mode of the platform.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -122,6 +123,52 @@ impl EventBuffer {
     pub fn drain(&mut self, max: usize) -> Vec<Event> {
         let n = max.min(self.events.len());
         self.events.drain(..n).collect()
+    }
+
+    /// Serializes the buffered events and overflow accounting (capacity is
+    /// configuration, recomputed on rebuild).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.events.len());
+        for e in &self.events {
+            w.u64(e.time);
+            w.u8(e.core);
+            w.u8(e.kind as u8);
+            w.u32(e.addr);
+        }
+        w.u64(self.overflowed);
+        w.u64(self.total);
+    }
+
+    /// Restores state saved by [`EventBuffer::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::BadLength`] if more events were recorded than
+    /// this buffer's capacity, or [`StateError::BadValue`] on an unknown
+    /// event kind.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let n = r.usize()?;
+        if n > self.capacity {
+            return Err(StateError::BadLength { found: n as u64, max: self.capacity as u64 });
+        }
+        self.events.clear();
+        for _ in 0..n {
+            let time = r.u64()?;
+            let core = r.u8()?;
+            let kind = match r.u8()? {
+                0 => EventKind::Read,
+                1 => EventKind::Write,
+                2 => EventKind::MissI,
+                3 => EventKind::MissD,
+                4 => EventKind::IcTxn,
+                k => return Err(StateError::BadValue { what: "event kind", value: u64::from(k) }),
+            };
+            let addr = r.u32()?;
+            self.events.push_back(Event { time, core, kind, addr });
+        }
+        self.overflowed = r.u64()?;
+        self.total = r.u64()?;
+        Ok(())
     }
 }
 

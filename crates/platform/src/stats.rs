@@ -4,6 +4,7 @@
 use temu_cpu::CoreStats;
 use temu_interconnect::IcStats;
 use temu_mem::{CacheStats, MemStats};
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// Everything the count-logging sniffers collected over one sampling window
 /// (or over a whole run).
@@ -77,6 +78,82 @@ impl WindowStats {
         self.freeze_link += other.freeze_link;
         self.events_pending = other.events_pending;
         self.events_overflowed += other.events_overflowed;
+    }
+
+    /// Serializes the snapshot into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.start_cycle);
+        w.u64(self.end_cycle);
+        w.usize(self.cores.len());
+        for c in &self.cores {
+            c.save_state(w);
+        }
+        w.usize(self.icaches.len());
+        for c in &self.icaches {
+            c.save_state(w);
+        }
+        w.usize(self.dcaches.len());
+        for c in &self.dcaches {
+            c.save_state(w);
+        }
+        w.usize(self.private_mems.len());
+        for m in &self.private_mems {
+            m.save_state(w);
+        }
+        self.shared_mem.save_state(w);
+        self.interconnect.save_state(w);
+        w.u64(self.freeze_mem);
+        w.u64(self.freeze_link);
+        w.usize(self.events_pending);
+        w.u64(self.events_overflowed);
+    }
+
+    /// Restores a snapshot saved by [`WindowStats::save_state`], replacing
+    /// the current contents entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from a corrupt stream.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.start_cycle = r.u64()?;
+        self.end_cycle = r.u64()?;
+        // Grow-on-demand (no pre-allocation from the untrusted count: a
+        // corrupt length fails on EOF instead of exhausting memory).
+        let n = r.usize()?;
+        self.cores = Vec::new();
+        for _ in 0..n {
+            let mut c = CoreStats::default();
+            c.load_state(r)?;
+            self.cores.push(c);
+        }
+        let n = r.usize()?;
+        self.icaches = Vec::new();
+        for _ in 0..n {
+            let mut c = CacheStats::default();
+            c.load_state(r)?;
+            self.icaches.push(c);
+        }
+        let n = r.usize()?;
+        self.dcaches = Vec::new();
+        for _ in 0..n {
+            let mut c = CacheStats::default();
+            c.load_state(r)?;
+            self.dcaches.push(c);
+        }
+        let n = r.usize()?;
+        self.private_mems = Vec::new();
+        for _ in 0..n {
+            let mut m = MemStats::default();
+            m.load_state(r)?;
+            self.private_mems.push(m);
+        }
+        self.shared_mem.load_state(r)?;
+        self.interconnect.load_state(r)?;
+        self.freeze_mem = r.u64()?;
+        self.freeze_link = r.u64()?;
+        self.events_pending = r.usize()?;
+        self.events_overflowed = r.u64()?;
+        Ok(())
     }
 }
 

@@ -21,6 +21,7 @@ use temu_mem::{
     AccessKind, AddressMap, Cache, CacheKind, CacheResponse, CacheStats, MemArray, MemError, MemStats, MemoryConfig,
     RangeTarget,
 };
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// Per-core memory-side state.
 #[derive(Clone, Debug)]
@@ -317,6 +318,89 @@ impl Uncore {
                 (done, done - now - hit_lat)
             }
         }
+    }
+
+    /// Serializes all mutable memory-system state: caches, memory images,
+    /// device statistics, interconnect occupancy, MMIO registers, the event
+    /// buffer and pending freeze cycles. The address map and configurations
+    /// are rebuild-derived and not recorded.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.per_core.len());
+        for cm in &self.per_core {
+            w.bool(cm.icache.is_some());
+            if let Some(c) = &cm.icache {
+                c.save_state(w);
+            }
+            w.bool(cm.dcache.is_some());
+            if let Some(c) = &cm.dcache {
+                c.save_state(w);
+            }
+            cm.private.save_state(w);
+            cm.priv_stats.save_state(w);
+        }
+        self.shared.save_state(w);
+        self.shared_stats.save_state(w);
+        match &self.ic {
+            IcModel::Bus(b) => {
+                w.u8(0);
+                b.save_state(w);
+            }
+            IcModel::Noc(n) => {
+                w.u8(1);
+                n.save_state(w);
+            }
+        }
+        self.mmio.save_state(w);
+        w.bool(self.events.is_some());
+        if let Some(e) = &self.events {
+            e.save_state(w);
+        }
+        w.u64(self.freeze_mem);
+    }
+
+    /// Restores state saved by [`Uncore::save_state`] into a memory system
+    /// freshly built from the *same* platform configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] if the recorded shape (core count, cache
+    /// presence, memory sizes, interconnect kind) disagrees with this
+    /// instance — the checkpoint belongs to a different platform — or if the
+    /// stream is corrupt.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let ncores = r.usize()?;
+        if ncores != self.per_core.len() {
+            return Err(StateError::BadLength { found: ncores as u64, max: self.per_core.len() as u64 });
+        }
+        for cm in &mut self.per_core {
+            for (cache, what) in [(&mut cm.icache, "icache presence"), (&mut cm.dcache, "dcache presence")] {
+                let present = r.bool()?;
+                match (present, cache.as_mut()) {
+                    (true, Some(c)) => c.load_state(r)?,
+                    (false, None) => {}
+                    _ => return Err(StateError::BadValue { what, value: u64::from(present) }),
+                }
+            }
+            cm.private.load_state(r)?;
+            cm.priv_stats.load_state(r)?;
+        }
+        self.shared.load_state(r)?;
+        self.shared_stats.load_state(r)?;
+        let ic_kind = r.u8()?;
+        match (ic_kind, &mut self.ic) {
+            (0, IcModel::Bus(b)) => b.load_state(r)?,
+            (1, IcModel::Noc(n)) => n.load_state(r)?,
+            _ => return Err(StateError::BadValue { what: "interconnect kind", value: u64::from(ic_kind) }),
+        }
+        self.mmio.load_state(r)?;
+        let has_events = r.bool()?;
+        match (has_events, self.events.as_mut()) {
+            (true, Some(e)) => e.load_state(r)?,
+            (false, None) => {}
+            _ => return Err(StateError::BadValue { what: "event buffer presence", value: u64::from(has_events) }),
+        }
+        self.freeze_mem = r.u64()?;
+        Ok(())
     }
 }
 

@@ -17,6 +17,7 @@
 //! 340 K) to any number of hysteresis-separated clock levels.
 
 use crate::error::PlatformError;
+use temu_state::{StateError, StateReader, StateWriter};
 
 /// Virtual-clock bookkeeping for one platform.
 #[derive(Clone, Copy, Debug)]
@@ -84,6 +85,29 @@ impl Vpcm {
     /// This is the quantity the paper's Table 3 reports for the HW emulator.
     pub fn fpga_seconds(&self, virtual_cycles: u64) -> f64 {
         (virtual_cycles + self.freeze_mem + self.freeze_link) as f64 / self.fpga_hz as f64
+    }
+
+    /// Serializes the clock state (virtual frequency + untaken freezes).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.virtual_hz);
+        w.u64(self.freeze_mem);
+        w.u64(self.freeze_link);
+    }
+
+    /// Restores state saved by [`Vpcm::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::BadValue`] on a zero virtual frequency.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let hz = r.u64()?;
+        if hz == 0 {
+            return Err(StateError::BadValue { what: "virtual frequency", value: 0 });
+        }
+        self.virtual_hz = hz;
+        self.freeze_mem = r.u64()?;
+        self.freeze_link = r.u64()?;
+        Ok(())
     }
 }
 
@@ -225,6 +249,18 @@ impl DfsPolicy {
         let freqs: Vec<String> = self.levels_hz.iter().map(|hz| format!("{}", hz / 1_000_000)).collect();
         let bands: Vec<String> = self.bands.iter().map(|b| format!("{}/{}", b.hot_k, b.cool_k)).collect();
         format!("{}MHz@{}", freqs.join("-"), bands.join("+"))
+    }
+
+    /// Restores the ladder position from a checkpoint. Returns `false`
+    /// (leaving the level unchanged) if `level` names no rung of this
+    /// ladder — the checkpoint belongs to a different policy.
+    pub fn restore_level(&mut self, level: usize) -> bool {
+        if level < self.levels_hz.len() {
+            self.level = level;
+            true
+        } else {
+            false
+        }
     }
 
     /// Feeds the hottest sensor temperature and returns the frequency the

@@ -66,6 +66,17 @@ fn print_event(event: &JsonValue) {
         Some("point") => {
             let field = |k: &str| event.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
             let label = event.get("label").and_then(JsonValue::as_str).unwrap_or("?");
+            // A mid-point window-checkpoint update (servers running with
+            // --window-checkpoint); finished-point events never carry it.
+            if let Some(progress) = event.get("progress") {
+                let at = |k: &str| progress.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+                println!(
+                    "  [  ...  ] {label:<60} running {}/{} windows",
+                    at("windows"),
+                    at("total_windows")
+                );
+                return;
+            }
             let status = if event.get("ok").and_then(JsonValue::as_bool) == Some(true) {
                 let peak = event
                     .get("peak_temp_k")

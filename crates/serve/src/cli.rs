@@ -11,7 +11,7 @@ use crate::{ServeConfig, Server, ADDR_ENV};
 use std::path::PathBuf;
 use std::process::exit;
 
-const USAGE: &str = "usage: temu-serve [--addr HOST:PORT] [--store CACHE.jsonl] [--journal JOBS.jsonl] [--workers N] [--queue-limit N] [--member NAME]";
+const USAGE: &str = "usage: temu-serve [--addr HOST:PORT] [--store CACHE.jsonl] [--journal JOBS.jsonl] [--workers N] [--queue-limit N] [--member NAME] [--window-checkpoint N]";
 
 /// Parses `args` (without the program name), binds, prints the banner
 /// lines scripts grep for (`temu-serve listening on ...`), and serves
@@ -46,6 +46,12 @@ pub fn serve_main(args: &[String]) {
             "--queue-limit" => {
                 config.queue_limit = value("a count").parse().unwrap_or_else(|_| {
                     eprintln!("--queue-limit takes a positive integer\n{USAGE}");
+                    exit(2);
+                });
+            }
+            "--window-checkpoint" => {
+                config.window_checkpoint = value("a window count").parse().unwrap_or_else(|_| {
+                    eprintln!("--window-checkpoint takes a window count (0 disables)\n{USAGE}");
                     exit(2);
                 });
             }
@@ -90,6 +96,17 @@ pub fn serve_main(args: &[String]) {
             server.recovered_jobs()
         ),
         None => println!("job journal: off (in-memory server; pass --store or --journal)"),
+    }
+    if let Some(path) = server.checkpoints_path() {
+        let cadence = match config.window_checkpoint {
+            0 => String::from("capture off"),
+            n => format!("every {n} window(s)"),
+        };
+        println!(
+            "window checkpoints {}: {cadence}, {} mid-point state(s) recovered",
+            path.display(),
+            server.recovered_checkpoints()
+        );
     }
     println!("{} worker(s), queue limit {}", config.workers.max(1), config.queue_limit.max(1));
     server.run();

@@ -39,12 +39,16 @@
 //!
 //! The server is crash-safe: job transitions are journaled
 //! ([`journal`]) and replayed on restart, every sweep checkpoints its
-//! result store between grid points, accepted connections carry socket
-//! deadlines and bounded frames ([`protocol::read_frame`]), the client
-//! retries transient failures with exponential backoff ([`RetryPolicy`]),
-//! and a [`fault`]-injection harness (`TEMU_FAULT`) drives the chaos
-//! tests that prove all of it.
+//! result store between grid points — and, with `--window-checkpoint N`,
+//! persists each running point's serialized run state every N sampling
+//! windows ([`checkpoints`]), so a `SIGKILL` mid-point resumes from the
+//! last window boundary instead of re-running the point. Accepted
+//! connections carry socket deadlines and bounded frames
+//! ([`protocol::read_frame`]), the client retries transient failures with
+//! exponential backoff ([`RetryPolicy`]), and a [`fault`]-injection
+//! harness (`TEMU_FAULT`) drives the chaos tests that prove all of it.
 
+pub mod checkpoints;
 pub mod cli;
 pub mod client;
 pub mod fault;
@@ -52,6 +56,7 @@ pub mod journal;
 pub mod protocol;
 pub mod server;
 
+pub use checkpoints::{CheckpointReplay, CheckpointStore};
 pub use client::{Client, ClientError, DoneSummary, RetryPolicy, Submission};
 pub use fault::FaultPlan;
 pub use journal::{Journal, JournalReplay, RecoveredJob};

@@ -38,6 +38,7 @@
 //!   reader ([`crate::protocol::read_frame`]), so a slowloris or garbage
 //!   peer cannot pin a handler thread or buffer unbounded bytes.
 
+use crate::checkpoints::CheckpointStore;
 use crate::journal::Journal;
 use crate::protocol::{coded_error_line, error_line, read_frame, ProtocolError, Request, MAX_FRAME_LEN};
 use std::collections::{HashMap, VecDeque};
@@ -50,7 +51,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use temu_framework::{
-    json_escape, ArtifactCache, CheckpointDecision, ResultCache, SweepProgress, SweepSpec,
+    json_escape, ArtifactCache, CheckpointDecision, EmulationState, ResultCache, SweepProgress,
+    SweepSpec,
 };
 
 /// Server configuration (see the module docs).
@@ -85,6 +87,15 @@ pub struct ServeConfig {
     /// Fleet member identity advertised in `stats` (the router labels its
     /// per-member breakdown with it); `None` omits the field.
     pub member: Option<String>,
+    /// Persist each running point's serialized run state every N sampling
+    /// windows (`<journal>.checkpoints.jsonl`, e.g. `jobs.checkpoints.jsonl`
+    /// for the default journal), so a killed
+    /// server resumes an in-flight point from its last window boundary
+    /// instead of re-running it. 0 (the default) disables capture; resume
+    /// *seeding* from an existing checkpoint file happens regardless, so
+    /// turning the flag off never strands recoverable state. Requires a
+    /// journal (in-memory servers have nothing durable to resume into).
+    pub window_checkpoint: u64,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +109,7 @@ impl Default for ServeConfig {
             journal: None,
             io_timeout: Some(Duration::from_secs(30)),
             member: None,
+            window_checkpoint: 0,
         }
     }
 }
@@ -221,6 +233,14 @@ struct Shared {
     /// by job).
     artifacts: Arc<ArtifactCache>,
     journal: Option<Journal>,
+    /// The window-checkpoint store (present whenever the journal is) and
+    /// the capture cadence (0 = record nothing; seeded resume still
+    /// happens).
+    checkpoints: Option<CheckpointStore>,
+    window_every: u64,
+    /// Mid-point run states recovered at bind time, waiting for their
+    /// re-enqueued job to be claimed (the worker takes them out).
+    resume_states: Mutex<HashMap<u64, Vec<EmulationState>>>,
     member: Option<String>,
     io_timeout: Option<Duration>,
     queue_limit: usize,
@@ -370,11 +390,49 @@ impl Server {
             }
             None => (None, crate::journal::JournalReplay { next_id: 1, ..Default::default() }),
         };
+        // The window-checkpoint store rides with the journal: replay it,
+        // seed the recovered jobs' mid-point states, and compact away the
+        // checkpoints of jobs that reached a terminal record. A state that
+        // fails to decode (version skew, torn bytes) is dropped — its
+        // point re-runs from scratch, which is correct, just slower. The
+        // path derives from the *journal* (`jobs.jsonl` →
+        // `jobs.checkpoints.jsonl`), not a fixed sibling name: records
+        // are keyed by journal-local job ids, and fleet members sharing
+        // one store directory run distinct journals — a shared
+        // checkpoints file would mix their id spaces and race the
+        // startup compaction's tmp+rename.
+        let mut resume_states: HashMap<u64, Vec<EmulationState>> = HashMap::new();
+        let checkpoints = match &journal {
+            Some(journal) => {
+                let path = journal.path().with_extension("checkpoints.jsonl");
+                let (store, ck_replay) = CheckpointStore::open(&path)?;
+                let pending: std::collections::HashSet<u64> =
+                    replayed.pending.iter().map(|job| job.id).collect();
+                for (&job, points) in &ck_replay.states {
+                    if !pending.contains(&job) {
+                        continue;
+                    }
+                    let states: Vec<EmulationState> = points
+                        .values()
+                        .filter_map(|(_, bytes)| EmulationState::from_bytes(bytes).ok())
+                        .collect();
+                    if !states.is_empty() {
+                        resume_states.insert(job, states);
+                    }
+                }
+                store.compact(&ck_replay, |job| pending.contains(&job))?;
+                Some(store)
+            }
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let shared = Arc::new(Shared {
             cache,
             artifacts: Arc::new(ArtifactCache::new()),
             journal,
+            checkpoints,
+            window_every: config.window_checkpoint,
+            resume_states: Mutex::new(resume_states),
             member: config.member.clone(),
             io_timeout: config.io_timeout,
             queue_limit: config.queue_limit.max(1),
@@ -431,6 +489,26 @@ impl Server {
     #[must_use]
     pub fn recovered_jobs(&self) -> u64 {
         self.shared.jobs_recovered.load(Ordering::Relaxed)
+    }
+
+    /// Mid-point run states recovered from the window-checkpoint store at
+    /// bind time — points that will resume from a window boundary instead
+    /// of re-running.
+    #[must_use]
+    pub fn recovered_checkpoints(&self) -> usize {
+        self.shared
+            .resume_states
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// The window-checkpoint store path, when active.
+    #[must_use]
+    pub fn checkpoints_path(&self) -> Option<&std::path::Path> {
+        self.shared.checkpoints.as_ref().map(CheckpointStore::path)
     }
 
     /// The journal path, when journaling is active.
@@ -582,8 +660,47 @@ fn run_job(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cancel: &Arc<AtomicB
     let progress_shared = Arc::clone(shared);
     let checkpoint_shared = Arc::clone(shared);
     let checkpoint_cancel = Arc::clone(cancel);
+    let mut sweep = sweep.artifacts(Arc::clone(&shared.artifacts));
+    // Seed recovered mid-point states: a point whose content key matches
+    // resumes from its last window boundary; everything else (including a
+    // state whose grid point changed across versions) builds fresh.
+    let seeds = shared
+        .resume_states
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(&id)
+        .unwrap_or_default();
+    for state in seeds {
+        sweep = sweep.resume_point(state);
+    }
+    if shared.window_every > 0 {
+        // Within each running point, every N windows: persist the
+        // boundary's run state, stream a `progress` point event to
+        // watchers, and observe cancellation — a client `cancel` (or
+        // server shutdown) now stops mid-point at a resumable boundary
+        // instead of waiting the point out.
+        let wc_shared = Arc::clone(shared);
+        let wc_cancel = Arc::clone(cancel);
+        sweep = sweep.on_window_checkpoint(shared.window_every, move |cp| {
+            if let Some(store) = &wc_shared.checkpoints {
+                store.record(id, cp.key, cp.windows, &cp.state.to_bytes());
+            }
+            let line = format!(
+                "{{\"event\": \"point\", \"job\": {id}, \"index\": {}, \"label\": \"{}\", \"progress\": {{\"windows\": {}, \"total_windows\": {}}}}}",
+                cp.index,
+                json_escape(cp.label),
+                cp.windows,
+                cp.total_windows,
+            );
+            wc_shared.broadcast(id, &line, false);
+            if wc_cancel.load(Ordering::Acquire) || wc_shared.shutdown.load(Ordering::SeqCst) {
+                CheckpointDecision::Cancel
+            } else {
+                CheckpointDecision::Continue
+            }
+        });
+    }
     let report = sweep
-        .artifacts(Arc::clone(&shared.artifacts))
         .on_progress(move |p| {
             {
                 let mut jobs = progress_shared.lock_jobs();

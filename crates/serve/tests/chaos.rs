@@ -141,3 +141,180 @@ fn server_under_injected_faults_stays_terminal_and_converges_to_cached() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// SIGKILL mid-point: window-granular checkpoint/restore through the real bin
+// ---------------------------------------------------------------------------
+
+/// A one-point sweep long enough (150 sampling windows) that SIGKILL lands
+/// in the middle of the *point*, not between points — the case the
+/// between-point store flush cannot save.
+fn long_point_sweep() -> SweepSpec {
+    SweepSpec {
+        name: String::from("midpoint"),
+        base: ScenarioSpec {
+            cores: Some(1),
+            workload: Some(WorkloadSpec::Matrix { n: 4, iters: 3, cores: 1 }),
+            sampling_window_s: Some(0.0005),
+            windows: Some(150),
+            strict_convergence: Some(true),
+            ..ScenarioSpec::default()
+        },
+        axes: Vec::new(),
+        threads: Some(1),
+    }
+}
+
+/// Spawns the real `temu-serve` bin with window checkpointing every
+/// window, returning the child, its bound address, and the banner's
+/// recovered-job / recovered-checkpoint counts.
+fn spawn_checkpointing_serve(
+    store: &std::path::Path,
+) -> (std::process::Child, String, u64, u64) {
+    use std::io::BufRead as _;
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_temu-serve"))
+        .args(["--addr", "127.0.0.1:0", "--window-checkpoint", "1", "--store"])
+        .arg(store)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn temu-serve");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().expect("piped stdout"));
+    let (mut addr, mut recovered_jobs, mut recovered_states) = (None, 0u64, 0u64);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if stdout.read_line(&mut line).expect("read banner") == 0 {
+            panic!("temu-serve exited before printing its banner");
+        }
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("temu-serve listening on ") {
+            addr = Some(rest.to_string());
+        }
+        if let Some((head, _)) = trimmed.split_once(" job(s) recovered") {
+            recovered_jobs = head.rsplit(' ').next().and_then(|n| n.parse().ok()).unwrap_or(0);
+        }
+        if let Some((head, _)) = trimmed.split_once(" mid-point state(s) recovered") {
+            recovered_states = head.rsplit(' ').next().and_then(|n| n.parse().ok()).unwrap_or(0);
+        }
+        if trimmed.contains("worker(s)") {
+            break;
+        }
+    }
+    (child, addr.expect("server printed its address"), recovered_jobs, recovered_states)
+}
+
+fn progress_windows(event: &JsonValue) -> Option<u64> {
+    event
+        .get("progress")
+        .and_then(|p| p.get("windows"))
+        .and_then(JsonValue::as_u64)
+}
+
+#[test]
+fn sigkill_mid_point_resumes_from_the_window_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("temu_midpoint_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("cache.jsonl");
+    for stale in ["cache.jsonl", "jobs.jsonl", "jobs.checkpoints.jsonl"] {
+        let _ = std::fs::remove_file(dir.join(stale));
+    }
+    let spec = long_point_sweep();
+
+    // Ground truth: the same point, uninterrupted and in-process.
+    let reference = spec
+        .lower()
+        .unwrap()
+        .run_cached(&temu_framework::ResultCache::in_memory());
+    assert!(reference.all_ok());
+    assert_eq!(reference.points.len(), 1);
+    let ref_point = &reference.points[0];
+    let ref_summary = ref_point.outcome.as_ref().unwrap();
+
+    // First incarnation: submit, wait until the point is visibly past
+    // window 10 via the mid-point `progress` events, then SIGKILL.
+    let (mut first, addr, recovered_jobs, recovered_states) = spawn_checkpointing_serve(&store);
+    assert_eq!((recovered_jobs, recovered_states), (0, 0), "a fresh journal recovers nothing");
+    let (tx, rx) = std::sync::mpsc::channel();
+    let watcher = {
+        let spec = spec.clone();
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect to first server");
+            // The submission dies with the server; the error is expected.
+            let _ = client.submit(&spec, true, |event| {
+                if let Some(windows) = progress_windows(event) {
+                    let _ = tx.send(windows);
+                }
+            });
+        })
+    };
+    let mut killed_after = 0;
+    while killed_after < 10 {
+        killed_after = rx
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("the point reports mid-point progress before the kill");
+    }
+    first.kill().expect("SIGKILL the server mid-point");
+    let _ = first.wait();
+    watcher.join().expect("watcher thread exits after the server dies");
+
+    // Second incarnation: the journal recovers the job AND the checkpoint
+    // store recovers the in-flight point's last window boundary.
+    let (mut second, addr2, recovered_jobs, recovered_states) = spawn_checkpointing_serve(&store);
+    assert_eq!(recovered_jobs, 1, "the killed job is re-enqueued");
+    assert_eq!(recovered_states, 1, "the in-flight point's run state is recovered");
+    let mut client = Client::connect(&addr2).expect("connect to restarted server");
+    let mut resumed_progress: Vec<u64> = Vec::new();
+    let done = client
+        .watch(1, |event| {
+            if let Some(windows) = progress_windows(event) {
+                resumed_progress.push(windows);
+            }
+        })
+        .expect("watch the recovered job to completion");
+    assert!(done.ok, "the recovered job completes: {done:?}");
+    assert_eq!(done.failed, 0);
+    assert_eq!(
+        (done.executed, done.cache_hits),
+        (1, 0),
+        "a mid-point resume still *executes* the point (it is not a cache hit)"
+    );
+
+    // The resume really was mid-point: the first boundary reported after
+    // the restart continues past the pre-kill checkpoint instead of
+    // starting over at window 1, so windows run after the restart < total.
+    let first_after = *resumed_progress.first().expect("the resumed point reports progress");
+    assert!(
+        first_after > killed_after && first_after < 150,
+        "resume continues from the checkpoint (first boundary after restart: \
+         {first_after}, pre-kill progress: {killed_after})"
+    );
+
+    // The resumed point's report matches the uninterrupted run.
+    let frame = client.result(1).expect("fetch the recovered job's report");
+    let report = frame.get("report").expect("report attached");
+    let points = report.get("points").and_then(JsonValue::as_arr).expect("points array");
+    assert_eq!(points.len(), 1);
+    let fetched = &points[0];
+    let key = format!("{:016x}", ref_point.key.unwrap());
+    assert_eq!(fetched.get("key").and_then(JsonValue::as_str), Some(key.as_str()));
+    assert_eq!(fetched.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(fetched.get("windows").and_then(JsonValue::as_u64), Some(ref_summary.windows));
+    assert_eq!(
+        fetched.get("instructions").and_then(JsonValue::as_u64),
+        Some(ref_summary.instructions),
+        "the resumed point retired exactly the uninterrupted instruction count"
+    );
+    // The wire rounds peaks to 3 decimals; round the reference the same way.
+    let wire_peak = ref_summary.peak_temp_k.map(|t| format!("{t:.3}").parse::<f64>().unwrap());
+    assert_eq!(
+        fetched.get("peak_temp_k").and_then(JsonValue::as_f64),
+        wire_peak,
+        "the resumed point's peak temperature matches the uninterrupted run"
+    );
+
+    client.shutdown().expect("graceful shutdown");
+    let _ = second.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -103,4 +103,4 @@ pub use props::{
     COPPER_THICKNESS_UM, PACKAGE_TO_AIR_K_PER_W, SILICON_SPECIFIC_HEAT_PER_UM3, SILICON_THICKNESS_UM,
 };
 pub use reference::analytic_stack_temp;
-pub use solver::{SolverStats, ThermalModel};
+pub use solver::{SolverStats, ThermalModel, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

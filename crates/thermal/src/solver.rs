@@ -47,6 +47,13 @@ use crate::pool::{self, SpinBarrier, UnsafeSlice};
 use crate::props::{silicon_conductivity, COPPER_CONDUCTIVITY};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use temu_state::{StateError, StateReader, StateWriter};
+
+/// Magic bytes of a [`ThermalModel::snapshot`] stream.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"TSNP";
+
+/// Version of the snapshot format written by this build.
+pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// Substeps between non-linear coefficient refreshes on the optimized
 /// explicit path (the reference path matches the seed's fixed cadence; the
@@ -436,6 +443,136 @@ impl ThermalModel {
     /// of each run so the reported residual belongs to that run alone.
     pub fn reset_residual_watermark(&mut self) {
         self.worst_unconverged_delta = 0.0;
+    }
+
+    /// Serializes the model's run state at a step boundary (between
+    /// [`ThermalModel::try_step`] calls): temperatures, component powers,
+    /// the coefficient-refresh anchor, the second-order warm-start vectors
+    /// and their substep lengths, the convergence accounting and the
+    /// time/energy bookkeeping. The mesh, the solver configuration and the
+    /// multigrid hierarchy are *not* recorded — [`ThermalModel::restore`]
+    /// rebuilds them deterministically from the same floorplan and config.
+    ///
+    /// The SOR tuner holds no state across substeps (a fresh
+    /// [`SorTuner`] is constructed inside every solve), so snapshots taken
+    /// at step boundaries cover it vacuously.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = StateWriter::new(SNAPSHOT_MAGIC, SNAPSHOT_VERSION);
+        w.f64_slice(&self.temps);
+        w.f64_slice(&self.comp_power);
+        w.f64_slice(&self.refresh_temps);
+        w.u64(self.since_refresh);
+        w.bool(self.mg.is_some());
+        w.f64_slice(&self.step_delta);
+        w.f64(self.step_delta_h);
+        w.f64_slice(&self.step_delta_prev);
+        w.f64(self.step_delta_prev_h);
+        w.usize(self.last_sweeps);
+        w.usize(self.last_cycles);
+        w.bool(self.last_substep_unconverged);
+        w.f64(self.last_delta);
+        w.u64(self.unconverged_substeps);
+        w.f64(self.worst_unconverged_delta);
+        w.u64(self.total_sweeps);
+        w.u64(self.total_cycles);
+        w.u64(self.substeps);
+        w.f64(self.time);
+        w.f64(self.energy_in);
+        w.f64(self.energy_out);
+        w.into_bytes()
+    }
+
+    /// Restores a [`ThermalModel::snapshot`] into a model built from the
+    /// *same* floorplan and configuration. After a successful restore the
+    /// model continues **bitwise-identically** to the snapshotted one: the
+    /// conductances are re-derived at the recorded refresh anchor, the
+    /// multigrid hierarchy (when the snapshotted model had built one) is
+    /// re-aggregated from the same ambient-uniform conductances the
+    /// original was built from, and the warm-start vectors resume the
+    /// solver on the identical iterate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] if the snapshot's geometry (cell or
+    /// component count) disagrees with this model's — it belongs to a
+    /// different floorplan or mesh — or the stream is corrupt. The model
+    /// is unchanged on error.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let (mut r, _) = StateReader::new(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        let n = self.temps.len();
+        let temps = r.f64_vec_exact(n)?;
+        let comp_power = r.f64_vec_exact(self.comp_power.len())?;
+        let refresh_temps = r.f64_vec_exact(n)?;
+        let since_refresh = r.u64()?;
+        let mg_built = r.bool()?;
+        let step_delta = r.f64_vec_exact(n)?;
+        let step_delta_h = r.f64()?;
+        let step_delta_prev = r.f64_vec_exact(n)?;
+        let step_delta_prev_h = r.f64()?;
+        let last_sweeps = r.usize()?;
+        let last_cycles = r.usize()?;
+        let last_substep_unconverged = r.bool()?;
+        let last_delta = r.f64()?;
+        let unconverged_substeps = r.u64()?;
+        let worst_unconverged_delta = r.f64()?;
+        let total_sweeps = r.u64()?;
+        let total_cycles = r.u64()?;
+        let substeps = r.u64()?;
+        let time = r.f64()?;
+        let energy_in = r.f64()?;
+        let energy_out = r.f64()?;
+        r.finish()?;
+        for &p in &comp_power {
+            if !(p.is_finite() && p >= 0.0) {
+                return Err(StateError::BadValue { what: "component power", value: p.to_bits() });
+            }
+        }
+        self.set_powers(&comp_power);
+        if mg_built && self.mg.is_none() {
+            // The original hierarchy was aggregated from the first refresh's
+            // conductances — the ambient-uniform field, since every model
+            // starts at ambient. Rebuild from the same inputs so the
+            // aggregation (and hence every coarse-grid visit) is identical.
+            self.mg = Some(match &self.mg_topo {
+                Some(topo) => Multigrid::from_topology(topo.clone()),
+                None => {
+                    let amb = self.cfg.ambient_k;
+                    for i in 0..n {
+                        self.k_cell[i] = self.conductivity(i, amb);
+                    }
+                    self.refresh_conductances();
+                    Multigrid::build(&self.grid, &self.g_edge)
+                }
+            });
+        }
+        // Re-derive the lagged coefficients at the recorded refresh anchor,
+        // then install the live temperatures on top. `refresh_conductances`
+        // marks the implicit diagonal and the multigrid conductances stale;
+        // the next substep rebuilds both from these exact inputs, which is
+        // what the snapshotted model would have done too.
+        self.temps.copy_from_slice(&refresh_temps);
+        self.refresh_conductivities();
+        self.refresh_conductances();
+        self.refresh_temps.copy_from_slice(&refresh_temps);
+        self.temps.copy_from_slice(&temps);
+        self.since_refresh = since_refresh;
+        self.step_delta = step_delta;
+        self.step_delta_h = step_delta_h;
+        self.step_delta_prev = step_delta_prev;
+        self.step_delta_prev_h = step_delta_prev_h;
+        self.last_sweeps = last_sweeps;
+        self.last_cycles = last_cycles;
+        self.last_substep_unconverged = last_substep_unconverged;
+        self.last_delta = last_delta;
+        self.unconverged_substeps = unconverged_substeps;
+        self.worst_unconverged_delta = worst_unconverged_delta;
+        self.total_sweeps = total_sweeps;
+        self.total_cycles = total_cycles;
+        self.substeps = substeps;
+        self.time = time;
+        self.energy_in = energy_in;
+        self.energy_out = energy_out;
+        Ok(())
     }
 
     /// Sets a component's dissipated power in watts (injected as equivalent
@@ -1618,6 +1755,97 @@ mod tests {
         let mut m = ThermalModel::new(&fp, cfg).unwrap();
         m.set_component_power(c, power);
         m
+    }
+
+    /// Runs `m` for `pre` steps of `dt`, snapshots into a fresh model built
+    /// by `fresh`, then steps both (and an uninterrupted twin is `m`
+    /// itself) `post` more times and asserts bitwise-equal trajectories.
+    fn assert_restore_bitwise(
+        mut m: ThermalModel,
+        fresh: impl Fn() -> ThermalModel,
+        dt: f64,
+        pre: usize,
+        post: usize,
+    ) {
+        for _ in 0..pre {
+            m.step(dt);
+        }
+        let snap = m.snapshot();
+        let mut r = fresh();
+        r.restore(&snap).unwrap();
+        assert_eq!(m.temps(), r.temps(), "restore reproduces the temperature field exactly");
+        assert_eq!(m.time().to_bits(), r.time().to_bits());
+        assert_eq!(m.solver_stats(), r.solver_stats());
+        for i in 0..post {
+            m.step(dt);
+            r.step(dt);
+            assert_eq!(m.temps(), r.temps(), "step {i} after restore diverged");
+        }
+        assert_eq!(m.energy_in().to_bits(), r.energy_in().to_bits());
+        assert_eq!(m.energy_out().to_bits(), r.energy_out().to_bits());
+        assert_eq!(m.solver_stats(), r.solver_stats());
+    }
+
+    #[test]
+    fn snapshot_restore_gauss_seidel_bitwise() {
+        let cfg = GridConfig { implicit_solve: ImplicitSolve::GaussSeidel, ..GridConfig::default() };
+        assert_restore_bitwise(uniform(2.0, &cfg), || uniform(2.0, &cfg), 0.02, 7, 9);
+    }
+
+    #[test]
+    fn snapshot_restore_multigrid_bitwise() {
+        let cfg = GridConfig {
+            implicit_solve: ImplicitSolve::Multigrid,
+            ..GridConfig::default()
+        };
+        assert_restore_bitwise(uniform(2.0, &cfg), || uniform(2.0, &cfg), 0.02, 7, 9);
+    }
+
+    #[test]
+    fn snapshot_restore_explicit_bitwise() {
+        let cfg = GridConfig { integrator: Integrator::Explicit, ..GridConfig::default() };
+        assert_restore_bitwise(uniform(2.0, &cfg), || uniform(2.0, &cfg), 0.01, 3, 4);
+    }
+
+    #[test]
+    fn snapshot_restore_with_power_change_midway() {
+        // The restored model must track a *changed* input trajectory too.
+        let cfg = GridConfig { implicit_solve: ImplicitSolve::GaussSeidel, ..GridConfig::default() };
+        let mut m = uniform(2.0, &cfg);
+        for _ in 0..5 {
+            m.step(0.02);
+        }
+        let snap = m.snapshot();
+        let mut r = uniform(0.0, &cfg);
+        r.restore(&snap).unwrap();
+        m.set_component_power(0, 4.0);
+        r.set_component_power(0, 4.0);
+        for _ in 0..5 {
+            m.step(0.02);
+            r.step(0.02);
+        }
+        assert_eq!(m.temps(), r.temps());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_geometry() {
+        let cfg = GridConfig::default();
+        let m = uniform(1.0, &cfg);
+        let snap = m.snapshot();
+        let fine = GridConfig { default_div: cfg.default_div * 2, ..cfg };
+        let mut other = uniform(1.0, &fine);
+        assert!(other.restore(&snap).is_err());
+        let before = other.temps().to_vec();
+        assert_eq!(other.temps(), &before[..], "failed restore leaves the model unchanged");
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_stream() {
+        let m = uniform(1.0, &GridConfig::default());
+        let mut snap = m.snapshot();
+        snap.truncate(snap.len() - 3);
+        let mut r = uniform(1.0, &GridConfig::default());
+        assert!(r.restore(&snap).is_err());
     }
 
     #[test]

@@ -68,6 +68,84 @@ wait "$SERVE_PID"
 SERVE_PID=""
 echo "serve smoke OK"
 
+echo "== resume-smoke gate =="
+# The window-checkpoint gate, through the real bins: start temu-serve
+# with --window-checkpoint 5, submit a single long point (~4 s), kill
+# the server -9 once a mid-point checkpoint record has been persisted,
+# restart it on the same store, and watch the recovered job to
+# completion — the restart banner must report the recovered mid-point
+# state, and the finished job must land in the cache (the final
+# --require-cached resubmission exits 3 if anything re-executes).
+RESUME_TMP=$(mktemp -d)
+RESUME_PID=""
+resume_cleanup() {
+    [ -n "$RESUME_PID" ] && kill "$RESUME_PID" 2>/dev/null || true
+    rm -rf "$RESUME_TMP" "$SERVE_TMP"
+}
+trap resume_cleanup EXIT
+cat > "$RESUME_TMP/spec.json" <<'SPEC'
+{"name": "resume-smoke", "cores": 2,
+ "workload": {"kind": "matrix", "n": 48, "iters": 200, "cores": 2},
+ "sampling_window_s": 0.0005, "windows": 400,
+ "strict_convergence": true, "mesh": {"hot_div": 4}}
+SPEC
+target/release/temu-serve --addr 127.0.0.1:0 --store "$RESUME_TMP/cache.jsonl" \
+    --window-checkpoint 5 > "$RESUME_TMP/serve.log" 2>&1 &
+RESUME_PID=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^temu-serve listening on //p' "$RESUME_TMP/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "resume smoke FAILED: temu-serve never reported its address"
+    cat "$RESUME_TMP/serve.log"
+    exit 1
+fi
+target/release/temu-client --addr "$addr" submit --spec "$RESUME_TMP/spec.json" --no-watch
+# Wait for a persisted mid-point checkpoint record, then SIGKILL.
+ck_seen=""
+for _ in $(seq 1 200); do
+    if grep -q '{"ck"' "$RESUME_TMP/jobs.checkpoints.jsonl" 2>/dev/null; then
+        ck_seen=yes
+        break
+    fi
+    sleep 0.05
+done
+if [ -z "$ck_seen" ]; then
+    echo "resume smoke FAILED: no window checkpoint record appeared"
+    cat "$RESUME_TMP/serve.log"
+    exit 1
+fi
+kill -9 "$RESUME_PID"
+wait "$RESUME_PID" 2>/dev/null || true
+target/release/temu-serve --addr 127.0.0.1:0 --store "$RESUME_TMP/cache.jsonl" \
+    --window-checkpoint 5 > "$RESUME_TMP/serve2.log" 2>&1 &
+RESUME_PID=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^temu-serve listening on //p' "$RESUME_TMP/serve2.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "resume smoke FAILED: restarted temu-serve never reported its address"
+    cat "$RESUME_TMP/serve2.log"
+    exit 1
+fi
+if ! grep -q '1 mid-point state(s) recovered' "$RESUME_TMP/serve2.log"; then
+    echo "resume smoke FAILED: restart did not recover the mid-point state"
+    cat "$RESUME_TMP/serve2.log"
+    exit 1
+fi
+target/release/temu-client --addr "$addr" watch 1
+target/release/temu-client --addr "$addr" submit --spec "$RESUME_TMP/spec.json" --require-cached
+target/release/temu-client --addr "$addr" shutdown
+wait "$RESUME_PID"
+RESUME_PID=""
+echo "resume smoke OK"
+
 echo "== chaos-smoke gate =="
 # The fault-tolerance gate: the same serve smoke with faults injected —
 # workers panic at 30% of checkpoints and 20% of fresh connections are
@@ -80,7 +158,7 @@ CHAOS_TMP=$(mktemp -d)
 CHAOS_PID=""
 chaos_cleanup() {
     [ -n "$CHAOS_PID" ] && kill "$CHAOS_PID" 2>/dev/null || true
-    rm -rf "$CHAOS_TMP" "$SERVE_TMP"
+    rm -rf "$CHAOS_TMP" "$RESUME_TMP" "$SERVE_TMP"
 }
 trap chaos_cleanup EXIT
 TEMU_FAULT="worker_panic:0.3,drop_conn:0.2" \
@@ -127,7 +205,7 @@ FLEET_TMP=$(mktemp -d)
 FLEET_PIDS=""
 fleet_cleanup() {
     for pid in $FLEET_PIDS; do kill "$pid" 2>/dev/null || true; done
-    rm -rf "$FLEET_TMP" "$CHAOS_TMP" "$SERVE_TMP"
+    rm -rf "$FLEET_TMP" "$CHAOS_TMP" "$RESUME_TMP" "$SERVE_TMP"
 }
 trap fleet_cleanup EXIT
 
