@@ -159,10 +159,48 @@ fn smoke() -> i32 {
     0
 }
 
+/// The instrumentation-overhead guard (`--obs-ab`): the smoke grid runs
+/// twice from a cold cache, once with the metrics registry disabled and
+/// once enabled, and the enabled run must stay within noise of the
+/// disabled one. Counters always record (they are one relaxed atomic
+/// add); what this gates is the histogram/timer layer behind
+/// `temu_obs::enabled()` — the solver substep timers sit on the hottest
+/// loop in the workspace, so a regression here is a real perf bug, not a
+/// bookkeeping nit.
+fn obs_ab() -> i32 {
+    let build = || build("smoke").expect("the smoke preset exists").threads(1);
+    let timed = |enabled: bool| {
+        temu_obs::global().set_enabled(enabled);
+        let report = build().run_cached(&ResultCache::in_memory());
+        temu_obs::global().set_enabled(true);
+        assert!(report.all_ok(), "obs A/B smoke grid must pass");
+        report.wall.as_secs_f64()
+    };
+    // Warm-up run: fault in artifacts-layer code paths and the page
+    // cache so neither timed run pays first-touch costs.
+    let _ = timed(true);
+    let off = timed(false);
+    let on = timed(true);
+    let overhead = if off > 0.0 { (on - off) / off * 100.0 } else { 0.0 };
+    println!("obs A/B: disabled {off:.3} s, enabled {on:.3} s ({overhead:+.1}% overhead)");
+    // Generous bound: CI hosts are noisy and the smoke grid is short, so
+    // single-digit-percent jitter is routine. What this catches is the
+    // order-of-magnitude mistake — a syscall or lock on the substep path.
+    if on > off * 1.5 + 0.05 {
+        eprintln!("obs A/B FAILED: instrumentation overhead {overhead:.1}% exceeds the 50% noise bound");
+        return 1;
+    }
+    println!("obs A/B OK");
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
         std::process::exit(smoke());
+    }
+    if args.iter().any(|a| a == "--obs-ab") {
+        std::process::exit(obs_ab());
     }
     if args.iter().any(|a| a == "--list") || args.is_empty() {
         println!("named sweeps (run with: sweep <name> [--out x.json] [--csv x.csv] [--cache store.jsonl] [--threads N] [--batch|--no-batch]):");

@@ -30,19 +30,28 @@ use temu_power::FloorplanMap;
 use temu_thermal::{GridConfig, MgTopology, ThermalGrid};
 
 /// One memoized artifact layer: key → `Arc<T>` plus hit/miss counters.
+/// The counters are mirrored into the process-wide metrics registry as
+/// `core.artifact.<layer>.{hits,misses}` so snapshots and the NDJSON
+/// metrics log see artifact reuse without polling [`ArtifactStats`].
 struct Layer<T> {
     map: Mutex<HashMap<u64, Arc<T>>>,
     hits: AtomicU64,
     misses: AtomicU64,
-}
-
-impl<T> Default for Layer<T> {
-    fn default() -> Layer<T> {
-        Layer { map: Mutex::new(HashMap::new()), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
-    }
+    obs_hits: Arc<temu_obs::Counter>,
+    obs_misses: Arc<temu_obs::Counter>,
 }
 
 impl<T> Layer<T> {
+    fn named(layer: &str) -> Layer<T> {
+        let scope = temu_obs::global().scope("core.artifact");
+        Layer {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            obs_hits: scope.counter(&format!("{layer}.hits")),
+            obs_misses: scope.counter(&format!("{layer}.misses")),
+        }
+    }
     /// Returns the cached artifact or builds (and memoizes) it. The build
     /// runs outside the layer lock so concurrent campaign workers building
     /// *different* meshes never serialize; two racing builders of the same
@@ -57,9 +66,11 @@ impl<T> Layer<T> {
             self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key).cloned()
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs_hits.inc();
             return Ok(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs_misses.inc();
         let built = Arc::new(build()?);
         let mut map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Ok(map.entry(key).or_insert(built).clone())
@@ -77,12 +88,22 @@ impl<T> Layer<T> {
 /// A process-wide (or per-sweep) memo of scenario build artifacts, one
 /// layer per build stage (see the module docs). Cheap to share behind an
 /// `Arc`; all methods take `&self` and are thread-safe.
-#[derive(Default)]
 pub struct ArtifactCache {
     floorplans: Layer<FloorplanMap>,
     meshes: Layer<ThermalGrid>,
     operators: Layer<MgTopology>,
     programs: Layer<Program>,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> ArtifactCache {
+        ArtifactCache {
+            floorplans: Layer::named("floorplan"),
+            meshes: Layer::named("mesh"),
+            operators: Layer::named("operator"),
+            programs: Layer::named("program"),
+        }
+    }
 }
 
 impl fmt::Debug for ArtifactCache {

@@ -294,9 +294,11 @@ impl ThermalEmulation {
     /// `GridConfig::strict_convergence`, a thermal substep that fails to
     /// converge is [`TemuError::Thermal`].
     pub fn run_window(&mut self) -> Result<(), TemuError> {
-        self.window_begin()?;
-        self.model.try_step(self.cfg.sampling_window_s)?;
-        self.window_finish()
+        temu_obs::time!("core.window_ns", {
+            self.window_begin()?;
+            self.model.try_step(self.cfg.sampling_window_s)?;
+            self.window_finish()
+        })
     }
 
     /// The platform half of one sampling window: run the machine, convert
@@ -532,6 +534,10 @@ impl ThermalEmulation {
     /// platform half's in-flight statistics) is deliberately not
     /// serializable; checkpoints live at window boundaries only.
     pub fn checkpoint(&self) -> Result<EmulationState, TemuError> {
+        temu_obs::time!("core.checkpoint_capture_ns", self.checkpoint_inner())
+    }
+
+    fn checkpoint_inner(&self) -> Result<EmulationState, TemuError> {
         if self.pending.is_some() {
             return Err(TemuError::WindowPending);
         }

@@ -481,7 +481,7 @@ impl Scenario {
     /// The same errors as [`Scenario::build`]; failed artifact builds are
     /// never cached.
     pub fn build_with(&self, artifacts: Option<&ArtifactCache>) -> Result<ThermalEmulation, TemuError> {
-        let mut emu = self.build_inner(artifacts)?;
+        let mut emu = temu_obs::time!("core.point_build_ns", self.build_inner(artifacts))?;
         // Bind the emulation to this configuration so its checkpoints can
         // only ever resume under the same scenario.
         emu.set_scenario_key(self.content_key());
@@ -549,10 +549,12 @@ impl Scenario {
     /// during emulation.
     pub fn run_with(&self, artifacts: Option<&ArtifactCache>) -> Result<ScenarioRun, TemuError> {
         let mut emu = self.build_with(artifacts)?;
-        let report = match self.budget {
-            RunBudget::ToHalt { max_windows } => emu.run_to_halt(max_windows)?,
-            RunBudget::Windows(n) => emu.run_windows(n)?,
-        };
+        let report = temu_obs::time!("core.point_run_ns", {
+            match self.budget {
+                RunBudget::ToHalt { max_windows } => emu.run_to_halt(max_windows)?,
+                RunBudget::Windows(n) => emu.run_windows(n)?,
+            }
+        });
         Ok(ScenarioRun { name: self.label(), report, trace: emu.into_trace() })
     }
 

@@ -1043,6 +1043,12 @@ impl Sweep {
                     }
                 }
             }
+            if temu_obs::enabled() {
+                let sizes = temu_obs::global().histogram("core.lockstep_group_size");
+                for group in &groups {
+                    sizes.record(group.len() as u64);
+                }
+            }
             let mut remaining: std::collections::VecDeque<_> = groups.into();
             while let Some(group) = remaining.pop_front() {
                 if let Some(hook) = &self.checkpoint {

@@ -253,8 +253,15 @@ fn prober_loop(shared: &Arc<Shared>) {
 fn probe_members(shared: &Shared) {
     for i in 0..shared.table.len() {
         let addr = shared.table.addr(i).to_string();
+        let started = std::time::Instant::now();
         match Client::connect(&addr).and_then(|mut member| member.stats()) {
             Ok(frame) => {
+                if temu_obs::enabled() {
+                    // Successful probes only: a refused connect fails in
+                    // microseconds and would drag the RTT quantiles to
+                    // meaninglessness.
+                    temu_obs::global().histogram("fleet.probe_rtt_ns").record_duration(started.elapsed());
+                }
                 shared.table.note_stats(i, frame);
                 shared.table.set_up(i, true);
             }
@@ -302,6 +309,15 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<
             Request::Cancel { job } => forward_request(shared, &mut writer, job, Forward::Cancel)?,
             Request::Watch { job } => handle_watch(shared, &mut writer, job)?,
             Request::Stats => writeln!(writer, "{}", stats_response(shared))?,
+            // The router's own registry view: probe RTTs, submit-ack
+            // latency, spill/failover counters, per-member routed counts.
+            // (Member-level job metrics come from asking each member's
+            // `metrics` directly.)
+            Request::Metrics => writeln!(
+                writer,
+                "{{\"ok\": true, \"fleet\": true, {}}}",
+                temu_obs::global().snapshot().to_json_fields()
+            )?,
             Request::Shutdown => {
                 writeln!(writer, "{{\"ok\": true, \"shutdown\": true}}")?;
                 if let Some(addr) = addr {
@@ -404,9 +420,11 @@ fn handle_submit(
                 continue;
             }
         };
-        let sent = member
-            .send(&Request::Submit { spec: Box::new(spec.clone()), watch, priority })
-            .and_then(|()| member.recv());
+        let sent = temu_obs::time!("fleet.submit_ack_ns", {
+            member
+                .send(&Request::Submit { spec: Box::new(spec.clone()), watch, priority })
+                .and_then(|()| member.recv())
+        });
         let ack = match sent {
             Ok(ack) => ack,
             Err(e) => {
@@ -423,6 +441,7 @@ fn handle_submit(
                 // away from a cache hit only if stores are shared; either
                 // way the job runs).
                 shared.failovers.fetch_add(1, Ordering::Relaxed);
+                temu_obs::global().counter("fleet.spills").inc();
                 errors.push(format!("{addr}: queue full"));
                 continue;
             }
@@ -434,6 +453,7 @@ fn handle_submit(
         let member_job = ack.get("job").and_then(JsonValue::as_u64).unwrap_or(0);
         let total = ack.get("total").and_then(JsonValue::as_u64).unwrap_or(0);
         shared.table.mark_routed(i);
+        temu_obs::global().counter(&format!("fleet.member.{addr}.routed")).inc();
         let router_id = match acked {
             None => {
                 let id = {
@@ -444,6 +464,7 @@ fn handle_submit(
                     id
                 };
                 shared.submissions.fetch_add(1, Ordering::Relaxed);
+                temu_obs::global().counter("fleet.submissions").inc();
                 // The ack an unmodified client expects, plus the member
                 // annotation (ignored by clients that don't know it).
                 writeln!(
@@ -480,6 +501,7 @@ fn handle_submit(
                 // as cache-hit point events.
                 shared.table.mark_down(i);
                 shared.failovers.fetch_add(1, Ordering::Relaxed);
+                temu_obs::global().counter("fleet.failovers").inc();
                 errors.push(format!("{addr}: {e}"));
             }
         }

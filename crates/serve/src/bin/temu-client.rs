@@ -6,6 +6,9 @@
 //!             [--threads N] [--priority N] [--no-watch] [--require-cached]
 //! temu-client [--addr HOST:PORT] status JOB | result JOB | cancel JOB |
 //!             watch JOB | stats | shutdown
+//! temu-client [--addr HOST:PORT] metrics [--watch SECS]
+//! temu-client [--addr HOST:PORT] results [--after SEQ] [--follow] [--job ID]
+//! temu-client check-metrics-log FILE.ndjson [--jobs-done N]
 //! temu-client presets
 //! ```
 //!
@@ -29,9 +32,12 @@ use temu_framework::{JsonValue, SweepSpec, NAMED_SWEEPS};
 use temu_serve::client::{request_with_retry, submit_with_retry};
 use temu_serve::{spec_from_document, Client, ClientError, RetryPolicy, ADDR_ENV, DEFAULT_ADDR};
 
-const USAGE: &str = "usage: temu-client [--addr HOST:PORT] [--retries N | --no-retry] <submit|status|result|cancel|watch|stats|shutdown|presets> [args]
+const USAGE: &str = "usage: temu-client [--addr HOST:PORT] [--retries N | --no-retry] <submit|status|result|cancel|watch|stats|metrics|results|check-metrics-log|shutdown|presets> [args]
   submit (--spec FILE.json | --preset NAME) [--threads N] [--priority N] [--no-watch] [--require-cached]
   status|result|cancel|watch JOB
+  metrics [--watch SECS]    metrics snapshot (repeating with counter deltas)
+  results [--after SEQ] [--follow] [--job ID]    stream completed points as NDJSON
+  check-metrics-log FILE.ndjson [--jobs-done N]    validate a --metrics-log file offline
   presets    list the named sweep presets";
 
 fn fail(message: impl std::fmt::Display, code: i32) -> ! {
@@ -200,10 +206,255 @@ fn print_stats_summary(frame: &JsonValue) {
     }
 }
 
+/// One human line per histogram: count, mean and the three quantiles the
+/// snapshot carries. Nanosecond metrics (`*_ns`) render in milliseconds.
+fn print_histogram_line(name: &str, h: &JsonValue) {
+    let num = |k: &str| h.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
+    let (scale, unit) = if name.ends_with("_ns") { (1e6, " ms") } else { (1.0, "") };
+    println!(
+        "  {name:<36} n={:<8} mean {:>9.3}{unit}  p50 {:>9.3}{unit}  p90 {:>9.3}{unit}  p99 {:>9.3}{unit}",
+        num("count") as u64,
+        num("mean") / scale,
+        num("p50") / scale,
+        num("p90") / scale,
+        num("p99") / scale,
+    );
+}
+
+/// Pretty-prints one metrics frame; with a previous frame, counters print
+/// their delta since it (unchanged counters are suppressed, so a watch
+/// tick shows what moved).
+fn print_metrics(frame: &JsonValue, prev: Option<&JsonValue>) {
+    if let Some(JsonValue::Obj(counters)) = frame.get("counters") {
+        println!("counters:");
+        for (name, v) in counters {
+            let now = v.as_u64().unwrap_or(0);
+            let before = prev
+                .and_then(|p| p.get("counters"))
+                .and_then(|c| c.get(name))
+                .and_then(JsonValue::as_u64);
+            match before {
+                Some(b) if now == b => {}
+                Some(b) => println!("  {name:<36} {now:<12} (+{})", now - b),
+                None => println!("  {name:<36} {now}"),
+            }
+        }
+    }
+    if let Some(JsonValue::Obj(gauges)) = frame.get("gauges") {
+        println!("gauges:");
+        for (name, v) in gauges {
+            println!("  {name:<36} {}", v.as_u64().unwrap_or(0));
+        }
+    }
+    if let Some(JsonValue::Obj(histograms)) = frame.get("histograms") {
+        println!("histograms:");
+        for (name, h) in histograms {
+            print_histogram_line(name, h);
+        }
+    }
+}
+
+fn metrics_cmd(addr: &str, policy: &RetryPolicy, args: &[String]) -> ! {
+    let mut watch: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--watch" => {
+                watch = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&secs| secs > 0)
+                        .unwrap_or_else(|| fail("--watch takes a positive second count", 2)),
+                );
+            }
+            other => fail(format!("unknown metrics argument {other:?}\n{USAGE}"), 2),
+        }
+    }
+    let mut prev: Option<JsonValue> = None;
+    loop {
+        let frame = retrying(addr, policy, |c| c.metrics());
+        print_metrics(&frame, prev.as_ref());
+        let Some(secs) = watch else { exit(0) };
+        prev = Some(frame);
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+        println!();
+    }
+}
+
+/// Streams the completed-point feed as raw NDJSON (one event per line,
+/// each carrying its `seq`) — pipeline-friendly. `--follow` keeps the
+/// stream open; a dropped connection resumes from the last seen sequence
+/// number, so no event is duplicated or lost while the server retains it.
+fn results_cmd(addr: &str, policy: &RetryPolicy, args: &[String]) -> ! {
+    let mut after: u64 = 0;
+    let mut follow = false;
+    let mut job: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--after" => {
+                after = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--after takes a sequence number", 2));
+            }
+            "--follow" => follow = true,
+            "--job" => {
+                job = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--job takes a job id", 2)),
+                );
+            }
+            other => fail(format!("unknown results argument {other:?}\n{USAGE}"), 2),
+        }
+    }
+    // The resume cursor advances as events print, so a reconnect (inside
+    // request_with_retry, or the outer follow loop) replays from the last
+    // event actually seen — exactly-once across drops.
+    let cursor = std::cell::Cell::new(after);
+    loop {
+        let outcome = request_with_retry(addr, policy, |c| {
+            c.results(cursor.get(), follow, job, |event| {
+                if let Some(seq) = event.get("seq").and_then(JsonValue::as_u64) {
+                    cursor.set(seq);
+                }
+                println!("{event}");
+            })
+        });
+        match outcome {
+            Ok(_end_cursor) => exit(0),
+            // A mid-stream drop under --follow past the retry budget:
+            // keep reconnecting from the cursor as long as the server
+            // answers connects (an unreachable server is not transient
+            // and falls through to the failure below).
+            Err(e) if follow && e.is_transient() => continue,
+            Err(e) => fail_client(&e),
+        }
+    }
+}
+
+/// Offline validation of a `--metrics-log` NDJSON file (the check.sh
+/// obs-smoke gate): every line parses as a v1 snapshot, sequence numbers
+/// strictly increase, every counter is monotone non-decreasing across
+/// snapshots, and (with `--jobs-done`) the final snapshot's completed-job
+/// counter matches. Snapshot lines are single `O_APPEND` writes, so only
+/// the file's last line may legitimately be torn (a dying server).
+fn check_metrics_log(args: &[String]) -> ! {
+    let mut path: Option<&String> = None;
+    let mut jobs_done: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs-done" => {
+                jobs_done = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--jobs-done takes a count", 2)),
+                );
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(arg),
+            other => fail(format!("unknown check-metrics-log argument {other:?}\n{USAGE}"), 2),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail(format!("check-metrics-log takes a file\n{USAGE}"), 2));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("reading {path}: {e}"), 2));
+    let lines: Vec<&str> = text.lines().filter(|line| !line.trim().is_empty()).collect();
+    let mut prev: Option<JsonValue> = None;
+    let mut snapshots = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        let frame = match JsonValue::parse(line) {
+            Ok(frame) => frame,
+            Err(e) if i + 1 == lines.len() => {
+                println!("tolerating torn final line: {e}");
+                break;
+            }
+            Err(e) => fail(format!("{path}:{}: invalid JSON: {e}", i + 1), 1),
+        };
+        if frame.get("temu_metrics").and_then(JsonValue::as_u64) != Some(1) {
+            fail(format!("{path}:{}: not a v1 metrics snapshot", i + 1), 1);
+        }
+        let seq = frame
+            .get("seq")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| fail(format!("{path}:{}: snapshot missing seq", i + 1), 1));
+        if let Some(p) = &prev {
+            let prev_seq = p.get("seq").and_then(JsonValue::as_u64).unwrap_or(0);
+            if seq <= prev_seq {
+                fail(format!("{path}:{}: seq {seq} does not advance past {prev_seq}", i + 1), 1);
+            }
+            if let (Some(JsonValue::Obj(counters)), Some(before)) =
+                (frame.get("counters"), p.get("counters"))
+            {
+                for (name, v) in counters {
+                    let now = v.as_u64().unwrap_or(0);
+                    let was = before.get(name).and_then(JsonValue::as_u64).unwrap_or(0);
+                    if now < was {
+                        fail(
+                            format!(
+                                "{path}:{}: counter {name} went backwards ({was} -> {now})",
+                                i + 1
+                            ),
+                            1,
+                        );
+                    }
+                }
+            }
+        }
+        prev = Some(frame);
+        snapshots += 1;
+    }
+    let last = prev.unwrap_or_else(|| fail(format!("{path}: no complete snapshot"), 1));
+    let completed = last
+        .get("counters")
+        .and_then(|c| c.get("serve.jobs_completed"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    if let Some(expect) = jobs_done {
+        if completed != expect {
+            fail(format!("final snapshot reports {completed} completed job(s), expected {expect}"), 1);
+        }
+    }
+    println!("metrics log OK: {snapshots} snapshot(s), final jobs_completed={completed}");
+    exit(0);
+}
+
 fn job_arg(args: &[String]) -> u64 {
     args.first()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| fail(format!("expected a job id\n{USAGE}"), 2))
+}
+
+/// One latency line under `stats`, fed by a best-effort `metrics` fetch:
+/// queue-wait and run p50/p99 plus the point cache hit rate. Servers
+/// predating the `metrics` command refuse the request — that (and any
+/// other failure here) silently prints nothing, keeping `stats` working
+/// against every server version.
+fn print_latency_summary(addr: &str, stats: &JsonValue) {
+    let Ok(mut client) = Client::connect(addr) else { return };
+    let Ok(metrics) = client.metrics() else { return };
+    let quantiles = |name: &str| {
+        let h = metrics.get("histograms")?.get(name)?;
+        let ms = |k: &str| Some(h.get(k)?.as_f64()? / 1e6);
+        if h.get("count")?.as_u64()? == 0 {
+            return None;
+        }
+        Some((ms("p50")?, ms("p99")?))
+    };
+    let mut parts: Vec<String> = Vec::new();
+    if let Some((p50, p99)) = quantiles("serve.queue_wait_ns") {
+        parts.push(format!("queue wait p50 {p50:.1} ms / p99 {p99:.1} ms"));
+    }
+    if let Some((p50, p99)) = quantiles("serve.run_ns") {
+        parts.push(format!("run p50 {p50:.1} ms / p99 {p99:.1} ms"));
+    }
+    if let Some(rate) = stats.get("cache_hit_rate").and_then(JsonValue::as_f64) {
+        parts.push(format!("cache hit rate {:.1}%", rate * 100.0));
+    }
+    if !parts.is_empty() {
+        println!("latency: {}", parts.join(", "));
+    }
 }
 
 fn main() {
@@ -274,7 +525,11 @@ fn main() {
             let frame = retrying(&addr, &policy, |c| c.stats());
             println!("{frame}");
             print_stats_summary(&frame);
+            print_latency_summary(&addr, &frame);
         }
+        "metrics" => metrics_cmd(&addr, &policy, cmd_args),
+        "results" => results_cmd(&addr, &policy, cmd_args),
+        "check-metrics-log" => check_metrics_log(cmd_args),
         "shutdown" => {
             retrying(&addr, &policy, |c| c.shutdown());
             println!("server at {addr} shutting down");

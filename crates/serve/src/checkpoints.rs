@@ -114,14 +114,32 @@ impl CheckpointStore {
     /// off the emulation's critical path). The state bytes are
     /// [`EmulationState::to_bytes`](temu_framework::EmulationState::to_bytes),
     /// hex-encoded to keep the record a flat single-line JSON object.
+    ///
+    /// Each phase (hex encode, `write`, fdatasync) is timed into the
+    /// process-wide metrics registry — checkpoint durability is the one
+    /// per-point fsync on the serving path, and the per-phase split is
+    /// what tells a slow-checkpoint report apart (CPU-bound encode vs a
+    /// slow disk).
     pub fn record(&self, job: u64, key: u64, windows: u64, state: &[u8]) {
-        let record = format!(
-            "{{\"ck\": \"window\", \"job\": {job}, \"key\": \"{key:016x}\", \"windows\": {windows}, \"state\": \"{}\"}}\n",
-            hex_encode(state)
+        let obs = checkpoint_obs();
+        obs.count.inc();
+        if temu_obs::enabled() {
+            obs.bytes.record(state.len() as u64);
+        }
+        let record = temu_obs::time!(
+            "serve.checkpoint_hex_ns",
+            format!(
+                "{{\"ck\": \"window\", \"job\": {job}, \"key\": \"{key:016x}\", \"windows\": {windows}, \"state\": \"{}\"}}\n",
+                hex_encode(state)
+            )
         );
         let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
-        let _ = file.write_all(record.as_bytes());
-        let _ = file.sync_data();
+        temu_obs::time!("serve.checkpoint_write_ns", {
+            let _ = file.write_all(record.as_bytes());
+        });
+        temu_obs::time!("serve.checkpoint_fsync_ns", {
+            let _ = file.sync_data();
+        });
     }
 
     /// Rewrites the store (tmp + rename) keeping only `replayed` records
@@ -162,6 +180,26 @@ impl CheckpointStore {
         *file = OpenOptions::new().append(true).open(&self.path)?;
         Ok(())
     }
+}
+
+/// The store's registry handles: a count of checkpoints recorded plus a
+/// state-size histogram (the phase timers live in `record` via
+/// [`temu_obs::time!`]). Interned once; all `CheckpointStore`s in the
+/// process share them, which is what the shutdown overhead summary reads.
+struct CheckpointObs {
+    count: std::sync::Arc<temu_obs::Counter>,
+    bytes: std::sync::Arc<temu_obs::Histogram>,
+}
+
+fn checkpoint_obs() -> &'static CheckpointObs {
+    static OBS: std::sync::OnceLock<CheckpointObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let scope = temu_obs::global().scope("serve");
+        CheckpointObs {
+            count: scope.counter("checkpoints_recorded"),
+            bytes: scope.histogram("checkpoint_bytes"),
+        }
+    })
 }
 
 /// Replays checkpoint-store text: last record per `(job, key)` wins,

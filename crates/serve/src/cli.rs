@@ -11,7 +11,7 @@ use crate::{ServeConfig, Server, ADDR_ENV};
 use std::path::PathBuf;
 use std::process::exit;
 
-const USAGE: &str = "usage: temu-serve [--addr HOST:PORT] [--store CACHE.jsonl] [--journal JOBS.jsonl] [--workers N] [--queue-limit N] [--member NAME] [--window-checkpoint N]";
+const USAGE: &str = "usage: temu-serve [--addr HOST:PORT] [--store CACHE.jsonl] [--journal JOBS.jsonl] [--workers N] [--queue-limit N] [--member NAME] [--window-checkpoint N] [--metrics-log FILE.ndjson] [--metrics-interval MS]";
 
 /// Parses `args` (without the program name), binds, prints the banner
 /// lines scripts grep for (`temu-serve listening on ...`), and serves
@@ -54,6 +54,14 @@ pub fn serve_main(args: &[String]) {
                     eprintln!("--window-checkpoint takes a window count (0 disables)\n{USAGE}");
                     exit(2);
                 });
+            }
+            "--metrics-log" => config.metrics_log = Some(PathBuf::from(value("a path"))),
+            "--metrics-interval" => {
+                let ms: u64 = value("milliseconds").parse().unwrap_or_else(|_| {
+                    eprintln!("--metrics-interval takes milliseconds\n{USAGE}");
+                    exit(2);
+                });
+                config.metrics_interval = std::time::Duration::from_millis(ms.max(1));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -108,7 +116,39 @@ pub fn serve_main(args: &[String]) {
             server.recovered_checkpoints()
         );
     }
+    if let Some(path) = &config.metrics_log {
+        println!(
+            "metrics log {}: one snapshot every {} ms",
+            path.display(),
+            config.metrics_interval.as_millis().max(1)
+        );
+    }
     println!("{} worker(s), queue limit {}", config.workers.max(1), config.queue_limit.max(1));
     server.run();
+    checkpoint_overhead_summary();
     println!("temu-serve: shut down");
+}
+
+/// Prints a one-line window-checkpoint cost summary at shutdown, read
+/// from the process-wide metrics registry: capture (state serialization
+/// in the emulator) plus the store's hex/write/fsync phases. PR 9
+/// measured checkpoints at ~20 ms each; this makes that number visible
+/// in every server run instead of requiring a profiler.
+fn checkpoint_overhead_summary() {
+    let snapshot = temu_obs::global().snapshot();
+    let recorded = snapshot.counters.get("serve.checkpoints_recorded").copied().unwrap_or(0);
+    if recorded == 0 {
+        return;
+    }
+    let mean_ms = |name: &str| {
+        snapshot.histograms.get(name).map_or(0.0, |h| h.mean() / 1e6)
+    };
+    let capture = mean_ms("core.checkpoint_capture_ns");
+    let hex = mean_ms("serve.checkpoint_hex_ns");
+    let write = mean_ms("serve.checkpoint_write_ns");
+    let fsync = mean_ms("serve.checkpoint_fsync_ns");
+    println!(
+        "window checkpoints: {recorded} recorded, mean {:.2} ms each (capture {capture:.2} + hex {hex:.2} + write {write:.2} + fsync {fsync:.2})",
+        capture + hex + write + fsync
+    );
 }

@@ -432,6 +432,61 @@ impl Client {
         self.request(&Request::Stats)
     }
 
+    /// Fetches a full metrics snapshot (counters, gauges, histogram
+    /// quantiles) — the versioned `metrics` frame. Old servers answer
+    /// `unknown cmd` as a [`ClientError::Server`]; callers wanting a
+    /// silent fallback branch on that variant.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] from a pre-metrics server; protocol and
+    /// I/O failures.
+    pub fn metrics(&mut self) -> Result<JsonValue, ClientError> {
+        self.request(&Request::Metrics)
+    }
+
+    /// Streams the completed-point event feed: replays retained events
+    /// with sequence numbers strictly greater than `after` (optionally
+    /// restricted to one `job`), and under `follow` keeps the stream open
+    /// for new events. Every event (each carrying a `"seq"` field) goes
+    /// to `on_event`; returns the final cursor from the stream's `end`
+    /// event — pass it back as `after` to resume without duplicates
+    /// after a reconnect.
+    ///
+    /// # Errors
+    ///
+    /// Protocol and I/O failures (including a pre-`results` server's
+    /// refusal, surfaced as [`ClientError::Server`]).
+    pub fn results(
+        &mut self,
+        after: u64,
+        follow: bool,
+        job: Option<u64>,
+        mut on_event: impl FnMut(&JsonValue),
+    ) -> Result<u64, ClientError> {
+        self.request(&Request::Results { after, follow, job })?;
+        let mut cursor = after;
+        // Follow-mode gaps are unbounded (the next event arrives when the
+        // next grid point completes), so lift the read deadline like the
+        // other event streams do.
+        self.set_read_deadline(None)?;
+        let outcome = loop {
+            let event = match self.recv() {
+                Ok(event) => event,
+                Err(e) => break Err(e),
+            };
+            if event.get("event").and_then(JsonValue::as_str) == Some("end") {
+                break Ok(event.get("cursor").and_then(JsonValue::as_u64).unwrap_or(cursor));
+            }
+            if let Some(seq) = event.get("seq").and_then(JsonValue::as_u64) {
+                cursor = seq;
+            }
+            on_event(&event);
+        };
+        self.set_read_deadline(Some(IO_TIMEOUT))?;
+        outcome
+    }
+
     /// Asks the server to stop.
     ///
     /// # Errors

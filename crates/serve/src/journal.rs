@@ -132,9 +132,11 @@ impl Journal {
             Some(torn) => torn,
             None => format!("{record}\n"),
         };
-        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
-        let _ = file.write_all(payload.as_bytes());
-        let _ = file.sync_data();
+        temu_obs::time!("serve.journal_append_ns", {
+            let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = file.write_all(payload.as_bytes());
+            let _ = file.sync_data();
+        });
     }
 }
 

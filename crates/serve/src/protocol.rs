@@ -16,6 +16,8 @@
 //! | `cancel` | `job` | ok for queued jobs; running/finished jobs refuse |
 //! | `watch` | `job` | `{"ok"}` + event stream until the job finishes |
 //! | `stats` | — | server counters (jobs, queue depth, cache hit rate) |
+//! | `metrics` | — | versioned metrics snapshot (`{"ok", "temu_metrics", "counters", "gauges", "histograms"}`) |
+//! | `results` | optional `after` (cursor, default 0), `follow`, `job` | `{"ok", "cursor", "earliest_retained"}` + completed-point NDJSON events, ending in `{"event": "end", "cursor"}` |
 //! | `shutdown` | — | `{"ok"}`; the server then stops accepting and exits |
 //!
 //! # Events
@@ -164,6 +166,13 @@ pub fn read_frame<R: BufRead>(reader: &mut R, max: usize) -> Result<Option<Strin
     if frame.len() > max {
         return Err(ProtocolError::FrameTooLong { limit: max });
     }
+    if temu_obs::enabled() {
+        static FRAME_BYTES: std::sync::OnceLock<std::sync::Arc<temu_obs::Histogram>> =
+            std::sync::OnceLock::new();
+        FRAME_BYTES
+            .get_or_init(|| temu_obs::global().histogram("serve.frame_bytes"))
+            .record(frame.len() as u64);
+    }
     String::from_utf8(frame)
         .map(Some)
         .map_err(|_| ProtocolError::Malformed(String::from("non-UTF-8 bytes")))
@@ -206,6 +215,20 @@ pub enum Request {
     },
     /// Report server counters.
     Stats,
+    /// Report a full metrics-registry snapshot.
+    Metrics,
+    /// Replay (and optionally follow) the completed-point event feed.
+    Results {
+        /// Replay only events with a sequence number strictly greater
+        /// than this cursor (0 replays everything still retained).
+        after: u64,
+        /// Keep the stream open and push new events as points finish;
+        /// otherwise replay what is retained and end.
+        follow: bool,
+        /// Restrict the stream to one job's events; the stream ends once
+        /// that job's terminal event has been sent (even under `follow`).
+        job: Option<u64>,
+    },
     /// Stop the server.
     Shutdown,
 }
@@ -241,6 +264,13 @@ impl Request {
             "cancel" => Ok(Request::Cancel { job: job()? }),
             "watch" => Ok(Request::Watch { job: job()? }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "results" => {
+                let after = v.get("after").and_then(JsonValue::as_u64).unwrap_or(0);
+                let follow = v.get("follow").and_then(JsonValue::as_bool).unwrap_or(false);
+                let job = v.get("job").and_then(JsonValue::as_u64);
+                Ok(Request::Results { after, follow, job })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown cmd {other:?}")),
         }
@@ -268,6 +298,14 @@ impl Request {
             Request::Cancel { job } => format!("{{\"cmd\": \"cancel\", \"job\": {job}}}"),
             Request::Watch { job } => format!("{{\"cmd\": \"watch\", \"job\": {job}}}"),
             Request::Stats => String::from("{\"cmd\": \"stats\"}"),
+            Request::Metrics => String::from("{\"cmd\": \"metrics\"}"),
+            Request::Results { after, follow, job } => {
+                let job = match job {
+                    Some(id) => format!(", \"job\": {id}"),
+                    None => String::new(),
+                };
+                format!("{{\"cmd\": \"results\", \"after\": {after}, \"follow\": {follow}{job}}}")
+            }
             Request::Shutdown => String::from("{\"cmd\": \"shutdown\"}"),
         }
     }
@@ -331,6 +369,9 @@ mod tests {
             Request::Cancel { job: 5 },
             Request::Watch { job: 6 },
             Request::Stats,
+            Request::Metrics,
+            Request::Results { after: 0, follow: false, job: None },
+            Request::Results { after: 41, follow: true, job: Some(7) },
             Request::Shutdown,
         ];
         for req in reqs {

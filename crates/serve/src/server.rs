@@ -45,11 +45,11 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use temu_framework::{
     json_escape, ArtifactCache, CheckpointDecision, EmulationState, ResultCache, SweepProgress,
     SweepSpec,
@@ -96,6 +96,16 @@ pub struct ServeConfig {
     /// turning the flag off never strands recoverable state. Requires a
     /// journal (in-memory servers have nothing durable to resume into).
     pub window_checkpoint: u64,
+    /// Optional NDJSON metrics log: a background thread appends one
+    /// metrics snapshot line (the same JSON the `metrics` command
+    /// returns, plus `seq` and `unix_ms`) every
+    /// [`metrics_interval`](ServeConfig::metrics_interval), `O_APPEND`
+    /// single-write per line so a torn tail never corrupts earlier
+    /// snapshots. A final snapshot is appended at shutdown.
+    pub metrics_log: Option<PathBuf>,
+    /// Cadence of the metrics log (ignored without
+    /// [`metrics_log`](ServeConfig::metrics_log)).
+    pub metrics_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +120,8 @@ impl Default for ServeConfig {
             io_timeout: Some(Duration::from_secs(30)),
             member: None,
             window_checkpoint: 0,
+            metrics_log: None,
+            metrics_interval: Duration::from_secs(1),
         }
     }
 }
@@ -157,6 +169,9 @@ struct Job {
     /// Set by `cancel` on a running job; the sweep's checkpoint hook
     /// observes it between grid points.
     cancel: Arc<AtomicBool>,
+    /// When the job entered the queue — the base of the queue-wait
+    /// histogram sample taken when a worker claims it.
+    submitted: Instant,
 }
 
 fn new_job(name: String, spec: SweepSpec, total: usize, priority: i64) -> Job {
@@ -175,6 +190,7 @@ fn new_job(name: String, spec: SweepSpec, total: usize, priority: i64) -> Job {
         report_json: None,
         subscribers: Vec::new(),
         cancel: Arc::new(AtomicBool::new(false)),
+        submitted: Instant::now(),
     }
 }
 
@@ -223,6 +239,178 @@ impl Jobs {
     }
 }
 
+/// The server's metrics handles, all interned in a **per-server**
+/// registry (not the process-wide one): tests spawn several servers in
+/// one process, and their job counters must not cross-pollute. The
+/// `metrics` command merges the process-wide registry (solver, core and
+/// store instrumentation) with this one, server values winning on a
+/// name collision.
+struct ServeObs {
+    registry: temu_obs::Registry,
+    jobs_recovered: Arc<temu_obs::Counter>,
+    jobs_submitted: Arc<temu_obs::Counter>,
+    jobs_completed: Arc<temu_obs::Counter>,
+    jobs_failed: Arc<temu_obs::Counter>,
+    jobs_cancelled: Arc<temu_obs::Counter>,
+    points_executed: Arc<temu_obs::Counter>,
+    point_cache_hits: Arc<temu_obs::Counter>,
+    points_failed: Arc<temu_obs::Counter>,
+    queue_wait_ns: Arc<temu_obs::Histogram>,
+    run_ns: Arc<temu_obs::Histogram>,
+    queue_depth: Arc<temu_obs::Gauge>,
+    running: Arc<temu_obs::Gauge>,
+    cache_entries: Arc<temu_obs::Gauge>,
+    results_retained: Arc<temu_obs::Gauge>,
+}
+
+impl ServeObs {
+    fn new() -> ServeObs {
+        let registry = temu_obs::Registry::new();
+        let (
+            jobs_recovered,
+            jobs_submitted,
+            jobs_completed,
+            jobs_failed,
+            jobs_cancelled,
+            points_executed,
+            point_cache_hits,
+            points_failed,
+            queue_wait_ns,
+            run_ns,
+            queue_depth,
+            running,
+            cache_entries,
+            results_retained,
+        ) = {
+            let serve = registry.scope("serve");
+            (
+                serve.counter("jobs_recovered"),
+                serve.counter("jobs_submitted"),
+                serve.counter("jobs_completed"),
+                serve.counter("jobs_failed"),
+                serve.counter("jobs_cancelled"),
+                serve.counter("points_executed"),
+                serve.counter("point_cache_hits"),
+                serve.counter("points_failed"),
+                serve.histogram("queue_wait_ns"),
+                serve.histogram("run_ns"),
+                serve.gauge("queue_depth"),
+                serve.gauge("running"),
+                serve.gauge("cache_entries"),
+                serve.gauge("results_retained"),
+            )
+        };
+        ServeObs {
+            registry,
+            jobs_recovered,
+            jobs_submitted,
+            jobs_completed,
+            jobs_failed,
+            jobs_cancelled,
+            points_executed,
+            point_cache_hits,
+            points_failed,
+            queue_wait_ns,
+            run_ns,
+            queue_depth,
+            running,
+            cache_entries,
+            results_retained,
+        }
+    }
+}
+
+/// How many completed-point / terminal-job events the results feed
+/// retains for replay. A `results` client whose cursor has fallen off
+/// the window sees `earliest_retained` jump past its cursor and knows
+/// it missed events (it can re-fetch reports via `result`).
+const FEED_RETAIN: usize = 4096;
+
+struct FeedState {
+    /// Retained events, oldest first: `(seq, job, terminal, line)`.
+    /// `line` is the full event JSON *with* its `"seq"` field.
+    buf: VecDeque<(u64, u64, bool, String)>,
+    /// The next sequence number to assign (first event gets 1).
+    next_seq: u64,
+}
+
+/// The completed-point event feed behind the `results` command: every
+/// point completion and every terminal job transition is appended here
+/// with a monotone sequence number, so a client can replay from a
+/// cursor, follow live, and resume after a reconnect without duplicates
+/// (ROADMAP 1b).
+struct ResultsFeed {
+    state: Mutex<FeedState>,
+    cv: Condvar,
+}
+
+impl ResultsFeed {
+    fn new() -> ResultsFeed {
+        ResultsFeed {
+            state: Mutex::new(FeedState { buf: VecDeque::new(), next_seq: 1 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FeedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends `line` (an event object, `{`-prefixed) to the feed,
+    /// stamping it with the next sequence number.
+    fn push(&self, job: u64, terminal: bool, line: &str) {
+        let mut state = self.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let stamped = format!("{{\"seq\": {seq}, {}", &line[1..]);
+        state.buf.push_back((seq, job, terminal, stamped));
+        while state.buf.len() > FEED_RETAIN {
+            state.buf.pop_front();
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// The latest assigned sequence number (0 before the first event).
+    fn cursor(&self) -> u64 {
+        self.lock().next_seq - 1
+    }
+
+    /// The oldest retained sequence number (0 when nothing is retained).
+    fn earliest_retained(&self) -> u64 {
+        self.lock().buf.front().map_or(0, |(seq, ..)| *seq)
+    }
+
+    /// Events after `cursor` (optionally restricted to one job),
+    /// oldest first. The second return is true when a terminal event of
+    /// the filtered job is *retained* — checked against the whole buffer,
+    /// not just the slice past the cursor, so a follow stream resuming at
+    /// or beyond a finished job's terminal event ends immediately instead
+    /// of blocking for events that will never come.
+    fn collect_after(&self, cursor: u64, job: Option<u64>) -> (Vec<(u64, String)>, bool) {
+        let state = self.lock();
+        let mut out = Vec::new();
+        let mut job_done = false;
+        for (seq, event_job, terminal, line) in &state.buf {
+            if let Some(want) = job {
+                if *event_job != want {
+                    continue;
+                }
+                job_done |= *terminal;
+            }
+            if *seq <= cursor {
+                continue;
+            }
+            out.push((*seq, line.clone()));
+        }
+        (out, job_done)
+    }
+
+    fn retained(&self) -> usize {
+        self.lock().buf.len()
+    }
+}
+
 struct Shared {
     cache: ResultCache,
     /// Process-wide build-artifact cache: every job's sweep threads its
@@ -249,14 +437,14 @@ struct Shared {
     jobs: Mutex<Jobs>,
     cv: Condvar,
     shutdown: AtomicBool,
-    jobs_recovered: AtomicU64,
-    jobs_submitted: AtomicU64,
-    jobs_completed: AtomicU64,
-    jobs_failed: AtomicU64,
-    jobs_cancelled: AtomicU64,
-    points_executed: AtomicU64,
-    point_cache_hits: AtomicU64,
-    points_failed: AtomicU64,
+    /// Per-server metrics registry and pre-interned handles; the job and
+    /// point counters the `stats` command reports live here (`stats` is a
+    /// thin view over the registry).
+    obs: ServeObs,
+    /// The completed-point event feed behind `results`.
+    feed: ResultsFeed,
+    metrics_log: Option<PathBuf>,
+    metrics_interval: Duration,
 }
 
 impl Shared {
@@ -361,6 +549,9 @@ impl ServerHandle {
 fn request_shutdown(shared: &Shared, addr: SocketAddr) {
     shared.shutdown.store(true, Ordering::SeqCst);
     shared.cv.notify_all();
+    // Followers of the results feed block on its condvar; wake them so
+    // they observe the flag and end their streams.
+    shared.feed.cv.notify_all();
     let _ = TcpStream::connect(addr);
 }
 
@@ -446,14 +637,10 @@ impl Server {
             }),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            jobs_recovered: AtomicU64::new(0),
-            jobs_submitted: AtomicU64::new(0),
-            jobs_completed: AtomicU64::new(0),
-            jobs_failed: AtomicU64::new(0),
-            jobs_cancelled: AtomicU64::new(0),
-            points_executed: AtomicU64::new(0),
-            point_cache_hits: AtomicU64::new(0),
-            points_failed: AtomicU64::new(0),
+            obs: ServeObs::new(),
+            feed: ResultsFeed::new(),
+            metrics_log: config.metrics_log.clone(),
+            metrics_interval: config.metrics_interval.max(Duration::from_millis(10)),
         });
         // Re-enqueue what the previous incarnation never finished — their
         // executed points are already cache entries, so a recovered job
@@ -479,7 +666,7 @@ impl Server {
             );
             jobs.queue.push_back(recovered.id);
             drop(jobs);
-            shared.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+            shared.obs.jobs_recovered.inc();
         }
         Ok(Server { listener, shared })
     }
@@ -488,7 +675,7 @@ impl Server {
     /// counted as submitted).
     #[must_use]
     pub fn recovered_jobs(&self) -> u64 {
-        self.shared.jobs_recovered.load(Ordering::Relaxed)
+        self.shared.obs.jobs_recovered.get()
     }
 
     /// Mid-point run states recovered from the window-checkpoint store at
@@ -544,6 +731,10 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
+        let metrics_thread = self.shared.metrics_log.clone().map(|path| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || metrics_log_loop(&shared, &path))
+        });
         for stream in self.listener.incoming() {
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -575,12 +766,16 @@ impl Server {
                 .collect()
         };
         for (id, line) in abandoned {
-            self.shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            self.shared.obs.jobs_cancelled.inc();
             if let Some(journal) = &self.shared.journal {
                 journal.record_terminal(id, JobState::Cancelled.tag());
             }
+            self.shared.feed.push(id, true, &line);
             self.shared.broadcast(id, &line, true);
             self.shared.lock_jobs().note_terminal(id, self.shared.history_limit);
+        }
+        if let Some(metrics) = metrics_thread {
+            let _ = metrics.join();
         }
     }
 
@@ -616,6 +811,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                     if let Some(job) = jobs.map.get_mut(&id) {
                         if job.state == JobState::Queued {
                             job.state = JobState::Running;
+                            if temu_obs::enabled() {
+                                shared.obs.queue_wait_ns.record_duration(job.submitted.elapsed());
+                            }
                             break Some((id, job.spec.clone(), Arc::clone(&job.cancel)));
                         }
                     }
@@ -631,9 +829,13 @@ fn worker_loop(shared: &Arc<Shared>) {
         // A panicking job — a scenario bug past the campaign's own
         // isolation, or the `worker_panic` fault — fails that job with a
         // typed error; this worker thread survives to drain the queue.
+        let run_started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_job(shared, id, &spec, &cancel);
         }));
+        if temu_obs::enabled() {
+            shared.obs.run_ns.record_duration(run_started.elapsed());
+        }
         if let Err(payload) = outcome {
             let message = payload
                 .downcast_ref::<&str>()
@@ -717,6 +919,7 @@ fn run_job(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cancel: &Arc<AtomicB
                 }
             }
             let line = point_line(id, p);
+            progress_shared.feed.push(id, false, &line);
             progress_shared.broadcast(id, &line, false);
         })
         // Between grid points: inject chaos (under this worker's
@@ -735,9 +938,9 @@ fn run_job(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cancel: &Arc<AtomicB
             }
         })
         .run_cached(&shared.cache);
-    shared.points_executed.fetch_add(report.executed as u64, Ordering::Relaxed);
-    shared.point_cache_hits.fetch_add(report.cache_hits as u64, Ordering::Relaxed);
-    shared.points_failed.fetch_add(report.n_failed() as u64, Ordering::Relaxed);
+    shared.obs.points_executed.add(report.executed as u64);
+    shared.obs.point_cache_hits.add(report.cache_hits as u64);
+    shared.obs.points_failed.add(report.n_failed() as u64);
     let state = if report.cancelled { JobState::Cancelled } else { JobState::Done };
     finish_job(shared, id, state, None, Some(report));
 }
@@ -770,13 +973,14 @@ fn finish_job(
         done_line(id, job)
     };
     match state {
-        JobState::Done => shared.jobs_completed.fetch_add(1, Ordering::Relaxed),
-        JobState::Cancelled => shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed),
-        _ => shared.jobs_failed.fetch_add(1, Ordering::Relaxed),
+        JobState::Done => shared.obs.jobs_completed.inc(),
+        JobState::Cancelled => shared.obs.jobs_cancelled.inc(),
+        _ => shared.obs.jobs_failed.inc(),
     };
     if let Some(journal) = &shared.journal {
         journal.record_terminal(id, state.tag());
     }
+    shared.feed.push(id, true, &line);
     shared.broadcast(id, &line, true);
     shared.lock_jobs().note_terminal(id, shared.history_limit);
 }
@@ -829,6 +1033,18 @@ fn serve_connection(
                 continue;
             }
         };
+        let cmd = match &request {
+            Request::Submit { .. } => "submit",
+            Request::Status { .. } => "status",
+            Request::Result { .. } => "result",
+            Request::Cancel { .. } => "cancel",
+            Request::Watch { .. } => "watch",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Results { .. } => "results",
+            Request::Shutdown => "shutdown",
+        };
+        shared.obs.registry.counter(&format!("serve.req.{cmd}")).inc();
         match request {
             Request::Submit { spec, watch, priority } => {
                 handle_submit(shared, &mut writer, *spec, watch, priority)?;
@@ -838,6 +1054,10 @@ fn serve_connection(
             Request::Cancel { job } => writeln!(writer, "{}", cancel_response(shared, job))?,
             Request::Watch { job } => handle_watch(shared, &mut writer, job)?,
             Request::Stats => writeln!(writer, "{}", stats_response(shared))?,
+            Request::Metrics => writeln!(writer, "{}", metrics_response(shared))?,
+            Request::Results { after, follow, job } => {
+                handle_results(shared, &mut writer, after, follow, job)?;
+            }
             Request::Shutdown => {
                 writeln!(writer, "{{\"ok\": true, \"shutdown\": true}}")?;
                 if let Some(addr) = addr {
@@ -903,7 +1123,7 @@ fn handle_submit(
         (id, rx)
     };
     let (id, rx) = subscription;
-    shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    shared.obs.jobs_submitted.inc();
     shared.cv.notify_one();
     writeln!(writer, "{{\"ok\": true, \"job\": {id}, \"total\": {total}}}")?;
     writer.flush()?;
@@ -1017,10 +1237,11 @@ fn cancel_response(shared: &Arc<Shared>, job_id: u64) -> String {
             }
         }
     };
-    shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    shared.obs.jobs_cancelled.inc();
     if let Some(journal) = &shared.journal {
         journal.record_terminal(job_id, JobState::Cancelled.tag());
     }
+    shared.feed.push(job_id, true, &line);
     shared.broadcast(job_id, &line, true);
     shared.lock_jobs().note_terminal(job_id, shared.history_limit);
     format!("{{\"ok\": true, \"job\": {job_id}, \"cancelled\": true}}")
@@ -1032,8 +1253,8 @@ fn stats_response(shared: &Arc<Shared>) -> String {
         let running = jobs.map.values().filter(|j| j.state == JobState::Running).count();
         (jobs.queue.len(), running)
     };
-    let executed = shared.points_executed.load(Ordering::Relaxed);
-    let hits = shared.point_cache_hits.load(Ordering::Relaxed);
+    let executed = shared.obs.points_executed.get();
+    let hits = shared.obs.point_cache_hits.get();
     let served = executed + hits;
     let hit_rate = if served == 0 { 0.0 } else { hits as f64 / served as f64 };
     let member = match &shared.member {
@@ -1058,14 +1279,14 @@ fn stats_response(shared: &Arc<Shared>) -> String {
     );
     format!(
         "{{\"ok\": true, {member}\"jobs_submitted\": {}, \"jobs_completed\": {}, \"jobs_failed\": {}, \"jobs_cancelled\": {}, \"jobs_recovered\": {}, \"queue_depth\": {queue_depth}, \"running\": {running}, \"workers\": {}, \"queue_limit\": {}, \"points_executed\": {executed}, \"point_cache_hits\": {hits}, \"points_failed\": {}, \"cache_hit_rate\": {hit_rate:.4}, {artifacts}, \"cache_entries\": {}, \"store\": {}, \"journal\": {}}}",
-        shared.jobs_submitted.load(Ordering::Relaxed),
-        shared.jobs_completed.load(Ordering::Relaxed),
-        shared.jobs_failed.load(Ordering::Relaxed),
-        shared.jobs_cancelled.load(Ordering::Relaxed),
-        shared.jobs_recovered.load(Ordering::Relaxed),
+        shared.obs.jobs_submitted.get(),
+        shared.obs.jobs_completed.get(),
+        shared.obs.jobs_failed.get(),
+        shared.obs.jobs_cancelled.get(),
+        shared.obs.jobs_recovered.get(),
         shared.workers,
         shared.queue_limit,
-        shared.points_failed.load(Ordering::Relaxed),
+        shared.obs.points_failed.get(),
         shared.cache.len(),
         match shared.cache.store_path() {
             Some(path) => format!("\"{}\"", json_escape(&path.display().to_string())),
@@ -1076,6 +1297,114 @@ fn stats_response(shared: &Arc<Shared>) -> String {
             None => String::from("null"),
         },
     )
+}
+
+/// A point-in-time metrics snapshot: the process-wide registry (solver,
+/// core, store instrumentation) merged with the server's own (job and
+/// point counters, request counters, latency histograms; server values
+/// win a name collision). Point-in-time gauges are refreshed first.
+fn metrics_snapshot(shared: &Arc<Shared>) -> temu_obs::Snapshot {
+    {
+        let jobs = shared.lock_jobs();
+        let running = jobs.map.values().filter(|j| j.state == JobState::Running).count();
+        shared.obs.queue_depth.set(jobs.queue.len() as u64);
+        shared.obs.running.set(running as u64);
+    }
+    shared.obs.cache_entries.set(shared.cache.len() as u64);
+    shared.obs.results_retained.set(shared.feed.retained() as u64);
+    let mut snapshot = temu_obs::global().snapshot();
+    snapshot.merge(&shared.obs.registry.snapshot());
+    snapshot
+}
+
+fn metrics_response(shared: &Arc<Shared>) -> String {
+    let member = match &shared.member {
+        Some(name) => format!("\"member\": \"{}\", ", json_escape(name)),
+        None => String::new(),
+    };
+    format!("{{\"ok\": true, {member}{}}}", metrics_snapshot(shared).to_json_fields())
+}
+
+/// Serves one `results` request: ack with the current cursor and
+/// retention horizon, replay retained events past `after`, then (under
+/// `follow`) block for new events until the job filter's terminal event,
+/// the client hangs up, or the server shuts down. Every stream ends with
+/// an `end` event carrying the cursor to resume from.
+fn handle_results(
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    after: u64,
+    follow: bool,
+    job: Option<u64>,
+) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "{{\"ok\": true, \"cursor\": {}, \"earliest_retained\": {}}}",
+        shared.feed.cursor(),
+        shared.feed.earliest_retained(),
+    )?;
+    writer.flush()?;
+    let mut cursor = after;
+    loop {
+        let (events, job_done) = shared.feed.collect_after(cursor, job);
+        for (seq, line) in events {
+            cursor = seq;
+            writeln!(writer, "{line}")?;
+        }
+        writer.flush()?;
+        if job_done || !follow || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Block until the feed grows (or shutdown). The timeout bounds
+        // how stale the shutdown check can get; spurious wakeups just
+        // re-collect nothing.
+        let state = shared.feed.lock();
+        if state.next_seq - 1 <= cursor {
+            let _unused = shared
+                .feed
+                .cv
+                .wait_timeout(state, Duration::from_millis(250))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    writeln!(writer, "{{\"event\": \"end\", \"cursor\": {cursor}}}")?;
+    writer.flush()
+}
+
+/// The `--metrics-log` thread body: append one snapshot line per
+/// interval (each line a single `write` to an `O_APPEND` handle, so a
+/// dying server tears at most the last line), plus a final snapshot at
+/// shutdown.
+fn metrics_log_loop(shared: &Arc<Shared>, path: &std::path::Path) {
+    let file = std::fs::OpenOptions::new().create(true).append(true).open(path);
+    let Ok(mut file) = file else {
+        eprintln!("temu-serve: cannot open metrics log {}", path.display());
+        return;
+    };
+    let mut seq: u64 = 0;
+    let mut append = |seq: u64| {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis());
+        let line = format!(
+            "{{\"seq\": {seq}, \"unix_ms\": {unix_ms}, {}}}\n",
+            metrics_snapshot(shared).to_json_fields()
+        );
+        let _ = file.write_all(line.as_bytes());
+    };
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        seq += 1;
+        append(seq);
+        // Sleep in small slices so shutdown is honored promptly even
+        // under a long interval.
+        let mut left = shared.metrics_interval;
+        while !left.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
+            let slice = left.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            left -= slice;
+        }
+    }
+    append(seq + 1);
 }
 
 #[cfg(test)]

@@ -139,6 +139,43 @@ fn end_to_end_submit_stream_result_and_cached_resubmit() {
     let fp_misses = stats.get("artifact_floorplan_misses").and_then(JsonValue::as_u64).unwrap();
     assert_eq!(fp_hits + fp_misses, 4);
 
+    // The `metrics` snapshot agrees with `stats` on every job and point
+    // counter (`stats` is a thin view over the same registry), and the
+    // merged process-wide half carries the solver instrumentation.
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.get("temu_metrics").and_then(JsonValue::as_u64), Some(1));
+    let counters = metrics.get("counters").expect("counters map");
+    let metric = |k: &str| counters.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    for (snapshot_key, stats_key) in [
+        ("serve.jobs_submitted", "jobs_submitted"),
+        ("serve.jobs_completed", "jobs_completed"),
+        ("serve.jobs_failed", "jobs_failed"),
+        ("serve.points_executed", "points_executed"),
+        ("serve.point_cache_hits", "point_cache_hits"),
+    ] {
+        assert_eq!(
+            Some(metric(snapshot_key)),
+            stats.get(stats_key).and_then(JsonValue::as_u64),
+            "{snapshot_key} agrees with stats.{stats_key}"
+        );
+    }
+    let histograms = metrics.get("histograms").expect("histograms map");
+    let run_count = histograms
+        .get("serve.run_ns")
+        .and_then(|h| h.get("count"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    assert_eq!(run_count, 2, "one run-duration sample per completed job");
+    assert!(
+        histograms
+            .get("thermal.substep_ns")
+            .and_then(|h| h.get("count"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "the merged snapshot carries the process-wide solver timers"
+    );
+
     // A finished job can be statused but not cancelled.
     let status = client.status(outcome.job).unwrap();
     assert_eq!(status.get("state").and_then(JsonValue::as_str), Some("done"));
@@ -331,6 +368,99 @@ fn cancel_during_run_stops_between_grid_points() {
     assert!(rerun.ok, "{rerun:?}");
     assert_eq!(rerun.cache_hits, finished, "completed points survived the cancellation");
     assert_eq!(rerun.executed, rerun.points - finished);
+
+    handle.shutdown();
+}
+
+#[test]
+fn results_feed_streams_every_point_exactly_once_across_a_reconnect() {
+    let handle = spawn_server(None);
+
+    // Six slower points on one campaign thread (the cancel test's grid):
+    // the job is still mid-sweep when the first connection polls the
+    // feed, so the second connection genuinely resumes a live stream.
+    let tiny = |iters: u32| WorkloadSpec::Matrix { n: 4, iters, cores: 1 };
+    let spec = SweepSpec {
+        name: String::from("feed"),
+        base: ScenarioSpec {
+            cores: Some(1),
+            workload: Some(tiny(1)),
+            sampling_window_s: Some(0.0005),
+            windows: Some(40),
+            strict_convergence: Some(true),
+            ..ScenarioSpec::default()
+        },
+        axes: vec![
+            AxisSpec::Workloads(vec![tiny(1), tiny(2), tiny(3)]),
+            AxisSpec::Solvers(vec![ImplicitSolve::GaussSeidel, ImplicitSolve::Multigrid]),
+        ],
+        threads: Some(1),
+    };
+
+    let mut submitter = connect(&handle);
+    let job = submitter.submit(&spec, false, |_| {}).unwrap().job;
+
+    // First connection: replay the retained feed (no follow) until at
+    // least one event is visible, then drop the connection — the resume
+    // below continues from the cursor the dropped stream returned.
+    let mut events: Vec<JsonValue> = Vec::new();
+    let mut cursor = 0u64;
+    while events.is_empty() {
+        cursor = connect(&handle)
+            .results(cursor, false, Some(job), |e| events.push(e.clone()))
+            .unwrap();
+        if events.is_empty() {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
+    // Fresh connection resuming at the cursor, following to the job's
+    // terminal event: the union of both streams is the feed exactly once.
+    let end_cursor = connect(&handle)
+        .results(cursor, true, Some(job), |e| events.push(e.clone()))
+        .unwrap();
+
+    // Sequence numbers are strictly increasing across the reconnect — no
+    // duplicates, no reordering — and the end event hands back the last
+    // delivered seq.
+    let seqs: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("seq").and_then(JsonValue::as_u64).expect("every feed event is stamped"))
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "strictly increasing seqs: {seqs:?}");
+    assert_eq!(seqs.last().copied(), Some(end_cursor));
+
+    // Every completed point streamed exactly once, in completion order,
+    // capped by the job's terminal summary.
+    let points: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| e.get("event").and_then(JsonValue::as_str) == Some("point"))
+        .collect();
+    assert_eq!(points.len(), 6, "all six grid points streamed");
+    for (i, point) in points.iter().enumerate() {
+        assert_eq!(point.get("completed").and_then(JsonValue::as_u64), Some(i as u64 + 1));
+        assert_eq!(point.get("job").and_then(JsonValue::as_u64), Some(job));
+    }
+    let last = events.last().unwrap();
+    assert_eq!(last.get("event").and_then(JsonValue::as_str), Some("done"));
+    assert_eq!(last.get("ok").and_then(JsonValue::as_bool), Some(true), "{last}");
+
+    // Following again from the end cursor terminates immediately with
+    // nothing to say (the terminal event is behind the cursor), and a
+    // from-scratch replay reproduces the identical history.
+    let mut rest: Vec<JsonValue> = Vec::new();
+    let again = connect(&handle)
+        .results(end_cursor, true, Some(job), |e| rest.push(e.clone()))
+        .unwrap();
+    assert!(rest.is_empty(), "no events past the end cursor: {rest:?}");
+    assert_eq!(again, end_cursor);
+    let mut replayed: Vec<u64> = Vec::new();
+    connect(&handle)
+        .results(0, false, Some(job), |e| {
+            replayed.push(e.get("seq").and_then(JsonValue::as_u64).unwrap());
+        })
+        .unwrap();
+    assert_eq!(replayed, seqs, "a from-scratch replay matches the live stream");
 
     handle.shutdown();
 }

@@ -19,6 +19,28 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Registry handles for the pool's two wait states, resolved once: the
+/// dispatch-mutex queue (callers serialized behind another model's job)
+/// and the caller-side join wait for helper lanes. Both are per-`run`
+/// (thousands per simulated window), so recording is gated on
+/// `temu_obs::enabled()` and costs two `Instant` reads when on.
+struct PoolObs {
+    queue_wait_ns: Arc<temu_obs::Histogram>,
+    join_wait_ns: Arc<temu_obs::Histogram>,
+}
+
+fn pool_obs() -> &'static PoolObs {
+    static OBS: OnceLock<PoolObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let scope = temu_obs::global().scope("thermal.pool");
+        PoolObs {
+            queue_wait_ns: scope.histogram("queue_wait_ns"),
+            join_wait_ns: scope.histogram("join_wait_ns"),
+        }
+    })
+}
 
 /// Type-erased borrowed job: `(worker index, worker count)`. The lifetime
 /// of the pointee is erased; `run` guarantees it outlives every use.
@@ -100,7 +122,11 @@ impl Pool {
     /// freed while helpers still hold its pointer); a helper-lane panic is
     /// re-raised here instead of deadlocking the join.
     pub fn run(&self, f: &(dyn Fn(usize, usize) + Sync)) {
+        let t_queue = temu_obs::enabled().then(Instant::now);
         let _serialized = self.dispatch.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(t) = t_queue {
+            pool_obs().queue_wait_ns.record_duration(t.elapsed());
+        }
         let helpers = self.n_workers - 1;
         if helpers > 0 {
             // SAFETY: lifetime erasure only — `run` does not return until
@@ -116,11 +142,16 @@ impl Pool {
         }
         let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0, self.n_workers)));
         if helpers > 0 {
+            let t_join = temu_obs::enabled().then(Instant::now);
             let mut st = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             while st.remaining > 0 {
                 st = self.shared.done.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             st.job = None;
+            drop(st);
+            if let Some(t) = t_join {
+                pool_obs().join_wait_ns.record_duration(t.elapsed());
+            }
         }
         if let Err(payload) = caller {
             std::panic::resume_unwind(payload);

@@ -49,6 +49,58 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use temu_state::{StateError, StateReader, StateWriter};
 
+/// Cached handles into the process-wide metrics registry for the
+/// per-substep hot path: one relaxed load (`temu_obs::enabled`) gates all
+/// recording, and the handles are resolved once so a substep never takes
+/// the registry lock.
+struct SubstepObs {
+    /// Wall-clock per implicit substep, nanoseconds.
+    latency_ns: Arc<temu_obs::Histogram>,
+    /// Gauss–Seidel sweeps (smoother sweeps, on the MG path) per substep.
+    sweeps: Arc<temu_obs::Histogram>,
+    /// Final per-substep residual in nano-kelvin (the `f64` residual is
+    /// scaled by 1e9 so the log2 buckets resolve the 1e-6 K tolerance).
+    residual_nk: Arc<temu_obs::Histogram>,
+    /// Path counters: which solver serviced the substep.
+    substeps_mg: Arc<temu_obs::Counter>,
+    substeps_gs: Arc<temu_obs::Counter>,
+    substeps_explicit: Arc<temu_obs::Counter>,
+    substeps_fused: Arc<temu_obs::Counter>,
+}
+
+fn substep_obs() -> &'static SubstepObs {
+    static OBS: std::sync::OnceLock<SubstepObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let scope = temu_obs::global().scope("thermal");
+        SubstepObs {
+            latency_ns: scope.histogram("substep_ns"),
+            sweeps: scope.histogram("substep_sweeps"),
+            residual_nk: scope.histogram("residual_nk"),
+            substeps_mg: scope.counter("substeps_mg"),
+            substeps_gs: scope.counter("substeps_gs"),
+            substeps_explicit: scope.counter("substeps_explicit"),
+            substeps_fused: scope.counter("substeps_fused"),
+        }
+    })
+}
+
+/// A residual in kelvin as integer nano-kelvin, saturating (negative and
+/// non-finite inputs clamp to the range ends).
+fn residual_nanokelvin(residual_k: f64) -> u64 {
+    let nk = residual_k * 1e9;
+    if nk.is_finite() && nk >= 0.0 {
+        if nk >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            nk as u64
+        }
+    } else if nk > 0.0 {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
 /// Magic bytes of a [`ThermalModel::snapshot`] stream.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"TSNP";
 
@@ -874,6 +926,9 @@ impl ThermalModel {
                         self.substep_csr(dt);
                     }
                 }
+                if temu_obs::enabled() {
+                    substep_obs().substeps_explicit.add(n_sub);
+                }
                 Ok(())
             }
             Integrator::SemiImplicit { dt } => {
@@ -890,10 +945,18 @@ impl ThermalModel {
                         {
                             self.refresh_all();
                         }
+                        let t0 = temu_obs::enabled().then(std::time::Instant::now);
                         if multigrid {
                             self.implicit_substep_mg(h);
                         } else {
                             self.implicit_substep_csr(h);
+                        }
+                        if let Some(t0) = t0 {
+                            let o = substep_obs();
+                            o.latency_ns.record_duration(t0.elapsed());
+                            o.sweeps.record(self.last_sweeps as u64);
+                            o.residual_nk.record(residual_nanokelvin(self.last_delta));
+                            if multigrid { &o.substeps_mg } else { &o.substeps_gs }.inc();
                         }
                         self.since_refresh += 1;
                     }
@@ -1002,6 +1065,7 @@ impl ThermalModel {
         let mut converged = vec![false; k];
         let mut max_delta = vec![0.0f64; k];
         for _ in 0..n_sub {
+            let t0 = temu_obs::enabled().then(std::time::Instant::now);
             for m in models.iter_mut() {
                 if m.since_refresh >= REFRESH_MAX_INTERVAL || m.drift_since_refresh() > REFRESH_DRIFT_K {
                     m.refresh_all();
@@ -1066,6 +1130,18 @@ impl ThermalModel {
                 m.record_implicit(sweeps_used[j], 0, final_delta[j], converged[j]);
                 m.implicit_substep_finish(h, amb);
                 m.since_refresh += 1;
+            }
+            if let Some(t0) = t0 {
+                let o = substep_obs();
+                // One fused round advances all k models one substep; the
+                // latency histogram records the round (amortized cost),
+                // the counter the per-model substeps it serviced.
+                o.latency_ns.record_duration(t0.elapsed());
+                o.substeps_fused.add(k as u64);
+                for j in 0..k {
+                    o.sweeps.record(sweeps_used[j] as u64);
+                    o.residual_nk.record(residual_nanokelvin(final_delta[j]));
+                }
             }
             for m in models.iter() {
                 m.check_strict()?;

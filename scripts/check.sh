@@ -68,6 +68,53 @@ wait "$SERVE_PID"
 SERVE_PID=""
 echo "serve smoke OK"
 
+echo "== obs-smoke gate =="
+# The observability gate. First the A/B perf guard: the smoke grid with
+# the metrics registry enabled must stay within noise of the disabled
+# run (the solver substep timers sit on the hottest loop). Then a serve
+# flow with --metrics-log: the NDJSON snapshot log must parse, its seqs
+# and counters must be monotone, the final snapshot's completed-job
+# counter must match the two jobs the client ran, and the `metrics` and
+# `results` commands must answer over the wire.
+cargo run --release -p temu-bench --bin sweep -- --obs-ab
+OBS_TMP=$(mktemp -d)
+OBS_PID=""
+obs_cleanup() {
+    [ -n "$OBS_PID" ] && kill "$OBS_PID" 2>/dev/null || true
+    rm -rf "$OBS_TMP" "$SERVE_TMP"
+}
+trap obs_cleanup EXIT
+target/release/temu-serve --addr 127.0.0.1:0 --store "$OBS_TMP/cache.jsonl" \
+    --metrics-log "$OBS_TMP/metrics.ndjson" --metrics-interval 100 \
+    > "$OBS_TMP/serve.log" 2>&1 &
+OBS_PID=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^temu-serve listening on //p' "$OBS_TMP/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "obs smoke FAILED: temu-serve never reported its address"
+    cat "$OBS_TMP/serve.log"
+    exit 1
+fi
+target/release/temu-client --addr "$addr" submit --preset smoke
+target/release/temu-client --addr "$addr" submit --preset smoke --require-cached
+# The streamed feed replays both jobs' completed points as NDJSON.
+results_lines=$(target/release/temu-client --addr "$addr" results | wc -l)
+if [ "$results_lines" -lt 16 ]; then
+    echo "obs smoke FAILED: results replayed only $results_lines event(s) for two 8-point jobs"
+    exit 1
+fi
+target/release/temu-client --addr "$addr" metrics
+target/release/temu-client --addr "$addr" stats
+target/release/temu-client --addr "$addr" shutdown
+wait "$OBS_PID"
+OBS_PID=""
+target/release/temu-client check-metrics-log "$OBS_TMP/metrics.ndjson" --jobs-done 2
+echo "obs smoke OK"
+
 echo "== resume-smoke gate =="
 # The window-checkpoint gate, through the real bins: start temu-serve
 # with --window-checkpoint 5, submit a single long point (~4 s), kill
@@ -80,7 +127,7 @@ RESUME_TMP=$(mktemp -d)
 RESUME_PID=""
 resume_cleanup() {
     [ -n "$RESUME_PID" ] && kill "$RESUME_PID" 2>/dev/null || true
-    rm -rf "$RESUME_TMP" "$SERVE_TMP"
+    rm -rf "$RESUME_TMP" "$OBS_TMP" "$SERVE_TMP"
 }
 trap resume_cleanup EXIT
 cat > "$RESUME_TMP/spec.json" <<'SPEC'
@@ -158,7 +205,7 @@ CHAOS_TMP=$(mktemp -d)
 CHAOS_PID=""
 chaos_cleanup() {
     [ -n "$CHAOS_PID" ] && kill "$CHAOS_PID" 2>/dev/null || true
-    rm -rf "$CHAOS_TMP" "$RESUME_TMP" "$SERVE_TMP"
+    rm -rf "$CHAOS_TMP" "$RESUME_TMP" "$OBS_TMP" "$SERVE_TMP"
 }
 trap chaos_cleanup EXIT
 TEMU_FAULT="worker_panic:0.3,drop_conn:0.2" \
@@ -205,7 +252,7 @@ FLEET_TMP=$(mktemp -d)
 FLEET_PIDS=""
 fleet_cleanup() {
     for pid in $FLEET_PIDS; do kill "$pid" 2>/dev/null || true; done
-    rm -rf "$FLEET_TMP" "$CHAOS_TMP" "$RESUME_TMP" "$SERVE_TMP"
+    rm -rf "$FLEET_TMP" "$CHAOS_TMP" "$RESUME_TMP" "$OBS_TMP" "$SERVE_TMP"
 }
 trap fleet_cleanup EXIT
 
